@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction benches: timed sweeps
+// reporting million point-updates per second, with sizes tunable through
+// S35_* environment variables (see README).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "lbm/sweeps.h"
+#include "machine/descriptor.h"
+#include "stencil/sweeps.h"
+
+namespace s35::bench {
+
+inline int bench_threads() {
+  return static_cast<int>(env_int("S35_THREADS", machine::host().cores));
+}
+
+inline int bench_reps() { return static_cast<int>(env_int("S35_REPS", 2)); }
+
+// Measures a 7-point-stencil sweep in Mupdates/s (best of a few reps).
+template <typename T>
+double measure_stencil7(stencil::Variant v, long n, int steps,
+                        const stencil::SweepConfig& cfg, core::Engine35& engine) {
+  const auto stencil = stencil::default_stencil7<T>();
+  grid::GridPair<T> pair(n, n, n);
+  pair.src().fill_random(7, T(-1), T(1));
+  const double secs = time_best_of(
+      [&] { stencil::run_sweep(v, stencil, pair, steps, cfg, engine); }, bench_reps(),
+      0.05);
+  return static_cast<double>(n) * n * n * steps / secs / 1e6;
+}
+
+// Measures an LBM sweep in MLUPS on a lid-driven-cavity geometry.
+template <typename T>
+double measure_lbm(lbm::Variant v, long n, int steps, const lbm::SweepConfig& cfg,
+                   core::Engine35& engine) {
+  lbm::Geometry geom(n, n, n);
+  geom.set_box_walls();
+  geom.set_lid();
+  geom.finalize();
+  lbm::BgkParams<T> prm;
+  prm.omega = T(1.2);
+  prm.u_wall[0] = T(0.05);
+  lbm::LatticePair<T> pair(n, n, n);
+  pair.src().init_equilibrium();
+  const double secs = time_best_of(
+      [&] { lbm::run_lbm(v, geom, prm, pair, steps, cfg, engine); }, bench_reps(), 0.05);
+  return static_cast<double>(n) * n * n * steps / secs / 1e6;
+}
+
+// Grid edges for the CPU figure benches. Figure 4 uses 64^3/256^3/512^3;
+// the defaults stay laptop-friendly, S35_FULL=1 switches to paper scale.
+inline std::vector<long> stencil_grids() {
+  if (env_flag("S35_FULL")) return {64, 256, 512};
+  return {64, 128, 256};
+}
+
+inline std::vector<long> lbm_grids() {
+  if (env_flag("S35_FULL")) return {64, 256};
+  return {64, 96};
+}
+
+}  // namespace s35::bench

@@ -1,0 +1,49 @@
+// Distributed temporal blocking (Wittmann et al. [22] direction):
+// communication accounting for Z-slab domain decomposition with thick
+// halos. Temporal blocking exchanges halos of thickness R*dim_t once per
+// dim_t steps: the per-step byte volume is unchanged, but the message
+// count (i.e. latency and synchronization events) drops by dim_t — plus
+// each rank's interior work per exchange grows, improving overlap.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "stencil/distributed.h"
+
+using namespace s35;
+
+int main() {
+  std::puts("== Distributed 3.5D: halo-exchange accounting (7-pt SP) ==");
+  const long n = env_int("S35_FULL", 0) ? 192 : 96;
+  const int ranks = 4;
+  const int steps = 8;
+  core::Engine35 engine(bench::bench_threads());
+  const auto stencil = stencil::default_stencil7<float>();
+
+  Table t({"dim_t", "halo planes", "msgs/step", "KB/step", "measured Mupd/s"});
+  for (int dim_t : {1, 2, 4}) {
+    stencil::DistributedStencilDriver<stencil::Stencil7<float>, float> driver(
+        n, n, n, ranks, dim_t);
+    grid::Grid3<float> g(n, n, n);
+    g.fill_random(5, -1.0f, 1.0f);
+    driver.scatter(g);
+
+    stencil::SweepConfig cfg;
+    cfg.dim_t = dim_t;
+    cfg.dim_x = std::min<long>(n, 64);
+    const double secs =
+        time_best_of([&] { driver.run(stencil, steps, cfg, engine); }, 1, 0.0);
+    // stats accumulate across reps; normalize by recorded time steps.
+    const auto& s = driver.stats();
+    t.add_row({Table::fmt(dim_t, 0), Table::fmt(static_cast<double>(driver.halo_planes()), 0),
+               Table::fmt(s.messages_per_step(), 2),
+               Table::fmt(s.bytes_per_step() / 1024.0, 0),
+               Table::fmt(double(n) * n * n * steps / secs / 1e6, 0)});
+  }
+  t.print();
+  std::puts(
+      "\nexpected: bytes/step constant (thicker halo amortized over dim_t steps);\n"
+      "messages/step fall by dim_t — the latency-amortization benefit that makes\n"
+      "temporal blocking attractive for distributed-memory stencils.");
+  return 0;
+}

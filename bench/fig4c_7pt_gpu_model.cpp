@@ -1,0 +1,79 @@
+// Figure 4(c): 7-point stencil on the GTX 285 — reproduced through the
+// analytical GPU model (no GPU in this environment; see DESIGN.md
+// substitutions). Also prints the Section VI-A blocking-parameter
+// derivation and the Section VI-B LBM infeasibility result.
+#include <cstdio>
+
+#include "common/table.h"
+#include "gpumodel/gpu_model.h"
+#include "gpusim/programs.h"
+
+using namespace s35;
+using machine::Precision;
+using namespace s35::gpumodel;
+
+int main() {
+  std::puts("== Section VI-A: GPU 3.5D parameters (7-pt SP, 64 KB register file) ==");
+  const GpuBlockingParams bp = plan_stencil7_sp();
+  Table p({"dim_t", "dim_x bound", "dim_x (warp)", "kappa", "feasible"});
+  p.add_row({Table::fmt(bp.dim_t, 0), Table::fmt(static_cast<double>(bp.dim_x_bound), 0),
+             Table::fmt(static_cast<double>(bp.dim_x), 0), Table::fmt(bp.kappa, 2),
+             bp.feasible ? "yes" : "no"});
+  p.print();
+  std::puts("paper: dim_t=2, dim_x <= 45.2 -> 32, kappa ~1.31\n");
+
+  std::puts("== Figure 4(c): 7-pt stencil on GTX 285 (model) ==");
+  Table t({"precision", "scheme", "model Mupd/s", "bound", "paper"});
+  const struct {
+    GpuScheme s;
+    const char* paper_sp;
+    const char* paper_dp;
+  } rows[] = {
+      {GpuScheme::kNaive, "3300", "-"},
+      {GpuScheme::kSpatialShared, "9234 (2.8X)", "4600 (compute bound)"},
+      {GpuScheme::kMultiUpdate, "17115 (1.8-2X)", "= spatial (unnecessary)"},
+  };
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    for (const auto& r : rows) {
+      const auto pr = predict_stencil7(r.s, prec);
+      t.add_row({machine::to_string(prec), to_string(r.s), Table::fmt(pr.mups, 0),
+                 pr.bandwidth_bound ? "bandwidth" : "compute",
+                 prec == Precision::kSingle ? r.paper_sp : r.paper_dp});
+    }
+  }
+  t.print();
+
+  std::puts("\n== Section VI-B: LBM SP blocking feasibility on GTX 285 ==");
+  Table l({"dim_t", "dim_x bound", "needed (> 2R*dim_t)", "feasible"});
+  for (int dt : {7, 2}) {
+    const auto lb = plan_lbm_sp(dt);
+    l.add_row({Table::fmt(dt, 0), Table::fmt(static_cast<double>(lb.dim_x_bound), 0),
+               Table::fmt(2.0 * dt, 0), lb.feasible ? "yes" : "no"});
+  }
+  l.print();
+  std::puts("paper: dim_t >= 6.1 -> dim_x <= 2; even dim_t = 2 -> dim_x <= 4: no blocking.");
+
+  std::puts("\n== SIMT simulator (structural, no per-scheme calibration) ==");
+  Table s({"kernel", "sim Mupd/s", "GB/s", "blocks/SM", "bound", "paper"});
+  const struct {
+    gpusim::GpuKernel k;
+    const char* paper;
+  } sims[] = {
+      {gpusim::GpuKernel::kNaive7pt, "3300"},
+      {gpusim::GpuKernel::kSpatial7pt, "9234"},
+      {gpusim::GpuKernel::kBlocked35D7pt, "13252-17115"},
+      {gpusim::GpuKernel::kNaiveLbm, "485 MLUPS"},
+  };
+  for (const auto& r : sims) {
+    const auto res = gpusim::run_kernel(r.k, Precision::kSingle);
+    s.add_row({gpusim::to_string(r.k), Table::fmt(res.mups, 0),
+               Table::fmt(res.achieved_gbps, 0), Table::fmt(res.concurrent_blocks, 0),
+               res.bandwidth_bound ? "bandwidth" : "compute", r.paper});
+  }
+  s.print();
+  std::puts(
+      "the simulator executes the kernels' warp/shared-memory/coalescing structure\n"
+      "on an event-driven GT200 SM; the ordering and bound transitions emerge\n"
+      "without per-scheme rate constants (src/gpusim).");
+  return 0;
+}

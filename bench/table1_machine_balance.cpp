@@ -1,0 +1,38 @@
+// Reproduces Table I: peak bandwidth, peak compute and bytes/op of the
+// Core i7 and GTX 285, plus the effective (stencil-usable) GPU ratios of
+// Section III-E, plus the equivalent numbers for the host this runs on.
+#include <cstdio>
+
+#include "common/table.h"
+#include "machine/descriptor.h"
+
+int main() {
+  using namespace s35;
+  using machine::Precision;
+
+  std::puts("== Table I: peak BW (GB/s), peak compute (Gops), Bytes/Op ==");
+  Table t({"Platform", "Peak BW", "SP Gops", "DP Gops", "B/Op SP", "B/Op DP",
+           "eff B/Op SP", "eff B/Op DP", "achievable BW"});
+  for (const auto& d : {machine::core_i7(), machine::gtx285()}) {
+    t.add_row({d.name, Table::fmt(d.peak_bw_gbps, 0), Table::fmt(d.peak_sp_gops, 0),
+               Table::fmt(d.peak_dp_gops, 0),
+               Table::fmt(d.bytes_per_op(Precision::kSingle), 2),
+               Table::fmt(d.bytes_per_op(Precision::kDouble), 2),
+               Table::fmt(d.bytes_per_op(Precision::kSingle, true), 2),
+               Table::fmt(d.bytes_per_op(Precision::kDouble, true), 2),
+               Table::fmt(d.achievable_bw_gbps, 0)});
+  }
+  t.print();
+
+  std::puts("\npaper: Core i7 0.29/0.59, GTX 285 0.14/1.7 (effective 0.43/3.44);");
+  std::puts("paper measured achievable: 22 GB/s (i7), 131 GB/s (GTX 285)\n");
+
+  std::puts("== Host (measured triad bandwidth; rough compute estimate) ==");
+  const auto h = machine::host();
+  Table th({"cores", "LLC MB", "SIMD bits", "achievable BW GB/s", "est SP Gops"});
+  th.add_row({Table::fmt(h.cores, 0), Table::fmt(h.llc_bytes / double(1 << 20), 1),
+              Table::fmt(h.simd_bits, 0), Table::fmt(h.achievable_bw_gbps, 1),
+              Table::fmt(h.peak_sp_gops, 0)});
+  th.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces the Section IV kernel analysis: ops per point, bytes per
+// point (with perfect spatial reuse), and γ = bytes/op for the 7-point
+// stencil, 27-point stencil and D3Q19 LBM — then classifies each kernel as
+// bandwidth- or compute-bound per platform and precision (Section IV-C).
+#include <cstdio>
+
+#include "common/table.h"
+#include "machine/descriptor.h"
+#include "machine/kernel_sig.h"
+
+int main() {
+  using namespace s35;
+  using machine::Precision;
+
+  std::puts("== Section IV: kernel bytes/op (gamma) ==");
+  Table t({"Kernel", "ops/pt", "flops", "B/pt SP", "B/pt DP", "gamma SP", "gamma DP"});
+  for (const auto& k : {machine::seven_point(), machine::twenty_seven_point(),
+                        machine::lbm_d3q19()}) {
+    t.add_row({k.name, Table::fmt(k.ops(), 0), Table::fmt(k.flops, 0),
+               Table::fmt(k.bytes_sp, 0), Table::fmt(k.bytes_dp, 0),
+               Table::fmt(k.gamma(Precision::kSingle), 2),
+               Table::fmt(k.gamma(Precision::kDouble), 2)});
+  }
+  t.print();
+  std::puts("paper: 7-pt 0.5/1.0, 27-pt 0.14/0.28, LBM 0.88/1.75\n");
+
+  std::puts("== Section IV-C: boundedness (gamma vs platform Gamma) ==");
+  Table b({"Kernel", "Precision", "Core i7", "GTX 285"});
+  const auto cpu = machine::core_i7();
+  const auto gpu = machine::gtx285();
+  for (const auto& k : {machine::seven_point(), machine::twenty_seven_point(),
+                        machine::lbm_d3q19()}) {
+    for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+      const auto cls = [&](const machine::Descriptor& d) {
+        return k.gamma(p) > d.bytes_per_op(p) ? "bandwidth-bound" : "compute-bound";
+      };
+      b.add_row({k.name, machine::to_string(p), cls(cpu), cls(gpu)});
+    }
+  }
+  b.print();
+  std::puts(
+      "paper: 7-pt SP bw-bound both, DP bw-bound CPU / compute-bound GPU;\n"
+      "       27-pt compute-bound both; LBM SP bw-bound both, DP bw CPU / compute GPU");
+  return 0;
+}

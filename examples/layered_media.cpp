@@ -1,0 +1,97 @@
+// Heterogeneous diffusion through layered media: the variable-coefficient
+// 7-point kernel (stencil/stencil_varcoef.h) on a medium whose diffusivity
+// alternates between slow and fast horizontal layers — think heat soaking
+// through laminated insulation. Demonstrates the var-coef kernel through
+// the 3.5D-blocked sweep and validates two physical invariants that hold
+// exactly for the discrete scheme:
+//
+//   * total heat is conserved when the coefficients form a proper
+//     flux-conservative update (here: alpha = 1 - 6 beta, beta constant per
+//     cell would conserve; with varying beta we instead check boundedness
+//     and monotone spreading), and
+//   * the fast layer spreads heat measurably further than the slow layer.
+//
+//   $ ./layered_media [edge] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "grid/vtk.h"
+#include "stencil/stencil_varcoef.h"
+#include "stencil/sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace s35;
+
+  const long n = argc > 1 ? std::atol(argv[1]) : 96;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 80;
+
+  // Layered diffusivity: slow layers (r = 0.02) and fast layers (r = 0.15),
+  // alternating every n/8 planes in y. Stability: r <= 1/6.
+  grid::Grid3<double> alpha(n, n, n), beta(n, n, n);
+  const auto r_of = [&](long y) {
+    return ((y / (n / 8)) % 2 == 0) ? 0.02 : 0.15;
+  };
+  beta.fill_with([&](long, long y, long) { return r_of(y); });
+  alpha.fill_with([&](long, long y, long) { return 1.0 - 6.0 * r_of(y); });
+  const stencil::Stencil7VarCoef<double> kernel{&alpha, &beta, 0, 0};
+
+  // Hot filament along x in the middle of a *slow* layer... and one in a
+  // fast layer, same initial heat.
+  const long y_slow = n / 16;           // center of the first slow layer
+  const long y_fast = n / 16 + n / 8;   // center of the first fast layer
+  grid::GridPair<double> pair(n, n, n);
+  pair.src().fill_with([&](long, long y, long z) {
+    return ((y == y_slow || y == y_fast) && z == n / 2) ? 1.0 : 0.0;
+  });
+
+  core::Engine35 engine(1);
+  stencil::SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = std::min<long>(n, 64);
+  Timer t;
+  stencil::run_sweep(stencil::Variant::kBlocked35D, kernel, pair, steps, cfg, engine);
+  std::printf("layered diffusion %ld^3, %d steps: %.3f s (%.0f Mupd/s)\n", n, steps,
+              t.seconds(), double(n) * n * n * steps / t.seconds() / 1e6);
+
+  // Spread width (std dev in z) of each filament's heat.
+  const auto spread = [&](long y0) {
+    double mass = 0, m2 = 0;
+    for (long z = 1; z < n - 1; ++z) {
+      const double v = pair.src().at(n / 2, y0, z);
+      mass += v;
+      m2 += v * (z - n / 2.0) * (z - n / 2.0);
+    }
+    return std::sqrt(m2 / mass);
+  };
+  const double s_slow = spread(y_slow);
+  const double s_fast = spread(y_fast);
+  std::printf("spread (z std dev): slow layer %.2f cells, fast layer %.2f cells\n",
+              s_slow, s_fast);
+  // Diffusive spread scales like sqrt(r): expect ~sqrt(0.15/0.02) = 2.7x.
+  const double ratio = s_fast / s_slow;
+  std::printf("fast/slow spread ratio: %.2f (sqrt(r_fast/r_slow) = %.2f)\n", ratio,
+              std::sqrt(0.15 / 0.02));
+
+  // Boundedness (discrete maximum principle holds since all update weights
+  // are non-negative: alpha = 1-6r >= 0, beta = r >= 0).
+  double lo = 1e300, hi = -1e300;
+  for (long z = 1; z < n - 1; ++z)
+    for (long y = 1; y < n - 1; ++y)
+      for (long x = 1; x < n - 1; ++x) {
+        lo = std::min(lo, pair.src().at(x, y, z));
+        hi = std::max(hi, pair.src().at(x, y, z));
+      }
+  std::printf("value range after diffusion: [%.2e, %.2e]\n", lo, hi);
+
+  if (const char* out = std::getenv("S35_VTK")) {
+    grid::write_vtk_scalar(out, pair.src(), "temperature");
+    std::printf("wrote %s\n", out);
+  }
+
+  const bool ok = lo >= -1e-12 && hi <= 1.0 + 1e-12 && ratio > 2.0 && ratio < 3.5;
+  std::printf("validation: %s (bounded + spread ratio near sqrt(r ratio))\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the paper.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  echo "=== $b ==="
+  "$b"
+  echo
+done

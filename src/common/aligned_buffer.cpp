@@ -1,0 +1,32 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace s35 {
+
+namespace {
+constexpr std::size_t kHugePageBytes = 2u << 20;
+}
+
+void* aligned_malloc(std::size_t bytes, std::size_t alignment) {
+  S35_CHECK(alignment >= alignof(std::max_align_t) || (alignment & (alignment - 1)) == 0);
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded);
+  S35_CHECK_MSG(p != nullptr, "allocation failed");
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (padded >= kHugePageBytes) {
+    // Best effort: the kernel may or may not back this with huge pages.
+    (void)madvise(p, padded, MADV_HUGEPAGE);
+  }
+#endif
+  return p;
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace s35

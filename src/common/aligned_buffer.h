@@ -1,0 +1,86 @@
+// Cache-line-aligned, huge-page-friendly flat buffers.
+//
+// All grid and sub-plane storage in the library goes through AlignedBuffer so
+// that SIMD aligned loads/stores and streaming stores are legal on the first
+// element of every row, and so large allocations can be backed by 2 MB pages
+// (the paper reports 5-20% gains from large pages via reduced TLB misses).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace s35 {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Allocates `bytes` aligned to `alignment`; requests transparent huge pages
+// for allocations of 2 MB or more (best effort, never fails the allocation).
+void* aligned_malloc(std::size_t bytes, std::size_t alignment = kCacheLineBytes);
+void aligned_free(void* p) noexcept;
+
+// Fixed-size aligned array of trivially-copyable T. Unlike std::vector it
+// never default-constructs per element (a 512^3 grid is 134M elements), and
+// guarantees 64-byte alignment of data().
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (n > 0) data_ = static_cast<T*>(aligned_malloc(n * sizeof(T)));
+  }
+
+  AlignedBuffer(std::size_t n, T fill_value) : AlignedBuffer(n) { fill(fill_value); }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() { aligned_free(data_); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    S35_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    S35_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace s35

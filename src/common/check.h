@@ -1,0 +1,37 @@
+// Checked assertions that stay on in release builds.
+//
+// Stencil sweeps are memory-unsafe by construction (pointer arithmetic over
+// padded grids), so internal invariants are verified with S35_CHECK in all
+// build types; S35_DCHECK compiles out in NDEBUG builds and is reserved for
+// per-element hot-loop checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s35 {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "S35_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace s35
+
+#define S35_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::s35::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define S35_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::s35::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define S35_DCHECK(expr) ((void)0)
+#else
+#define S35_DCHECK(expr) S35_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace s35 {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace s35

@@ -1,0 +1,26 @@
+// Environment-variable knobs for benches and examples.
+//
+// The figure-reproduction binaries accept their sweep parameters through
+// S35_* environment variables (e.g. S35_MAX_GRID=512 S35_STEPS=16) so the
+// whole bench directory can be executed with no arguments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s35 {
+
+// Returns the integer value of environment variable `name`, or `fallback`
+// when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+// Returns the double value of environment variable `name`, or `fallback`.
+double env_double(const char* name, double fallback);
+
+// Returns the string value of environment variable `name`, or `fallback`.
+std::string env_string(const char* name, const std::string& fallback);
+
+// True when the variable is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace s35

@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s35 {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(n);
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = (n > 1) ? std::sqrt(sq / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace s35

@@ -1,0 +1,22 @@
+// Small descriptive-statistics helpers for bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace s35 {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+// Computes min/max/mean/median/stddev of `samples`; returns zeros for empty
+// input. Does not modify the input.
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace s35

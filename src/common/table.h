@@ -1,0 +1,36 @@
+// Plain-text table printer used by the figure-reproduction benches so every
+// binary emits the same aligned, grep-friendly rows the paper's tables and
+// figure series use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace s35 {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // blank. Convenience overload formats doubles with `precision` digits.
+  void add_row(std::vector<std::string> cells);
+
+  static std::string fmt(double value, int precision = 2);
+
+  // Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+
+  // Comma-separated rendering (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  // Prints to stdout; with S35_CSV=1 in the environment, emits CSV instead
+  // of the aligned table so bench output feeds straight into plotting.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s35

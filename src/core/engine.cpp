@@ -1,0 +1,4 @@
+#include "core/engine.h"
+
+// Engine35 is header-only (templated over the kernel policy); this TU keeps
+// the target's source list non-empty and compiles the header standalone.

@@ -1,0 +1,134 @@
+// Engine35: the parallel 3.5D blocking driver (Section V-E).
+//
+// The engine owns everything scheduling-related — tile loop, round loop,
+// ring-slot arithmetic, the paper's equal-work row partition, and the
+// barrier per round (parallel mode) or per step (serialized mode) — and
+// delegates the actual data movement and arithmetic to a kernel policy.
+//
+// Kernel policy requirements (duck-typed):
+//
+//   struct MyKernel {
+//     // Execute `step` for row y, columns [x0, x1), all in global grid
+//     // coordinates. For StepKind::kLoad copy the external input plane
+//     // into instance 0's ring slot; for kCopy propagate the frozen
+//     // boundary plane from instance t-1 to instance t (or to the output
+//     // grid when step.to_external); for kCompute apply the stencil
+//     // reading instance t-1 ring slots step.src_slots (planes
+//     // step.src_z_begin ..) and writing instance t's slot or the output
+//     // grid. Rows whose (x, y) lie in the frozen boundary shell must be
+//     // copied from instance t-1 unchanged.
+//     void execute(const Tile& tile, const Step& step, long y, long x0, long x1);
+//   };
+//
+// Every step of a round is executed cooperatively by all threads: thread i
+// runs the i-th element-balanced slice of the step's valid region, so each
+// thread performs the same external I/O and the same ops (Section V-D).
+// Correctness of running the slices of *all* steps of a round concurrently
+// is guaranteed by the 2R+2-deep plane rings (see schedule.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/schedule.h"
+#include "core/tiling.h"
+#include "parallel/barrier.h"
+#include "parallel/partition.h"
+#include "parallel/thread_team.h"
+
+namespace s35::core {
+
+class Engine35 {
+ public:
+  Engine35(int num_threads,
+           parallel::BarrierKind barrier_kind = parallel::BarrierKind::kSpin)
+      : team_(num_threads),
+        barrier_(parallel::make_barrier(barrier_kind, num_threads)) {}
+
+  int num_threads() const { return team_.size(); }
+  parallel::ThreadTeam& team() { return team_; }
+
+  // Ablation mode: coarse-grained tile parallelism. Whole tiles are
+  // assigned to threads (each thread runs its tiles' full z pipeline
+  // alone, no barriers). This is the scheduling the paper argues against:
+  // it balances poorly when tiles are few or unequal, and each thread's
+  // buffer footprint multiplies the cache pressure by the thread count
+  // (Section V-D motivates the fine-grained row partition instead).
+  // Requires a kernel factory because every thread needs a private buffer
+  // set; see run_pass_tile_parallel.
+  template <typename KernelFactory>
+  void run_pass_tile_parallel(const KernelFactory& make_kernel, const Tiling& tiling,
+                              const TemporalSchedule& sched) {
+    S35_CHECK(tiling.radius() == sched.radius());
+    S35_CHECK(tiling.dim_t() == sched.dim_t());
+    std::vector<std::vector<Step>> rounds;
+    rounds.reserve(static_cast<std::size_t>(sched.num_rounds()));
+    for (long m = 0; m < sched.num_rounds(); ++m) rounds.push_back(sched.round(m));
+
+    const int nthreads = team_.size();
+    team_.run([&](int tid) {
+      auto kernel = make_kernel();
+      const auto [t0, t1] = parallel::chunk_range(
+          static_cast<long>(tiling.tiles().size()), nthreads, tid);
+      for (long ti = t0; ti < t1; ++ti) {
+        const Tile& tile = tiling.tiles()[static_cast<std::size_t>(ti)];
+        for (const auto& round : rounds) {
+          for (const Step& step : round) {
+            const Rect& region =
+                step.kind == StepKind::kLoad ? tile.region(0) : tile.region(step.t);
+            parallel::for_each_span(region.x.size(), region.y.size(), 1, 0,
+                                    [&](long y, long x0, long x1) {
+                                      kernel.execute(tile, step, region.y.begin + y,
+                                                     region.x.begin + x0,
+                                                     region.x.begin + x1);
+                                    });
+          }
+        }
+      }
+    });
+  }
+
+  // Runs one pass (dim_t time steps) of `kernel` over every tile.
+  template <typename Kernel>
+  void run_pass(Kernel& kernel, const Tiling& tiling, const TemporalSchedule& sched) {
+    S35_CHECK(tiling.radius() == sched.radius());
+    S35_CHECK(tiling.dim_t() == sched.dim_t());
+
+    // Materialize the schedule once; rounds are identical across tiles and
+    // threads, and building them inside the SPMD region would malloc in the
+    // hot loop.
+    std::vector<std::vector<Step>> rounds;
+    rounds.reserve(static_cast<std::size_t>(sched.num_rounds()));
+    for (long m = 0; m < sched.num_rounds(); ++m) rounds.push_back(sched.round(m));
+
+    const bool serialized = sched.serialized();
+    const int nthreads = team_.size();
+    parallel::Barrier& barrier = *barrier_;
+
+    team_.run([&](int tid) {
+      for (const Tile& tile : tiling.tiles()) {
+        for (const auto& round : rounds) {
+          for (const Step& step : round) {
+            const Rect& region =
+                step.kind == StepKind::kLoad ? tile.region(0) : tile.region(step.t);
+            parallel::for_each_span(
+                region.x.size(), region.y.size(), nthreads, tid,
+                [&](long y, long x0, long x1) {
+                  kernel.execute(tile, step, region.y.begin + y,
+                                 region.x.begin + x0, region.x.begin + x1);
+                });
+            if (serialized && nthreads > 1) barrier.arrive_and_wait(tid);
+          }
+          if (!serialized && nthreads > 1) barrier.arrive_and_wait(tid);
+        }
+      }
+    });
+  }
+
+ private:
+  parallel::ThreadTeam team_;
+  std::unique_ptr<parallel::Barrier> barrier_;
+};
+
+}  // namespace s35::core

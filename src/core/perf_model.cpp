@@ -1,0 +1,154 @@
+#include "core/perf_model.h"
+
+#include "common/check.h"
+#include "core/planner.h"
+#include "machine/kernel_sig.h"
+
+namespace s35::core {
+
+namespace {
+
+using machine::Precision;
+
+struct Inputs {
+  double bytes;  // external bytes per update
+  double ops;    // executed ops per update
+  double eta;    // achieved fraction of peak issue
+  double simd_fraction = 1.0;  // 1 for SIMD code, 1/width for scalar
+};
+
+CpuPrediction roofline(const machine::Descriptor& m, Precision p, const Inputs& in) {
+  CpuPrediction out;
+  out.bytes_per_update = in.bytes;
+  out.ops_per_update = in.ops / in.eta;
+  const double gops = m.peak_gops(p) * in.simd_fraction;
+  const double compute_rate = gops * 1e9 * in.eta / in.ops;
+  if (in.bytes <= 0.0) {
+    out.mups = compute_rate / 1e6;
+    return out;
+  }
+  const double bw_rate = m.achievable_bw_gbps * 1e9 / in.bytes;
+  out.bandwidth_bound = bw_rate < compute_rate;
+  out.mups = (out.bandwidth_bound ? bw_rate : compute_rate) / 1e6;
+  return out;
+}
+
+// Whole grid pair resident in the LLC: no external streaming at all.
+bool grid_pair_fits(const machine::Descriptor& m, const machine::KernelSig& k,
+                    Precision p, long edge) {
+  const double bytes = 2.0 * static_cast<double>(edge) * edge * edge *
+                       static_cast<double>(k.elem_bytes(p));
+  return bytes <= static_cast<double>(m.llc_bytes);
+}
+
+// Whole-XY-plane temporal buffer resident (eq. 1 with dim_x = dim_y = edge).
+bool plane_buffer_fits(const machine::Descriptor& m, const machine::KernelSig& k,
+                       Precision p, long edge, int dim_t) {
+  const double bytes = static_cast<double>(k.elem_bytes(p)) * (2 * k.radius + 2) *
+                       dim_t * static_cast<double>(edge) * edge;
+  return bytes <= static_cast<double>(m.blocking_capacity_bytes);
+}
+
+}  // namespace
+
+const char* to_string(CpuScheme s) {
+  switch (s) {
+    case CpuScheme::kScalarNaive:
+      return "scalar naive";
+    case CpuScheme::kNaive:
+      return "naive (simd)";
+    case CpuScheme::kSpatialOnly:
+      return "spatial only";
+    case CpuScheme::kTemporalOnly:
+      return "temporal only";
+    case CpuScheme::kBlocked4D:
+      return "4d";
+    case CpuScheme::kBlocked35D:
+      return "3.5d";
+    case CpuScheme::kBlocked35DIlp:
+      return "3.5d + ilp";
+  }
+  return "?";
+}
+
+CpuPrediction predict_stencil7_cpu(CpuScheme scheme, Precision p, long grid_edge) {
+  const machine::Descriptor m = machine::core_i7();
+  const machine::KernelSig k = machine::seven_point();
+  const double eta = 0.63;  // measured issue efficiency of the SSE 7-pt kernel
+  const int simd_width = p == Precision::kSingle ? 4 : 2;
+  const bool fits = grid_pair_fits(m, k, p, grid_edge);
+  // The LLC supplies spatial reuse even without explicit blocking
+  // (Section VII-A), so unblocked traffic is 1 read + 1 write per point.
+  const double streamed = fits ? 0.0 : k.bytes(p);
+  const auto plan = core::plan(m, k, p, {.round_multiple = 4});  // dim_t = 2
+
+  switch (scheme) {
+    case CpuScheme::kScalarNaive:
+      return roofline(m, p, {streamed, k.ops(), eta, 1.0 / simd_width});
+    case CpuScheme::kNaive:
+    case CpuScheme::kSpatialOnly:
+      return roofline(m, p, {streamed, k.ops(), eta});
+    case CpuScheme::kTemporalOnly: {
+      const bool buf = plane_buffer_fits(m, k, p, grid_edge, plan.dim_t);
+      return roofline(m, p, {buf ? streamed / plan.dim_t : streamed, k.ops(), eta});
+    }
+    case CpuScheme::kBlocked4D: {
+      const long edge = max_dim_3d(m.blocking_capacity_bytes / 2, k.elem_bytes(p));
+      const double kap = kappa_4d(k.radius, plan.dim_t, edge, edge, edge);
+      return roofline(m, p, {streamed * kap / plan.dim_t, k.ops() * kap, eta});
+    }
+    case CpuScheme::kBlocked35D:
+    case CpuScheme::kBlocked35DIlp:
+      // Blocking a cache-resident grid only adds ghost overhead — the
+      // paper's "slight slowdowns" on 64^3.
+      return roofline(m, p,
+                      {streamed * plan.kappa / plan.dim_t, k.ops() * plan.kappa, eta});
+  }
+  return {};
+}
+
+CpuPrediction predict_lbm_cpu(CpuScheme scheme, Precision p, long grid_edge) {
+  const machine::Descriptor m = machine::core_i7();
+  const machine::KernelSig k = machine::lbm_d3q19();
+  // Measured issue efficiency of the SSE LBM kernel; the unroll + software
+  // pipelining pass of Section VI-B lifts it slightly.
+  const double eta = 0.52;
+  const double eta_ilp = 0.56;
+  const int simd_width = p == Precision::kSingle ? 4 : 2;
+  const bool fits = grid_pair_fits(m, k, p, grid_edge);
+  const double streamed = fits ? 0.0 : k.bytes(p);
+  const auto plan = core::plan(m, k, p, {.round_multiple = 4});  // dim_t = 3
+
+  switch (scheme) {
+    case CpuScheme::kScalarNaive:
+      return roofline(m, p, {streamed, k.ops(), eta, 1.0 / simd_width});
+    case CpuScheme::kNaive:
+    case CpuScheme::kSpatialOnly:  // "LBM does not have spatial data-reuse"
+      return roofline(m, p, {streamed, k.ops(), eta});
+    case CpuScheme::kTemporalOnly: {
+      const bool buf = plane_buffer_fits(m, k, p, grid_edge, plan.dim_t);
+      return roofline(m, p, {buf ? streamed / plan.dim_t : streamed, k.ops(), eta});
+    }
+    case CpuScheme::kBlocked4D: {
+      const long edge = max_dim_3d(m.blocking_capacity_bytes / 2, k.elem_bytes(p));
+      const double kap = kappa_4d(k.radius, plan.dim_t, edge, edge, edge);
+      return roofline(m, p, {streamed * kap / plan.dim_t, k.ops() * kap, eta});
+    }
+    case CpuScheme::kBlocked35D:
+    case CpuScheme::kBlocked35DIlp: {
+      const double e = scheme == CpuScheme::kBlocked35DIlp ? eta_ilp : eta;
+      return roofline(m, p,
+                      {streamed * plan.kappa / plan.dim_t, k.ops() * plan.kappa, e});
+    }
+  }
+  return {};
+}
+
+double predicted_core_scaling(int cores, bool bandwidth_bound,
+                              double parallel_efficiency) {
+  S35_CHECK(cores >= 1);
+  if (bandwidth_bound) return 1.0;  // a single core nearly saturates the socket
+  return 1.0 + (cores - 1) * parallel_efficiency;
+}
+
+}  // namespace s35::core

@@ -1,0 +1,59 @@
+// CPU performance model for the paper's Core i7: reproduces the Figure 4(a),
+// 4(b) and 5(a) bar heights from the roofline arithmetic of Sections IV-VI
+// plus one measured-efficiency constant per kernel.
+//
+// The model is rate = min(BW_achievable / bytes, Gops_peak · η / ops) with
+//   bytes = bytes_ideal · κ / dim_t   (κ = 1, dim_t = 1 when not blocked)
+//   ops   = ops_ideal · κ
+// and η the achieved fraction of peak instruction issue — the only
+// calibrated constant (0.63 for the 7-pt stencil, 0.52 for LBM, rising to
+// 0.56 with the paper's unroll/software-pipelining pass). Everything else
+// (γ, Γ, κ, dim_t, capacity effects, which side of the roofline binds) is
+// first-principles, and the tests assert the published bars emerge from it.
+//
+// Capacity effects come from the grid edge: a grid pair that fits the LLC
+// makes even the naive sweep compute bound (the 64^3 columns of Figure
+// 4(b)); a whole-XY-plane temporal buffer that fits enables temporal-only
+// blocking (the 64^3 LBM bars of Figure 4(a)) and one that does not fit
+// disables it (the 256^3 bars).
+#pragma once
+
+#include "machine/descriptor.h"
+
+namespace s35::core {
+
+enum class CpuScheme {
+  kScalarNaive,   // parallelized scalar code, no SIMD (Fig 5(a) bar 1)
+  kNaive,         // SIMD, no blocking
+  kSpatialOnly,   // SIMD + spatial blocking (no temporal reuse)
+  kTemporalOnly,  // temporal blocking, whole-plane tiles
+  kBlocked4D,     // 3D spatial + temporal baseline
+  kBlocked35D,    // the paper's scheme
+  kBlocked35DIlp, // 3.5D + unroll/software pipelining (Fig 5(a) final bar)
+};
+
+const char* to_string(CpuScheme s);
+
+struct CpuPrediction {
+  double mups = 0.0;
+  bool bandwidth_bound = false;
+  double bytes_per_update = 0.0;
+  double ops_per_update = 0.0;
+};
+
+// 7-point stencil on the paper's Core i7 for a grid_edge^3 grid
+// (Figure 4(b) bars: 64 / 256 / 512).
+CpuPrediction predict_stencil7_cpu(CpuScheme scheme, machine::Precision p,
+                                   long grid_edge = 256);
+
+// D3Q19 LBM on the paper's Core i7 (Figures 4(a) and 5(a) bars: 64 / 256).
+CpuPrediction predict_lbm_cpu(CpuScheme scheme, machine::Precision p,
+                              long grid_edge = 256);
+
+// Parallel-scaling model of Section VII-A: compute-bound kernels scale
+// nearly linearly with cores (the paper reports 3.6X on 4), bandwidth-bound
+// ones saturate once aggregate demand exceeds the socket bandwidth.
+double predicted_core_scaling(int cores, bool bandwidth_bound,
+                              double parallel_efficiency = 0.9);
+
+}  // namespace s35::core

@@ -1,0 +1,124 @@
+#include "core/planner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace s35::core {
+
+namespace {
+
+double shrink_factor(int radius, int dim_t, long dim) {
+  return 1.0 - 2.0 * radius * dim_t / static_cast<double>(dim);
+}
+
+long round_down(long value, long multiple) {
+  if (multiple <= 1) return value;
+  return value / multiple * multiple;
+}
+
+}  // namespace
+
+double kappa_3d(int radius, long dx, long dy, long dz) {
+  const double f = shrink_factor(radius, 1, dx) * shrink_factor(radius, 1, dy) *
+                   shrink_factor(radius, 1, dz);
+  S35_CHECK_MSG(f > 0.0, "block too small for radius");
+  return 1.0 / f;
+}
+
+double kappa_25d(int radius, long dx, long dy) { return kappa_35d(radius, 1, dx, dy); }
+
+double kappa_35d(int radius, int dim_t, long dx, long dy) {
+  const double f = shrink_factor(radius, dim_t, dx) * shrink_factor(radius, dim_t, dy);
+  S35_CHECK_MSG(f > 0.0, "block too small for radius x dim_t");
+  return 1.0 / f;
+}
+
+double kappa_4d(int radius, int dim_t, long dx, long dy, long dz) {
+  const double f = shrink_factor(radius, dim_t, dx) * shrink_factor(radius, dim_t, dy) *
+                   shrink_factor(radius, dim_t, dz);
+  S35_CHECK_MSG(f > 0.0, "block too small for radius x dim_t");
+  return 1.0 / f;
+}
+
+long max_dim_3d(std::size_t capacity_bytes, std::size_t elem_bytes) {
+  S35_CHECK(elem_bytes > 0);
+  return static_cast<long>(
+      std::cbrt(static_cast<double>(capacity_bytes) / static_cast<double>(elem_bytes)));
+}
+
+long max_dim_25d(std::size_t capacity_bytes, std::size_t elem_bytes, int radius) {
+  S35_CHECK(elem_bytes > 0 && radius >= 1);
+  const double per_plane = static_cast<double>(elem_bytes) * (2 * radius + 1);
+  return static_cast<long>(std::sqrt(static_cast<double>(capacity_bytes) / per_plane));
+}
+
+long max_dim_35d(std::size_t capacity_bytes, std::size_t elem_bytes, int radius,
+                 int dim_t) {
+  S35_CHECK(elem_bytes > 0 && radius >= 1 && dim_t >= 1);
+  const double per_point =
+      static_cast<double>(elem_bytes) * (2 * radius + 2) * dim_t;
+  return static_cast<long>(std::sqrt(static_cast<double>(capacity_bytes) / per_point));
+}
+
+int min_dim_t(double gamma_kernel, double gamma_machine) {
+  S35_CHECK(gamma_kernel > 0.0 && gamma_machine > 0.0);
+  const int t = static_cast<int>(std::ceil(gamma_kernel / gamma_machine));
+  return t < 1 ? 1 : t;
+}
+
+double roofline_mups(const machine::Descriptor& mach, machine::Precision precision,
+                     bool use_effective_peak, double bytes_per_update,
+                     double ops_per_update) {
+  S35_CHECK(ops_per_update > 0.0);
+  const double gops = use_effective_peak ? mach.effective_gops(precision)
+                                         : mach.peak_gops(precision);
+  const double compute_bound = gops * 1e9 / ops_per_update;
+  if (bytes_per_update <= 0.0) return compute_bound / 1e6;
+  const double bw_bound = mach.achievable_bw_gbps * 1e9 / bytes_per_update;
+  return (compute_bound < bw_bound ? compute_bound : bw_bound) / 1e6;
+}
+
+BlockPlan plan(const machine::Descriptor& mach, const machine::KernelSig& kernel,
+               machine::Precision precision, const PlanOptions& options) {
+  BlockPlan p;
+  p.radius = kernel.radius;
+  p.gamma_kernel = kernel.gamma(precision);
+  p.gamma_machine = mach.bytes_per_op(precision, options.use_effective_peak);
+
+  p.dim_t = options.force_dim_t > 0
+                ? options.force_dim_t
+                : min_dim_t(p.gamma_kernel, p.gamma_machine);
+
+  const std::size_t elem = kernel.elem_bytes(precision);
+  long dim = max_dim_35d(mach.blocking_capacity_bytes, elem, p.radius, p.dim_t);
+  dim = round_down(dim, options.round_multiple);
+  p.dim_x = p.dim_y = dim;
+  p.planes_per_instance = 2 * p.radius + 2;
+  p.buffer_bytes = static_cast<std::size_t>(elem) * p.planes_per_instance * p.dim_t *
+                   static_cast<std::size_t>(p.dim_x) * static_cast<std::size_t>(p.dim_y);
+
+  // A tile must produce a non-empty output region after dim_t shrinks.
+  p.feasible = p.dim_x > 2L * p.radius * p.dim_t;
+  if (!p.feasible) return p;
+
+  p.kappa = kappa_35d(p.radius, p.dim_t, p.dim_x, p.dim_y);
+
+  // Per-update costs: blocked traffic is bytes·κ/dim_t (each element enters
+  // and leaves on-chip memory once per dim_t time steps); executed ops grow
+  // by the same κ (ghost-region recomputation).
+  const double bytes_blocked = kernel.bytes(precision) * p.kappa / p.dim_t;
+  const double ops_blocked = kernel.ops() * p.kappa;
+  p.predicted_mups = roofline_mups(mach, precision, options.use_effective_peak,
+                                   bytes_blocked, ops_blocked);
+  // No-blocking baseline on a cached machine: the LLC provides the spatial
+  // reuse for free when a few XY slabs fit (Section VII-A: "3 XY slabs ...
+  // fit well in the 8 MB L3 cache even without explicit blocking"), so the
+  // baseline streams bytes(p), not the reuse-free worst case. The GPU
+  // model handles the cacheless case separately.
+  p.predicted_mups_no_blocking = roofline_mups(
+      mach, precision, options.use_effective_peak, kernel.bytes(precision), kernel.ops());
+  return p;
+}
+
+}  // namespace s35::core

@@ -1,0 +1,58 @@
+#include "core/schedule.h"
+
+#include "common/check.h"
+
+namespace s35::core {
+
+TemporalSchedule::TemporalSchedule(long nz, int radius, int dim_t, bool serialized)
+    : nz_(nz),
+      radius_(radius),
+      dim_t_(dim_t),
+      serialized_(serialized),
+      ring_(serialized ? 2 * radius + 1 : 2 * radius + 2),
+      stagger_(serialized ? radius : radius + 1),
+      num_rounds_(nz + static_cast<long>(dim_t) * stagger_) {
+  S35_CHECK(nz >= 1 && radius >= 1 && dim_t >= 1);
+  // A stencil needs at least one interior plane plus the frozen shells.
+  S35_CHECK_MSG(nz > 2 * radius, "grid too shallow for the stencil radius");
+}
+
+std::vector<Step> TemporalSchedule::round(long m) const {
+  S35_CHECK(m >= 0 && m < num_rounds_);
+  std::vector<Step> steps;
+
+  if (m < nz_) {
+    Step s;
+    s.kind = StepKind::kLoad;
+    s.t = 0;
+    s.z = m;
+    s.dst_slot = slot_of(m);
+    steps.push_back(std::move(s));
+  }
+
+  for (int t = 1; t <= dim_t_; ++t) {
+    const long p = m - static_cast<long>(t) * stagger_;
+    if (p < 0 || p >= nz_) continue;
+
+    Step s;
+    s.t = t;
+    s.z = p;
+    s.to_external = (t == dim_t_);
+    s.dst_slot = s.to_external ? -1 : slot_of(p);
+
+    const bool boundary = (p < radius_) || (p >= nz_ - radius_);
+    if (boundary) {
+      s.kind = StepKind::kCopy;
+      s.src_slots = {slot_of(p)};
+      s.src_z_begin = p;
+    } else {
+      s.kind = StepKind::kCompute;
+      s.src_z_begin = p - radius_;
+      for (long q = p - radius_; q <= p + radius_; ++q) s.src_slots.push_back(slot_of(q));
+    }
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+}  // namespace s35::core

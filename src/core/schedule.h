@@ -1,0 +1,87 @@
+// Temporal-blocking step schedule: the pipeline of Figure 3(a).
+//
+// One "pass" advances the whole grid by dim_t time steps while streaming
+// through Z. The pass is a sequence of *rounds* (the paper's outer-z
+// iterations); every round contains at most one load (time instance 0) and
+// one step per time instance t = 1..dim_t. In parallel mode all steps of a
+// round are mutually independent — that is exactly what buffering 2R+2
+// sub-planes per time instance buys (Section V-C) — so the whole round runs
+// concurrently with a single barrier at its end. In serialized mode (2R+1
+// planes, the paper's strawman) steps within a round depend on each other
+// in t order and need a barrier each.
+//
+// Plane staggering. The paper states z_s(t) = z + 2R(dim_t - t) for its
+// R = 1 kernels. The general consistency condition between the stagger s
+// and the ring depth is: a concurrent reader of instance t-1 needs planes
+// p-R..p+R while this round writes plane p+s to the same instance, so the
+// ring must hold span 2R+s planes and conflict-freedom needs s > R. The
+// minimal choice s = R+1 gives ring depth exactly 2R+2 for every radius
+// (and coincides with the paper's s = 2R at R = 1). We use s = R+1.
+//
+// Boundary semantics: all planes within R of the Z extremes are frozen in
+// time; the schedule emits kCopy steps for them so the frozen values are
+// available in every instance's ring for neighbor reads.
+#pragma once
+
+#include <vector>
+
+namespace s35::core {
+
+enum class StepKind {
+  kLoad,  // external input plane -> instance 0 ring slot
+  kCopy,  // frozen boundary plane: instance t-1 slot -> instance t slot
+  kCompute,
+};
+
+struct Step {
+  StepKind kind;
+  int t = 0;        // destination time instance; t == dim_t writes external
+  long z = 0;       // grid plane index being produced/loaded
+  int dst_slot = 0; // ring slot within instance t (ignored when external)
+  bool to_external = false;
+  // Ring slots of instance t-1 holding planes z-R..z+R (clamped to the
+  // domain), in ascending plane order. For kLoad this is empty; for kCopy it
+  // holds the single slot of plane z.
+  std::vector<int> src_slots;
+  long src_z_begin = 0;  // grid plane held by src_slots.front()
+};
+
+class TemporalSchedule {
+ public:
+  // nz: grid planes; radius: R; dim_t: temporal factor; serialized selects
+  // the 2R+1-plane barrier-per-step variant.
+  TemporalSchedule(long nz, int radius, int dim_t, bool serialized = false);
+
+  int dim_t() const { return dim_t_; }
+  int radius() const { return radius_; }
+  long nz() const { return nz_; }
+  bool serialized() const { return serialized_; }
+  int planes_per_instance() const { return ring_; }
+  int stagger() const { return stagger_; }
+
+  long num_rounds() const { return num_rounds_; }
+
+  // Steps of round m in execution order: the load first, then t ascending.
+  // In parallel mode the steps are independent; in serialized mode they must
+  // run in the returned order with a barrier between consecutive steps.
+  std::vector<Step> round(long m) const;
+
+  // Ring slot of plane z within any instance.
+  int slot_of(long z) const { return static_cast<int>(z % ring_); }
+
+  // Round boundaries of the paper's three phases: prolog rounds
+  // [0, steady_begin), steady [steady_begin, steady_end), epilog the rest.
+  long steady_begin() const { return static_cast<long>(dim_t_) * stagger_; }
+  long steady_end() const { return nz_; }
+
+ private:
+  long nz_;
+  int radius_;
+  int dim_t_;
+  bool serialized_;
+  int ring_;
+  int stagger_;
+  long num_rounds_;
+};
+
+}  // namespace s35::core

@@ -1,0 +1,44 @@
+#include "core/wavefront.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace s35::core {
+
+std::int64_t wavefront_cells(long nx, long ny, long nz, long s) {
+  S35_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  if (s < 0 || s > (nx - 1) + (ny - 1) + (nz - 1)) return 0;
+  // Count lattice points of x + y + z = s with 0 <= x < nx, etc.
+  // Sum over z of the length of the diagonal segment in the XY rectangle.
+  std::int64_t total = 0;
+  for (long z = std::max(0L, s - (nx - 1) - (ny - 1)); z <= std::min<long>(nz - 1, s);
+       ++z) {
+    const long r = s - z;  // x + y = r within [0, nx) x [0, ny)
+    const long lo = std::max(0L, r - (ny - 1));
+    const long hi = std::min(nx - 1, r);
+    if (hi >= lo) total += hi - lo + 1;
+  }
+  return total;
+}
+
+std::int64_t wavefront_working_set(long nx, long ny, long nz, long s, int radius) {
+  std::int64_t total = 0;
+  for (long q = s - radius; q <= s + radius; ++q)
+    total += wavefront_cells(nx, ny, nz, q);
+  return total;
+}
+
+std::int64_t wavefront_peak_working_set(long nx, long ny, long nz, int radius) {
+  const long smax = (nx - 1) + (ny - 1) + (nz - 1);
+  std::int64_t peak = 0;
+  for (long s = 0; s <= smax; ++s)
+    peak = std::max(peak, wavefront_working_set(nx, ny, nz, s, radius));
+  return peak;
+}
+
+std::int64_t streaming_working_set(long nx, long ny, int radius) {
+  return static_cast<std::int64_t>(2 * radius + 1) * nx * ny;
+}
+
+}  // namespace s35::core

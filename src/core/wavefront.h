@@ -1,0 +1,31 @@
+// Wavefront-blocking analysis (Section V-A1, the rejected alternative).
+//
+// Diagonal wavefront blocking processes the set of grid points at
+// (Manhattan) distance s from the origin per step; points within +-R of
+// the front must stay on chip. The paper rejects it because (a) the
+// working set peaks at O(Nx^2 + Ny^2 + Nz^2) grid points — and unlike the
+// 2.5D scheme's planes it cannot be tiled down to a cache-sized buffer
+// without re-loading, so for practical grids it far exceeds on-chip
+// memory — and (b) the irregular front shape breaks contiguous SIMD and
+// even thread partitioning. These functions quantify (a) exactly so the
+// claim is checkable against the fixed cache-sized 2.5D tile buffer.
+#pragma once
+
+#include <cstdint>
+
+namespace s35::core {
+
+// Number of grid points P in an nx x ny x nz grid with |P|_1 == s.
+std::int64_t wavefront_cells(long nx, long ny, long nz, long s);
+
+// Working set of wavefront blocking at step s: points with
+// s - R <= |P|_1 <= s + R.
+std::int64_t wavefront_working_set(long nx, long ny, long nz, long s, int radius);
+
+// Peak working set over all steps.
+std::int64_t wavefront_peak_working_set(long nx, long ny, long nz, int radius);
+
+// The 2.5D streaming working set for the same grid: (2R+1) XY planes.
+std::int64_t streaming_working_set(long nx, long ny, int radius);
+
+}  // namespace s35::core

@@ -1,0 +1,179 @@
+#include "gpumodel/gpu_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/planner.h"
+#include "machine/kernel_sig.h"
+
+namespace s35::gpumodel {
+
+namespace {
+
+using machine::Precision;
+
+// GT200 calibration constants (see header): memory-transaction overhead
+// factors (partial/uncoalesced 32/64/128B transactions relative to useful
+// bytes) and instruction-issue (ILP) efficiencies, fixed once from the
+// paper's measured Figure 4(c)/5(b) bars.
+struct SchemeFactors {
+  double txn;  // external bytes multiplier
+  double ilp;  // fraction of effective issue rate achieved
+};
+
+SchemeFactors stencil7_factors(GpuScheme s) {
+  switch (s) {
+    case GpuScheme::kNaive:
+      return {1.24, 0.75};
+    case GpuScheme::kSpatialShared:
+      return {1.57, 0.75};
+    case GpuScheme::kBlocked4D:
+      // Ghost recomputation overlaps the (still-dominant) memory stalls, so
+      // no extra ILP penalty on top of the kappa^4D op count.
+      return {1.42, 1.0};
+    case GpuScheme::kBlocked35D:
+      return {1.00, 0.75};
+    case GpuScheme::kUnrolled:
+      return {1.00, 0.81};
+    case GpuScheme::kMultiUpdate:
+      return {1.00, 0.965};
+  }
+  return {1.0, 1.0};
+}
+
+// On the GPU the paper distinguishes op accounting by precision: SP stencil
+// code issues every instruction on the scalar units (effective peak = 1/3
+// of Table I's SFU-inclusive number), while DP arithmetic runs on the
+// single DP unit per SM and memory instructions overlap on the SP units —
+// so DP compute bounds count flops only.
+double gpu_ops_per_update(const machine::KernelSig& k, Precision p) {
+  return p == Precision::kSingle ? k.ops() : k.flops;
+}
+
+GpuPrediction predict(const machine::KernelSig& kernel, Precision p, double bytes_ideal,
+                      double kappa_bw, double kappa_compute, const SchemeFactors& f,
+                      double dp_efficiency = 0.9) {
+  const machine::Descriptor g = machine::gtx285();
+  GpuPrediction out;
+  // 8-byte DP accesses coalesce into full GT200 transactions far better
+  // than the SP pattern; a flat 1.2 covers the residual overhead.
+  const double txn = p == Precision::kSingle ? f.txn : 1.2;
+  out.bytes_per_update = bytes_ideal * kappa_bw * txn;
+  const double ilp = p == Precision::kSingle ? f.ilp : dp_efficiency;
+  out.ops_per_update = gpu_ops_per_update(kernel, p) * kappa_compute / ilp;
+
+  const double bw_rate = g.achievable_bw_gbps * 1e9 / out.bytes_per_update;
+  const double compute_rate = g.effective_gops(p) * 1e9 / out.ops_per_update;
+  out.bandwidth_bound = bw_rate < compute_rate;
+  out.mups = (out.bandwidth_bound ? bw_rate : compute_rate) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(GpuScheme s) {
+  switch (s) {
+    case GpuScheme::kNaive:
+      return "naive";
+    case GpuScheme::kSpatialShared:
+      return "spatial (shared mem)";
+    case GpuScheme::kBlocked4D:
+      return "4d";
+    case GpuScheme::kBlocked35D:
+      return "3.5d";
+    case GpuScheme::kUnrolled:
+      return "3.5d + unroll";
+    case GpuScheme::kMultiUpdate:
+      return "3.5d + multi-update";
+  }
+  return "?";
+}
+
+GpuBlockingParams plan_stencil7_sp() {
+  GpuBlockingParams bp;
+  const machine::KernelSig k = machine::seven_point();
+  const machine::Descriptor g = machine::gtx285();
+  // "we use the actual compute flops" — the effective (non-SFU) peak.
+  bp.dim_t = core::min_dim_t(k.gamma(Precision::kSingle),
+                             g.bytes_per_op(Precision::kSingle, /*effective=*/true));
+  S35_CHECK(bp.dim_t == 2);
+  // The register file (64 KB) holds the blocking buffer (Section VI-A).
+  const std::size_t reg_file = 64u << 10;
+  bp.dim_x_bound = core::max_dim_35d(reg_file, k.elem_bytes_sp, k.radius, bp.dim_t);
+  bp.dim_x = bp.dim_x_bound / 32 * 32;  // warp multiple
+  bp.feasible = bp.dim_x > 2L * k.radius * bp.dim_t;
+  bp.kappa = core::kappa_35d(k.radius, bp.dim_t, bp.dim_x, bp.dim_x);
+  return bp;
+}
+
+GpuBlockingParams plan_lbm_sp(int dim_t) {
+  GpuBlockingParams bp;
+  const machine::KernelSig k = machine::lbm_d3q19();
+  bp.dim_t = dim_t;
+  const std::size_t shared_mem = 16u << 10;
+  // Both the t-1 and t sub-planes of a cell must be resident in shared
+  // memory for in-place temporal stepping: E doubles to 160 B (the paper's
+  // "E = 160 bytes").
+  const std::size_t elem = 2 * k.elem_bytes_sp;
+  bp.dim_x_bound = core::max_dim_35d(shared_mem, elem, k.radius, dim_t);
+  bp.dim_x = bp.dim_x_bound;
+  bp.feasible = bp.dim_x > 2L * k.radius * dim_t;
+  bp.kappa = 0.0;  // undefined when infeasible
+  return bp;
+}
+
+GpuPrediction predict_stencil7(GpuScheme scheme, Precision p) {
+  const machine::KernelSig k = machine::seven_point();
+  const double bytes_ideal = k.bytes(p);
+  const double bytes_no_reuse = k.bytes_no_reuse(p);
+  const SchemeFactors f = stencil7_factors(scheme);
+
+  // Spatial-only shared-memory tiling: "bandwidth overestimation of 13%".
+  const double kappa_spatial = 1.13;
+
+  switch (scheme) {
+    case GpuScheme::kNaive:
+      return predict(k, p, bytes_no_reuse, 1.0, 1.0, f);
+    case GpuScheme::kSpatialShared:
+      return predict(k, p, bytes_ideal, kappa_spatial, kappa_spatial, f);
+    case GpuScheme::kBlocked4D: {
+      // 16 KB shared memory, dim_t = 2: blocks of ~16^3 SP elements,
+      // kappa^4D = (16/12)^3 ~= 2.37.
+      const long edge = core::max_dim_3d(16u << 10, machine::bytes_of(p));
+      const long b = edge / 4 * 4;
+      const double kappa = core::kappa_4d(k.radius, 2, b, b, b);
+      return predict(k, p, bytes_ideal * 0.5, kappa, kappa, f);
+    }
+    case GpuScheme::kBlocked35D:
+    case GpuScheme::kUnrolled:
+    case GpuScheme::kMultiUpdate: {
+      if (p == Precision::kDouble) {
+        // "Temporal blocking is then unnecessary for DP": spatial-only is
+        // already compute bound.
+        return predict(k, p, bytes_ideal, kappa_spatial, kappa_spatial, f);
+      }
+      const GpuBlockingParams bp = plan_stencil7_sp();
+      return predict(k, p, bytes_ideal / bp.dim_t, bp.kappa, bp.kappa, f);
+    }
+  }
+  return {};
+}
+
+GpuPrediction predict_lbm(GpuScheme scheme, Precision p) {
+  const machine::KernelSig k = machine::lbm_d3q19();
+  // LBM memory accesses on GT200: modest transaction overhead on the SoA
+  // streams (calibrated to the 485 MLUPS naive SP bar).
+  const SchemeFactors f{1.18, 1.0};
+  const double dp_efficiency = 0.85;
+
+  if (p == Precision::kSingle) {
+    // Blocking is infeasible (plan_lbm_sp), so every scheme runs at the
+    // naive bandwidth-bound rate.
+    (void)scheme;
+    return predict(k, p, k.bytes_sp, 1.0, 1.0, f, dp_efficiency);
+  }
+  // DP: compute bound with or without blocking.
+  return predict(k, p, k.bytes_dp, 1.0, 1.0, f, dp_efficiency);
+}
+
+}  // namespace s35::gpumodel

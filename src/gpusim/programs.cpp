@@ -1,0 +1,169 @@
+#include "gpusim/programs.h"
+
+#include "common/check.h"
+#include "core/planner.h"
+
+namespace s35::gpusim {
+
+using machine::Precision;
+
+const char* to_string(GpuKernel k) {
+  switch (k) {
+    case GpuKernel::kNaive7pt:
+      return "7-pt naive";
+    case GpuKernel::kSpatial7pt:
+      return "7-pt spatial (shared)";
+    case GpuKernel::kBlocked35D7pt:
+      return "7-pt 3.5d";
+    case GpuKernel::kNaiveLbm:
+      return "lbm naive";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-thread instruction overhead (index arithmetic, loop bookkeeping,
+// predicates) accompanying each grid-point update; Section VII-C's final
+// optimization amortizes exactly this kind of cost.
+constexpr int kLoopOverheadFlops = 4;
+
+// GT200 executes DP arithmetic on a single DP unit per SM (vs 8 SP
+// lanes): a DP warp-instruction occupies the pipe 8x longer.
+int flop_cost(Precision p, int flops) {
+  return p == Precision::kSingle ? flops : flops * 8;
+}
+
+BlockProgram naive_7pt(Precision p, const SimtConfig& cfg) {
+  const int e = static_cast<int>(machine::bytes_of(p));
+  BlockProgram prog;
+  prog.warps_per_block = 8;  // 256 threads covering a 32 x 8 XY patch
+  prog.iterations = 64;      // z loop; length only needs to dominate warm-up
+  prog.updates_per_iteration = 8.0 * cfg.warp_size;
+
+  const int aligned = coalesced_transactions(cfg.warp_size, e, e, 0);
+  const int shifted = coalesced_transactions(cfg.warp_size, e, e, e);
+
+  auto& b = prog.body;
+  // 7 loads straight from global memory: center + z+-1 + y+-1 aligned,
+  // x+-1 shifted by one element.
+  b.push_back({Op::kGlobalLoad, aligned, 1});   // center
+  b.push_back({Op::kGlobalLoad, shifted, 1});   // x-1
+  b.push_back({Op::kGlobalLoad, shifted, 1});   // x+1
+  b.push_back({Op::kGlobalLoad, aligned, 1});   // y-1
+  b.push_back({Op::kGlobalLoad, aligned, 1});   // y+1
+  b.push_back({Op::kGlobalLoad, aligned, 1});   // z-1
+  b.push_back({Op::kGlobalLoad, aligned, 1});   // z+1
+  b.push_back({Op::kFlop, 1, flop_cost(p, 8) + kLoopOverheadFlops});
+  b.push_back({Op::kGlobalStore, aligned, 1});
+  prog.regs_bytes_per_thread = 16u * 4;  // small kernel
+  return prog;
+}
+
+BlockProgram spatial_7pt(Precision p, const SimtConfig& cfg) {
+  const int e = static_cast<int>(machine::bytes_of(p));
+  BlockProgram prog;
+  prog.warps_per_block = 8;
+  prog.iterations = 64;
+  // Shared-memory XY tile with a one-cell ghost ring: ~13% overestimation
+  // (Section VII-C: "bandwidth overestimation of 13%").
+  const double kappa_spatial = 1.13;
+  prog.updates_per_iteration = 8.0 * cfg.warp_size / kappa_spatial;
+
+  const int aligned = coalesced_transactions(cfg.warp_size, e, e, 0);
+  auto& b = prog.body;
+  // Per z: one new plane element per thread into shared memory; z
+  // neighbors live in registers (3DFD pattern).
+  b.push_back({Op::kGlobalLoad, aligned, 1});
+  b.push_back({Op::kSharedAccess, 1, 1});  // publish to the tile
+  b.push_back({Op::kSync, 1, 1});
+  b.push_back({Op::kSharedAccess, 1, 4});  // x+-1, y+-1 from shared
+  b.push_back({Op::kFlop, 1, flop_cost(p, 8) + kLoopOverheadFlops});
+  b.push_back({Op::kGlobalStore, aligned, 1});
+  b.push_back({Op::kSync, 1, 1});  // tile rotation
+  // Tile: (32 x 8) elements resident.
+  prog.shared_bytes = static_cast<std::size_t>(32 * 8 * e);
+  prog.regs_bytes_per_thread = 24u * 4;
+  return prog;
+}
+
+BlockProgram blocked35d_7pt(Precision p, const SimtConfig& cfg) {
+  S35_CHECK_MSG(p == Precision::kSingle, "the paper blocks only SP on GTX 285");
+  const int e = static_cast<int>(machine::bytes_of(p));
+  BlockProgram prog;
+  prog.warps_per_block = 8;
+  prog.iterations = 64;
+  const int dim_t = 2;
+  const double kappa = core::kappa_35d(1, dim_t, 32, 32);  // ~1.31
+  // Each z iteration advances one plane through both time instances:
+  // dim_t logical updates per interior point.
+  prog.updates_per_iteration = dim_t * 8.0 * cfg.warp_size / kappa;
+
+  const int aligned = coalesced_transactions(cfg.warp_size, e, e, 0);
+  auto& b = prog.body;
+  // t' = 0: one global load per thread (the only external read).
+  b.push_back({Op::kGlobalLoad, aligned, 1});
+  for (int t = 1; t <= dim_t; ++t) {
+    // Publish the plane being consumed to shared memory for the x/y
+    // exchange, sync, gather 4 neighbors, compute. Z neighbors come from
+    // the per-thread register ring (4 planes per instance, Section VI-A).
+    b.push_back({Op::kSharedAccess, 1, 1});
+    b.push_back({Op::kSync, 1, 1});
+    b.push_back({Op::kSharedAccess, 1, 4});
+    b.push_back({Op::kFlop, 1, 8 + kLoopOverheadFlops});
+    b.push_back({Op::kSync, 1, 1});
+  }
+  // t' = dim_t interior written out; ghost threads predicated off.
+  b.push_back({Op::kGlobalStore, aligned, 1});
+
+  // Register ring: 4 elements per instance per thread (Section VI-A:
+  // "each thread stores 4 grid elements per time instance").
+  prog.regs_bytes_per_thread = static_cast<std::size_t>((2 * 1 + 2) * dim_t * e + 40);
+  prog.shared_bytes = static_cast<std::size_t>(32 * 8 * e * 2);
+  return prog;
+}
+
+BlockProgram naive_lbm(Precision p, const SimtConfig& cfg) {
+  const int e = static_cast<int>(machine::bytes_of(p));
+  BlockProgram prog;
+  prog.warps_per_block = 8;
+  prog.iterations = 32;
+  prog.updates_per_iteration = 8.0 * cfg.warp_size;
+
+  const int aligned = coalesced_transactions(cfg.warp_size, e, e, 0);
+  const int shifted = coalesced_transactions(cfg.warp_size, e, e, e);
+  auto& b = prog.body;
+  // 19 SoA gathers (5 of the 19 shifted in x by the pull offset), the flag
+  // byte, ~220 flops, 19 stores.
+  for (int i = 0; i < 14; ++i) b.push_back({Op::kGlobalLoad, aligned, 1});
+  for (int i = 0; i < 5; ++i) b.push_back({Op::kGlobalLoad, shifted, 1});
+  b.push_back({Op::kGlobalLoad, 1, 1});  // flags, 1 B/lane
+  b.push_back({Op::kFlop, 1, 220 + kLoopOverheadFlops});
+  for (int i = 0; i < 19; ++i) b.push_back({Op::kGlobalStore, aligned, 1});
+  prog.regs_bytes_per_thread = 64u * 4;
+  return prog;
+}
+
+}  // namespace
+
+BlockProgram build_program(GpuKernel kernel, Precision precision,
+                           const SimtConfig& config) {
+  switch (kernel) {
+    case GpuKernel::kNaive7pt:
+      return naive_7pt(precision, config);
+    case GpuKernel::kSpatial7pt:
+      return spatial_7pt(precision, config);
+    case GpuKernel::kBlocked35D7pt:
+      return blocked35d_7pt(precision, config);
+    case GpuKernel::kNaiveLbm:
+      return naive_lbm(precision, config);
+  }
+  S35_CHECK_MSG(false, "unknown GpuKernel");
+  return {};
+}
+
+SimResult run_kernel(GpuKernel kernel, Precision precision, const SimtConfig& config) {
+  return simulate(config, build_program(kernel, precision, config));
+}
+
+}  // namespace s35::gpusim

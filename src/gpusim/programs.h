@@ -1,0 +1,31 @@
+// Block programs for the paper's GPU kernels (Section VI-A), expressed in
+// the simulator's abstract warp ISA. Each program encodes the *structure*
+// the paper describes — loads per point, shared-memory exchanges, syncs,
+// ghost-thread overhead — with coalescing computed from the access
+// geometry, so the naive/spatial/3.5D performance ordering emerges from
+// the simulation rather than from calibrated rate constants.
+#pragma once
+
+#include "gpusim/simt.h"
+#include "machine/descriptor.h"
+
+namespace s35::gpusim {
+
+enum class GpuKernel {
+  kNaive7pt,       // one thread per (x, y), z loop, all operands from global
+  kSpatial7pt,     // 3DFD-style: shared-memory XY tile, registers stream Z
+  kBlocked35D7pt,  // the paper's scheme: dim_t = 2 in registers + shared
+  kNaiveLbm,       // D3Q19 pull, SoA, no blocking
+};
+
+const char* to_string(GpuKernel k);
+
+// Builds the block program for a kernel at the given precision.
+BlockProgram build_program(GpuKernel kernel, machine::Precision precision,
+                           const SimtConfig& config);
+
+// Convenience: build + simulate.
+SimResult run_kernel(GpuKernel kernel, machine::Precision precision,
+                     const SimtConfig& config = {});
+
+}  // namespace s35::gpusim

@@ -1,0 +1,12 @@
+#include "grid/grid3.h"
+
+namespace s35::grid {
+
+// Header-only templates; explicit instantiations for the two element types
+// the library ships keep debug-build compile times down for dependents.
+template class Grid3<float>;
+template class Grid3<double>;
+template class GridPair<float>;
+template class GridPair<double>;
+
+}  // namespace s35::grid

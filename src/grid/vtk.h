@@ -1,0 +1,57 @@
+// Legacy-VTK (STRUCTURED_POINTS, ASCII) writers so example outputs can be
+// inspected in ParaView/VisIt — the minimum a production solver owes its
+// users.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "grid/grid3.h"
+
+namespace s35::grid {
+
+// Writes a scalar field. Returns false on I/O failure.
+template <typename T>
+bool write_vtk_scalar(const std::string& path, const Grid3<T>& g,
+                      const std::string& field_name = "value") {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "# vtk DataFile Version 3.0\nstencil35 scalar field\nASCII\n"
+               "DATASET STRUCTURED_POINTS\nDIMENSIONS %ld %ld %ld\n"
+               "ORIGIN 0 0 0\nSPACING 1 1 1\nPOINT_DATA %ld\n"
+               "SCALARS %s float 1\nLOOKUP_TABLE default\n",
+               g.nx(), g.ny(), g.nz(), g.num_points(), field_name.c_str());
+  for (long z = 0; z < g.nz(); ++z)
+    for (long y = 0; y < g.ny(); ++y) {
+      const T* row = g.row(y, z);
+      for (long x = 0; x < g.nx(); ++x)
+        std::fprintf(f, "%g\n", static_cast<double>(row[x]));
+    }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+// Writes a vector field given three component accessors fn(x, y, z, c).
+template <typename Fn>
+bool write_vtk_vectors(const std::string& path, long nx, long ny, long nz,
+                       const Fn& component, const std::string& field_name = "velocity") {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "# vtk DataFile Version 3.0\nstencil35 vector field\nASCII\n"
+               "DATASET STRUCTURED_POINTS\nDIMENSIONS %ld %ld %ld\n"
+               "ORIGIN 0 0 0\nSPACING 1 1 1\nPOINT_DATA %ld\n"
+               "VECTORS %s float\n",
+               nx, ny, nz, nx * ny * nz, field_name.c_str());
+  for (long z = 0; z < nz; ++z)
+    for (long y = 0; y < ny; ++y)
+      for (long x = 0; x < nx; ++x)
+        std::fprintf(f, "%g %g %g\n", component(x, y, z, 0), component(x, y, z, 1),
+                     component(x, y, z, 2));
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace s35::grid

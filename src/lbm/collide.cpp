@@ -1,0 +1,3 @@
+#include "lbm/collide.h"
+
+// Header-only templates; anchor TU.

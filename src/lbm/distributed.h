@@ -1,0 +1,135 @@
+// Distributed-memory-style domain decomposition for the LBM solver: the
+// lattice is split into Z slabs; each rank holds an extended local lattice
+// with R*dim_t halo planes per interior face, exchanges halos (all 19
+// distributions) before each blocked pass, and runs independently. Same
+// thick-halo correctness argument as stencil/distributed.h; the geometry
+// is sliced per rank from the global one (flags are time-invariant).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stencil/distributed.h"  // CommStats
+#include "lbm/sweeps.h"
+
+namespace s35::lbm {
+
+using stencil::CommStats;
+
+template <typename T>
+class DistributedLbmDriver {
+  static constexpr long R = 1;
+
+ public:
+  DistributedLbmDriver(const Geometry& global_geom, int ranks, int dim_t)
+      : nx_(global_geom.nx()), ny_(global_geom.ny()), nz_(global_geom.nz()),
+        ranks_(ranks), dim_t_(dim_t), halo_(static_cast<long>(R) * dim_t) {
+    S35_CHECK(ranks >= 1 && dim_t >= 1);
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      S35_CHECK_MSG(e - b >= halo_ || ranks == 1,
+                    "subdomain shallower than the R*dim_t halo");
+      const long lo = (r == 0) ? b : b - halo_;
+      const long hi = (r == ranks - 1) ? e : e + halo_;
+      owned_.push_back({b, e});
+      extended_.push_back({lo, hi});
+      locals_.emplace_back(nx_, ny_, hi - lo);
+
+      // Slice the global geometry for this rank's extended range.
+      auto geom = std::make_unique<Geometry>(nx_, ny_, hi - lo);
+      for (long z = lo; z < hi; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(geom->row(y, z - lo), global_geom.row(y, z),
+                      static_cast<std::size_t>(geom->pitch()));
+      geom->finalize(/*frozen_z_edges=*/true);
+      geoms_.push_back(std::move(geom));
+    }
+  }
+
+  void scatter(const Lattice<T>& global) {
+    for (int r = 0; r < ranks_; ++r) {
+      Lattice<T>& lat = locals_[static_cast<std::size_t>(r)].src();
+      const long lo = extended_[static_cast<std::size_t>(r)].begin;
+      for (int i = 0; i < kQ; ++i)
+        for (long z = lo; z < extended_[static_cast<std::size_t>(r)].end; ++z)
+          for (long y = 0; y < ny_; ++y)
+            std::memcpy(lat.row(i, y, z - lo), global.row(i, y, z),
+                        static_cast<std::size_t>(nx_) * sizeof(T));
+    }
+  }
+
+  void gather(Lattice<T>& global) const {
+    for (int r = 0; r < ranks_; ++r) {
+      const Lattice<T>& lat = locals_[static_cast<std::size_t>(r)].src();
+      const long lo = extended_[static_cast<std::size_t>(r)].begin;
+      for (int i = 0; i < kQ; ++i)
+        for (long z = owned_[static_cast<std::size_t>(r)].begin;
+             z < owned_[static_cast<std::size_t>(r)].end; ++z)
+          for (long y = 0; y < ny_; ++y)
+            std::memcpy(global.row(i, y, z), lat.row(i, y, z - lo),
+                        static_cast<std::size_t>(nx_) * sizeof(T));
+    }
+  }
+
+  void run(const BgkParams<T>& prm, int steps, const SweepConfig& cfg,
+           core::Engine35& engine) {
+    int remaining = steps;
+    while (remaining > 0) {
+      const int dt = remaining < dim_t_ ? remaining : dim_t_;
+      exchange_halos();
+      for (int r = 0; r < ranks_; ++r) {
+        auto& pair = locals_[static_cast<std::size_t>(r)];
+        run_lbm_engine_pass<T, simd::DefaultTag>(
+            *geoms_[static_cast<std::size_t>(r)], prm, pair.src(), pair.dst(),
+            cfg.dim_x > 0 ? cfg.dim_x : nx_, cfg.dim_y > 0 ? cfg.dim_y : ny_, dt,
+            cfg.serialized, engine);
+        pair.swap();
+      }
+      stats_.passes += 1;
+      stats_.time_steps += static_cast<std::uint64_t>(dt);
+      remaining -= dt;
+    }
+  }
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  struct Extent {
+    long begin, end;
+  };
+
+  void exchange_halos() {
+    const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
+    for (int r = 0; r + 1 < ranks_; ++r) {
+      auto& left = locals_[static_cast<std::size_t>(r)];
+      auto& right = locals_[static_cast<std::size_t>(r + 1)];
+      const long lb = extended_[static_cast<std::size_t>(r)].begin;
+      const long rb = extended_[static_cast<std::size_t>(r + 1)].begin;
+      const long face = owned_[static_cast<std::size_t>(r)].end;
+      for (int i = 0; i < kQ; ++i) {
+        for (long z = face - halo_; z < face; ++z)
+          for (long y = 0; y < ny_; ++y)
+            std::memcpy(right.src().row(i, y, z - rb), left.src().row(i, y, z - lb),
+                        row_bytes);
+        for (long z = face; z < face + halo_; ++z)
+          for (long y = 0; y < ny_; ++y)
+            std::memcpy(left.src().row(i, y, z - lb), right.src().row(i, y, z - rb),
+                        row_bytes);
+      }
+      stats_.messages += 2;
+      stats_.bytes += 2ull * kQ * halo_ * ny_ * row_bytes;
+    }
+  }
+
+  long nx_, ny_, nz_;
+  int ranks_;
+  int dim_t_;
+  long halo_;
+  std::vector<LatticePair<T>> locals_;
+  std::vector<std::unique_ptr<Geometry>> geoms_;
+  std::vector<Extent> owned_;
+  std::vector<Extent> extended_;
+  CommStats stats_;
+};
+
+}  // namespace s35::lbm

@@ -1,0 +1,90 @@
+#include "lbm/lattice.h"
+
+namespace s35::lbm {
+
+Geometry::Geometry(long nx, long ny, long nz)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      pitch_(grid::padded_pitch(nx, sizeof(std::uint8_t))),
+      flags_(static_cast<std::size_t>(pitch_) * ny * nz,
+             static_cast<std::uint8_t>(kFluid)) {
+  S35_CHECK(nx >= 3 && ny >= 3 && nz >= 3);
+}
+
+void Geometry::set_box_walls() {
+  for (long z = 0; z < nz_; ++z)
+    for (long y = 0; y < ny_; ++y) {
+      std::uint8_t* r = row(y, z);
+      if (z == 0 || z == nz_ - 1 || y == 0 || y == ny_ - 1) {
+        for (long x = 0; x < nx_; ++x) r[x] = kWall;
+      } else {
+        r[0] = kWall;
+        r[nx_ - 1] = kWall;
+      }
+    }
+  finalized_ = false;
+}
+
+void Geometry::set_lid() {
+  const long y = ny_ - 1;
+  for (long z = 1; z < nz_ - 1; ++z) {
+    std::uint8_t* r = row(y, z);
+    for (long x = 1; x < nx_ - 1; ++x) r[x] = kMovingWall;
+  }
+  finalized_ = false;
+}
+
+void Geometry::set_solid_box(long x0, long x1, long y0, long y1, long z0, long z1) {
+  S35_CHECK(x0 >= 0 && x1 <= nx_ && y0 >= 0 && y1 <= ny_ && z0 >= 0 && z1 <= nz_);
+  for (long z = z0; z < z1; ++z)
+    for (long y = y0; y < y1; ++y) {
+      std::uint8_t* r = row(y, z);
+      for (long x = x0; x < x1; ++x) r[x] = kWall;
+    }
+  finalized_ = false;
+}
+
+void Geometry::finalize(bool frozen_z_edges) {
+  spans_.assign(static_cast<std::size_t>(ny_) * nz_, {});
+  for (long z = 0; z < nz_; ++z)
+    for (long y = 0; y < ny_; ++y) {
+      auto& list = spans_[static_cast<std::size_t>(z * ny_ + y)];
+      long run_begin = -1;
+      for (long x = 0; x < nx_; ++x) {
+        bool pure = at(x, y, z) == kFluid;
+        if (pure) {
+          S35_CHECK_MSG(x > 0 && x < nx_ - 1 && y > 0 && y < ny_ - 1,
+                        "fluid cell on the domain edge; add boundary walls");
+          if (z == 0 || z == nz_ - 1) {
+            S35_CHECK_MSG(frozen_z_edges,
+                          "fluid cell on the domain edge; add boundary walls");
+            pure = false;  // frozen halo plane: never computed, only read
+          }
+          for (int i = 1; i < kQ && pure; ++i) {
+            pure = at(x - kCx[i], y - kCy[i], z - kCz[i]) == kFluid;
+          }
+        }
+        if (pure && run_begin < 0) run_begin = x;
+        if (!pure && run_begin >= 0) {
+          list.push_back({run_begin, x});
+          run_begin = -1;
+        }
+      }
+      if (run_begin >= 0) list.push_back({run_begin, nx_});
+    }
+  finalized_ = true;
+}
+
+long Geometry::count(CellType t) const {
+  long n = 0;
+  for (long z = 0; z < nz_; ++z)
+    for (long y = 0; y < ny_; ++y) {
+      const std::uint8_t* r = row(y, z);
+      for (long x = 0; x < nx_; ++x)
+        if (r[x] == static_cast<std::uint8_t>(t)) ++n;
+    }
+  return n;
+}
+
+}  // namespace s35::lbm

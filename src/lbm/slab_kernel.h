@@ -1,0 +1,111 @@
+// Engine35 kernel policy for D3Q19 LBM.
+//
+// The blocking buffer holds, per time instance and ring slot, 19 SoA
+// sub-planes of dim_x x dim_y (E = 19 values + the flag; flags are static
+// and read from the shared Geometry, Section VI-B). Instance 0 receives
+// loaded input planes; instance dim_t results stream to the output lattice.
+#pragma once
+
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "core/engine.h"
+#include "lbm/collide.h"
+#include "lbm/lattice.h"
+#include "simd/simd.h"
+
+namespace s35::lbm {
+
+template <typename T, typename Tag = simd::DefaultTag>
+class LbmSlabKernel {
+  using V = simd::Vec<T, Tag>;
+  static constexpr long R = 1;  // L-inf extent of D3Q19
+
+ public:
+  template <typename Params>
+  LbmSlabKernel(const Geometry& geom, const Params& prm, const Lattice<T>& src,
+                Lattice<T>& dst, long dim_x, long dim_y, int dim_t,
+                int planes_per_instance)
+      : geom_(&geom),
+        src_(&src),
+        dst_(&dst),
+        pitch_(grid::padded_pitch(dim_x, sizeof(T))),
+        buf_ny_(dim_y),
+        ring_(planes_per_instance),
+        buffer_(static_cast<std::size_t>(pitch_) * dim_y * ring_ * dim_t * kQ) {
+    S35_CHECK(geom.finalized());
+    ctx_.omega = prm.omega;
+    ctx_.omega_minus =
+        prm.trt_magic > T(0) ? trt_omega_minus<T>(prm.omega, prm.trt_magic) : T(0);
+    moving_wall_corrections(prm.u_wall, ctx_.mw_corr);
+    body_force_terms(prm.force, ctx_.force_corr);
+  }
+
+  std::size_t buffer_bytes() const { return buffer_.size() * sizeof(T); }
+
+  // Re-targets the external lattices (after a swap) so one kernel buffer
+  // serves every pass of a multi-pass run.
+  void rebind(const Lattice<T>& src, Lattice<T>& dst) {
+    src_ = &src;
+    dst_ = &dst;
+  }
+
+  void execute(const core::Tile& tile, const core::Step& step, long y, long x0, long x1) {
+    const std::size_t n = static_cast<std::size_t>(x1 - x0) * sizeof(T);
+    switch (step.kind) {
+      case core::StepKind::kLoad:
+        for (int i = 0; i < kQ; ++i) {
+          std::memcpy(buffer_row(tile, 0, step.dst_slot, i, y) + x0,
+                      src_->row(i, y, step.z) + x0, n);
+        }
+        return;
+      case core::StepKind::kCopy:
+        for (int i = 0; i < kQ; ++i) {
+          T* out = step.to_external
+                       ? dst_->row(i, y, step.z)
+                       : buffer_row(tile, step.t, step.dst_slot, i, y);
+          std::memcpy(out + x0, buffer_row(tile, step.t - 1, step.src_slots[0], i, y) + x0,
+                      n);
+        }
+        return;
+      case core::StepKind::kCompute: {
+        const int si = step.t - 1;
+        const auto src_acc = [&](int i, int dy, int dz) -> const T* {
+          return buffer_row(tile, si,
+                            step.src_slots[static_cast<std::size_t>(dz + R)], i, y + dy);
+        };
+        if (step.to_external) {
+          const auto dst_acc = [&](int i) -> T* { return dst_->row(i, y, step.z); };
+          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1);
+        } else {
+          const auto dst_acc = [&](int i) -> T* {
+            return buffer_row(tile, step.t, step.dst_slot, i, y);
+          };
+          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1);
+        }
+        return;
+      }
+    }
+  }
+
+ private:
+  T* buffer_row(const core::Tile& tile, int instance, int slot, int i, long y) {
+    T* plane = buffer_.data() +
+               ((static_cast<std::size_t>(instance) * ring_ + static_cast<std::size_t>(slot)) *
+                    kQ +
+                static_cast<std::size_t>(i)) *
+                   static_cast<std::size_t>(pitch_) * buf_ny_;
+    return plane + (y - tile.load.y.begin) * pitch_ - tile.load.x.begin;
+  }
+
+  const Geometry* geom_;
+  CollideCtx<T> ctx_;
+  const Lattice<T>* src_;
+  Lattice<T>* dst_;
+  long pitch_;
+  long buf_ny_;
+  int ring_;
+  AlignedBuffer<T> buffer_;
+};
+
+}  // namespace s35::lbm

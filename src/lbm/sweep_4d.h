@@ -1,0 +1,99 @@
+// 4D blocking baseline for LBM: 3D spatial blocks + in-buffer temporal
+// stepping (the comparison bar of Figure 5(a); its κ^4D of 2.03X SP /
+// 2.71X DP is why it gains only ~8% — Section VI-B).
+#pragma once
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "core/tiling.h"
+#include "lbm/collide.h"
+#include "lbm/lattice.h"
+#include "parallel/partition.h"
+#include "parallel/thread_team.h"
+
+namespace s35::lbm {
+
+template <typename T, typename Tag>
+void run_lbm_4d_pass(const Geometry& geom, const BgkParams<T>& prm,
+                     const Lattice<T>& src, Lattice<T>& dst, long dim_x, long dim_y,
+                     long dim_z, int dim_t, parallel::ThreadTeam& team) {
+  constexpr long R = 1;
+  S35_CHECK(geom.finalized());
+  const CollideCtx<T> ctx = make_collide_ctx(prm);
+
+  const long nx = src.nx(), ny = src.ny(), nz = src.nz();
+  const auto xs = core::split_axis_tiles(nx, dim_x, R, dim_t);
+  const auto ys = core::split_axis_tiles(ny, dim_y, R, dim_t);
+  const auto zs = core::split_axis_tiles(nz, dim_z, R, dim_t);
+
+  struct Block {
+    core::AxisTile x, y, z;
+  };
+  std::vector<Block> blocks;
+  for (const auto& az : zs)
+    for (const auto& ay : ys)
+      for (const auto& ax : xs) blocks.push_back({ax, ay, az});
+
+  const long pitch = grid::padded_pitch(dim_x, sizeof(T));
+  const std::size_t buf_elems =
+      static_cast<std::size_t>(pitch) * dim_y * dim_z * kQ;
+
+  const int nthreads = team.size();
+  std::vector<AlignedBuffer<T>> bufs;
+  bufs.reserve(static_cast<std::size_t>(2 * nthreads));
+  for (int i = 0; i < 2 * nthreads; ++i) bufs.emplace_back(buf_elems);
+
+  team.run([&](int tid) {
+    T* buf_a = bufs[static_cast<std::size_t>(2 * tid)].data();
+    T* buf_b = bufs[static_cast<std::size_t>(2 * tid + 1)].data();
+
+    const auto [b0, b1] =
+        parallel::chunk_range(static_cast<long>(blocks.size()), nthreads, tid);
+    for (long b = b0; b < b1; ++b) {
+      const Block& blk = blocks[static_cast<std::size_t>(b)];
+      const long ox = blk.x.load.begin, oy = blk.y.load.begin, oz = blk.z.load.begin;
+      const long ly = blk.y.load.size();
+      const long lz = blk.z.load.size();
+
+      const auto brow = [&](T* buf, int i, long y, long z) -> T* {
+        return buf +
+               (static_cast<std::size_t>(i) * lz * ly + (z - oz) * ly + (y - oy)) * pitch -
+               ox;
+      };
+
+      for (int i = 0; i < kQ; ++i)
+        for (long z = blk.z.load.begin; z < blk.z.load.end; ++z)
+          for (long y = blk.y.load.begin; y < blk.y.load.end; ++y)
+            std::memcpy(brow(buf_a, i, y, z) + blk.x.load.begin,
+                        src.row(i, y, z) + blk.x.load.begin,
+                        static_cast<std::size_t>(blk.x.load.size()) * sizeof(T));
+
+      for (int t = 1; t <= dim_t; ++t) {
+        const core::Extent vx = core::shrink_extent(blk.x.load, nx, R, t);
+        const core::Extent vy = core::shrink_extent(blk.y.load, ny, R, t);
+        const core::Extent vz = core::shrink_extent(blk.z.load, nz, R, t);
+        const bool last = (t == dim_t);
+
+        for (long z = vz.begin; z < vz.end; ++z)
+          for (long y = vy.begin; y < vy.end; ++y) {
+            const auto src_acc = [&](int i, int dy, int dz) -> const T* {
+              return brow(buf_a, i, y + dy, z + dz);
+            };
+            if (last) {
+              const auto dst_acc = [&](int i) -> T* { return dst.row(i, y, z); };
+              lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, vx.begin,
+                                     vx.end);
+            } else {
+              const auto dst_acc = [&](int i) -> T* { return brow(buf_b, i, y, z); };
+              lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, vx.begin,
+                                     vx.end);
+            }
+          }
+        std::swap(buf_a, buf_b);
+      }
+    }
+  });
+}
+
+}  // namespace s35::lbm

@@ -1,0 +1,19 @@
+#include "lbm/sweeps.h"
+
+namespace s35::lbm {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kNaive:
+      return "naive";
+    case Variant::kTemporalOnly:
+      return "temporal-only";
+    case Variant::kBlocked4D:
+      return "4d";
+    case Variant::kBlocked35D:
+      return "3.5d";
+  }
+  return "?";
+}
+
+}  // namespace s35::lbm

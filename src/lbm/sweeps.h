@@ -1,0 +1,180 @@
+// LBM sweep variants (Figure 4(a), Figure 5(a) ladder).
+//
+//   kNaive        — full-lattice pull collide-stream per time step.
+//   kTemporalOnly — Engine35, single whole-plane tile (helps only when an
+//                   entire XY slab set fits on chip — the 64^3 bars).
+//   kBlocked4D    — 3D spatial + temporal baseline (the "+8%" bar).
+//   kBlocked35D   — the paper's scheme (dim_t = 3 on the Core i7).
+//
+// LBM has no spatial reuse, so there is no spatial-only variant: "This
+// number does not change with spatial blocking since LBM does not have
+// spatial data-reuse thus we do not consider this version" (Section VII-B).
+// All variants produce bit-identical lattices; result in pair.src().
+#pragma once
+
+#include <string>
+
+#include "core/engine.h"
+#include "lbm/slab_kernel.h"
+#include "parallel/partition.h"
+
+namespace s35::lbm {
+
+enum class Variant {
+  kNaive,
+  kTemporalOnly,
+  kBlocked4D,
+  kBlocked35D,
+};
+
+const char* to_string(Variant v);
+
+struct SweepConfig {
+  int dim_t = 3;
+  long dim_x = 0;  // XY sub-plane width (3.5D); block edge (4D)
+  long dim_y = 0;
+  long dim_z = 0;  // 4D only
+  bool serialized = false;
+};
+
+// Physics parameters shared by all variants.
+template <typename T>
+struct BgkParams {
+  T omega = T(1.0);      // relaxation rate (0 < omega < 2)
+  T u_wall[3] = {T(0), T(0), T(0)};  // moving-wall (lid) velocity
+  T force[3] = {T(0), T(0), T(0)};   // body force per cell per step
+  // TRT magic parameter Lambda. 0 = plain BGK; 3/16 places half-way
+  // bounce-back walls exactly mid-link at every viscosity (collide.h).
+  T trt_magic = T(0);
+};
+
+// Builds the per-row collision context (rates + boundary/body corrections)
+// from the physics parameters.
+template <typename T>
+CollideCtx<T> make_collide_ctx(const BgkParams<T>& prm) {
+  CollideCtx<T> ctx;
+  ctx.omega = prm.omega;
+  ctx.omega_minus = prm.trt_magic > T(0)
+                        ? trt_omega_minus(prm.omega, prm.trt_magic)
+                        : T(0);
+  moving_wall_corrections(prm.u_wall, ctx.mw_corr);
+  body_force_terms(prm.force, ctx.force_corr);
+  return ctx;
+}
+
+// ------------------------------------------------------------------ naive
+
+template <typename T, typename Tag>
+void lbm_step_naive(const Geometry& geom, const BgkParams<T>& prm,
+                    const Lattice<T>& src, Lattice<T>& dst,
+                    parallel::ThreadTeam& team) {
+  S35_CHECK(geom.finalized());
+  const CollideCtx<T> ctx = make_collide_ctx(prm);
+  const long rows = src.ny() * src.nz();
+  const int nthreads = team.size();
+  team.run([&](int tid) {
+    parallel::for_each_span(src.nx(), rows, nthreads, tid, [&](long r, long x0, long x1) {
+      const long z = r / src.ny();
+      const long y = r % src.ny();
+      const auto src_acc = [&](int i, int dy, int dz) -> const T* {
+        return src.row(i, y + dy, z + dz);
+      };
+      const auto dst_acc = [&](int i) -> T* { return dst.row(i, y, z); };
+      lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, x0, x1);
+    });
+  });
+}
+
+// --------------------------------------------------------- Engine35-based
+
+template <typename T, typename Tag>
+void run_lbm_engine_pass(const Geometry& geom, const BgkParams<T>& prm,
+                         const Lattice<T>& src, Lattice<T>& dst, long dim_x,
+                         long dim_y, int dim_t, bool serialized,
+                         core::Engine35& engine) {
+  const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, 1, dim_t);
+  const core::TemporalSchedule sched(src.nz(), 1, dim_t, serialized);
+  LbmSlabKernel<T, Tag> kernel(geom, prm, src, dst, dim_x, dim_y, dim_t,
+                               sched.planes_per_instance());
+  engine.run_pass(kernel, tiling, sched);
+}
+
+// -------------------------------------------------------------- 4D blocks
+
+template <typename T, typename Tag>
+void run_lbm_4d_pass(const Geometry& geom, const BgkParams<T>& prm,
+                     const Lattice<T>& src, Lattice<T>& dst, long dim_x, long dim_y,
+                     long dim_z, int dim_t, parallel::ThreadTeam& team);
+
+// ------------------------------------------------------------- top level
+
+template <typename T, typename Tag = simd::DefaultTag>
+void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
+             LatticePair<T>& pair, int steps, const SweepConfig& cfg,
+             core::Engine35& engine) {
+  S35_CHECK(steps >= 0);
+  switch (variant) {
+    case Variant::kNaive:
+      for (int s = 0; s < steps; ++s) {
+        lbm_step_naive<T, Tag>(geom, prm, pair.src(), pair.dst(), engine.team());
+        pair.swap();
+      }
+      return;
+
+    case Variant::kTemporalOnly:
+    case Variant::kBlocked35D: {
+      long dim_x, dim_y;
+      if (variant == Variant::kTemporalOnly) {
+        dim_x = pair.src().nx();
+        dim_y = pair.src().ny();
+      } else {
+        S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked35D needs dim_x");
+        dim_x = cfg.dim_x;
+        dim_y = cfg.dim_y > 0 ? cfg.dim_y : cfg.dim_x;
+      }
+      S35_CHECK(cfg.dim_t >= 1);
+      int remaining = steps;
+      if (remaining >= cfg.dim_t) {
+        const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
+                                  cfg.dim_t);
+        const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t,
+                                           cfg.serialized);
+        LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
+                                     cfg.dim_t, sched.planes_per_instance());
+        while (remaining >= cfg.dim_t) {
+          kernel.rebind(pair.src(), pair.dst());
+          engine.run_pass(kernel, tiling, sched);
+          pair.swap();
+          remaining -= cfg.dim_t;
+        }
+      }
+      if (remaining > 0) {
+        run_lbm_engine_pass<T, Tag>(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
+                                    remaining, cfg.serialized, engine);
+        pair.swap();
+      }
+      return;
+    }
+
+    case Variant::kBlocked4D: {
+      S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked4D needs dim_x");
+      const long dx = cfg.dim_x;
+      const long dy = cfg.dim_y > 0 ? cfg.dim_y : dx;
+      const long dz = cfg.dim_z > 0 ? cfg.dim_z : dx;
+      int remaining = steps;
+      while (remaining > 0) {
+        const int dt = remaining < cfg.dim_t ? remaining : cfg.dim_t;
+        run_lbm_4d_pass<T, Tag>(geom, prm, pair.src(), pair.dst(), dx, dy, dz, dt,
+                                engine.team());
+        pair.swap();
+        remaining -= dt;
+      }
+      return;
+    }
+  }
+  S35_CHECK_MSG(false, "unknown Variant");
+}
+
+}  // namespace s35::lbm
+
+#include "lbm/sweep_4d.h"

@@ -1,0 +1,45 @@
+#include "machine/bandwidth.h"
+
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/aligned_buffer.h"
+#include "common/timer.h"
+#include "parallel/thread_team.h"
+
+namespace s35::machine {
+
+double measure_stream_bandwidth_gbps(int working_set_mb) {
+  std::size_t llc = 8u << 20;
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) llc = static_cast<std::size_t>(l3);
+#endif
+  std::size_t bytes = working_set_mb > 0 ? static_cast<std::size_t>(working_set_mb) << 20
+                                         : llc * 4;
+  const std::size_t n = bytes / sizeof(double) / 3;
+
+  AlignedBuffer<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 1;
+  parallel::ThreadTeam team(threads);
+
+  auto triad = [&] {
+    team.parallel_for(static_cast<long>(n), [&](long begin, long end) {
+      const double s = 3.0;
+      double* pa = a.data();
+      const double* pb = b.data();
+      const double* pc = c.data();
+      for (long i = begin; i < end; ++i) pa[i] = pb[i] + s * pc[i];
+    });
+  };
+
+  triad();  // warm up / fault pages
+  const double secs = time_best_of(triad, 3, 0.15);
+  const double moved = 3.0 * static_cast<double>(n) * sizeof(double);
+  return moved / secs / 1e9;
+}
+
+}  // namespace s35::machine

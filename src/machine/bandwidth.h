@@ -1,0 +1,18 @@
+// STREAM-style sustained-bandwidth measurement.
+//
+// The paper quotes measured achievable bandwidths (22 GB/s on Core i7,
+// 131 GB/s on GTX 285) as ~20-25% below peak. This helper measures the
+// host's sustained triad bandwidth so host-planned runs and the
+// no-blocking baselines can be checked against the same "fraction of
+// achievable bandwidth" yardstick the paper uses.
+#pragma once
+
+namespace s35::machine {
+
+// Runs a short parallel triad (a[i] = b[i] + s*c[i]) over buffers several
+// times the LLC and returns GB/s moved (3 arrays x 8 bytes per element,
+// plus write-allocate traffic is *not* counted, matching STREAM
+// convention). `working_set_mb` of 0 picks a size based on the LLC.
+double measure_stream_bandwidth_gbps(int working_set_mb = 0);
+
+}  // namespace s35::machine

@@ -1,0 +1,96 @@
+#include "machine/descriptor.h"
+
+#include <thread>
+
+#include <unistd.h>
+
+#include "machine/bandwidth.h"
+
+namespace s35::machine {
+
+Descriptor core_i7() {
+  Descriptor d;
+  d.name = "Intel Core i7 (4C, 3.2 GHz, Nehalem)";
+  d.peak_bw_gbps = 30.0;
+  d.achievable_bw_gbps = 22.0;
+  d.peak_sp_gops = 102.0;
+  d.peak_dp_gops = 51.0;
+  // CPU stencil code can issue every op class; effective = peak.
+  d.effective_sp_gops = 102.0;
+  d.effective_dp_gops = 51.0;
+  d.llc_bytes = 8u << 20;
+  d.blocking_capacity_bytes = 4u << 20;  // "C equal to 4MB (half of cache size)"
+  d.cores = 4;
+  d.simd_bits = 128;
+  d.frequency_ghz = 3.2;
+  return d;
+}
+
+Descriptor gtx285() {
+  Descriptor d;
+  d.name = "NVIDIA GTX 285 (30 SMs, 1.55 GHz)";
+  d.peak_bw_gbps = 159.0;
+  d.achievable_bw_gbps = 131.0;
+  d.peak_sp_gops = 1116.0;
+  d.peak_dp_gops = 93.0;
+  // "only get a third of the peak SP compute and half of peak DP ops"
+  d.effective_sp_gops = 1116.0 / 3.0;
+  d.effective_dp_gops = 93.0 / 2.0;
+  d.llc_bytes = 0;  // no cache hierarchy usable for blocking on GT200
+  d.blocking_capacity_bytes = 16u << 10;  // 16 KB shared memory per SM
+  d.cores = 30;       // streaming multiprocessors
+  d.simd_bits = 1024; // logical SIMT width: 32-thread warps of 4-byte lanes
+  d.frequency_ghz = 1.55;
+  return d;
+}
+
+namespace {
+
+std::size_t detect_llc_bytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) return static_cast<std::size_t>(l3);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return static_cast<std::size_t>(l2);
+#endif
+  return 8u << 20;
+}
+
+}  // namespace
+
+Descriptor host() {
+  Descriptor d;
+  d.name = "host";
+  d.cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (d.cores <= 0) d.cores = 1;
+  d.llc_bytes = detect_llc_bytes();
+  d.blocking_capacity_bytes = d.llc_bytes / 2;
+#if defined(__AVX512F__)
+  d.simd_bits = 512;
+#elif defined(__AVX__)
+  d.simd_bits = 256;
+#elif defined(__SSE2__)
+  d.simd_bits = 128;
+#else
+  d.simd_bits = 64;
+#endif
+  d.frequency_ghz = 0.0;  // not portably detectable; unused by the planner
+
+  d.achievable_bw_gbps = measure_stream_bandwidth_gbps();
+  d.peak_bw_gbps = d.achievable_bw_gbps / 0.75;  // paper: achievable ~20-25% off peak
+
+  // Rough instruction-throughput estimate: lanes * 2 issue ports * cores at
+  // a nominal 3 GHz. Only used to seed the planner for the host; all paper
+  // reproductions use the exact Table I descriptors above.
+  const double nominal_ghz = 3.0;
+  const double sp_lanes = d.simd_bits / 32.0;
+  d.peak_sp_gops = sp_lanes * 2.0 * d.cores * nominal_ghz;
+  d.peak_dp_gops = d.peak_sp_gops / 2.0;
+  d.effective_sp_gops = d.peak_sp_gops;
+  d.effective_dp_gops = d.peak_dp_gops;
+  return d;
+}
+
+}  // namespace s35::machine

@@ -1,0 +1,79 @@
+// Machine descriptors: peak bandwidth, peak compute, on-chip capacity.
+//
+// Reproduces Table I of the paper (Core i7-960-class Nehalem and NVIDIA
+// GTX 285) and exposes the bytes/op ratio Γ the 3.5D planner compares
+// against each kernel's γ (Sections III-E and V). A best-effort descriptor
+// of the host this library runs on is also provided so examples can plan
+// for the actual machine.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace s35::machine {
+
+enum class Precision { kSingle, kDouble };
+
+inline const char* to_string(Precision p) {
+  return p == Precision::kSingle ? "SP" : "DP";
+}
+
+inline std::size_t bytes_of(Precision p) { return p == Precision::kSingle ? 4 : 8; }
+
+struct Descriptor {
+  std::string name;
+
+  double peak_bw_gbps = 0.0;        // theoretical peak memory bandwidth
+  double achievable_bw_gbps = 0.0;  // measured/representative sustained BW
+
+  // "1 op implies 1 operation or 1 executed instruction, including
+  // arithmetic and memory instructions" (Section III-E).
+  double peak_sp_gops = 0.0;
+  double peak_dp_gops = 0.0;
+  // Peak usable by stencil code. On GTX 285 the SP peak assumes full SFU +
+  // madd use that stencils cannot exploit: "only get a third of the peak SP
+  // compute and half of peak DP ops".
+  double effective_sp_gops = 0.0;
+  double effective_dp_gops = 0.0;
+
+  // Fast on-chip storage usable for the blocking buffers (C in the paper):
+  // half the LLC on CPU; shared memory (+ register file where stated) on GPU.
+  std::size_t blocking_capacity_bytes = 0;
+  std::size_t llc_bytes = 0;
+
+  int cores = 0;
+  int simd_bits = 0;
+  double frequency_ghz = 0.0;
+
+  double peak_gops(Precision p) const {
+    return p == Precision::kSingle ? peak_sp_gops : peak_dp_gops;
+  }
+  double effective_gops(Precision p) const {
+    return p == Precision::kSingle ? effective_sp_gops : effective_dp_gops;
+  }
+
+  // Γ = peak bytes per op. `effective` uses the stencil-usable compute peak
+  // (the paper's "actual bytes/op about 0.43 for SP and 3.44 for DP" on
+  // GTX 285).
+  double bytes_per_op(Precision p, bool effective = false) const {
+    const double gops = effective ? effective_gops(p) : peak_gops(p);
+    return peak_bw_gbps / gops;
+  }
+};
+
+// Table I row 1: quad-core 3.2 GHz Core i7, 30 GB/s peak (22 GB/s measured),
+// 102/51 SP/DP Gops, 8 MB LLC of which 4 MB is budgeted for blocking
+// (Section VI-A).
+Descriptor core_i7();
+
+// Table I row 2: GTX 285, 159 GB/s peak (131 measured), 1116/93 SP/DP Gops
+// with effective stencil peaks of 1/3 SP and 1/2 DP; 16 KB shared memory
+// per SM as blocking storage (64 KB register file handled by gpumodel).
+Descriptor gtx285();
+
+// Best-effort descriptor of the machine this process runs on: core count
+// and LLC from the OS, bandwidth measured with a short STREAM-like triad,
+// compute peaks estimated from frequency x width (rough; examples only).
+Descriptor host();
+
+}  // namespace s35::machine

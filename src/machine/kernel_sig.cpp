@@ -1,0 +1,66 @@
+#include "machine/kernel_sig.h"
+
+namespace s35::machine {
+
+KernelSig seven_point() {
+  KernelSig k;
+  k.name = "7-point stencil";
+  k.radius = 1;
+  k.flops = 8.0;      // 2 multiplications + 6 additions
+  k.mem_insts = 8.0;  // 7 loads from A + 1 store to B
+  // With spatial blocking: 1 read + 1 write per point.
+  k.bytes_sp = 8.0;
+  k.bytes_dp = 16.0;
+  k.elem_bytes_sp = 4;
+  k.elem_bytes_dp = 8;
+  // Without reuse: 7 reads + 1 write = 8 values touched per point.
+  k.bytes_no_reuse_sp = 32.0;
+  k.bytes_no_reuse_dp = 64.0;
+  return k;
+}
+
+KernelSig seven_point_varcoef() {
+  KernelSig k = seven_point();
+  k.name = "7-point var-coef";
+  k.mem_insts += 2.0;  // alpha and beta loads
+  k.bytes_sp += 8.0;   // two coefficient streams, read once per pass
+  k.bytes_dp += 16.0;
+  k.bytes_no_reuse_sp += 8.0;
+  k.bytes_no_reuse_dp += 16.0;
+  return k;
+}
+
+KernelSig twenty_seven_point() {
+  KernelSig k;
+  k.name = "27-point stencil";
+  k.radius = 1;
+  k.flops = 30.0;      // 4 multiplies + 26 adds
+  k.mem_insts = 28.0;  // 27 loads + 1 store
+  k.bytes_sp = 8.0;
+  k.bytes_dp = 16.0;
+  k.elem_bytes_sp = 4;
+  k.elem_bytes_dp = 8;
+  k.bytes_no_reuse_sp = 28.0 * 4.0;
+  k.bytes_no_reuse_dp = 28.0 * 8.0;
+  return k;
+}
+
+KernelSig lbm_d3q19() {
+  KernelSig k;
+  k.name = "D3Q19 LBM";
+  k.radius = 1;  // L-inf extent of the D3Q19 velocity set
+  k.flops = 220.0;     // ~12 flops per direction
+  k.mem_insts = 39.0;  // 20 reads (19 dists + flag) + 19 writes
+  // SP: 76-80 B read (19 dists + flag) + 152 B written (19 writes with
+  // write-allocate, streaming stores impossible for neighbor writes).
+  k.bytes_sp = 76.0 + 152.0;
+  k.bytes_dp = 2.0 * k.bytes_sp;
+  k.elem_bytes_sp = 4 * 20;  // "19 directions plus a flag array"
+  k.elem_bytes_dp = 8 * 20;
+  // LBM has no spatial reuse: no-blocking traffic equals the blocked one.
+  k.bytes_no_reuse_sp = k.bytes_sp;
+  k.bytes_no_reuse_dp = k.bytes_dp;
+  return k;
+}
+
+}  // namespace s35::machine

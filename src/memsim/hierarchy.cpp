@@ -1,0 +1,75 @@
+#include "memsim/hierarchy.h"
+
+#include "common/check.h"
+
+namespace s35::memsim {
+
+Hierarchy::Hierarchy(const HierarchyConfig& config) {
+  S35_CHECK_MSG(!config.levels.empty(), "need at least one cache level");
+  line_bytes_ = config.levels.front().line_bytes;
+  for (const CacheConfig& c : config.levels) {
+    S35_CHECK_MSG(c.line_bytes == line_bytes_, "uniform line size required");
+    levels_.push_back(std::make_unique<Level>(c));
+  }
+}
+
+const CacheStats& Hierarchy::level_stats(int level) const {
+  S35_CHECK(level >= 0 && level < num_levels());
+  return levels_[static_cast<std::size_t>(level)]->cache.stats();
+}
+
+std::uint64_t Hierarchy::external_bytes() const {
+  const CacheStats& last = levels_.back()->cache.stats();
+  return last.bytes_from_memory + last.bytes_to_memory;
+}
+
+void Hierarchy::access_line(std::uint64_t line_addr, bool is_write) {
+  // Walk down on miss; propagate dirty evictions as writes one level down.
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    const Cache::LineAccess res =
+        levels_[k]->cache.access_line_ex(line_addr, is_write && k == 0);
+    if (res.writeback && k + 1 < levels_.size()) {
+      // The victim's write-back lands in the next level (it may itself
+      // evict there; deeper ripples are absorbed by that level's stats).
+      levels_[k + 1]->cache.access_line_ex(res.writeback_line, /*is_write=*/true);
+    }
+    if (res.hit) return;  // filled from level k (or k held it already)
+  }
+}
+
+void Hierarchy::read(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t lb = static_cast<std::uint64_t>(line_bytes_);
+  for (std::uint64_t a = addr / lb; a <= (addr + bytes - 1) / lb; ++a)
+    access_line(a, /*is_write=*/false);
+}
+
+void Hierarchy::write(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t lb = static_cast<std::uint64_t>(line_bytes_);
+  for (std::uint64_t a = addr / lb; a <= (addr + bytes - 1) / lb; ++a)
+    access_line(a, /*is_write=*/true);
+}
+
+void Hierarchy::stream_write(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t lb = static_cast<std::uint64_t>(line_bytes_);
+  for (std::uint64_t a = addr / lb; a <= (addr + bytes - 1) / lb; ++a) {
+    for (std::size_t k = 0; k + 1 < levels_.size(); ++k)
+      levels_[k]->cache.invalidate_line(a);
+    levels_.back()->cache.stream_write(a * lb, lb);
+  }
+}
+
+void Hierarchy::flush() {
+  // Cascade: each inner level drains its dirty lines into the next level;
+  // the last level writes back to memory.
+  for (std::size_t k = 0; k + 1 < levels_.size(); ++k) {
+    Cache& next = levels_[k + 1]->cache;
+    levels_[k]->cache.drain(
+        [&next](std::uint64_t line) { next.access_line_ex(line, /*is_write=*/true); });
+  }
+  levels_.back()->cache.flush();
+}
+
+}  // namespace s35::memsim

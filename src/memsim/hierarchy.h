@@ -1,0 +1,67 @@
+// Multi-level inclusive cache hierarchy (L1 -> L2 -> LLC -> memory).
+//
+// The single-level Cache answers the paper's bandwidth questions; the
+// hierarchy adds the per-level picture behind two further claims:
+// Section III-D's Core i7 cache sizes (32 KB L1 / 256 KB L2 / 8 MB LLC)
+// and Section VI-A's observation that the row-partitioned 3.5D sweep keeps
+// inter-core (i.e. beyond-L2) traffic to the boundary rows only. Accesses
+// walk the levels top-down; a miss at level k fills from level k+1; dirty
+// evictions write back one level down. Per-level hit/miss statistics and
+// the external (beyond-LLC) traffic are reported.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "memsim/cache.h"
+
+namespace s35::memsim {
+
+struct HierarchyConfig {
+  std::vector<CacheConfig> levels;  // ordered from L1 to LLC
+
+  // Core i7-920-class hierarchy (Section III-D).
+  static HierarchyConfig core_i7() {
+    HierarchyConfig h;
+    h.levels.push_back({32u << 10, 8, 64});    // L1D
+    h.levels.push_back({256u << 10, 8, 64});   // L2
+    h.levels.push_back({8u << 20, 16, 64});    // shared LLC
+    return h;
+  }
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyConfig& config);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const CacheStats& level_stats(int level) const;
+
+  // Bytes exchanged with external memory (beyond the last level).
+  std::uint64_t external_bytes() const;
+
+  void read(std::uint64_t addr, std::uint64_t bytes);
+  void write(std::uint64_t addr, std::uint64_t bytes);
+  // Non-temporal store: bypasses every level (invalidating stale copies).
+  void stream_write(std::uint64_t addr, std::uint64_t bytes);
+
+  // Flushes all levels (write-backs propagate outward).
+  void flush();
+
+ private:
+  void access_line(std::uint64_t line_addr, bool is_write);
+
+  struct Level {
+    explicit Level(const CacheConfig& c) : cache(c) {}
+    Cache cache;
+    // External traffic of this level *before* the next level filters it:
+    // deltas of the underlying stats are routed to the next level.
+    std::uint64_t prev_fills = 0;
+    std::uint64_t prev_writebacks = 0;
+  };
+
+  std::vector<std::unique_ptr<Level>> levels_;
+  int line_bytes_;
+};
+
+}  // namespace s35::memsim

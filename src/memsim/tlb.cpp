@@ -1,0 +1,34 @@
+#include "memsim/tlb.h"
+
+namespace s35::memsim {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  S35_CHECK(config.entries >= 1 && config.page_bytes >= 1);
+  entries_.resize(static_cast<std::size_t>(config.entries));
+}
+
+void Tlb::access(std::uint64_t addr, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t pb = config_.page_bytes;
+  for (std::uint64_t p = addr / pb; p <= (addr + bytes - 1) / pb; ++p) {
+    ++tick_;
+    Entry* lru = &entries_[0];
+    bool hit = false;
+    for (Entry& e : entries_) {
+      if (e.valid && e.page == p) {
+        e.lru = tick_;
+        ++stats_.hits;
+        hit = true;
+        break;
+      }
+      if (!e.valid || e.lru < lru->lru) lru = &e;
+    }
+    if (hit) continue;
+    ++stats_.misses;
+    lru->valid = true;
+    lru->page = p;
+    lru->lru = tick_;
+  }
+}
+
+}  // namespace s35::memsim

@@ -1,0 +1,55 @@
+// Fully-associative LRU TLB model.
+//
+// Section III-A: LBM's many concurrent streams thrash the TLB; the paper
+// uses 2 MB pages for a 5-20% gain. This model counts translation misses
+// for a replayed access pattern under 4 KB vs 2 MB pages so that gain is
+// reproducible as a miss-rate reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace s35::memsim {
+
+struct TlbConfig {
+  int entries = 64;                       // second-level DTLB, Nehalem-ish
+  std::uint64_t page_bytes = 4096;
+};
+
+struct TlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double miss_rate() const {
+    const double t = static_cast<double>(hits + misses);
+    return t == 0.0 ? 0.0 : static_cast<double>(misses) / t;
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config = {});
+
+  const TlbConfig& config() const { return config_; }
+  const TlbStats& stats() const { return stats_; }
+
+  // Translates [addr, addr + bytes): one lookup per covered page.
+  void access(std::uint64_t addr, std::uint64_t bytes);
+
+  void reset_stats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    std::uint64_t page = ~0ull;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  TlbConfig config_;
+  TlbStats stats_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace s35::memsim

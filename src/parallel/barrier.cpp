@@ -1,0 +1,135 @@
+#include "parallel/barrier.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace s35::parallel {
+
+namespace {
+
+constexpr int kSpinsBeforeYield = 1024;
+
+inline void cpu_relax() {
+#if defined(__SSE2__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+template <typename Pred>
+void spin_until(Pred&& pred) {
+  int spins = 0;
+  while (!pred()) {
+    if (++spins < kSpinsBeforeYield) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- SpinBarrier
+
+SpinBarrier::SpinBarrier(int num_threads) : num_threads_(num_threads) {
+  S35_CHECK(num_threads >= 1);
+}
+
+void SpinBarrier::arrive_and_wait(int tid) {
+  S35_DCHECK(tid >= 0 && tid < num_threads_);
+  (void)tid;
+  const std::uint32_t my_sense = sense_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) == num_threads_ - 1) {
+    // Last arrival: reset the counter, then flip the sense to release.
+    arrived_.store(0, std::memory_order_relaxed);
+    sense_.store(my_sense + 1, std::memory_order_release);
+  } else {
+    spin_until([&] { return sense_.load(std::memory_order_acquire) != my_sense; });
+  }
+}
+
+// -------------------------------------------------------- TournamentBarrier
+
+namespace {
+int log2_ceil(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+}  // namespace
+
+TournamentBarrier::TournamentBarrier(int num_threads)
+    : num_threads_(num_threads),
+      rounds_(log2_ceil(num_threads)),
+      flags_(static_cast<std::size_t>(rounds_) * num_threads),
+      local_epoch_(num_threads, 0) {
+  S35_CHECK(num_threads >= 1);
+}
+
+void TournamentBarrier::arrive_and_wait(int tid) {
+  S35_DCHECK(tid >= 0 && tid < num_threads_);
+  const std::uint32_t epoch = ++local_epoch_[tid];
+
+  // Dissemination-free static tournament: in round r, threads whose bit r is
+  // set signal their partner (tid with bit r cleared) and drop out; the
+  // winners continue. Thread 0 wins the final and broadcasts the release.
+  for (int r = 0; r < rounds_; ++r) {
+    if ((tid & (1 << r)) != 0) {
+      // Loser: signal partner and wait for the broadcast release.
+      const int partner = tid & ~(1 << r);
+      flags_[static_cast<std::size_t>(r) * num_threads_ + partner].flag.store(
+          epoch, std::memory_order_release);
+      break;
+    }
+    const int partner = tid | (1 << r);
+    if (partner < num_threads_) {
+      auto& f = flags_[static_cast<std::size_t>(r) * num_threads_ + tid].flag;
+      spin_until([&] { return f.load(std::memory_order_acquire) >= epoch; });
+    }
+  }
+
+  if (tid == 0) {
+    release_.store(epoch, std::memory_order_release);
+  } else {
+    spin_until([&] { return release_.load(std::memory_order_acquire) >= epoch; });
+  }
+}
+
+// ----------------------------------------------------------- PthreadBarrier
+
+PthreadBarrier::PthreadBarrier(int num_threads) : num_threads_(num_threads) {
+  S35_CHECK(num_threads >= 1);
+  const int rc = pthread_barrier_init(&barrier_, nullptr,
+                                      static_cast<unsigned>(num_threads));
+  S35_CHECK_MSG(rc == 0, "pthread_barrier_init failed");
+}
+
+PthreadBarrier::~PthreadBarrier() { pthread_barrier_destroy(&barrier_); }
+
+void PthreadBarrier::arrive_and_wait(int tid) {
+  (void)tid;
+  const int rc = pthread_barrier_wait(&barrier_);
+  S35_CHECK(rc == 0 || rc == PTHREAD_BARRIER_SERIAL_THREAD);
+}
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int num_threads) {
+  switch (kind) {
+    case BarrierKind::kSpin:
+      return std::make_unique<SpinBarrier>(num_threads);
+    case BarrierKind::kTournament:
+      return std::make_unique<TournamentBarrier>(num_threads);
+    case BarrierKind::kPthread:
+      return std::make_unique<PthreadBarrier>(num_threads);
+  }
+  S35_CHECK_MSG(false, "unknown BarrierKind");
+  return nullptr;
+}
+
+}  // namespace s35::parallel

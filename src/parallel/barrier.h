@@ -1,0 +1,96 @@
+// Software barriers for the SPMD stencil sweeps.
+//
+// The paper's 3.5D algorithm needs one barrier per outer-Z iteration
+// (Section V-E), and reports a custom barrier "50X faster than pthreads
+// barrier" (Section III-B, citing Mellor-Crummey & Scott). We provide:
+//
+//   * SpinBarrier       — centralized sense-reversing barrier: one atomic
+//                         arrival counter plus a broadcast sense flag; spins
+//                         with PAUSE then falls back to yield so it stays
+//                         correct when threads are oversubscribed.
+//   * TournamentBarrier — static pairwise tournament (MCS-style): each
+//                         thread spins on its own cache line; O(log T)
+//                         rounds, no shared counter contention.
+//   * PthreadBarrier    — thin RAII wrapper over pthread_barrier_t, kept as
+//                         the baseline for the 50X comparison bench.
+//
+// All three share the Barrier interface so the engine can be run with any.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace s35::parallel {
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  // Blocks until all `num_threads` participants have arrived. `tid` must be
+  // a stable participant id in [0, num_threads).
+  virtual void arrive_and_wait(int tid) = 0;
+  virtual int num_threads() const = 0;
+};
+
+// Spins `kSpinsBeforeYield` PAUSE iterations, then yields; on an
+// oversubscribed host (fewer cores than threads) pure spinning livelocks the
+// scheduler, so the fallback is mandatory for correctness-under-load.
+class SpinBarrier final : public Barrier {
+ public:
+  explicit SpinBarrier(int num_threads);
+
+  void arrive_and_wait(int tid) override;
+  int num_threads() const override { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  alignas(kCacheLineBytes) std::atomic<int> arrived_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint32_t> sense_{0};
+};
+
+class TournamentBarrier final : public Barrier {
+ public:
+  explicit TournamentBarrier(int num_threads);
+
+  void arrive_and_wait(int tid) override;
+  int num_threads() const override { return num_threads_; }
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    std::atomic<std::uint32_t> flag{0};
+  };
+
+  const int num_threads_;
+  int rounds_;
+  // flags_[round * num_threads + tid]: signalled by the losing partner.
+  std::vector<Slot> flags_;
+  alignas(kCacheLineBytes) std::atomic<std::uint32_t> release_{0};
+  std::vector<std::uint32_t> local_epoch_;  // per-thread, indexed by tid
+};
+
+class PthreadBarrier final : public Barrier {
+ public:
+  explicit PthreadBarrier(int num_threads);
+  ~PthreadBarrier() override;
+
+  PthreadBarrier(const PthreadBarrier&) = delete;
+  PthreadBarrier& operator=(const PthreadBarrier&) = delete;
+
+  void arrive_and_wait(int tid) override;
+  int num_threads() const override { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  pthread_barrier_t barrier_;
+};
+
+enum class BarrierKind { kSpin, kTournament, kPthread };
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int num_threads);
+
+}  // namespace s35::parallel

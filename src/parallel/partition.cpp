@@ -1,0 +1,46 @@
+#include "parallel/partition.h"
+
+#include "common/check.h"
+
+namespace s35::parallel {
+
+std::pair<long, long> chunk_range(long n, int parts, int index) {
+  S35_CHECK(parts >= 1);
+  S35_CHECK(index >= 0 && index < parts);
+  S35_CHECK(n >= 0);
+  const long base = n / parts;
+  const long extra = n % parts;
+  const long begin = base * index + (index < extra ? index : extra);
+  const long size = base + (index < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+RowSpanPartition::RowSpanPartition(long width, long height, int num_threads)
+    : width_(width), height_(height), num_threads_(num_threads) {
+  S35_CHECK(width >= 0 && height >= 0);
+  S35_CHECK(num_threads >= 1);
+}
+
+std::vector<RowSpan> RowSpanPartition::spans(int tid) const {
+  const auto [begin, end] = chunk_range(width_ * height_, num_threads_, tid);
+  std::vector<RowSpan> result;
+  if (begin >= end || width_ == 0) return result;
+
+  long e = begin;
+  while (e < end) {
+    const long y = e / width_;
+    const long x0 = e % width_;
+    const long row_end = (y + 1) * width_;
+    const long x1 = (end < row_end ? end : row_end) - y * width_;
+    result.push_back({y, x0, x1});
+    e = y * width_ + x1;
+  }
+  return result;
+}
+
+long RowSpanPartition::element_count(int tid) const {
+  const auto [begin, end] = chunk_range(width_ * height_, num_threads_, tid);
+  return end - begin;
+}
+
+}  // namespace s35::parallel

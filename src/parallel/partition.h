@@ -1,0 +1,72 @@
+// Work partitioning: the paper's flexible load-balancing scheme.
+//
+// Section V-D: "We divide dimY by the number of threads, and assign each
+// thread the relevant rows. In case dimY < T, each thread gets partial rows
+// for each XY sub-plane." The partition guarantees every thread reads and
+// writes the same amount of external data and performs the same number of
+// stencil ops (to within one element).
+//
+// RowSpanPartition generalizes both cases: the 2D interior region
+// (rows `height`, each `width` elements) is split into T contiguous
+// element-balanced pieces; each piece is exposed as a short list of row
+// spans (y, x_begin, x_end) so kernels keep their unit-stride inner loop.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace s35::parallel {
+
+// Balanced contiguous split of [0, n) into `parts`; part `index` gets
+// [begin, end) with sizes differing by at most one. Empty range when n = 0
+// or index >= n for tiny n.
+std::pair<long, long> chunk_range(long n, int parts, int index);
+
+struct RowSpan {
+  long y;        // row index within the region, [0, height)
+  long x_begin;  // element range within the row
+  long x_end;
+};
+
+// Allocation-free span iteration: calls fn(y, x_begin, x_end) for each row
+// span of thread `tid`'s element-balanced slice of a width x height region.
+// Equivalent to RowSpanPartition::spans(tid) without materializing the list;
+// used in the engine's hot loop.
+template <typename Fn>
+void for_each_span(long width, long height, int num_threads, int tid, Fn&& fn) {
+  const auto [begin, end] = chunk_range(width * height, num_threads, tid);
+  if (begin >= end || width == 0) return;
+  long e = begin;
+  while (e < end) {
+    const long y = e / width;
+    const long x0 = e % width;
+    const long row_end = (y + 1) * width;
+    const long x1 = (end < row_end ? end : row_end) - y * width;
+    fn(y, x0, x1);
+    e = y * width + x1;
+  }
+}
+
+class RowSpanPartition {
+ public:
+  // Partitions a width x height region among `num_threads` by elements.
+  RowSpanPartition(long width, long height, int num_threads);
+
+  int num_threads() const { return num_threads_; }
+  long width() const { return width_; }
+  long height() const { return height_; }
+
+  // Row spans assigned to `tid`, in increasing (y, x) order. Spans of a
+  // full-row assignment have x_begin = 0 and x_end = width.
+  std::vector<RowSpan> spans(int tid) const;
+
+  // Total elements assigned to `tid`.
+  long element_count(int tid) const;
+
+ private:
+  long width_;
+  long height_;
+  int num_threads_;
+};
+
+}  // namespace s35::parallel

@@ -1,0 +1,101 @@
+#include "parallel/thread_team.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "common/check.h"
+#include "parallel/partition.h"
+
+namespace s35::parallel {
+
+ThreadTeam::ThreadTeam(int num_threads, bool pin_threads)
+    : num_threads_(num_threads), pin_threads_(pin_threads) {
+  S35_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int tid = 1; tid < num_threads; ++tid) {
+    workers_.emplace_back([this, tid] {
+      if (pin_threads_) pin_self(tid);
+      worker_main(tid);
+    });
+  }
+}
+
+void ThreadTeam::pin_self(int tid) const {
+#if defined(__linux__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(tid) % hw, &set);
+  // Best effort: failure (e.g. restricted affinity masks) is not fatal.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)tid;
+#endif
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  if (pin_threads_ && !caller_pinned_) {
+    pin_self(0);
+    caller_pinned_ = true;
+  }
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    S35_CHECK_MSG(job_ == nullptr, "ThreadTeam::run is not re-entrant");
+    job_ = &fn;
+    running_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  fn(0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadTeam::parallel_for(long n, const std::function<void(long, long)>& body_range) {
+  run([&](int tid) {
+    const auto [begin, end] = chunk_range(n, num_threads_, tid);
+    if (begin < end) body_range(begin, end);
+  });
+}
+
+void ThreadTeam::worker_main(int tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return epoch_ != seen_epoch; });
+      seen_epoch = epoch_;
+      if (shutdown_) return;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace s35::parallel

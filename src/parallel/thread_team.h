@@ -1,0 +1,61 @@
+// Persistent SPMD thread team.
+//
+// The 3.5D sweep is a classic SPMD region: T threads execute the same
+// z-loop, each on its pre-assigned rows, synchronizing with a barrier per
+// iteration (Section V-D/E). ThreadTeam keeps the workers alive across
+// invocations (thread creation per sweep would dwarf the barrier cost the
+// paper optimizes) and runs the calling thread as participant 0, so a team
+// of size 1 has zero dispatch overhead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s35::parallel {
+
+class ThreadTeam {
+ public:
+  // Creates `num_threads - 1` workers; the caller of run() is participant 0.
+  // With pin_threads, worker i is pinned to CPU (i mod hardware_concurrency)
+  // — the HPC idiom that keeps each thread's blocking-buffer rows in its
+  // own L1/L2 (Section VI-A's inter-cache-communication argument). The
+  // calling thread is pinned on its first run() when pinning is enabled.
+  explicit ThreadTeam(int num_threads, bool pin_threads = false);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return num_threads_; }
+
+  // Executes fn(tid) on every participant and returns once all have
+  // finished. Exceptions escaping fn terminate (stencil kernels are
+  // noexcept by design); not re-entrant.
+  void run(const std::function<void(int)>& fn);
+
+  // Convenience: balanced parallel loop over [0, n).
+  void parallel_for(long n, const std::function<void(long, long)>& body_range);
+
+ private:
+  void worker_main(int tid);
+  void pin_self(int tid) const;
+
+  const int num_threads_;
+  const bool pin_threads_;
+  bool caller_pinned_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace s35::parallel

@@ -1,0 +1,7 @@
+#include "simd/simd.h"
+
+namespace s35::simd {
+
+const char* default_backend_name() { return Vec<float, DefaultTag>::name; }
+
+}  // namespace s35::simd

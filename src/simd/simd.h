@@ -1,0 +1,199 @@
+// Thin fixed-width vector wrappers over SSE2 / AVX2 / scalar.
+//
+// The paper exploits DLP with SSE intrinsics (4-wide SP, 2-wide DP) on the
+// Core i7 (Section VI). Kernels in this library are written once against
+// Vec<T, Backend>; the backend tag selects the instruction set, which lets
+// the SIMD-scaling bench (Section VII-A: "3.2X SP SSE scaling, 1.65X DP")
+// compare scalar vs SSE vs AVX of the *same* kernel inside one binary.
+//
+// All backends evaluate the same arithmetic expression per lane, so results
+// are bit-identical to scalar for the stencil kernels (verified in tests).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "common/check.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace s35::simd {
+
+struct ScalarTag {};
+#if defined(__SSE2__)
+struct SseTag {};
+#endif
+#if defined(__AVX__)
+struct AvxTag {};
+#endif
+
+// Widest backend this build supports; kernels default to it.
+#if defined(__AVX__)
+using DefaultTag = AvxTag;
+#elif defined(__SSE2__)
+using DefaultTag = SseTag;
+#else
+using DefaultTag = ScalarTag;
+#endif
+
+template <typename T, typename Tag>
+struct Vec;  // primary template intentionally undefined
+
+// ---------------------------------------------------------------- scalar --
+// Width-1 "vector" so kernels compile unchanged without SIMD hardware and so
+// benches have a true scalar baseline.
+template <typename T>
+struct Vec<T, ScalarTag> {
+  using value_type = T;
+  static constexpr int width = 1;
+  static constexpr const char* name = "scalar";
+
+  T v;
+
+  static Vec load(const T* p) { return {*p}; }
+  static Vec loadu(const T* p) { return {*p}; }
+  static Vec set1(T x) { return {x}; }
+  void store(T* p) const { *p = v; }
+  void storeu(T* p) const { *p = v; }
+  void stream(T* p) const { *p = v; }
+
+  friend Vec operator+(Vec a, Vec b) { return {a.v + b.v}; }
+  friend Vec operator-(Vec a, Vec b) { return {a.v - b.v}; }
+  friend Vec operator*(Vec a, Vec b) { return {a.v * b.v}; }
+  friend Vec operator/(Vec a, Vec b) { return {a.v / b.v}; }
+
+  T reduce_add() const { return v; }
+};
+
+#if defined(__SSE2__)
+// ------------------------------------------------------------------- SSE --
+template <>
+struct Vec<float, SseTag> {
+  using value_type = float;
+  static constexpr int width = 4;
+  static constexpr const char* name = "sse";
+
+  __m128 v;
+
+  static Vec load(const float* p) { return {_mm_load_ps(p)}; }
+  static Vec loadu(const float* p) { return {_mm_loadu_ps(p)}; }
+  static Vec set1(float x) { return {_mm_set1_ps(x)}; }
+  void store(float* p) const { _mm_store_ps(p, v); }
+  void storeu(float* p) const { _mm_storeu_ps(p, v); }
+  void stream(float* p) const { _mm_stream_ps(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm_mul_ps(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm_div_ps(a.v, b.v)}; }
+
+  float reduce_add() const {
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, v);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  }
+};
+
+template <>
+struct Vec<double, SseTag> {
+  using value_type = double;
+  static constexpr int width = 2;
+  static constexpr const char* name = "sse";
+
+  __m128d v;
+
+  static Vec load(const double* p) { return {_mm_load_pd(p)}; }
+  static Vec loadu(const double* p) { return {_mm_loadu_pd(p)}; }
+  static Vec set1(double x) { return {_mm_set1_pd(x)}; }
+  void store(double* p) const { _mm_store_pd(p, v); }
+  void storeu(double* p) const { _mm_storeu_pd(p, v); }
+  void stream(double* p) const { _mm_stream_pd(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm_div_pd(a.v, b.v)}; }
+
+  double reduce_add() const {
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, v);
+    return lanes[0] + lanes[1];
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX__)
+// ------------------------------------------------------------------- AVX --
+template <>
+struct Vec<float, AvxTag> {
+  using value_type = float;
+  static constexpr int width = 8;
+  static constexpr const char* name = "avx";
+
+  __m256 v;
+
+  static Vec load(const float* p) { return {_mm256_load_ps(p)}; }
+  static Vec loadu(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static Vec set1(float x) { return {_mm256_set1_ps(x)}; }
+  void store(float* p) const { _mm256_store_ps(p, v); }
+  void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+  void stream(float* p) const { _mm256_stream_ps(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_ps(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm256_div_ps(a.v, b.v)}; }
+
+  float reduce_add() const {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, v);
+    return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+           ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  }
+};
+
+template <>
+struct Vec<double, AvxTag> {
+  using value_type = double;
+  static constexpr int width = 4;
+  static constexpr const char* name = "avx";
+
+  __m256d v;
+
+  static Vec load(const double* p) { return {_mm256_load_pd(p)}; }
+  static Vec loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Vec set1(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_store_pd(p, v); }
+  void storeu(double* p) const { _mm256_storeu_pd(p, v); }
+  void stream(double* p) const { _mm256_stream_pd(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+  double reduce_add() const {
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, v);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  }
+};
+#endif  // __AVX__
+
+// Issues a store fence so streaming (non-temporal) stores are globally
+// visible before a thread signals a barrier. No-op for the scalar backend.
+inline void stream_fence() {
+#if defined(__SSE2__)
+  _mm_sfence();
+#endif
+}
+
+// Name of the widest backend compiled into this build.
+const char* default_backend_name();
+
+}  // namespace s35::simd

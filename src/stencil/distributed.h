@@ -1,0 +1,160 @@
+// Distributed-memory-style domain decomposition with temporal blocking.
+//
+// The multicore-aware temporal blocking line of work the paper builds on
+// (Wittmann et al. [22], Treibig et al. [23]) extends the scheme across
+// address spaces: the grid is decomposed into `ranks` subdomains along Z;
+// before each pass of dim_t steps every rank exchanges halo slabs of
+// thickness H = R*dim_t with its Z neighbors, then runs the 3.5D engine on
+// its extended local grid completely independently. Correctness is the
+// same thick-halo argument as stencil/periodic.h: influence from a halo's
+// outer (frozen) edge travels R planes per step and cannot reach the owned
+// region within one pass.
+//
+// Ranks are simulated in-process (each has its own grids and its own
+// engine pass) and the exchange is a memcpy — the communication *volume*
+// and *message count* accounting is what an MPI implementation would see:
+// per pass each interior face moves H planes once, so temporal blocking
+// divides the message count by dim_t at constant bytes per time step —
+// the latency-amortization benefit distributed stencil codes chase.
+#pragma once
+
+#include <vector>
+
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+
+struct CommStats {
+  std::uint64_t messages = 0;       // one per (face, pass)
+  std::uint64_t bytes = 0;          // payload exchanged
+  std::uint64_t passes = 0;
+  std::uint64_t time_steps = 0;
+
+  double bytes_per_step() const {
+    return time_steps == 0 ? 0.0 : static_cast<double>(bytes) / time_steps;
+  }
+  double messages_per_step() const {
+    return time_steps == 0 ? 0.0 : static_cast<double>(messages) / time_steps;
+  }
+};
+
+template <typename S, typename T>
+class DistributedStencilDriver {
+  static constexpr long R = S::radius;
+
+ public:
+  // Decomposes an nx x ny x nz grid into `ranks` Z slabs. Every rank's
+  // owned slab must be at least as deep as the halo (R * dim_t planes).
+  DistributedStencilDriver(long nx, long ny, long nz, int ranks, int dim_t)
+      : nx_(nx), ny_(ny), nz_(nz), ranks_(ranks), dim_t_(dim_t),
+        halo_(static_cast<long>(R) * dim_t) {
+    S35_CHECK(ranks >= 1 && dim_t >= 1);
+    long z0 = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz, ranks, r);
+      S35_CHECK_MSG(e - b >= halo_ || ranks == 1,
+                    "subdomain shallower than the R*dim_t halo");
+      const long lo = (r == 0) ? b : b - halo_;
+      const long hi = (r == ranks - 1) ? e : e + halo_;
+      locals_.emplace_back(nx, ny, hi - lo);
+      owned_.push_back({b, e});
+      extended_.push_back({lo, hi});
+      z0 = e;
+    }
+    S35_CHECK(z0 == nz);
+  }
+
+  // Scatters a full grid into the local (extended) subdomains.
+  void scatter(const grid::Grid3<T>& global) {
+    for (int r = 0; r < ranks_; ++r) {
+      grid::Grid3<T>& g = locals_[static_cast<std::size_t>(r)].src();
+      for (long z = extended_[static_cast<std::size_t>(r)].begin;
+           z < extended_[static_cast<std::size_t>(r)].end; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(g.row(y, z - extended_[static_cast<std::size_t>(r)].begin),
+                      global.row(y, z), static_cast<std::size_t>(nx_) * sizeof(T));
+    }
+  }
+
+  // Gathers the owned slabs back into a full grid.
+  void gather(grid::Grid3<T>& global) const {
+    for (int r = 0; r < ranks_; ++r) {
+      const grid::Grid3<T>& g = locals_[static_cast<std::size_t>(r)].src();
+      for (long z = owned_[static_cast<std::size_t>(r)].begin;
+           z < owned_[static_cast<std::size_t>(r)].end; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(global.row(y, z),
+                      g.row(y, z - extended_[static_cast<std::size_t>(r)].begin),
+                      static_cast<std::size_t>(nx_) * sizeof(T));
+    }
+  }
+
+  // Advances `steps` time steps: halo exchange, one blocked pass per rank,
+  // repeat. `cfg.dim_x/dim_y` select the per-rank tiling; dim_t is fixed
+  // by the constructor (it sizes the halos).
+  void run(const S& stencil, int steps, const SweepConfig& cfg, core::Engine35& engine) {
+    int remaining = steps;
+    while (remaining > 0) {
+      const int dt = remaining < dim_t_ ? remaining : dim_t_;
+      exchange_halos();
+      for (int r = 0; r < ranks_; ++r) {
+        auto& pair = locals_[static_cast<std::size_t>(r)];
+        run_engine_pass<S, T, simd::DefaultTag>(
+            stencil, pair.src(), pair.dst(), cfg.dim_x > 0 ? cfg.dim_x : nx_,
+            cfg.dim_y > 0 ? cfg.dim_y : ny_, dt, cfg.serialized,
+            cfg.streaming_stores, engine);
+        pair.swap();
+      }
+      stats_.passes += 1;
+      stats_.time_steps += static_cast<std::uint64_t>(dt);
+      remaining -= dt;
+    }
+  }
+
+  const CommStats& stats() const { return stats_; }
+  int ranks() const { return ranks_; }
+  long halo_planes() const { return halo_; }
+
+ private:
+  struct Extent {
+    long begin, end;
+  };
+
+  // Copies the halo slabs from each neighbor's owned region into this
+  // rank's extended grid (both directions for every interior face).
+  void exchange_halos() {
+    const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
+    for (int r = 0; r + 1 < ranks_; ++r) {
+      auto& left = locals_[static_cast<std::size_t>(r)];
+      auto& right = locals_[static_cast<std::size_t>(r + 1)];
+      const Extent le = extended_[static_cast<std::size_t>(r)];
+      const Extent re = extended_[static_cast<std::size_t>(r + 1)];
+      const long face = owned_[static_cast<std::size_t>(r)].end;  // global z of the cut
+
+      // Right rank's lower halo [face - halo, face) from the left rank.
+      for (long z = face - halo_; z < face; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(right.src().row(y, z - re.begin), left.src().row(y, z - le.begin),
+                      row_bytes);
+      // Left rank's upper halo [face, face + halo) from the right rank.
+      for (long z = face; z < face + halo_; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(left.src().row(y, z - le.begin), right.src().row(y, z - re.begin),
+                      row_bytes);
+
+      stats_.messages += 2;
+      stats_.bytes += 2ull * halo_ * ny_ * row_bytes;
+    }
+  }
+
+  long nx_, ny_, nz_;
+  int ranks_;
+  int dim_t_;
+  long halo_;
+  std::vector<grid::GridPair<T>> locals_;
+  std::vector<Extent> owned_;
+  std::vector<Extent> extended_;
+  CommStats stats_;
+};
+
+}  // namespace s35::stencil

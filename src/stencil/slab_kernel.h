@@ -1,0 +1,132 @@
+// Engine35 kernel policy for grid stencils (7-point, 27-point).
+//
+// Owns the on-chip blocking buffer: dim_t time instances x ring slots of
+// XY sub-planes (eq. 1 layout). Instance 0 receives loaded input planes,
+// instances 1..dim_t-1 hold intermediate time steps, and instance dim_t's
+// results go straight to the output grid. All row addressing is in global
+// grid coordinates; buffer rows are exposed through pointers pre-offset by
+// the tile origin so the stencil inner loop is identical for buffered and
+// external storage.
+#pragma once
+
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "core/engine.h"
+#include "grid/grid3.h"
+#include "simd/simd.h"
+#include "stencil/stencil_kernels.h"
+
+namespace s35::stencil {
+
+template <typename S, typename T, typename Tag = simd::DefaultTag>
+class StencilSlabKernel {
+  using V = simd::Vec<T, Tag>;
+  static constexpr long R = S::radius;
+
+ public:
+  StencilSlabKernel(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
+                    long dim_x, long dim_y, int dim_t, int planes_per_instance,
+                    bool streaming_stores = false)
+      : stencil_(stencil),
+        src_(&src),
+        dst_(&dst),
+        pitch_(grid::padded_pitch(dim_x, sizeof(T))),
+        buf_ny_(dim_y),
+        ring_(planes_per_instance),
+        streaming_(streaming_stores),
+        buffer_(static_cast<std::size_t>(pitch_) * dim_y * ring_ * dim_t) {
+    S35_CHECK(dim_t >= 1 && planes_per_instance >= 2 * R + 1);
+  }
+
+  std::size_t buffer_bytes() const { return buffer_.size() * sizeof(T); }
+
+  // Re-targets the external grids (after a Jacobi swap) so one kernel —
+  // and its multi-MB ring buffer — serves every pass of a multi-pass run.
+  void rebind(const grid::Grid3<T>& src, grid::Grid3<T>& dst) {
+    src_ = &src;
+    dst_ = &dst;
+  }
+
+  void execute(const core::Tile& tile, const core::Step& step, long y, long x0, long x1) {
+    switch (step.kind) {
+      case core::StepKind::kLoad: {
+        const T* in = src_->row(y, step.z);
+        T* out = buffer_row(tile, 0, step.dst_slot, y);
+        copy_span(in, out, x0, x1);
+        return;
+      }
+      case core::StepKind::kCopy: {
+        const T* in = buffer_row(tile, step.t - 1, step.src_slots[0], y);
+        T* out = step.to_external ? dst_->row(y, step.z)
+                                  : buffer_row(tile, step.t, step.dst_slot, y);
+        copy_span(in, out, x0, x1);
+        return;
+      }
+      case core::StepKind::kCompute:
+        compute_span(tile, step, y, x0, x1);
+        return;
+    }
+  }
+
+ private:
+  static void copy_span(const T* in, T* out, long x0, long x1) {
+    std::memcpy(out + x0, in + x0, static_cast<std::size_t>(x1 - x0) * sizeof(T));
+  }
+
+  // Row of the ring plane (instance, slot), indexable with global x; valid
+  // for global y within the tile's load window.
+  T* buffer_row(const core::Tile& tile, int instance, int slot, long y) {
+    T* plane = buffer_.data() +
+               (static_cast<std::size_t>(instance) * ring_ + static_cast<std::size_t>(slot)) *
+                   static_cast<std::size_t>(pitch_) * buf_ny_;
+    return plane + (y - tile.load.y.begin) * pitch_ - tile.load.x.begin;
+  }
+
+  void compute_span(const core::Tile& tile, const core::Step& step, long y, long x0,
+                    long x1) {
+    const int src_instance = step.t - 1;
+    // src_slots holds planes z-R .. z+R; index R is the center plane.
+    const T* frozen = buffer_row(tile, src_instance, step.src_slots[R], y);
+    T* out = step.to_external ? dst_->row(y, step.z)
+                              : buffer_row(tile, step.t, step.dst_slot, y);
+
+    // Rows inside the frozen Y shell do not change in time.
+    if (y < R || y >= src_->ny() - R) {
+      copy_span(frozen, out, x0, x1);
+      return;
+    }
+
+    // Leading/trailing cells inside the frozen X shell.
+    const long xa = x0 > R ? x0 : R;
+    const long xb = x1 < src_->nx() - R ? x1 : src_->nx() - R;
+    if (x0 < xa) copy_span(frozen, out, x0, xa < x1 ? xa : x1);
+    if (xb < x1) copy_span(frozen, out, xb > x0 ? xb : x0, x1);
+    if (xa >= xb) return;
+
+    const auto acc = [&](int dz, int dy) -> const T* {
+      return buffer_row(tile, src_instance,
+                        step.src_slots[static_cast<std::size_t>(dz + R)], y + dy);
+    };
+    const S row_stencil = for_row(stencil_, y, step.z);
+    if (streaming_ && step.to_external) {
+      update_row_stream<V>(row_stencil, acc, out, xa, xb);
+      // Make the non-temporal stores globally visible before this thread
+      // signals the round barrier.
+      simd::stream_fence();
+    } else {
+      update_row<V>(row_stencil, acc, out, xa, xb);
+    }
+  }
+
+  S stencil_;
+  const grid::Grid3<T>* src_;
+  grid::Grid3<T>* dst_;
+  long pitch_;
+  long buf_ny_;
+  int ring_;
+  bool streaming_;
+  AlignedBuffer<T> buffer_;
+};
+
+}  // namespace s35::stencil

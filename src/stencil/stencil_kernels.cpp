@@ -1,0 +1,4 @@
+#include "stencil/stencil_kernels.h"
+
+// Point kernels are header-only templates; this TU compiles the header
+// standalone and anchors the target.

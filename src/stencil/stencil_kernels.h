@@ -1,0 +1,172 @@
+// Point kernels: 7-point and 27-point Jacobi stencils (Section IV-A).
+//
+// Both kernels expose the same interface so every sweep variant is written
+// once and instantiated per kernel:
+//
+//   * radius                      — R (1 for both)
+//   * point(acc, x)               — scalar update of grid point x
+//   * point_v<V>(acc, x)          — V::width updates starting at x
+//
+// `acc(dz, dy)` returns a row pointer for plane z+dz, row y+dy, indexable
+// with *global* x. Scalar and vector paths evaluate the same expression
+// tree in the same association order, and the build disables FMA
+// contraction, so all variants produce bit-identical grids — the test
+// suite relies on this.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace s35::stencil {
+
+// B(t+1) = alpha*A + beta*(sum of 6 face neighbors); 2 muls + 6 adds.
+template <typename T>
+struct Stencil7 {
+  static constexpr int radius = 1;
+  using value_type = T;
+
+  T alpha;
+  T beta;
+
+  template <typename Acc>
+  T point(const Acc& acc, long x) const {
+    const T* c = acc(0, 0);
+    const T sum = ((c[x - 1] + c[x + 1]) + (acc(0, -1)[x] + acc(0, 1)[x])) +
+                  (acc(-1, 0)[x] + acc(1, 0)[x]);
+    return alpha * c[x] + beta * sum;
+  }
+
+  template <typename V, typename Acc>
+  V point_v(const Acc& acc, long x) const {
+    const T* c = acc(0, 0);
+    const V sum = ((V::loadu(c + x - 1) + V::loadu(c + x + 1)) +
+                   (V::loadu(acc(0, -1) + x) + V::loadu(acc(0, 1) + x))) +
+                  (V::loadu(acc(-1, 0) + x) + V::loadu(acc(1, 0) + x));
+    return V::set1(alpha) * V::loadu(c + x) + V::set1(beta) * sum;
+  }
+};
+
+// B(t+1) = a*center + b*(6 faces) + c*(12 edges) + d*(8 corners);
+// 4 muls + 26 adds (Section IV-A2).
+template <typename T>
+struct Stencil27 {
+  static constexpr int radius = 1;
+  using value_type = T;
+
+  T c_center;
+  T c_face;
+  T c_edge;
+  T c_corner;
+
+  template <typename Acc>
+  T point(const Acc& acc, long x) const {
+    const T* zm = acc(-1, 0);
+    const T* zp = acc(1, 0);
+    const T* ym = acc(0, -1);
+    const T* yp = acc(0, 1);
+    const T* cc = acc(0, 0);
+    const T* zmym = acc(-1, -1);
+    const T* zmyp = acc(-1, 1);
+    const T* zpym = acc(1, -1);
+    const T* zpyp = acc(1, 1);
+
+    const T faces = ((cc[x - 1] + cc[x + 1]) + (ym[x] + yp[x])) + (zm[x] + zp[x]);
+    const T edges = (((ym[x - 1] + ym[x + 1]) + (yp[x - 1] + yp[x + 1])) +
+                     ((zm[x - 1] + zm[x + 1]) + (zp[x - 1] + zp[x + 1]))) +
+                    ((zmym[x] + zmyp[x]) + (zpym[x] + zpyp[x]));
+    const T corners = ((zmym[x - 1] + zmym[x + 1]) + (zmyp[x - 1] + zmyp[x + 1])) +
+                      ((zpym[x - 1] + zpym[x + 1]) + (zpyp[x - 1] + zpyp[x + 1]));
+    return ((c_center * cc[x] + c_face * faces) + (c_edge * edges)) + c_corner * corners;
+  }
+
+  template <typename V, typename Acc>
+  V point_v(const Acc& acc, long x) const {
+    const T* zm = acc(-1, 0);
+    const T* zp = acc(1, 0);
+    const T* ym = acc(0, -1);
+    const T* yp = acc(0, 1);
+    const T* cc = acc(0, 0);
+    const T* zmym = acc(-1, -1);
+    const T* zmyp = acc(-1, 1);
+    const T* zpym = acc(1, -1);
+    const T* zpyp = acc(1, 1);
+
+    auto L = [](const T* p, long i) { return V::loadu(p + i); };
+    const V faces = ((L(cc, x - 1) + L(cc, x + 1)) + (L(ym, x) + L(yp, x))) +
+                    (L(zm, x) + L(zp, x));
+    const V edges = (((L(ym, x - 1) + L(ym, x + 1)) + (L(yp, x - 1) + L(yp, x + 1))) +
+                     ((L(zm, x - 1) + L(zm, x + 1)) + (L(zp, x - 1) + L(zp, x + 1)))) +
+                    ((L(zmym, x) + L(zmyp, x)) + (L(zpym, x) + L(zpyp, x)));
+    const V corners =
+        ((L(zmym, x - 1) + L(zmym, x + 1)) + (L(zmyp, x - 1) + L(zmyp, x + 1))) +
+        ((L(zpym, x - 1) + L(zpym, x + 1)) + (L(zpyp, x - 1) + L(zpyp, x + 1)));
+    return ((V::set1(c_center) * L(cc, x) + V::set1(c_face) * faces) +
+            (V::set1(c_edge) * edges)) +
+           V::set1(c_corner) * corners;
+  }
+};
+
+// Row-aware kernels (e.g. Stencil7VarCoef) carry absolute row coordinates
+// so they can address auxiliary external fields; plain kernels ignore
+// them. Sweep drivers call for_row(s, y, z) before processing each row.
+template <typename S>
+concept RowAwareStencil = requires(const S s, long y, long z) {
+  { s.with_row(y, z) } -> std::convertible_to<S>;
+};
+
+template <typename S>
+inline S for_row(const S& s, long y, long z) {
+  if constexpr (RowAwareStencil<S>) {
+    return s.with_row(y, z);
+  } else {
+    (void)y;
+    (void)z;
+    return s;
+  }
+}
+
+// Canonical coefficient sets used by tests, benches and examples.
+template <typename T>
+Stencil7<T> default_stencil7() {
+  return Stencil7<T>{static_cast<T>(0.4), static_cast<T>(0.1)};
+}
+
+template <typename T>
+Stencil27<T> default_stencil27() {
+  return Stencil27<T>{static_cast<T>(0.4), static_cast<T>(0.05), static_cast<T>(0.02),
+                      static_cast<T>(0.0075)};
+}
+
+// Applies a kernel to one row segment [x0, x1): vector main loop with a
+// scalar tail, writing through `dst` (global-x indexable).
+template <typename V, typename S, typename Acc, typename T>
+inline void update_row(const S& s, const Acc& acc, T* dst, long x0, long x1) {
+  long x = x0;
+  for (; x + V::width <= x1; x += V::width) {
+    s.template point_v<V>(acc, x).storeu(dst + x);
+  }
+  for (; x < x1; ++x) dst[x] = s.point(acc, x);
+}
+
+// Like update_row but uses non-temporal (streaming) stores for the aligned
+// middle of the segment, eliminating the write-allocate fetch the paper
+// calls out in Section IV-A1. Values are identical to update_row; only the
+// store instruction differs. The caller must issue simd::stream_fence()
+// before the data is handed to another thread.
+template <typename V, typename S, typename Acc, typename T>
+inline void update_row_stream(const S& s, const Acc& acc, T* dst, long x0, long x1) {
+  constexpr std::size_t kVecBytes = sizeof(T) * static_cast<std::size_t>(V::width);
+  // Scalar head until dst + x is vector-aligned.
+  long x = x0;
+  while (x < x1 && (reinterpret_cast<std::uintptr_t>(dst + x) % kVecBytes) != 0) {
+    dst[x] = s.point(acc, x);
+    ++x;
+  }
+  for (; x + V::width <= x1; x += V::width) {
+    s.template point_v<V>(acc, x).stream(dst + x);
+  }
+  for (; x < x1; ++x) dst[x] = s.point(acc, x);
+}
+
+}  // namespace s35::stencil

@@ -1,0 +1,66 @@
+// Variable-coefficient 7-point stencil.
+//
+// Real PDE solvers (heterogeneous diffusion, Helmholtz, variable-density
+// acoustics) carry spatially varying coefficients:
+//
+//   B(x) = alpha(x) * A(x) + beta(x) * (sum of 6 face neighbors of A)
+//
+// The coefficient fields are *time-invariant*, so — exactly like the LBM
+// flag array — they can be read straight from external memory inside the
+// temporally blocked sweep without entering the ring buffers: their
+// per-point traffic is paid once per pass (amortized by dim_t) and their
+// bytes raise the kernel's γ (2 extra streams: 16 B/pt SP instead of 8,
+// see machine::seven_point_varcoef).
+//
+// The kernel carries row accessors for the two coefficient grids, which
+// must be indexable with the same *global* (x, y, z) as the data grid, so
+// the same struct works for the naive sweep (rows straight from the
+// grids) and for the blocked engine (rows from the external coefficient
+// grids while A comes from the ring buffer).
+#pragma once
+
+#include "grid/grid3.h"
+
+namespace s35::stencil {
+
+template <typename T>
+struct Stencil7VarCoef {
+  static constexpr int radius = 1;
+  using value_type = T;
+
+  const grid::Grid3<T>* alpha = nullptr;
+  const grid::Grid3<T>* beta = nullptr;
+  // Global plane/row coordinates of the row being processed; the engine's
+  // acc() only exposes relative offsets, so the kernel needs the absolute
+  // position to address the coefficient grids. Set by the sweep drivers
+  // via with_row() before each row.
+  long y = 0;
+  long z = 0;
+
+  Stencil7VarCoef with_row(long row_y, long row_z) const {
+    Stencil7VarCoef s = *this;
+    s.y = row_y;
+    s.z = row_z;
+    return s;
+  }
+
+  template <typename Acc>
+  T point(const Acc& acc, long x) const {
+    const T* c = acc(0, 0);
+    const T sum = ((c[x - 1] + c[x + 1]) + (acc(0, -1)[x] + acc(0, 1)[x])) +
+                  (acc(-1, 0)[x] + acc(1, 0)[x]);
+    return alpha->row(y, z)[x] * c[x] + beta->row(y, z)[x] * sum;
+  }
+
+  template <typename V, typename Acc>
+  V point_v(const Acc& acc, long x) const {
+    const T* c = acc(0, 0);
+    const V sum = ((V::loadu(c + x - 1) + V::loadu(c + x + 1)) +
+                   (V::loadu(acc(0, -1) + x) + V::loadu(acc(0, 1) + x))) +
+                  (V::loadu(acc(-1, 0) + x) + V::loadu(acc(1, 0) + x));
+    return V::loadu(alpha->row(y, z) + x) * V::loadu(c + x) +
+           V::loadu(beta->row(y, z) + x) * sum;
+  }
+};
+
+}  // namespace s35::stencil

@@ -1,0 +1,23 @@
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kNaive:
+      return "naive";
+    case Variant::kSpatial3D:
+      return "3d-spatial";
+    case Variant::kSpatial25D:
+      return "2.5d-spatial";
+    case Variant::kTemporalOnly:
+      return "temporal-only";
+    case Variant::kBlocked4D:
+      return "4d";
+    case Variant::kBlocked35D:
+      return "3.5d";
+  }
+  return "?";
+}
+
+}  // namespace s35::stencil

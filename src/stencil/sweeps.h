@@ -1,0 +1,162 @@
+// Sweep variants for grid stencils: every blocking family the paper
+// evaluates (Figure 4(b), Figure 5(b) ladder, Section V).
+//
+//   kNaive        — no blocking: straight Jacobi sweep, one pass per step.
+//   kSpatial3D    — 3D cache blocking (Section V-A2): traversal reordered
+//                   into dim_x^3 blocks; one time step per sweep.
+//   kSpatial25D   — 2.5D blocking (Section V-A3): Engine35 with dim_t = 1.
+//   kTemporalOnly — temporal blocking without spatial tiling (Habich-style,
+//                   Figure 4(a) middle bars): Engine35 with a single tile
+//                   covering the whole XY plane.
+//   kBlocked4D    — 3D spatial + 1D temporal blocking (Williams-style
+//                   baseline, Section V/VII comparison bars).
+//   kBlocked35D   — the paper's contribution: 2.5D spatial + 1D temporal.
+//
+// All variants implement identical semantics — Jacobi time stepping with a
+// frozen boundary shell of thickness R — and produce bit-identical grids.
+// After run_sweep returns, the result is in pair.src().
+#pragma once
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/planner.h"
+#include "grid/grid3.h"
+#include "simd/simd.h"
+#include "stencil/slab_kernel.h"
+#include "stencil/stencil_kernels.h"
+
+namespace s35::stencil {
+
+enum class Variant {
+  kNaive,
+  kSpatial3D,
+  kSpatial25D,
+  kTemporalOnly,
+  kBlocked4D,
+  kBlocked35D,
+};
+
+const char* to_string(Variant v);
+
+struct SweepConfig {
+  int dim_t = 2;            // temporal factor (temporal variants)
+  long dim_x = 0;           // XY sub-plane width; 0 = whole axis
+  long dim_y = 0;
+  long dim_z = 0;           // 3D/4D block depth; 0 = dim_x
+  bool serialized = false;  // 3.5D barrier-per-step mode (2R+1 planes)
+  // Use non-temporal stores for external output rows (engine-based
+  // variants), eliminating the write-allocate fetch (Section IV-A1).
+  bool streaming_stores = false;
+};
+
+// ------------------------------------------------------------------ naive
+
+// Copies the frozen boundary shell of thickness R from src into dst so that
+// interior-only sweeps leave boundary values intact in both grids.
+template <typename T>
+void freeze_boundary(const grid::Grid3<T>& src, grid::Grid3<T>& dst, int radius) {
+  const long R = radius;
+  for (long z = 0; z < src.nz(); ++z) {
+    const bool zshell = z < R || z >= src.nz() - R;
+    for (long y = 0; y < src.ny(); ++y) {
+      const bool yshell = y < R || y >= src.ny() - R;
+      const T* in = src.row(y, z);
+      T* out = dst.row(y, z);
+      if (zshell || yshell) {
+        std::memcpy(out, in, static_cast<std::size_t>(src.nx()) * sizeof(T));
+      } else {
+        for (long x = 0; x < R; ++x) out[x] = in[x];
+        for (long x = src.nx() - R; x < src.nx(); ++x) out[x] = in[x];
+      }
+    }
+  }
+}
+
+template <typename S, typename T, typename Tag>
+void sweep_step_naive(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
+                      parallel::ThreadTeam& team) {
+  using V = simd::Vec<T, Tag>;
+  constexpr long R = S::radius;
+  const long iy = src.ny() - 2 * R;  // interior rows per plane
+  const long ix = src.nx() - 2 * R;
+  const long rows = (src.nz() - 2 * R) * iy;
+  const int nthreads = team.size();
+  team.run([&](int tid) {
+    parallel::for_each_span(ix, rows, nthreads, tid, [&](long r, long lx0, long lx1) {
+      const long z = R + r / iy;
+      const long y = R + r % iy;
+      const auto acc = [&](int dz, int dy) -> const T* { return src.row(y + dy, z + dz); };
+      update_row<V>(for_row(stencil, y, z), acc, dst.row(y, z), R + lx0, R + lx1);
+    });
+  });
+}
+
+// -------------------------------------------------------------- 3D blocks
+
+template <typename S, typename T, typename Tag>
+void sweep_step_3d(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
+                   long bx, long by, long bz, parallel::ThreadTeam& team) {
+  using V = simd::Vec<T, Tag>;
+  constexpr long R = S::radius;
+  S35_CHECK(bx >= 1 && by >= 1 && bz >= 1);
+
+  struct Block {
+    long x0, x1, y0, y1, z0, z1;
+  };
+  std::vector<Block> blocks;
+  for (long z0 = R; z0 < src.nz() - R; z0 += bz)
+    for (long y0 = R; y0 < src.ny() - R; y0 += by)
+      for (long x0 = R; x0 < src.nx() - R; x0 += bx)
+        blocks.push_back({x0, std::min(x0 + bx, src.nx() - R),  //
+                          y0, std::min(y0 + by, src.ny() - R),  //
+                          z0, std::min(z0 + bz, src.nz() - R)});
+
+  const int nthreads = team.size();
+  team.run([&](int tid) {
+    const auto [b0, b1] = parallel::chunk_range(static_cast<long>(blocks.size()),
+                                                nthreads, tid);
+    for (long b = b0; b < b1; ++b) {
+      const Block& blk = blocks[static_cast<std::size_t>(b)];
+      for (long z = blk.z0; z < blk.z1; ++z)
+        for (long y = blk.y0; y < blk.y1; ++y) {
+          const auto acc = [&](int dz, int dy) -> const T* {
+            return src.row(y + dy, z + dz);
+          };
+          update_row<V>(for_row(stencil, y, z), acc, dst.row(y, z), blk.x0, blk.x1);
+        }
+    }
+  });
+}
+
+// --------------------------------------------------------- Engine35-based
+
+// One pass of `dim_t` time steps using the 3.5D engine; tiling chooses the
+// spatial flavor (planner tiles = 3.5D / 2.5D, whole-plane tile = temporal
+// only).
+template <typename S, typename T, typename Tag>
+void run_engine_pass(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
+                     long dim_x, long dim_y, int dim_t, bool serialized,
+                     bool streaming_stores, core::Engine35& engine) {
+  const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, S::radius, dim_t);
+  const core::TemporalSchedule sched(src.nz(), S::radius, dim_t, serialized);
+  StencilSlabKernel<S, T, Tag> kernel(stencil, src, dst, dim_x, dim_y, dim_t,
+                                      sched.planes_per_instance(), streaming_stores);
+  engine.run_pass(kernel, tiling, sched);
+}
+
+// -------------------------------------------------------------- 4D blocks
+// Declared here, implemented in sweep_4d.h (included below).
+
+// ------------------------------------------------------------- top level
+
+// Advances `pair` by `steps` time steps with the selected variant. Result
+// in pair.src(). All variants agree bit-for-bit.
+template <typename S, typename T, typename Tag = simd::DefaultTag>
+void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int steps,
+               const SweepConfig& cfg, core::Engine35& engine);
+
+}  // namespace s35::stencil
+
+#include "stencil/sweep_4d.h"
+#include "stencil/sweeps_impl.h"

@@ -1,0 +1,101 @@
+// Implementation of the run_sweep dispatcher (included from sweeps.h).
+#pragma once
+
+namespace s35::stencil {
+
+template <typename S, typename T, typename Tag>
+void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int steps,
+               const SweepConfig& cfg, core::Engine35& engine) {
+  constexpr long R = S::radius;
+  const grid::Grid3<T>& g = pair.src();
+  const long nx = g.nx(), ny = g.ny();
+  S35_CHECK(steps >= 0);
+
+  switch (variant) {
+    case Variant::kNaive:
+    case Variant::kSpatial3D: {
+      // One grid sweep per time step; interior writes only, so the frozen
+      // shell must be present in both grids up front.
+      freeze_boundary(pair.src(), pair.dst(), R);
+      const long bx = cfg.dim_x > 0 ? cfg.dim_x : nx;
+      const long by = cfg.dim_y > 0 ? cfg.dim_y : bx;
+      const long bz = cfg.dim_z > 0 ? cfg.dim_z : bx;
+      for (int s = 0; s < steps; ++s) {
+        if (variant == Variant::kNaive) {
+          sweep_step_naive<S, T, Tag>(stencil, pair.src(), pair.dst(), engine.team());
+        } else {
+          sweep_step_3d<S, T, Tag>(stencil, pair.src(), pair.dst(), bx, by, bz,
+                                   engine.team());
+        }
+        pair.swap();
+      }
+      return;
+    }
+
+    case Variant::kSpatial25D:
+    case Variant::kTemporalOnly:
+    case Variant::kBlocked35D: {
+      long dim_x, dim_y;
+      int pass_t;
+      if (variant == Variant::kSpatial25D) {
+        dim_x = cfg.dim_x > 0 ? cfg.dim_x : nx;
+        dim_y = cfg.dim_y > 0 ? cfg.dim_y : dim_x;
+        pass_t = 1;
+      } else if (variant == Variant::kTemporalOnly) {
+        dim_x = nx;  // single tile: no spatial blocking
+        dim_y = ny;
+        pass_t = cfg.dim_t;
+      } else {
+        S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked35D needs dim_x");
+        dim_x = cfg.dim_x;
+        dim_y = cfg.dim_y > 0 ? cfg.dim_y : cfg.dim_x;
+        pass_t = cfg.dim_t;
+      }
+      S35_CHECK(pass_t >= 1);
+      int remaining = steps;
+      if (remaining >= pass_t) {
+        // One tiling/schedule/kernel (and thus one ring-buffer allocation)
+        // serves every full pass; only a trailing partial pass rebuilds.
+        const core::Tiling tiling(nx, ny, dim_x, dim_y, S::radius, pass_t);
+        const core::TemporalSchedule sched(pair.src().nz(), S::radius, pass_t,
+                                           cfg.serialized);
+        StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x,
+                                            dim_y, pass_t, sched.planes_per_instance(),
+                                            cfg.streaming_stores);
+        while (remaining >= pass_t) {
+          kernel.rebind(pair.src(), pair.dst());
+          engine.run_pass(kernel, tiling, sched);
+          pair.swap();
+          remaining -= pass_t;
+        }
+      }
+      if (remaining > 0) {
+        run_engine_pass<S, T, Tag>(stencil, pair.src(), pair.dst(), dim_x, dim_y,
+                                   remaining, cfg.serialized, cfg.streaming_stores,
+                                   engine);
+        pair.swap();
+      }
+      return;
+    }
+
+    case Variant::kBlocked4D: {
+      S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked4D needs dim_x");
+      const long dx = cfg.dim_x;
+      const long dy = cfg.dim_y > 0 ? cfg.dim_y : dx;
+      const long dz = cfg.dim_z > 0 ? cfg.dim_z : dx;
+      S35_CHECK(cfg.dim_t >= 1);
+      int remaining = steps;
+      while (remaining > 0) {
+        const int dt = remaining < cfg.dim_t ? remaining : cfg.dim_t;
+        run_4d_pass<S, T, Tag>(stencil, pair.src(), pair.dst(), dx, dy, dz, dt,
+                               engine.team());
+        pair.swap();
+        remaining -= dt;
+      }
+      return;
+    }
+  }
+  S35_CHECK_MSG(false, "unknown Variant");
+}
+
+}  // namespace s35::stencil

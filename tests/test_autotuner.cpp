@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/autotuner.h"
+#include "core/planner.h"
+#include "memsim/traffic.h"
+
+namespace s35::core {
+namespace {
+
+TEST(MakeCandidates, FeasibleAndCovering) {
+  const auto cands = make_candidates(8, 128, 4, 1);
+  ASSERT_FALSE(cands.empty());
+  bool has_t1 = false, has_t4 = false, has_small = false, has_big = false;
+  for (const auto& c : cands) {
+    EXPECT_GT(c.dim_x, 2L * c.dim_t);  // feasibility filter
+    EXPECT_EQ(c.dim_x, c.dim_y);
+    has_t1 |= c.dim_t == 1;
+    has_t4 |= c.dim_t == 4;
+    has_small |= c.dim_x == 8;
+    has_big |= c.dim_x == 128;
+  }
+  EXPECT_TRUE(has_t1 && has_t4 && has_small && has_big);
+}
+
+TEST(MakeCandidates, HigherRadiusPrunesMore) {
+  const auto r1 = make_candidates(8, 64, 4, 1);
+  const auto r3 = make_candidates(8, 64, 4, 3);
+  EXPECT_GT(r1.size(), r3.size());
+}
+
+TEST(Autotune, FindsMinimumOfKnownFunction) {
+  const auto cands = make_candidates(8, 256, 3, 1);
+  // Synthetic bowl with minimum at (64, dim_t = 2).
+  const auto cost = [](const TuneCandidate& c) {
+    const double dx = std::log2(static_cast<double>(c.dim_x)) - 6.0;
+    const double dt = c.dim_t - 2.0;
+    return dx * dx + dt * dt;
+  };
+  const auto result = autotune(cands, cost);
+  EXPECT_EQ(result.best.dim_x, 64);
+  EXPECT_EQ(result.best.dim_t, 2);
+  EXPECT_EQ(result.samples.size(), cands.size());
+}
+
+TEST(Autotune, SkipsNonFiniteCosts) {
+  const auto cands = make_candidates(8, 32, 2, 1);
+  const auto cost = [](const TuneCandidate& c) {
+    if (c.dim_t == 1) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(c.dim_x);
+  };
+  const auto result = autotune(cands, cost);
+  EXPECT_EQ(result.best.dim_t, 2);
+  EXPECT_EQ(result.best.dim_x, 8);
+}
+
+// The headline property: tuning the *simulated external traffic* (a
+// deterministic, machine-independent objective) picks a configuration
+// whose traffic is within a few percent of the planner's analytic choice —
+// the paper's implicit claim that eqs. 1-4 replace Datta-style search.
+TEST(Autotune, TrafficObjectiveAgreesWithPlanner) {
+  memsim::TraceConfig base;
+  base.nx = base.ny = base.nz = 96;
+  base.steps = 4;
+  base.elem_bytes = 4;
+  base.radius = 1;
+  base.streaming_stores = true;
+  base.cache.size_bytes = 1u << 20;  // scaled LLC
+
+  const auto traffic = [&](const TuneCandidate& c) {
+    // Capacity constraint (eq. 1): skip candidates whose buffer exceeds
+    // half the cache, as the planner's formulation does.
+    const double buffer = 4.0 * c.dim_t * c.dim_x * c.dim_y * base.elem_bytes;
+    if (buffer > 0.5 * static_cast<double>(base.cache.size_bytes))
+      return std::numeric_limits<double>::infinity();
+    auto cfg = base;
+    cfg.dim_x = c.dim_x;
+    cfg.dim_y = c.dim_y;
+    cfg.dim_t = c.dim_t;
+    return memsim::trace_stencil(memsim::Scheme::kBlocked35D, cfg).bytes_per_update();
+  };
+
+  const auto result = autotune(make_candidates(16, 96, 4, 1), traffic);
+
+  // Planner choice under the same budget: C = 512 KB, E = 4.
+  machine::Descriptor m = machine::core_i7();
+  m.blocking_capacity_bytes = 512u << 10;
+  auto plan = core::plan(m, machine::seven_point(), machine::Precision::kSingle,
+                         {.round_multiple = 8, .force_dim_t = result.best.dim_t});
+  TuneCandidate planned{std::min(plan.dim_x, base.nx), std::min(plan.dim_y, base.ny),
+                        plan.dim_t};
+  const double planned_cost = traffic(planned);
+
+  // The analytic choice must be near-optimal (within 10% of the best
+  // sampled traffic).
+  EXPECT_LE(planned_cost, 1.10 * result.best_cost)
+      << "planner " << planned.dim_x << "/" << planned.dim_t << " vs tuned "
+      << result.best.dim_x << "/" << result.best.dim_t;
+  // And deeper temporal blocking must be what the tuner discovered.
+  EXPECT_GE(result.best.dim_t, 2);
+}
+
+}  // namespace
+}  // namespace s35::core

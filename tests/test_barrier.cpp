@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "parallel/barrier.h"
+
+namespace s35::parallel {
+namespace {
+
+// Stress a barrier: T threads increment a shared phase counter in lockstep;
+// any barrier failure shows up as a thread observing a wrong phase.
+void run_phase_lockstep(Barrier& barrier, int threads, int rounds) {
+  std::vector<std::atomic<int>> phase(static_cast<std::size_t>(threads));
+  for (auto& p : phase) p.store(0);
+
+  std::atomic<bool> ok{true};
+  auto body = [&](int tid) {
+    for (int r = 0; r < rounds; ++r) {
+      phase[static_cast<std::size_t>(tid)].store(r + 1, std::memory_order_release);
+      barrier.arrive_and_wait(tid);
+      // After the barrier every thread must have published phase r+1.
+      for (int t = 0; t < threads; ++t) {
+        if (phase[static_cast<std::size_t>(t)].load(std::memory_order_acquire) < r + 1) {
+          ok.store(false);
+        }
+      }
+      barrier.arrive_and_wait(tid);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  for (int t = 1; t < threads; ++t) workers.emplace_back(body, t);
+  body(0);
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(ok.load());
+}
+
+class BarrierP : public ::testing::TestWithParam<std::tuple<BarrierKind, int>> {};
+
+TEST_P(BarrierP, PhaseLockstep) {
+  const auto [kind, threads] = GetParam();
+  auto barrier = make_barrier(kind, threads);
+  ASSERT_NE(barrier, nullptr);
+  EXPECT_EQ(barrier->num_threads(), threads);
+  run_phase_lockstep(*barrier, threads, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BarrierP,
+    ::testing::Combine(::testing::Values(BarrierKind::kSpin, BarrierKind::kTournament,
+                                         BarrierKind::kPthread),
+                       ::testing::Values(1, 2, 3, 4, 7, 8)));
+
+TEST(SpinBarrier, SingleThreadNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 10000; ++i) b.arrive_and_wait(0);
+}
+
+TEST(TournamentBarrier, SingleThreadNeverBlocks) {
+  TournamentBarrier b(1);
+  for (int i = 0; i < 10000; ++i) b.arrive_and_wait(0);
+}
+
+// Reuse across many epochs with non-power-of-two team sizes exercises the
+// tournament bracket's bye handling.
+TEST(TournamentBarrier, NonPowerOfTwoTeams) {
+  for (int threads : {3, 5, 6, 7}) {
+    TournamentBarrier b(threads);
+    run_phase_lockstep(b, threads, 300);
+  }
+}
+
+}  // namespace
+}  // namespace s35::parallel

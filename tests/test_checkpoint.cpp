@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "grid/checkpoint.h"
+#include "lbm/sweeps.h"
+
+namespace s35 {
+namespace {
+
+TEST(Checkpoint, GridRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/s35_grid.ckpt";
+  grid::Grid3<double> a(13, 9, 7);
+  a.fill_random(99, -5.0, 5.0);
+  ASSERT_TRUE(grid::save_checkpoint(path, a));
+
+  grid::Grid3<double> b(13, 9, 7);
+  ASSERT_TRUE(grid::load_checkpoint(path, b));
+  EXPECT_EQ(grid::count_mismatches(a, b), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatches) {
+  const std::string path = ::testing::TempDir() + "/s35_grid2.ckpt";
+  grid::Grid3<float> a(8, 8, 8);
+  a.fill_random(1);
+  ASSERT_TRUE(grid::save_checkpoint(path, a));
+
+  grid::Grid3<float> wrong_dims(8, 8, 9);
+  EXPECT_FALSE(grid::load_checkpoint(path, wrong_dims));
+  grid::Grid3<double> wrong_type(8, 8, 8);
+  EXPECT_FALSE(grid::load_checkpoint(path, wrong_type));
+  grid::Grid3<float> missing(8, 8, 8);
+  EXPECT_FALSE(grid::load_checkpoint(::testing::TempDir() + "/nope.ckpt", missing));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "/s35_trunc.ckpt";
+  grid::Grid3<float> a(16, 16, 16);
+  a.fill_random(2);
+  ASSERT_TRUE(grid::save_checkpoint(path, a));
+  // Truncate to half.
+  ASSERT_EQ(truncate(path.c_str(), 16 * 16 * 8 * sizeof(float)), 0);
+  grid::Grid3<float> b(16, 16, 16);
+  EXPECT_FALSE(grid::load_checkpoint(path, b));
+  std::remove(path.c_str());
+}
+
+// Restarting an LBM run from a checkpoint continues bit-exactly.
+TEST(Checkpoint, LbmRestartBitExact) {
+  const std::string path = ::testing::TempDir() + "/s35_latt.ckpt";
+  const long n = 14;
+  lbm::Geometry geom(n, n, n);
+  geom.set_box_walls();
+  geom.set_lid();
+  geom.finalize();
+  lbm::BgkParams<float> prm;
+  prm.omega = 1.2f;
+  prm.u_wall[0] = 0.05f;
+  core::Engine35 engine(2);
+  lbm::SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 10;
+
+  // Uninterrupted 8 steps.
+  lbm::LatticePair<float> full(n, n, n);
+  full.src().init_equilibrium();
+  lbm::run_lbm(lbm::Variant::kBlocked35D, geom, prm, full, 8, cfg, engine);
+
+  // 4 steps, checkpoint, restore into a fresh pair, 4 more.
+  lbm::LatticePair<float> part(n, n, n);
+  part.src().init_equilibrium();
+  lbm::run_lbm(lbm::Variant::kBlocked35D, geom, prm, part, 4, cfg, engine);
+  ASSERT_TRUE(grid::save_checkpoint_arrays(path, part.src(), lbm::kQ));
+
+  lbm::LatticePair<float> resumed(n, n, n);
+  ASSERT_TRUE(grid::load_checkpoint_arrays(path, resumed.src(), lbm::kQ));
+  lbm::run_lbm(lbm::Variant::kBlocked35D, geom, prm, resumed, 4, cfg, engine);
+
+  long bad = 0;
+  for (int i = 0; i < lbm::kQ; ++i)
+    for (long z = 0; z < n; ++z)
+      for (long y = 0; y < n; ++y)
+        for (long x = 0; x < n; ++x) {
+          const float a = full.src().at(i, x, y, z);
+          const float b = resumed.src().at(i, x, y, z);
+          if (std::memcmp(&a, &b, sizeof(float)) != 0) ++bad;
+        }
+  EXPECT_EQ(bad, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace s35

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace s35 {
+namespace {
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer<float> b(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, FillAndIndex) {
+  AlignedBuffer<double> b(17, 2.5);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 2.5);
+  b[3] = 7.0;
+  EXPECT_EQ(b[3], 7.0);
+}
+
+TEST(AlignedBuffer, CopyAndMove) {
+  AlignedBuffer<int> a(8);
+  for (int i = 0; i < 8; ++i) a[static_cast<std::size_t>(i)] = i * i;
+  AlignedBuffer<int> copy(a);
+  EXPECT_EQ(copy[7], 49);
+  AlignedBuffer<int> moved(std::move(a));
+  EXPECT_EQ(moved[7], 49);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented state
+}
+
+TEST(AlignedBuffer, EmptyIsValid) {
+  AlignedBuffer<float> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, LargeAllocationSucceeds) {
+  // > 2 MB so the huge-page madvise path runs.
+  AlignedBuffer<char> b(3u << 20);
+  b.fill(1);
+  EXPECT_EQ(b[(3u << 20) - 1], 1);
+}
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  const std::uint64_t va = a.next_u64();
+  EXPECT_EQ(va, b.next_u64());
+  EXPECT_NE(va, c.next_u64());
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformRange) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 100; ++i) {
+    const double d = r.uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, OddMedianAndEmpty) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", Table::fmt(2.5, 1)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "has \"quote\""});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\n\"x,y\",\"has \"\"quote\"\"\"\n");
+}
+
+TEST(Env, FallbacksAndParsing) {
+  EXPECT_EQ(env_int("S35_TEST_UNSET_VAR", 12), 12);
+  ::setenv("S35_TEST_INT", "34", 1);
+  EXPECT_EQ(env_int("S35_TEST_INT", 0), 34);
+  ::setenv("S35_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("S35_TEST_FLAG"));
+  ::setenv("S35_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("S35_TEST_FLAG"));
+  ::setenv("S35_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("S35_TEST_STR", ""), "hello");
+}
+
+}  // namespace
+}  // namespace s35

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "stencil/distributed.h"
+
+namespace s35::stencil {
+namespace {
+
+class DistributedP : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DistributedP, MatchesSingleDomainBitExact) {
+  const auto [ranks, dim_t, steps] = GetParam();
+  const long nx = 20, ny = 18, nz = 36;
+  const auto stencil = default_stencil7<float>();
+
+  grid::GridPair<float> reference(nx, ny, nz);
+  reference.src().fill_random(808, -1.0f, 1.0f);
+  core::Engine35 engine(3);
+  SweepConfig cfg;
+  cfg.dim_t = dim_t;
+  cfg.dim_x = 14;
+  run_sweep(Variant::kBlocked35D, stencil, reference, steps, cfg, engine);
+
+  DistributedStencilDriver<Stencil7<float>, float> driver(nx, ny, nz, ranks, dim_t);
+  grid::Grid3<float> initial(nx, ny, nz);
+  initial.fill_random(808, -1.0f, 1.0f);
+  driver.scatter(initial);
+  driver.run(stencil, steps, cfg, engine);
+  grid::Grid3<float> gathered(nx, ny, nz);
+  driver.gather(gathered);
+
+  EXPECT_EQ(grid::count_mismatches(reference.src(), gathered), 0)
+      << "ranks=" << ranks << " dim_t=" << dim_t << " steps=" << steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistributedP,
+                         ::testing::Values(std::tuple{1, 2, 4}, std::tuple{2, 2, 4},
+                                           std::tuple{3, 2, 6}, std::tuple{2, 3, 7},
+                                           std::tuple{4, 1, 3}, std::tuple{4, 2, 5}));
+
+// Communication accounting: per-step byte volume is dim_t-independent (the
+// thicker halo amortizes over dim_t steps) while the message count drops
+// by dim_t — the latency-amortization benefit.
+TEST(Distributed, CommunicationAmortization) {
+  const long n = 32;
+  const auto stencil = default_stencil7<double>();
+  core::Engine35 engine(2);
+  SweepConfig cfg;
+  cfg.dim_x = 20;
+
+  CommStats stats[2];
+  int idx = 0;
+  for (int dim_t : {1, 4}) {
+    DistributedStencilDriver<Stencil7<double>, double> driver(n, n, n, 2, dim_t);
+    grid::Grid3<double> g(n, n, n);
+    g.fill_random(1);
+    driver.scatter(g);
+    cfg.dim_t = dim_t;
+    driver.run(stencil, 8, cfg, engine);
+    stats[idx++] = driver.stats();
+  }
+  EXPECT_EQ(stats[0].time_steps, 8u);
+  EXPECT_EQ(stats[1].time_steps, 8u);
+  // Same bytes per step...
+  EXPECT_NEAR(stats[1].bytes_per_step(), stats[0].bytes_per_step(),
+              1e-9 * stats[0].bytes_per_step());
+  // ...but 4x fewer messages.
+  EXPECT_DOUBLE_EQ(stats[0].messages_per_step() / stats[1].messages_per_step(), 4.0);
+}
+
+TEST(Distributed, RejectsTooShallowSubdomains) {
+  // 4 ranks x 8 planes each, halo 9 planes: must refuse.
+  using Driver = DistributedStencilDriver<Stencil7<float>, float>;
+  EXPECT_DEATH(Driver(16, 16, 32, 4, 9), "shallower");
+}
+
+TEST(Distributed, ScatterGatherRoundTrip) {
+  const long n = 16;
+  DistributedStencilDriver<Stencil7<float>, float> driver(n, n, n, 3, 2);
+  grid::Grid3<float> in(n, n, n), out(n, n, n);
+  in.fill_random(55);
+  driver.scatter(in);
+  driver.gather(out);
+  EXPECT_EQ(grid::count_mismatches(in, out), 0);
+}
+
+}  // namespace
+}  // namespace s35::stencil

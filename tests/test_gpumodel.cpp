@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "gpumodel/gpu_model.h"
+
+namespace s35::gpumodel {
+namespace {
+
+using machine::Precision;
+
+// Section VI-A: the GPU 3.5D parameters for 7-pt SP.
+TEST(GpuPlan, Stencil7SpParameters) {
+  const GpuBlockingParams bp = plan_stencil7_sp();
+  EXPECT_TRUE(bp.feasible);
+  EXPECT_EQ(bp.dim_t, 2);
+  EXPECT_EQ(bp.dim_x_bound, 45);  // "dim_x <= 45.2"
+  EXPECT_EQ(bp.dim_x, 32);        // warp multiple
+  EXPECT_NEAR(bp.kappa, 1.31, 0.01);  // "evaluates to around 1.31X"
+}
+
+// Section VI-B: LBM SP blocking is infeasible on GTX 285.
+TEST(GpuPlan, LbmSpInfeasible) {
+  const GpuBlockingParams bp7 = plan_lbm_sp(7);  // dim_t >= 6.1 -> 7
+  EXPECT_FALSE(bp7.feasible);
+  EXPECT_LE(bp7.dim_x_bound, 2);  // "yields dim_x <= 2"
+  const GpuBlockingParams bp2 = plan_lbm_sp(2);  // even the minimum dim_t
+  EXPECT_FALSE(bp2.feasible);
+  EXPECT_LE(bp2.dim_x_bound, 4);  // "yields dim_x <= 4"
+}
+
+// Figure 4(c) / 5(b): the 7-pt SP ladder on GTX 285.
+TEST(GpuPredict, Stencil7SpLadder) {
+  const double naive = predict_stencil7(GpuScheme::kNaive, Precision::kSingle).mups;
+  const double spatial =
+      predict_stencil7(GpuScheme::kSpatialShared, Precision::kSingle).mups;
+  const double b4d = predict_stencil7(GpuScheme::kBlocked4D, Precision::kSingle).mups;
+  const double b35 = predict_stencil7(GpuScheme::kBlocked35D, Precision::kSingle).mups;
+  const double unroll = predict_stencil7(GpuScheme::kUnrolled, Precision::kSingle).mups;
+  const double multi =
+      predict_stencil7(GpuScheme::kMultiUpdate, Precision::kSingle).mups;
+
+  EXPECT_NEAR(naive, 3300, 150);     // Fig 5(b) bar 1
+  EXPECT_NEAR(spatial, 9234, 450);   // bar 2
+  EXPECT_NEAR(b4d, 9700, 900);       // bar 3 ("improves ~5%")
+  EXPECT_NEAR(b35, 13252, 650);      // bar 4
+  EXPECT_NEAR(unroll, 14345, 700);   // bar 5
+  EXPECT_NEAR(multi, 17115, 850);    // bar 6
+
+  // Shape claims: spatial ~2.8X over naive, 3.5D ~1.9X over spatial's bound.
+  EXPECT_NEAR(spatial / naive, 2.8, 0.3);
+  EXPECT_NEAR(multi / spatial, 1.85, 0.25);
+}
+
+TEST(GpuPredict, Stencil7SpBoundTransitions) {
+  EXPECT_TRUE(predict_stencil7(GpuScheme::kNaive, Precision::kSingle).bandwidth_bound);
+  EXPECT_TRUE(
+      predict_stencil7(GpuScheme::kSpatialShared, Precision::kSingle).bandwidth_bound);
+  // 3.5D converts it to compute bound.
+  EXPECT_FALSE(
+      predict_stencil7(GpuScheme::kBlocked35D, Precision::kSingle).bandwidth_bound);
+}
+
+// DP: spatial blocking alone is compute bound at ~4600 Mupd/s; temporal
+// blocking adds nothing (Section VII-A GPU).
+TEST(GpuPredict, Stencil7DpComputeBound) {
+  const auto spatial = predict_stencil7(GpuScheme::kSpatialShared, Precision::kDouble);
+  EXPECT_FALSE(spatial.bandwidth_bound);
+  EXPECT_NEAR(spatial.mups, 4600, 500);
+  const auto b35 = predict_stencil7(GpuScheme::kBlocked35D, Precision::kDouble);
+  EXPECT_NEAR(b35.mups, spatial.mups, 1.0);  // "temporal blocking unnecessary"
+}
+
+// LBM GPU: SP bandwidth bound at ~485 MLUPS regardless of scheme; DP
+// compute bound (~39 DP Gops -> ~180 MLUPS).
+TEST(GpuPredict, LbmRates) {
+  const auto sp = predict_lbm(GpuScheme::kNaive, Precision::kSingle);
+  EXPECT_TRUE(sp.bandwidth_bound);
+  EXPECT_NEAR(sp.mups, 485, 40);
+  const auto sp35 = predict_lbm(GpuScheme::kBlocked35D, Precision::kSingle);
+  EXPECT_DOUBLE_EQ(sp35.mups, sp.mups);  // blocking infeasible
+
+  const auto dp = predict_lbm(GpuScheme::kNaive, Precision::kDouble);
+  EXPECT_FALSE(dp.bandwidth_bound);
+  EXPECT_NEAR(dp.mups, 180, 25);
+  // "about 39 DP Gops/second"
+  EXPECT_NEAR(dp.mups * 1e6 * 220.0 / 1e9, 39.0, 6.0);
+}
+
+// Section VII-D GPU comparison: 1.8X SP speedup over the bandwidth-bound
+// spatially-blocked state of the art.
+TEST(GpuPredict, SectionViiDSpeedups) {
+  const double spatial =
+      predict_stencil7(GpuScheme::kSpatialShared, Precision::kSingle).mups;
+  const double best = predict_stencil7(GpuScheme::kMultiUpdate, Precision::kSingle).mups;
+  EXPECT_NEAR(best / spatial, 1.8, 0.25);
+}
+
+TEST(GpuSchemeNames, Stable) {
+  EXPECT_STREQ(to_string(GpuScheme::kNaive), "naive");
+  EXPECT_STREQ(to_string(GpuScheme::kMultiUpdate), "3.5d + multi-update");
+}
+
+}  // namespace
+}  // namespace s35::gpumodel

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/programs.h"
+#include "gpusim/simt.h"
+
+namespace s35::gpusim {
+namespace {
+
+using machine::Precision;
+
+// GT200 coalescing rule at 64 B transactions.
+TEST(Coalescing, AlignedContiguousFloat) {
+  // 32 lanes x 4 B contiguous, aligned: two 64 B transactions.
+  EXPECT_EQ(coalesced_transactions(32, 4, 4, 0), 2);
+}
+
+TEST(Coalescing, ShiftedContiguousFloat) {
+  // Same but shifted one element: straddles three segments.
+  EXPECT_EQ(coalesced_transactions(32, 4, 4, 4), 3);
+}
+
+TEST(Coalescing, DoublePrecision) {
+  EXPECT_EQ(coalesced_transactions(32, 8, 8, 0), 4);
+  EXPECT_EQ(coalesced_transactions(32, 8, 8, 8), 5);
+}
+
+TEST(Coalescing, StridedIsUncoalesced) {
+  // Column-major-style access: stride 256 B -> one transaction per lane.
+  EXPECT_EQ(coalesced_transactions(32, 4, 256, 0), 32);
+  // Stride 2 elements: every other word -> twice the transactions.
+  EXPECT_EQ(coalesced_transactions(32, 4, 8, 0), 4);
+}
+
+TEST(Coalescing, SingleLane) { EXPECT_EQ(coalesced_transactions(1, 4, 4, 0), 1); }
+
+// Latency hiding: a memory-latency-bound program speeds up with more
+// resident warps.
+TEST(Simulator, MoreWarpsHideLatency) {
+  SimtConfig cfg;
+  BlockProgram prog;
+  prog.body = {{Op::kGlobalLoad, 2, 1}, {Op::kFlop, 1, 8}};
+  prog.iterations = 200;
+  prog.updates_per_iteration = 32;
+  prog.warps_per_block = 1;
+  prog.shared_bytes = cfg.shared_bytes;  // one block per SM: warps = warps_per_block
+  const double one = simulate(cfg, prog).mups;
+  prog.warps_per_block = 8;
+  prog.updates_per_iteration = 8 * 32;
+  const double eight = simulate(cfg, prog).mups;
+  EXPECT_GT(eight, 3.0 * one);
+}
+
+// A pure-arithmetic program is issue-bound: rate = lanes x clock / flops.
+TEST(Simulator, ComputeBoundMatchesIssueRate) {
+  SimtConfig cfg;
+  BlockProgram prog;
+  prog.body = {{Op::kFlop, 1, 16}};
+  prog.iterations = 500;
+  prog.warps_per_block = 8;
+  prog.updates_per_iteration = 8 * 32;
+  const SimResult r = simulate(cfg, prog);
+  const double expect =
+      cfg.sp_lanes * cfg.clock_ghz * 1e9 * cfg.num_sms / 16.0 / 1e6;
+  EXPECT_NEAR(r.mups, expect, 0.05 * expect);
+  EXPECT_FALSE(r.bandwidth_bound);
+}
+
+// A pure-streaming program saturates the bandwidth limiter.
+TEST(Simulator, BandwidthBoundSaturates) {
+  SimtConfig cfg;
+  BlockProgram prog;
+  prog.body = {{Op::kGlobalLoad, 8, 1}};
+  prog.iterations = 300;
+  prog.warps_per_block = 8;
+  prog.updates_per_iteration = 8 * 32;
+  const SimResult r = simulate(cfg, prog);
+  EXPECT_TRUE(r.bandwidth_bound);
+  EXPECT_NEAR(r.achieved_gbps, cfg.mem_bw_gbps, 0.1 * cfg.mem_bw_gbps);
+}
+
+// Occupancy limits from shared memory and registers.
+TEST(Simulator, OccupancyLimits) {
+  SimtConfig cfg;
+  BlockProgram prog;
+  prog.body = {{Op::kFlop, 1, 4}};
+  prog.iterations = 10;
+  prog.warps_per_block = 4;
+  prog.updates_per_iteration = 1;
+  prog.shared_bytes = cfg.shared_bytes / 2;  // two blocks fit
+  EXPECT_EQ(simulate(cfg, prog).concurrent_blocks, 2);
+  prog.shared_bytes = 0;
+  prog.regs_bytes_per_thread = cfg.regfile_bytes / (4 * 32);  // one block
+  EXPECT_EQ(simulate(cfg, prog).concurrent_blocks, 1);
+}
+
+// Barriers serialize warps of a block: a sync-heavy program is slower than
+// the same instruction mix without syncs.
+TEST(Simulator, SyncCostsTime) {
+  SimtConfig cfg;
+  BlockProgram with, without;
+  with.body = {{Op::kGlobalLoad, 2, 1}, {Op::kSync, 1, 1}, {Op::kFlop, 1, 4}};
+  without.body = {{Op::kGlobalLoad, 2, 1}, {Op::kFlop, 1, 4}};
+  for (auto* p : {&with, &without}) {
+    p->iterations = 100;
+    p->warps_per_block = 8;
+    p->updates_per_iteration = 8 * 32;
+  }
+  EXPECT_LT(simulate(cfg, with).mups, simulate(cfg, without).mups);
+}
+
+// The headline: the paper's Figure 4(c) SP ordering and magnitudes emerge
+// from kernel structure alone (no per-scheme rate calibration).
+TEST(GpuPrograms, Figure4cOrderingAndMagnitudes) {
+  const double naive = run_kernel(GpuKernel::kNaive7pt, Precision::kSingle).mups;
+  const double spatial = run_kernel(GpuKernel::kSpatial7pt, Precision::kSingle).mups;
+  const double b35 = run_kernel(GpuKernel::kBlocked35D7pt, Precision::kSingle).mups;
+
+  // paper: 3300 -> 9234 -> 13252..17115
+  EXPECT_NEAR(naive, 3300, 0.35 * 3300);
+  EXPECT_NEAR(spatial, 9234, 0.35 * 9234);
+  EXPECT_GT(b35, 13252 * 0.8);
+  EXPECT_LT(b35, 17115 * 1.2);
+  EXPECT_GT(spatial / naive, 2.0);   // "2.8X"
+  EXPECT_GT(b35 / spatial, 1.15);    // temporal blocking still wins
+}
+
+TEST(GpuPrograms, BoundTransitions) {
+  EXPECT_TRUE(run_kernel(GpuKernel::kNaive7pt, Precision::kSingle).bandwidth_bound);
+  EXPECT_FALSE(
+      run_kernel(GpuKernel::kBlocked35D7pt, Precision::kSingle).bandwidth_bound);
+}
+
+// DP on GT200: the single DP unit per SM makes the spatially blocked
+// kernel compute bound near the paper's 4600 Mupd/s — temporal blocking
+// would add nothing (Section VII-A GPU).
+TEST(GpuPrograms, SpatialDpComputeBound) {
+  const auto r = run_kernel(GpuKernel::kSpatial7pt, Precision::kDouble);
+  EXPECT_FALSE(r.bandwidth_bound);
+  EXPECT_NEAR(r.mups, 4600, 0.45 * 4600);
+  // Naive DP is slower (redundant transactions + DP issue cost).
+  EXPECT_LT(run_kernel(GpuKernel::kNaive7pt, Precision::kDouble).mups, r.mups);
+}
+
+TEST(GpuPrograms, LbmNaiveNearPaperRate) {
+  const auto r = run_kernel(GpuKernel::kNaiveLbm, Precision::kSingle);
+  EXPECT_NEAR(r.mups, 485, 0.3 * 485);  // paper: 485 MLUPS
+}
+
+}  // namespace
+}  // namespace s35::gpusim

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "memsim/hierarchy.h"
+
+namespace s35::memsim {
+namespace {
+
+HierarchyConfig tiny_hierarchy() {
+  HierarchyConfig h;
+  h.levels.push_back({1024, 4, 64});   // L1: 16 lines
+  h.levels.push_back({4096, 4, 64});   // L2: 64 lines
+  h.levels.push_back({16384, 8, 64});  // L3: 256 lines
+  return h;
+}
+
+TEST(Hierarchy, ColdMissFillsEveryLevel) {
+  Hierarchy h(tiny_hierarchy());
+  h.read(0, 64);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(h.level_stats(k).read_misses, 1u) << "level " << k;
+  }
+  EXPECT_EQ(h.external_bytes(), 64u);
+  // Second access hits L1 and never reaches L2/L3.
+  h.read(0, 64);
+  EXPECT_EQ(h.level_stats(0).read_hits, 1u);
+  EXPECT_EQ(h.level_stats(1).read_hits + h.level_stats(1).read_misses, 1u);
+  EXPECT_EQ(h.external_bytes(), 64u);
+}
+
+TEST(Hierarchy, L1EvictionHitsInL2) {
+  Hierarchy h(tiny_hierarchy());
+  // Touch 32 lines: L1 (16 lines) thrashes, L2 (64) holds them all.
+  for (std::uint64_t a = 0; a < 32 * 64; a += 64) h.read(a, 64);
+  // Re-touch: all L1 misses must hit in L2 without external traffic.
+  const std::uint64_t ext_before = h.external_bytes();
+  for (std::uint64_t a = 0; a < 32 * 64; a += 64) h.read(a, 64);
+  EXPECT_EQ(h.external_bytes(), ext_before);
+  EXPECT_GT(h.level_stats(1).read_hits, 0u);
+}
+
+TEST(Hierarchy, DirtyWritebackCascades) {
+  Hierarchy h(tiny_hierarchy());
+  h.write(0, 64);
+  h.flush();
+  // The dirty line must reach memory exactly once (L1 -> L2 -> L3 -> mem),
+  // on top of the single 64 B fill.
+  EXPECT_EQ(h.external_bytes(), 64u + 64u);
+}
+
+TEST(Hierarchy, StreamWriteBypassesAllLevels) {
+  Hierarchy h(tiny_hierarchy());
+  h.write(0, 64);         // dirty in L1
+  h.stream_write(0, 64);  // overwrites: stale copies dropped everywhere
+  h.flush();
+  // Fill (64) + streamed bytes (64); the stale dirty line must NOT be
+  // written back.
+  EXPECT_EQ(h.external_bytes(), 128u);
+  h.read(0, 64);  // must miss everywhere again
+  EXPECT_EQ(h.level_stats(0).read_misses, 1u);
+}
+
+TEST(Hierarchy, WorkingSetsSettleInTheRightLevel) {
+  Hierarchy h(tiny_hierarchy());
+  // 128 lines: beyond L2 (64) but within L3 (256).
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t a = 0; a < 128 * 64; a += 64) h.read(a, 64);
+  // After the first pass, external traffic stops growing.
+  const std::uint64_t ext = h.external_bytes();
+  EXPECT_EQ(ext, 128u * 64u);
+  EXPECT_GT(h.level_stats(2).read_hits, 0u);  // L3 serves the re-passes
+}
+
+TEST(Hierarchy, CoreI7PresetShape) {
+  const auto cfg = HierarchyConfig::core_i7();
+  ASSERT_EQ(cfg.levels.size(), 3u);
+  EXPECT_EQ(cfg.levels[0].size_bytes, 32u << 10);
+  EXPECT_EQ(cfg.levels[1].size_bytes, 256u << 10);
+  EXPECT_EQ(cfg.levels[2].size_bytes, 8u << 20);
+  Hierarchy h(cfg);  // constructible
+  h.read(12345, 4);
+  EXPECT_EQ(h.external_bytes(), 64u);
+}
+
+}  // namespace
+}  // namespace s35::memsim

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/periodic.h"
+#include "lbm/sweeps.h"
+
+namespace s35::lbm {
+namespace {
+
+// TRT with omega_minus = omega_plus is mathematically BGK; the different
+// expression tree only leaves rounding noise.
+TEST(Trt, EqualRatesMatchBgk) {
+  using SV = simd::Vec<double, simd::ScalarTag>;
+  SV fin[kQ], bgk[kQ], trt[kQ];
+  for (int i = 0; i < kQ; ++i) fin[i] = SV{0.02 + 0.004 * i};
+  bgk_collide<SV, double>(fin, bgk, 1.3);
+  trt_collide<SV, double>(fin, trt, 1.3, 1.3);
+  for (int i = 0; i < kQ; ++i) EXPECT_NEAR(trt[i].v, bgk[i].v, 1e-14);
+}
+
+TEST(Trt, ConservesMassAndMomentum) {
+  using SV = simd::Vec<double, simd::ScalarTag>;
+  SV fin[kQ], fout[kQ];
+  for (int i = 0; i < kQ; ++i) fin[i] = SV{0.01 + 0.003 * ((i * 7) % 19)};
+  trt_collide<SV, double>(fin, fout, 0.8, 1.6);
+  double rho_in = 0, rho_out = 0, m_in[3] = {}, m_out[3] = {};
+  for (int i = 0; i < kQ; ++i) {
+    rho_in += fin[i].v;
+    rho_out += fout[i].v;
+    m_in[0] += kCx[i] * fin[i].v;
+    m_out[0] += kCx[i] * fout[i].v;
+    m_in[1] += kCy[i] * fin[i].v;
+    m_out[1] += kCy[i] * fout[i].v;
+    m_in[2] += kCz[i] * fin[i].v;
+    m_out[2] += kCz[i] * fout[i].v;
+  }
+  EXPECT_NEAR(rho_out, rho_in, 1e-13);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(m_out[c], m_in[c], 1e-13);
+}
+
+TEST(Trt, MagicParameterInversion) {
+  for (double wp : {0.6, 1.0, 1.4, 1.9}) {
+    const double wm = trt_omega_minus(wp, 3.0 / 16.0);
+    const double magic = (1.0 / wp - 0.5) * (1.0 / wm - 0.5);
+    EXPECT_NEAR(magic, 3.0 / 16.0, 1e-12);
+  }
+}
+
+// The blocked variants must agree with naive bit-for-bit under TRT too.
+TEST(Trt, VariantsAgreeBitExact) {
+  const long n = 18;
+  Geometry geom(n, n, n);
+  geom.set_box_walls();
+  geom.set_lid();
+  geom.finalize();
+  BgkParams<float> prm;
+  prm.omega = 1.1f;
+  prm.u_wall[0] = 0.05f;
+  prm.trt_magic = 3.0f / 16.0f;
+
+  core::Engine35 engine(2);
+  LatticePair<float> ref(n, n, n);
+  ref.src().init_equilibrium();
+  run_lbm(Variant::kNaive, geom, prm, ref, 5, {}, engine);
+
+  for (Variant v : {Variant::kBlocked35D, Variant::kBlocked4D, Variant::kTemporalOnly}) {
+    LatticePair<float> got(n, n, n);
+    got.src().init_equilibrium();
+    SweepConfig cfg;
+    cfg.dim_t = 2;
+    cfg.dim_x = 12;
+    run_lbm(v, geom, prm, got, 5, cfg, engine);
+    long bad = 0;
+    for (int i = 0; i < kQ; ++i)
+      for (long z = 0; z < n; ++z)
+        for (long y = 0; y < n; ++y)
+          for (long x = 0; x < n; ++x) {
+            const float a = ref.src().at(i, x, y, z);
+            const float b = got.src().at(i, x, y, z);
+            if (std::memcmp(&a, &b, sizeof(float)) != 0) ++bad;
+          }
+    EXPECT_EQ(bad, 0) << to_string(v);
+  }
+}
+
+// The physics payoff: with half-way bounce-back, BGK's effective wall
+// position shifts with omega (visible slip error in the Poiseuille
+// parabola at omega far from ~1.2), while TRT at the magic value
+// Lambda = 3/16 keeps the wall exactly mid-link at every viscosity.
+TEST(Trt, MagicFixesPoiseuilleWallsAtLowOmega) {
+  const long nx = 8, ny = 18, nz = 8;
+  const double omega = 0.7;  // high viscosity: large BGK slip error
+
+  const auto run_profile_error = [&](double magic) {
+    PeriodicLbmDriver<double>::Options opt;
+    opt.dim_t = 3;
+    PeriodicLbmDriver<double> driver(nx, ny, nz, opt);
+    driver.finalize();
+    BgkParams<double> prm;
+    prm.omega = omega;
+    prm.force[0] = 1e-6;
+    prm.trt_magic = magic;
+    core::Engine35 engine(2);
+    driver.run(6000, prm, engine);
+
+    const double nu = (1.0 / omega - 0.5) / 3.0;
+    const double y0 = 0.5, y1 = ny - 1.5;
+    const double umax = prm.force[0] * (y1 - y0) * (y1 - y0) / (8.0 * nu);
+    double worst = 0.0;
+    for (long y = 1; y < ny - 1; ++y) {
+      double u[3];
+      driver.velocity(nx / 2, y, nz / 2, u);
+      const double expect = prm.force[0] * (y - y0) * (y1 - y) / (2.0 * nu);
+      worst = std::max(worst, std::abs(u[0] - expect) / umax);
+    }
+    return worst;
+  };
+
+  const double bgk_err = run_profile_error(0.0);
+  const double trt_err = run_profile_error(3.0 / 16.0);
+  EXPECT_LT(trt_err, 0.005);           // exact walls up to convergence
+  EXPECT_GT(bgk_err, 3.0 * trt_err);   // BGK slip clearly visible
+}
+
+}  // namespace
+}  // namespace s35::lbm

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "machine/descriptor.h"
+#include "machine/kernel_sig.h"
+
+namespace s35::machine {
+namespace {
+
+// Table I: peak BW, peak Gops, bytes/op for Core i7 and GTX 285.
+TEST(Descriptor, TableOneCorei7) {
+  const Descriptor d = core_i7();
+  EXPECT_DOUBLE_EQ(d.peak_bw_gbps, 30.0);
+  EXPECT_DOUBLE_EQ(d.peak_sp_gops, 102.0);
+  EXPECT_DOUBLE_EQ(d.peak_dp_gops, 51.0);
+  EXPECT_NEAR(d.bytes_per_op(Precision::kSingle), 0.29, 0.005);
+  EXPECT_NEAR(d.bytes_per_op(Precision::kDouble), 0.59, 0.005);
+  EXPECT_DOUBLE_EQ(d.achievable_bw_gbps, 22.0);  // "we have measured 22 GB/s"
+  EXPECT_EQ(d.llc_bytes, 8u << 20);
+  EXPECT_EQ(d.blocking_capacity_bytes, 4u << 20);  // "C equal to 4MB"
+  EXPECT_EQ(d.cores, 4);
+}
+
+TEST(Descriptor, TableOneGtx285) {
+  const Descriptor d = gtx285();
+  EXPECT_DOUBLE_EQ(d.peak_bw_gbps, 159.0);
+  EXPECT_DOUBLE_EQ(d.peak_sp_gops, 1116.0);
+  EXPECT_DOUBLE_EQ(d.peak_dp_gops, 93.0);
+  EXPECT_NEAR(d.bytes_per_op(Precision::kSingle), 0.14, 0.005);
+  EXPECT_NEAR(d.bytes_per_op(Precision::kDouble), 1.7, 0.02);
+  // "actual bytes/op about 0.43 for SP and 3.44 for DP"
+  EXPECT_NEAR(d.bytes_per_op(Precision::kSingle, true), 0.43, 0.01);
+  EXPECT_NEAR(d.bytes_per_op(Precision::kDouble, true), 3.44, 0.03);
+  EXPECT_DOUBLE_EQ(d.achievable_bw_gbps, 131.0);
+  EXPECT_EQ(d.blocking_capacity_bytes, 16u << 10);
+}
+
+// Section IV-A1: 7-point stencil op/byte accounting.
+TEST(KernelSig, SevenPoint) {
+  const KernelSig k = seven_point();
+  EXPECT_EQ(k.radius, 1);
+  EXPECT_DOUBLE_EQ(k.ops(), 16.0);  // 2 mul + 6 add + 7 load + 1 store
+  EXPECT_DOUBLE_EQ(k.bytes_sp, 8.0);
+  EXPECT_DOUBLE_EQ(k.bytes_dp, 16.0);
+  EXPECT_DOUBLE_EQ(k.gamma(Precision::kSingle), 0.5);
+  EXPECT_DOUBLE_EQ(k.gamma(Precision::kDouble), 1.0);
+  EXPECT_DOUBLE_EQ(k.bytes_no_reuse_sp, 32.0);  // "32 bytes in single precision"
+  EXPECT_DOUBLE_EQ(k.bytes_no_reuse_dp, 64.0);
+}
+
+// Section IV-A2: 27-point stencil.
+TEST(KernelSig, TwentySevenPoint) {
+  const KernelSig k = twenty_seven_point();
+  EXPECT_DOUBLE_EQ(k.ops(), 58.0);  // 4 mul + 26 add + 27 load + 1 store
+  EXPECT_NEAR(k.gamma(Precision::kSingle), 0.14, 0.005);
+  EXPECT_NEAR(k.gamma(Precision::kDouble), 0.28, 0.005);
+}
+
+// Section IV-B: D3Q19 LBM.
+TEST(KernelSig, LbmD3Q19) {
+  const KernelSig k = lbm_d3q19();
+  EXPECT_DOUBLE_EQ(k.ops(), 259.0);  // 220 flops + 20 reads + 19 writes
+  EXPECT_DOUBLE_EQ(k.flops, 220.0);
+  EXPECT_DOUBLE_EQ(k.bytes_sp, 228.0);  // "a total of about 228 bytes in SP"
+  EXPECT_DOUBLE_EQ(k.bytes_dp, 456.0);
+  EXPECT_NEAR(k.gamma(Precision::kSingle), 0.88, 0.005);
+  EXPECT_NEAR(k.gamma(Precision::kDouble), 1.75, 0.015);
+  EXPECT_EQ(k.elem_bytes_sp, 80u);   // 19 dists + flag, 4 B each
+  EXPECT_EQ(k.elem_bytes_dp, 160u);
+}
+
+// Section IV-C: boundedness classification — γ vs Γ per platform/precision.
+TEST(KernelSig, BoundednessClassification) {
+  const Descriptor cpu = core_i7();
+  const Descriptor gpu = gtx285();
+  const KernelSig s7 = seven_point();
+  const KernelSig s27 = twenty_seven_point();
+  const KernelSig lbm = lbm_d3q19();
+
+  // 7-pt: SP and DP bandwidth-bound on CPU; SP bw-bound, DP compute-bound on GPU.
+  EXPECT_GT(s7.gamma(Precision::kSingle), cpu.bytes_per_op(Precision::kSingle));
+  EXPECT_GT(s7.gamma(Precision::kDouble), cpu.bytes_per_op(Precision::kDouble));
+  EXPECT_GT(s7.gamma(Precision::kSingle), gpu.bytes_per_op(Precision::kSingle));
+  EXPECT_LT(s7.gamma(Precision::kDouble), gpu.bytes_per_op(Precision::kDouble));
+
+  // 27-pt: compute bound on both (SP).
+  EXPECT_LT(s27.gamma(Precision::kSingle), cpu.bytes_per_op(Precision::kSingle) + 0.01);
+  EXPECT_LE(s27.gamma(Precision::kSingle), gpu.bytes_per_op(Precision::kSingle));
+
+  // LBM: SP bw-bound on both; DP bw-bound on CPU, compute-bound on GPU.
+  EXPECT_GT(lbm.gamma(Precision::kSingle), cpu.bytes_per_op(Precision::kSingle));
+  EXPECT_GT(lbm.gamma(Precision::kSingle), gpu.bytes_per_op(Precision::kSingle));
+  EXPECT_GT(lbm.gamma(Precision::kDouble), cpu.bytes_per_op(Precision::kDouble));
+  EXPECT_LT(lbm.gamma(Precision::kDouble), gpu.bytes_per_op(Precision::kDouble) + 0.1);
+}
+
+TEST(Descriptor, HostDetectsSomethingSane) {
+  const Descriptor d = host();
+  EXPECT_GE(d.cores, 1);
+  EXPECT_GT(d.llc_bytes, 0u);
+  EXPECT_GT(d.blocking_capacity_bytes, 0u);
+  EXPECT_GT(d.achievable_bw_gbps, 0.0);
+  EXPECT_GT(d.peak_sp_gops, 0.0);
+}
+
+}  // namespace
+}  // namespace s35::machine

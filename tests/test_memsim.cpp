@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "memsim/cache.h"
+#include "memsim/tlb.h"
+
+namespace s35::memsim {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.size_bytes = 4096;  // 64 lines
+  c.ways = 4;           // 16 sets
+  c.line_bytes = 64;
+  return c;
+}
+
+TEST(Cache, ColdReadMissesThenHits) {
+  Cache c(tiny_cache());
+  c.read(0, 64);
+  EXPECT_EQ(c.stats().read_misses, 1u);
+  EXPECT_EQ(c.stats().bytes_from_memory, 64u);
+  c.read(0, 64);
+  EXPECT_EQ(c.stats().read_hits, 1u);
+  EXPECT_EQ(c.stats().bytes_from_memory, 64u);  // unchanged
+}
+
+TEST(Cache, RangeTouchesEveryCoveredLine) {
+  Cache c(tiny_cache());
+  c.read(10, 200);  // spans lines 0..3 (bytes 10..209)
+  EXPECT_EQ(c.stats().read_misses, 4u);
+  c.read(64, 1);
+  EXPECT_EQ(c.stats().read_hits, 1u);
+}
+
+TEST(Cache, WriteAllocateFetchesLine) {
+  Cache c(tiny_cache());
+  c.write(128, 64);
+  EXPECT_EQ(c.stats().write_misses, 1u);
+  EXPECT_EQ(c.stats().bytes_from_memory, 64u);  // write-allocate fill
+  EXPECT_EQ(c.stats().bytes_to_memory, 0u);     // not yet evicted
+  c.flush();
+  EXPECT_EQ(c.stats().bytes_to_memory, 64u);  // dirty write-back
+}
+
+TEST(Cache, StreamingStoreBypasses) {
+  Cache c(tiny_cache());
+  c.stream_write(0, 128);
+  EXPECT_EQ(c.stats().bytes_from_memory, 0u);  // no RFO
+  EXPECT_EQ(c.stats().bytes_to_memory, 128u);
+  c.flush();
+  EXPECT_EQ(c.stats().bytes_to_memory, 128u);  // nothing cached to evict
+}
+
+TEST(Cache, StreamingStoreInvalidatesCachedCopy) {
+  Cache c(tiny_cache());
+  c.write(0, 64);         // dirty in cache
+  c.stream_write(0, 64);  // overwrites the whole line
+  c.flush();
+  // Only the streamed 64 bytes hit memory; the dirty copy was dropped.
+  EXPECT_EQ(c.stats().bytes_to_memory, 64u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  CacheConfig cfg;
+  cfg.size_bytes = 256;  // 4 lines
+  cfg.ways = 4;          // fully associative, 1 set
+  cfg.line_bytes = 64;
+  Cache c(cfg);
+  // Fill 4 ways: lines 0,1,2,3.
+  for (int i = 0; i < 4; ++i) c.read(static_cast<std::uint64_t>(i) * 64, 1);
+  c.read(0, 1);                      // line 0 now MRU
+  c.read(4 * 64, 1);                 // evicts line 1 (LRU)
+  c.reset_stats();
+  c.read(0, 1);                      // hit
+  EXPECT_EQ(c.stats().read_hits, 1u);
+  c.read(64, 1);                     // line 1 was evicted: miss
+  EXPECT_EQ(c.stats().read_misses, 1u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache c(tiny_cache());  // 4 KB
+  // Stream 64 KB twice; second pass must miss again.
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) c.read(a, 64);
+  EXPECT_EQ(c.stats().read_misses, 2 * 1024u);
+  EXPECT_EQ(c.stats().read_hits, 0u);
+}
+
+TEST(Cache, WorkingSetFittingCacheHitsOnSecondPass) {
+  Cache c(tiny_cache());  // 4 KB
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < 2048; a += 64) c.read(a, 64);
+  EXPECT_EQ(c.stats().read_misses, 32u);
+  EXPECT_EQ(c.stats().read_hits, 32u);
+}
+
+TEST(Cache, MissRate) {
+  Cache c(tiny_cache());
+  c.read(0, 64);
+  c.read(0, 64);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+}
+
+TEST(Tlb, HitsWithinPage) {
+  TlbConfig cfg;
+  cfg.entries = 4;
+  cfg.page_bytes = 4096;
+  Tlb t(cfg);
+  t.access(0, 100);
+  t.access(1000, 100);
+  EXPECT_EQ(t.stats().misses, 1u);
+  EXPECT_EQ(t.stats().hits, 1u);
+}
+
+TEST(Tlb, LruReplacement) {
+  TlbConfig cfg;
+  cfg.entries = 2;
+  cfg.page_bytes = 4096;
+  Tlb t(cfg);
+  t.access(0 * 4096, 1);      // page 0
+  t.access(1 * 4096, 1);      // page 1
+  t.access(0 * 4096, 1);      // page 0 MRU
+  t.access(2 * 4096, 1);      // evicts page 1
+  t.reset_stats();
+  t.access(0 * 4096, 1);
+  EXPECT_EQ(t.stats().hits, 1u);
+  t.access(1 * 4096, 1);
+  EXPECT_EQ(t.stats().misses, 1u);
+}
+
+TEST(Tlb, LargePagesCutMisses) {
+  // Strided walk over 32 MB with a 64-entry TLB: 4 KB pages thrash,
+  // 2 MB pages fit — the Section III-A large-pages effect.
+  const std::uint64_t span = 32ull << 20;
+  TlbConfig small_pages{64, 4096};
+  TlbConfig large_pages{32, 2u << 20};
+  Tlb ts(small_pages), tl(large_pages);
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t a = 0; a < span; a += 4096) {
+      ts.access(a, 64);
+      tl.access(a, 64);
+    }
+  EXPECT_GT(ts.stats().miss_rate(), 0.9);
+  EXPECT_LT(tl.stats().miss_rate(), 0.01);
+}
+
+}  // namespace
+}  // namespace s35::memsim

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "parallel/partition.h"
+
+namespace s35::parallel {
+namespace {
+
+TEST(ChunkRange, CoversWithoutGaps) {
+  for (long n : {0L, 1L, 7L, 100L, 101L}) {
+    for (int parts : {1, 2, 3, 8, 13}) {
+      long expected_begin = 0;
+      for (int i = 0; i < parts; ++i) {
+        const auto [b, e] = chunk_range(n, parts, i);
+        EXPECT_EQ(b, expected_begin);
+        EXPECT_LE(b, e);
+        expected_begin = e;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(ChunkRange, BalancedWithinOne) {
+  for (long n : {10L, 97L, 1000L}) {
+    for (int parts : {3, 7, 16}) {
+      long lo = n, hi = 0;
+      for (int i = 0; i < parts; ++i) {
+        const auto [b, e] = chunk_range(n, parts, i);
+        lo = std::min(lo, e - b);
+        hi = std::max(hi, e - b);
+      }
+      EXPECT_LE(hi - lo, 1);
+    }
+  }
+}
+
+// Property sweep: the row-span partition is a disjoint, ordered, exact cover
+// with element counts balanced to within one — the paper's equal-work
+// guarantee (Section V-D).
+class RowSpanPartitionP
+    : public ::testing::TestWithParam<std::tuple<long, long, int>> {};
+
+TEST_P(RowSpanPartitionP, DisjointBalancedExactCover) {
+  const auto [width, height, threads] = GetParam();
+  const RowSpanPartition part(width, height, threads);
+
+  std::vector<int> covered(static_cast<std::size_t>(width * height), 0);
+  long lo = width * height, hi = 0;
+  for (int tid = 0; tid < threads; ++tid) {
+    long count = 0;
+    for (const RowSpan& s : part.spans(tid)) {
+      EXPECT_GE(s.y, 0);
+      EXPECT_LT(s.y, height);
+      EXPECT_LE(0, s.x_begin);
+      EXPECT_LT(s.x_begin, s.x_end);
+      EXPECT_LE(s.x_end, width);
+      for (long x = s.x_begin; x < s.x_end; ++x)
+        ++covered[static_cast<std::size_t>(s.y * width + x)];
+      count += s.x_end - s.x_begin;
+    }
+    EXPECT_EQ(count, part.element_count(tid));
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+  EXPECT_LE(hi - lo, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RowSpanPartitionP,
+    ::testing::Combine(::testing::Values<long>(1, 3, 17, 64, 360),
+                       ::testing::Values<long>(1, 2, 11, 64),
+                       ::testing::Values(1, 2, 4, 7, 16)));
+
+// The paper's examples: 360 rows / 4 threads = 90 rows each (7-pt SP);
+// 64 / 4 = 16 (LBM SP); 44 / 4 = 11 (LBM DP).
+TEST(RowSpanPartition, PaperRowAssignments) {
+  for (const auto& [rows, threads, expect] :
+       std::vector<std::tuple<long, int, long>>{{360, 4, 90}, {64, 4, 16}, {44, 4, 11}}) {
+    const RowSpanPartition part(100, rows, threads);  // any width
+    for (int tid = 0; tid < threads; ++tid) {
+      EXPECT_EQ(part.element_count(tid), expect * 100);
+      // Whole-row assignment: all spans full width.
+      for (const RowSpan& s : part.spans(tid)) {
+        EXPECT_EQ(s.x_begin, 0);
+        EXPECT_EQ(s.x_end, 100);
+      }
+    }
+  }
+}
+
+// dimY < T: partial rows appear but balance still holds (Section V-D).
+TEST(RowSpanPartition, PartialRowsWhenFewRows) {
+  const RowSpanPartition part(10, 3, 8);  // 30 elements, 8 threads
+  long total = 0;
+  for (int tid = 0; tid < 8; ++tid) {
+    const long c = part.element_count(tid);
+    EXPECT_TRUE(c == 3 || c == 4);
+    total += c;
+  }
+  EXPECT_EQ(total, 30);
+}
+
+TEST(ForEachSpan, MatchesMaterializedSpans) {
+  const RowSpanPartition part(37, 11, 5);
+  for (int tid = 0; tid < 5; ++tid) {
+    std::vector<RowSpan> collected;
+    for_each_span(37, 11, 5, tid, [&](long y, long x0, long x1) {
+      collected.push_back({y, x0, x1});
+    });
+    const auto expected = part.spans(tid);
+    ASSERT_EQ(collected.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(collected[i].y, expected[i].y);
+      EXPECT_EQ(collected[i].x_begin, expected[i].x_begin);
+      EXPECT_EQ(collected[i].x_end, expected[i].x_end);
+    }
+  }
+}
+
+TEST(ForEachSpan, EmptyRegion) {
+  int calls = 0;
+  for_each_span(0, 5, 2, 0, [&](long, long, long) { ++calls; });
+  for_each_span(5, 0, 2, 1, [&](long, long, long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace s35::parallel

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/schedule.h"
+
+namespace s35::core {
+namespace {
+
+// Reproduce Figure 3(a): R = 1, dim_t = 3. The figure numbers the loads and
+// the compute steps of planes z >= 1 chronologically (frozen z0 copies are
+// not counted). We enumerate the schedule the same way and check every
+// step reference the paper makes.
+TEST(TemporalSchedule, ReproducesFigure3a) {
+  const TemporalSchedule sched(/*nz=*/64, /*radius=*/1, /*dim_t=*/3);
+  ASSERT_EQ(sched.stagger(), 2);  // paper: z_s = z + 2R(dim_t - t) at R = 1
+  ASSERT_EQ(sched.planes_per_instance(), 4);  // "(2R+2) XY sub-planes"
+
+  std::map<int, std::tuple<StepKind, int, long>> numbered;  // S# -> (kind, t, z)
+  int n = 0;
+  for (long m = 0; m < sched.num_rounds() && n < 30; ++m) {
+    for (const Step& s : sched.round(m)) {
+      if (s.kind == StepKind::kCopy) continue;  // frozen z0 not numbered
+      numbered[++n] = {s.kind, s.t, s.z};
+    }
+  }
+
+  const auto expect_load = [&](int num, long z) {
+    const auto& [kind, t, zz] = numbered.at(num);
+    EXPECT_EQ(kind, StepKind::kLoad) << "S" << num;
+    EXPECT_EQ(t, 0) << "S" << num;
+    EXPECT_EQ(zz, z) << "S" << num;
+  };
+  const auto expect_compute = [&](int num, int t, long z) {
+    const auto& [kind, tt, zz] = numbered.at(num);
+    EXPECT_EQ(kind, StepKind::kCompute) << "S" << num;
+    EXPECT_EQ(tt, t) << "S" << num;
+    EXPECT_EQ(zz, z) << "S" << num;
+  };
+
+  // "S9 computes grid elements for z3(t'=1)"
+  expect_compute(9, 1, 3);
+  // "S21 computes grid elements for z2(t'=3)"
+  expect_compute(21, 3, 2);
+  // "Consider a step (say S16, at t'=2). This requires S7, S9 and S12":
+  // S16 = z3(t'=2); S7/S9/S12 = z2,z3,z4 at t'=1.
+  expect_compute(16, 2, 3);
+  expect_compute(7, 1, 2);
+  expect_compute(12, 1, 4);
+  // "While S18 is updating the buffer, S19 reads from data stored by S8,
+  // S11 and S14": S18 = load z8; S19 = z6(t'=1); S8/S11/S14 = loads z5,z6,z7.
+  expect_load(18, 8);
+  expect_compute(19, 1, 6);
+  expect_load(8, 5);
+  expect_load(11, 6);
+  expect_load(14, 7);
+  // "S20 reads from data stored by S9, S12 and S15" — S20 = z4(t'=2), which
+  // reads the t'=1 planes z3, z4, z5 = S9, S12, S15.
+  expect_compute(20, 2, 4);
+  {
+    const auto& [kind, t, z] = numbered.at(15);
+    EXPECT_EQ(kind, StepKind::kCompute);
+    EXPECT_EQ(t, 1);
+    EXPECT_EQ(z, 5);
+  }
+  // "S21 reads from data stored by S10, S13 and S16" — t'=2 planes z1,z2,z3.
+  {
+    const auto& [kind10, t10, z10] = numbered.at(10);
+    EXPECT_EQ(kind10, StepKind::kCompute);
+    EXPECT_EQ(t10, 2);
+    EXPECT_EQ(z10, 1);
+    const auto& [kind13, t13, z13] = numbered.at(13);
+    EXPECT_EQ(kind13, StepKind::kCompute);
+    EXPECT_EQ(t13, 2);
+    EXPECT_EQ(z13, 2);
+  }
+  // "Phase 1: Prolog ... performing steps S1..S13": S13 is the last step
+  // before the first external write z1(t'=3) = S17.
+  {
+    const auto& [kind17, t17, z17] = numbered.at(17);
+    EXPECT_EQ(kind17, StepKind::kCompute);
+    EXPECT_EQ(t17, 3);
+    EXPECT_EQ(z17, 1);
+  }
+}
+
+// Dependency-order property: every step's source planes were produced in a
+// strictly earlier round (parallel mode) or earlier in the same round
+// (serialized mode), for a sweep of R and dim_t.
+class ScheduleDeps : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ScheduleDeps, SourcesProducedBeforeUse) {
+  const auto [radius, dim_t, serialized] = GetParam();
+  const long nz = 24;
+  const TemporalSchedule sched(nz, radius, dim_t, serialized);
+
+  // produced[(t, z)] = (round, index within round)
+  std::map<std::pair<int, long>, std::pair<long, int>> produced;
+  for (long m = 0; m < sched.num_rounds(); ++m) {
+    const auto steps = sched.round(m);
+    for (int i = 0; i < static_cast<int>(steps.size()); ++i) {
+      const Step& s = steps[static_cast<std::size_t>(i)];
+      // Check sources exist and were produced early enough.
+      if (s.kind != StepKind::kLoad) {
+        const long z0 = s.kind == StepKind::kCopy ? s.z : s.z - radius;
+        const long z1 = s.kind == StepKind::kCopy ? s.z : s.z + radius;
+        for (long q = std::max(0L, z0); q <= std::min(nz - 1, z1); ++q) {
+          const auto it = produced.find({s.t - 1, q});
+          ASSERT_NE(it, produced.end())
+              << "step (t=" << s.t << ", z=" << s.z << ") needs (t-1, " << q << ")";
+          if (serialized) {
+            EXPECT_TRUE(it->second.first < m ||
+                        (it->second.first == m && it->second.second < i));
+          } else {
+            EXPECT_LT(it->second.first, m);
+          }
+        }
+      }
+      if (!s.to_external) produced[{s.t, s.z}] = {m, i};
+    }
+  }
+
+  // Completeness: every plane is produced at every buffered instance and
+  // the external instance.
+  for (int t = 0; t < dim_t; ++t)
+    for (long z = 0; z < nz; ++z)
+      EXPECT_TRUE(produced.count({t, z})) << "t=" << t << " z=" << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleDeps,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3, 4),
+                                            ::testing::Bool()));
+
+// Ring conflict-freedom: within a parallel round, the slot written at each
+// instance differs from every slot concurrently read from that instance.
+class ScheduleRing : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScheduleRing, NoSlotConflictsWithinRound) {
+  const auto [radius, dim_t] = GetParam();
+  const long nz = 40;
+  const TemporalSchedule sched(nz, radius, dim_t, /*serialized=*/false);
+  for (long m = 0; m < sched.num_rounds(); ++m) {
+    const auto steps = sched.round(m);
+    // writes[t] = slot written into instance t this round (-1 if none).
+    std::map<int, int> writes;
+    for (const Step& s : steps) {
+      if (!s.to_external) writes[s.t] = s.dst_slot;
+    }
+    for (const Step& s : steps) {
+      if (s.kind == StepKind::kLoad) continue;
+      const auto w = writes.find(s.t - 1);
+      if (w == writes.end()) continue;
+      for (int slot : s.src_slots) {
+        EXPECT_NE(slot, w->second)
+            << "round " << m << ": instance " << s.t - 1 << " slot " << slot
+            << " read while written";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScheduleRing,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3, 5)));
+
+TEST(TemporalSchedule, PhaseBoundaries) {
+  const TemporalSchedule sched(64, 1, 3);
+  EXPECT_EQ(sched.steady_begin(), 6);  // dim_t * stagger
+  EXPECT_EQ(sched.steady_end(), 64);
+  EXPECT_EQ(sched.num_rounds(), 64 + 6);
+}
+
+TEST(TemporalSchedule, SerializedUsesSmallerRing) {
+  const TemporalSchedule par(32, 1, 2, false);
+  const TemporalSchedule ser(32, 1, 2, true);
+  EXPECT_EQ(par.planes_per_instance(), 4);  // 2R+2
+  EXPECT_EQ(ser.planes_per_instance(), 3);  // 2R+1
+  EXPECT_LT(ser.num_rounds(), par.num_rounds() + 1);
+}
+
+TEST(TemporalSchedule, RejectsShallowGrids) {
+  EXPECT_DEATH(TemporalSchedule(4, 2, 1), "shallow");
+}
+
+}  // namespace
+}  // namespace s35::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "simd/simd.h"
+
+namespace s35::simd {
+namespace {
+
+template <typename V>
+class VecTest : public ::testing::Test {};
+
+using VecTypes = ::testing::Types<Vec<float, ScalarTag>, Vec<double, ScalarTag>
+#if defined(__SSE2__)
+                                  ,
+                                  Vec<float, SseTag>, Vec<double, SseTag>
+#endif
+#if defined(__AVX__)
+                                  ,
+                                  Vec<float, AvxTag>, Vec<double, AvxTag>
+#endif
+                                  >;
+TYPED_TEST_SUITE(VecTest, VecTypes);
+
+TYPED_TEST(VecTest, LoadStoreRoundTrip) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> buf(static_cast<std::size_t>(2 * V::width));
+  for (int i = 0; i < 2 * V::width; ++i) buf[static_cast<std::size_t>(i)] = T(i + 1);
+
+  V v = V::load(buf.data());
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width), T(0));
+  v.store(out.data());
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], T(i + 1));
+
+  // Unaligned round trip at offset 1.
+  V u = V::loadu(buf.data() + 1);
+  std::vector<T> uout(static_cast<std::size_t>(V::width) + 1);
+  u.storeu(uout.data() + 1);
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(uout[static_cast<std::size_t>(i) + 1], T(i + 2));
+}
+
+TYPED_TEST(VecTest, ArithmeticMatchesScalar) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> a(static_cast<std::size_t>(V::width)), b(static_cast<std::size_t>(V::width));
+  for (int i = 0; i < V::width; ++i) {
+    a[static_cast<std::size_t>(i)] = T(1.5) * T(i + 1);
+    b[static_cast<std::size_t>(i)] = T(0.25) * T(i + 3);
+  }
+  const V va = V::load(a.data()), vb = V::load(b.data());
+
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width));
+  (va + vb).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], a[idx] + b[idx]);
+  }
+  (va - vb).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], a[idx] - b[idx]);
+  }
+  (va * vb).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], a[idx] * b[idx]);
+  }
+  (va / vb).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], a[idx] / b[idx]);
+  }
+}
+
+TYPED_TEST(VecTest, Set1Broadcasts) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width));
+  V::set1(T(3.25)).store(out.data());
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], T(3.25));
+}
+
+TYPED_TEST(VecTest, ReduceAddSumsLanes) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> a(static_cast<std::size_t>(V::width));
+  T expect = T(0);
+  for (int i = 0; i < V::width; ++i) {
+    a[static_cast<std::size_t>(i)] = T(i + 1);
+    expect += T(i + 1);
+  }
+  EXPECT_EQ(V::load(a.data()).reduce_add(), expect);
+}
+
+TYPED_TEST(VecTest, StreamingStoreWritesThrough) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width), T(0));
+  V::set1(T(9)).stream(out.data());
+  stream_fence();
+  for (int i = 0; i < V::width; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], T(9));
+}
+
+TEST(Simd, DefaultBackendNameNonEmpty) {
+  EXPECT_NE(default_backend_name(), nullptr);
+  EXPECT_GT(std::strlen(default_backend_name()), 0u);
+}
+
+TEST(Simd, WidthsMatchInstructionSet) {
+  EXPECT_EQ((Vec<float, ScalarTag>::width), 1);
+  EXPECT_EQ((Vec<double, ScalarTag>::width), 1);
+#if defined(__SSE2__)
+  EXPECT_EQ((Vec<float, SseTag>::width), 4);   // the paper's SP SSE width
+  EXPECT_EQ((Vec<double, SseTag>::width), 2);  // and DP
+#endif
+#if defined(__AVX__)
+  EXPECT_EQ((Vec<float, AvxTag>::width), 8);
+  EXPECT_EQ((Vec<double, AvxTag>::width), 4);
+#endif
+}
+
+}  // namespace
+}  // namespace s35::simd

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stencil/periodic.h"
+#include "stencil/stencil_star.h"
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+namespace {
+
+// Scalar reference with a frozen shell of thickness S::radius.
+template <typename S, typename T>
+void reference_steps(const S& stencil, grid::Grid3<T>& grid, int steps) {
+  constexpr long R = S::radius;
+  grid::Grid3<T> tmp(grid.nx(), grid.ny(), grid.nz());
+  for (int s = 0; s < steps; ++s) {
+    tmp.copy_from(grid);
+    for (long z = R; z < grid.nz() - R; ++z)
+      for (long y = R; y < grid.ny() - R; ++y) {
+        const auto acc = [&](int dz, int dy) -> const T* {
+          return grid.row(y + dy, z + dz);
+        };
+        T* out = tmp.row(y, z);
+        for (long x = R; x < grid.nx() - R; ++x) out[x] = stencil.point(acc, x);
+      }
+    grid.copy_from(tmp);
+  }
+}
+
+template <typename S>
+void check_all_variants(const S& stencil, long n, int steps, int dim_t, long dim_x) {
+  grid::Grid3<float> expected(n, n, n);
+  expected.fill_random(404, -1.0f, 1.0f);
+  reference_steps(stencil, expected, steps);
+
+  core::Engine35 engine(3);
+  const struct {
+    Variant v;
+    SweepConfig cfg;
+    const char* name;
+  } runs[] = {
+      {Variant::kNaive, {}, "naive"},
+      {Variant::kSpatial3D, {.dim_x = dim_x}, "3d"},
+      {Variant::kTemporalOnly, {.dim_t = dim_t}, "temporal"},
+      {Variant::kBlocked4D, {.dim_t = dim_t, .dim_x = dim_x}, "4d"},
+      {Variant::kBlocked35D, {.dim_t = dim_t, .dim_x = dim_x}, "3.5d"},
+      {Variant::kBlocked35D, {.dim_t = dim_t, .dim_x = dim_x, .serialized = true},
+       "3.5d-serialized"},
+  };
+  for (const auto& r : runs) {
+    grid::GridPair<float> pair(n, n, n);
+    pair.src().fill_random(404, -1.0f, 1.0f);
+    run_sweep(r.v, stencil, pair, steps, r.cfg, engine);
+    EXPECT_EQ(grid::count_mismatches(expected, pair.src()), 0)
+        << "R=" << S::radius << " " << r.name;
+  }
+}
+
+// Radius-2 star through every sweep variant: ring depth 6, stagger 3,
+// shrink 2/step — the general-R machinery end to end.
+TEST(HighOrderStencil, Radius2AllVariantsExact) {
+  check_all_variants(default_star2<float>(), 36, 4, 2, /*dim_x=*/24);
+}
+
+TEST(HighOrderStencil, Radius2DeeperTemporal) {
+  check_all_variants(default_star2<float>(), 44, 6, 3, /*dim_x=*/32);
+}
+
+// Radius-3 star: ring depth 8, stagger 4.
+TEST(HighOrderStencil, Radius3AllVariantsExact) {
+  check_all_variants(default_star3<float>(), 40, 4, 2, /*dim_x=*/30);
+}
+
+// Periodic torus: plane waves are exact eigenvectors of the star operator,
+// lambda = c0 + sum_d 2 cd (cos d kx + cos d ky + cos d kz).
+TEST(HighOrderStencil, Radius2PeriodicEigenvalue) {
+  const long n = 24;
+  const auto stencil = default_star2<double>();
+  PeriodicStencilDriver<StencilStar<double, 2>, double>::Options opt;
+  opt.dim_t = 2;
+  PeriodicStencilDriver<StencilStar<double, 2>, double> driver(n, n, n, opt);
+
+  const double k = 2.0 * M_PI / n;
+  driver.fill_with([&](long x, long y, long z) {
+    return std::cos(k * x) * std::cos(2 * k * y) * std::cos(k * z);
+  });
+
+  const int steps = 6;
+  core::Engine35 engine(2);
+  driver.run(stencil, steps, engine);
+
+  double lambda = stencil.center;
+  for (int d = 1; d <= 2; ++d) {
+    lambda += 2.0 * stencil.ring[static_cast<std::size_t>(d - 1)] *
+              (std::cos(d * k) + std::cos(d * 2 * k) + std::cos(d * k));
+  }
+  const double scale = std::pow(lambda, steps);
+  double worst = 0.0;
+  for (long z = 0; z < n; ++z)
+    for (long y = 0; y < n; ++y)
+      for (long x = 0; x < n; ++x) {
+        const double expect =
+            scale * std::cos(k * x) * std::cos(2 * k * y) * std::cos(k * z);
+        worst = std::max(worst, std::abs(driver.at(x, y, z) - expect));
+      }
+  EXPECT_LT(worst, 1e-12);
+}
+
+// The frozen shell must have thickness R, not 1.
+TEST(HighOrderStencil, Radius2ShellFrozen) {
+  const long n = 24;
+  const auto stencil = default_star2<float>();
+  grid::GridPair<float> pair(n, n, n);
+  pair.src().fill_random(17, 1.0f, 2.0f);
+  grid::Grid3<float> original(n, n, n);
+  original.copy_from(pair.src());
+
+  core::Engine35 engine(2);
+  SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 16;
+  run_sweep(Variant::kBlocked35D, stencil, pair, 4, cfg, engine);
+
+  long changed_shell = 0;
+  for (long z = 0; z < n; ++z)
+    for (long y = 0; y < n; ++y)
+      for (long x = 0; x < n; ++x) {
+        const bool shell = x < 2 || x >= n - 2 || y < 2 || y >= n - 2 || z < 2 ||
+                           z >= n - 2;
+        if (shell && pair.src().at(x, y, z) != original.at(x, y, z)) ++changed_shell;
+      }
+  EXPECT_EQ(changed_shell, 0);
+}
+
+}  // namespace
+}  // namespace s35::stencil

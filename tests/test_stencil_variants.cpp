@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+namespace {
+
+// Cross-variant equivalence on a larger grid: every blocking family must
+// produce the same bits as the naive sweep (they share per-point
+// arithmetic), under planner-style parameters.
+TEST(StencilVariants, AllVariantsAgreeOnLargerGrid) {
+  const long n = 56;
+  const int steps = 6;
+  const auto stencil = default_stencil7<float>();
+
+  grid::GridPair<float> baseline(n, n, n);
+  baseline.src().fill_random(2024, -1.0f, 1.0f);
+  core::Engine35 engine(4);
+  run_sweep(Variant::kNaive, stencil, baseline, steps, {}, engine);
+
+  const struct {
+    Variant v;
+    SweepConfig cfg;
+  } runs[] = {
+      {Variant::kSpatial3D, {.dim_x = 20}},
+      {Variant::kSpatial25D, {.dim_x = 24}},
+      {Variant::kTemporalOnly, {.dim_t = 3}},
+      {Variant::kBlocked4D, {.dim_t = 2, .dim_x = 24}},
+      {Variant::kBlocked35D, {.dim_t = 2, .dim_x = 24}},
+      {Variant::kBlocked35D, {.dim_t = 3, .dim_x = 32}},
+  };
+  for (const auto& r : runs) {
+    grid::GridPair<float> pair(n, n, n);
+    pair.src().fill_random(2024, -1.0f, 1.0f);
+    run_sweep(r.v, stencil, pair, steps, r.cfg, engine);
+    EXPECT_EQ(grid::count_mismatches(baseline.src(), pair.src()), 0)
+        << to_string(r.v) << " dim_t=" << r.cfg.dim_t;
+  }
+}
+
+// Serialized (2R+1 planes, barrier per step) and parallel (2R+2, barrier
+// per round) modes are alternative schedules of the same mathematics.
+TEST(StencilVariants, SerializedEqualsParallelMode) {
+  const long n = 40;
+  const auto stencil = default_stencil7<double>();
+  core::Engine35 engine(4);
+
+  grid::GridPair<double> par(n, n, n), ser(n, n, n);
+  par.src().fill_random(5, 0.0, 1.0);
+  ser.src().fill_random(5, 0.0, 1.0);
+
+  SweepConfig cfg;
+  cfg.dim_t = 3;
+  cfg.dim_x = 24;
+  run_sweep(Variant::kBlocked35D, stencil, par, 6, cfg, engine);
+  cfg.serialized = true;
+  run_sweep(Variant::kBlocked35D, stencil, ser, 6, cfg, engine);
+  EXPECT_EQ(grid::count_mismatches(par.src(), ser.src()), 0);
+}
+
+// Thread count must never change results (bitwise).
+TEST(StencilVariants, ThreadCountInvariance) {
+  const long n = 44;
+  const auto stencil = default_stencil7<float>();
+  SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 20;
+
+  grid::GridPair<float> one(n, n, n);
+  one.src().fill_random(11);
+  core::Engine35 e1(1);
+  run_sweep(Variant::kBlocked35D, stencil, one, 4, cfg, e1);
+
+  for (int threads : {2, 3, 5, 8}) {
+    grid::GridPair<float> many(n, n, n);
+    many.src().fill_random(11);
+    core::Engine35 et(threads);
+    run_sweep(Variant::kBlocked35D, stencil, many, 4, cfg, et);
+    EXPECT_EQ(grid::count_mismatches(one.src(), many.src()), 0) << threads;
+  }
+}
+
+// SIMD backends agree bit-for-bit on the full sweep.
+TEST(StencilVariants, BackendsAgreeBitExact) {
+  const long n = 36;
+  const auto stencil = default_stencil7<float>();
+  core::Engine35 engine(2);
+  SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 20;
+
+  grid::GridPair<float> scalar_pair(n, n, n);
+  scalar_pair.src().fill_random(3);
+  run_sweep<Stencil7<float>, float, simd::ScalarTag>(Variant::kBlocked35D, stencil,
+                                                     scalar_pair, 4, cfg, engine);
+
+#if defined(__SSE2__)
+  grid::GridPair<float> sse_pair(n, n, n);
+  sse_pair.src().fill_random(3);
+  run_sweep<Stencil7<float>, float, simd::SseTag>(Variant::kBlocked35D, stencil,
+                                                  sse_pair, 4, cfg, engine);
+  EXPECT_EQ(grid::count_mismatches(scalar_pair.src(), sse_pair.src()), 0);
+#endif
+#if defined(__AVX__)
+  grid::GridPair<float> avx_pair(n, n, n);
+  avx_pair.src().fill_random(3);
+  run_sweep<Stencil7<float>, float, simd::AvxTag>(Variant::kBlocked35D, stencil,
+                                                  avx_pair, 4, cfg, engine);
+  EXPECT_EQ(grid::count_mismatches(scalar_pair.src(), avx_pair.src()), 0);
+#endif
+}
+
+// update_row must equal per-point evaluation for every span alignment
+// (vector body + scalar tail).
+TEST(UpdateRow, MatchesPointForAllSpanOffsets) {
+  using V = simd::Vec<float, simd::DefaultTag>;
+  const auto stencil = default_stencil7<float>();
+  grid::Grid3<float> g(64, 3, 3);
+  g.fill_random(42, -1.0f, 1.0f);
+  const auto acc = [&](int dz, int dy) -> const float* { return g.row(1 + dy, 1 + dz); };
+
+  std::vector<float> expect(64), got(64);
+  for (long x = 1; x < 63; ++x) expect[static_cast<std::size_t>(x)] = stencil.point(acc, x);
+
+  for (long x0 = 1; x0 < 12; ++x0) {
+    for (long x1 = 50; x1 < 63; ++x1) {
+      std::fill(got.begin(), got.end(), 0.0f);
+      update_row<V>(stencil, acc, got.data(), x0, x1);
+      for (long x = x0; x < x1; ++x)
+        ASSERT_EQ(got[static_cast<std::size_t>(x)], expect[static_cast<std::size_t>(x)])
+            << "x=" << x << " span [" << x0 << "," << x1 << ")";
+    }
+  }
+}
+
+TEST(FreezeBoundary, CopiesExactlyTheShell) {
+  const long n = 10;
+  grid::Grid3<float> src(n, n, n), dst(n, n, n);
+  src.fill(3.0f);
+  dst.fill(-1.0f);
+  freeze_boundary(src, dst, 2);
+  for (long z = 0; z < n; ++z)
+    for (long y = 0; y < n; ++y)
+      for (long x = 0; x < n; ++x) {
+        const bool shell = x < 2 || x >= n - 2 || y < 2 || y >= n - 2 || z < 2 ||
+                           z >= n - 2;
+        EXPECT_EQ(dst.at(x, y, z), shell ? 3.0f : -1.0f);
+      }
+}
+
+TEST(VariantNames, AreStable) {
+  EXPECT_STREQ(to_string(Variant::kNaive), "naive");
+  EXPECT_STREQ(to_string(Variant::kBlocked35D), "3.5d");
+  EXPECT_STREQ(to_string(Variant::kBlocked4D), "4d");
+  EXPECT_STREQ(to_string(Variant::kSpatial25D), "2.5d-spatial");
+}
+
+}  // namespace
+}  // namespace s35::stencil

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+namespace {
+
+// Streaming stores change only the store instruction, never the values:
+// the 3.5D sweep with streaming output must be bit-identical to the normal
+// one for every variant/precision/alignment combination.
+class StreamingP : public ::testing::TestWithParam<std::tuple<long, int, int>> {};
+
+TEST_P(StreamingP, BitIdenticalToRegularStores) {
+  const auto [n, dim_t, threads] = GetParam();
+  const auto stencil = default_stencil7<float>();
+  core::Engine35 engine(threads);
+
+  SweepConfig cfg;
+  cfg.dim_t = dim_t;
+  cfg.dim_x = std::min<long>(n, 24);
+
+  grid::GridPair<float> regular(n, n, n);
+  regular.src().fill_random(66, -1.0f, 1.0f);
+  run_sweep(Variant::kBlocked35D, stencil, regular, 5, cfg, engine);
+
+  cfg.streaming_stores = true;
+  grid::GridPair<float> streamed(n, n, n);
+  streamed.src().fill_random(66, -1.0f, 1.0f);
+  run_sweep(Variant::kBlocked35D, stencil, streamed, 5, cfg, engine);
+
+  EXPECT_EQ(grid::count_mismatches(regular.src(), streamed.src()), 0);
+}
+
+// Odd grid sizes exercise the unaligned head/tail paths of
+// update_row_stream.
+INSTANTIATE_TEST_SUITE_P(Sweep, StreamingP,
+                         ::testing::Combine(::testing::Values<long>(31, 32, 37, 40),
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 4)));
+
+TEST(StreamingStores, DoublePrecision) {
+  const long n = 33;
+  const auto stencil = default_stencil7<double>();
+  core::Engine35 engine(2);
+  SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 20;
+
+  grid::GridPair<double> regular(n, n, n), streamed(n, n, n);
+  regular.src().fill_random(9);
+  streamed.src().fill_random(9);
+  run_sweep(Variant::kBlocked35D, stencil, regular, 4, cfg, engine);
+  cfg.streaming_stores = true;
+  run_sweep(Variant::kBlocked35D, stencil, streamed, 4, cfg, engine);
+  EXPECT_EQ(grid::count_mismatches(regular.src(), streamed.src()), 0);
+}
+
+// update_row_stream at the row level for every span offset.
+TEST(StreamingStores, RowLevelAllOffsets) {
+  using V = simd::Vec<float, simd::DefaultTag>;
+  const auto stencil = default_stencil7<float>();
+  grid::Grid3<float> g(64, 3, 3);
+  g.fill_random(4, -1.0f, 1.0f);
+  const auto acc = [&](int dz, int dy) -> const float* { return g.row(1 + dy, 1 + dz); };
+
+  grid::Grid3<float> a(64, 1, 1), b(64, 1, 1);
+  for (long x0 = 1; x0 < 14; ++x0) {
+    for (long x1 : {40L, 51L, 63L}) {
+      a.fill(0.0f);
+      b.fill(0.0f);
+      update_row<V>(stencil, acc, a.row(0, 0), x0, x1);
+      update_row_stream<V>(stencil, acc, b.row(0, 0), x0, x1);
+      simd::stream_fence();
+      EXPECT_EQ(grid::count_mismatches(a, b), 0) << "span [" << x0 << "," << x1 << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s35::stencil

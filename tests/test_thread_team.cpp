@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/partition.h"
+#include "parallel/thread_team.h"
+
+namespace s35::parallel {
+namespace {
+
+TEST(ThreadTeam, RunsEveryParticipantExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadTeam team(threads);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(threads));
+    for (auto& h : hits) h.store(0);
+    team.run([&](int tid) { hits[static_cast<std::size_t>(tid)].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadTeam, ReusableAcrossManyRuns) {
+  ThreadTeam team(4);
+  std::atomic<long> total{0};
+  for (int r = 0; r < 500; ++r) {
+    team.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500L * 4);
+}
+
+TEST(ThreadTeam, ParallelForCoversRange) {
+  ThreadTeam team(3);
+  const long n = 1000;
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(n));
+  for (auto& s : seen) s.store(0);
+  team.parallel_for(n, [&](long b, long e) {
+    for (long i = b; i < e; ++i) seen[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadTeam, ParallelForEmptyRange) {
+  ThreadTeam team(2);
+  int calls = 0;
+  team.parallel_for(0, [&](long, long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ran = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(ThreadTeam, CallerParticipatesAsThreadZero) {
+  ThreadTeam team(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> tid0_is_caller{false};
+  team.run([&](int tid) {
+    if (tid == 0) tid0_is_caller.store(std::this_thread::get_id() == caller);
+  });
+  EXPECT_TRUE(tid0_is_caller.load());
+}
+
+TEST(ThreadTeam, SumReductionViaChunks) {
+  ThreadTeam team(5);
+  const long n = 12345;
+  std::vector<long> partial(5, 0);
+  team.run([&](int tid) {
+    const auto [b, e] = chunk_range(n, 5, tid);
+    long s = 0;
+    for (long i = b; i < e; ++i) s += i;
+    partial[static_cast<std::size_t>(tid)] = s;
+  });
+  EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L), n * (n - 1) / 2);
+}
+
+TEST(ThreadTeam, PinnedTeamStillCorrect) {
+  ThreadTeam team(4, /*pin_threads=*/true);
+  std::atomic<long> total{0};
+  for (int r = 0; r < 50; ++r) {
+    team.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+}  // namespace
+}  // namespace s35::parallel

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/planner.h"
+#include "core/tiling.h"
+
+namespace s35::core {
+namespace {
+
+class TilingP
+    : public ::testing::TestWithParam<std::tuple<long, long, long, int, int>> {};
+
+// Output regions must partition the domain exactly; load regions must cover
+// their outputs plus the R*dim_t ghost ring (clamped at domain edges); the
+// valid-region chain must shrink consistently.
+TEST_P(TilingP, OutputsPartitionDomain) {
+  const auto [nx, ny, dim, radius, dim_t] = GetParam();
+  if (dim < nx && dim <= 2L * radius * dim_t) GTEST_SKIP() << "infeasible combo";
+
+  const Tiling tiling(nx, ny, dim, dim, radius, dim_t);
+  std::vector<int> covered(static_cast<std::size_t>(nx * ny), 0);
+  for (const Tile& t : tiling.tiles()) {
+    // Load window contains the output window expanded by ghost (clamped).
+    const long ghost = static_cast<long>(radius) * dim_t;
+    EXPECT_LE(t.load.x.begin, std::max(0L, t.out.x.begin - ghost));
+    EXPECT_GE(t.load.x.end, std::min(nx, t.out.x.end + ghost));
+    EXPECT_LE(t.load.x.size(), std::max(dim, nx < dim ? nx : dim));
+
+    // Valid chain: region(0) = load, region(dim_t) = out, monotone shrink.
+    EXPECT_EQ(t.region(0).x.begin, t.load.x.begin);
+    EXPECT_EQ(t.region(0).y.end, t.load.y.end);
+    EXPECT_EQ(t.region(dim_t).x.begin, t.out.x.begin);
+    EXPECT_EQ(t.region(dim_t).y.end, t.out.y.end);
+    for (int s = 1; s <= dim_t; ++s) {
+      EXPECT_GE(t.region(s).x.begin, t.region(s - 1).x.begin);
+      EXPECT_LE(t.region(s).x.end, t.region(s - 1).x.end);
+      EXPECT_GT(t.region(s).area(), 0);
+    }
+
+    for (long y = t.out.y.begin; y < t.out.y.end; ++y)
+      for (long x = t.out.x.begin; x < t.out.x.end; ++x)
+        ++covered[static_cast<std::size_t>(y * nx + x)];
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilingP,
+    ::testing::Combine(::testing::Values<long>(16, 33, 64, 100),
+                       ::testing::Values<long>(16, 47, 64),
+                       ::testing::Values<long>(12, 16, 24, 1024),
+                       ::testing::Values(1, 2), ::testing::Values(1, 2, 3)));
+
+// Interior tiles realize exactly the κ of eq. 2; clamped edge tiles load
+// less, so the measured grid-wide κ is at most the analytic value.
+TEST(Tiling, MeasuredKappaMatchesEq2ForInteriorTiles) {
+  const long dim = 64;
+  const int radius = 1, dim_t = 3;
+  // Domain large enough that interior tiles dominate.
+  const Tiling tiling(64 * 8 - 6 * 7, 64 * 8 - 6 * 7, dim, dim, radius, dim_t);
+  const double analytic = kappa_35d(radius, dim_t, dim, dim);
+  EXPECT_LE(tiling.measured_kappa(), analytic + 1e-9);
+  EXPECT_GT(tiling.measured_kappa(), 1.0);
+
+  // A tile fully interior loads dim^2 and outputs (dim - 2*R*dim_t)^2.
+  bool found_interior = false;
+  for (const Tile& t : tiling.tiles()) {
+    if (t.load.x.begin > 0 && t.load.y.begin > 0 &&
+        t.load.x.end < tiling.tiles().back().load.x.end &&
+        t.load.y.end < tiling.tiles().back().load.y.end) {
+      const double tile_kappa =
+          static_cast<double>(t.load.area()) / static_cast<double>(t.out.area());
+      EXPECT_NEAR(tile_kappa, analytic, 1e-9);
+      found_interior = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_interior);
+}
+
+TEST(Tiling, SingleTileWhenDimCoversDomain) {
+  const Tiling tiling(32, 20, 1000, 1000, 1, 4);
+  ASSERT_EQ(tiling.tiles().size(), 1u);
+  const Tile& t = tiling.tiles()[0];
+  EXPECT_EQ(t.load.x.size(), 32);
+  EXPECT_EQ(t.out.y.size(), 20);
+  // Whole-domain tile: no shrink anywhere (all edges are domain edges).
+  EXPECT_EQ(t.region(4).area(), t.region(0).area());
+  EXPECT_DOUBLE_EQ(tiling.measured_kappa(), 1.0);
+}
+
+TEST(Tiling, RejectsTooSmallDims) {
+  EXPECT_DEATH(Tiling(100, 100, 6, 6, 1, 3), "too small");
+}
+
+TEST(SplitAxisTiles, EdgeTilesClampWithoutShrink) {
+  const auto tiles = split_axis_tiles(100, 20, 1, 2);
+  ASSERT_GE(tiles.size(), 2u);
+  EXPECT_EQ(tiles.front().load.begin, 0);
+  EXPECT_EQ(tiles.front().out.begin, 0);
+  EXPECT_EQ(tiles.back().load.end, 100);
+  EXPECT_EQ(tiles.back().out.end, 100);
+  // Consecutive outputs abut.
+  for (std::size_t i = 1; i < tiles.size(); ++i)
+    EXPECT_EQ(tiles[i].out.begin, tiles[i - 1].out.end);
+}
+
+TEST(ShrinkExtent, FrozenAtDomainEdges) {
+  const Extent interior = shrink_extent({10, 30}, 100, 2, 3);
+  EXPECT_EQ(interior.begin, 16);
+  EXPECT_EQ(interior.end, 24);
+  const Extent left_edge = shrink_extent({0, 30}, 100, 2, 3);
+  EXPECT_EQ(left_edge.begin, 0);  // domain edge: frozen, no shrink
+  EXPECT_EQ(left_edge.end, 24);
+  const Extent whole = shrink_extent({0, 100}, 100, 2, 3);
+  EXPECT_EQ(whole.begin, 0);
+  EXPECT_EQ(whole.end, 100);
+}
+
+}  // namespace
+}  // namespace s35::core

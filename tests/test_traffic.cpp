@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "memsim/traffic.h"
+
+namespace s35::memsim {
+namespace {
+
+// Paper-scale LLC but small grids so the replay is fast; grids are chosen
+// large enough that a full grid does NOT fit in the cache (the interesting
+// regime).
+TraceConfig stencil_cfg(long n, int steps) {
+  TraceConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = n;
+  cfg.steps = steps;
+  cfg.elem_bytes = 4;
+  cfg.radius = 1;
+  cfg.cache.size_bytes = 1u << 20;  // 1 MB "LLC" scaled to the small grid
+  cfg.cache.ways = 16;
+  return cfg;
+}
+
+// Naive Jacobi on a grid much bigger than cache moves ~(read + write-alloc
+// + write-back) = 12 B per SP point per step.
+TEST(TrafficStencil, NaiveIsStreamBound) {
+  auto cfg = stencil_cfg(96, 2);  // 96^3 * 4 B * 2 grids = 7 MB >> 1 MB
+  const auto rep = trace_stencil(Scheme::kNaive, cfg);
+  EXPECT_NEAR(rep.bytes_per_update(), 12.0, 1.5);
+}
+
+// Streaming stores eliminate the write-allocate fetch: ~8 B per update.
+TEST(TrafficStencil, StreamingStoresSaveWriteAllocate) {
+  auto cfg = stencil_cfg(96, 2);
+  cfg.streaming_stores = true;
+  const auto rep = trace_stencil(Scheme::kNaive, cfg);
+  EXPECT_NEAR(rep.bytes_per_update(), 8.0, 1.0);
+  auto cfg2 = stencil_cfg(96, 2);
+  const auto rep2 = trace_stencil(Scheme::kNaive, cfg2);
+  EXPECT_LT(rep.bytes_per_update(), rep2.bytes_per_update());
+}
+
+// The headline claim: 3.5D traffic ~= naive / (dim_t / kappa).
+TEST(TrafficStencil, Blocked35dCutsTrafficByDimT) {
+  auto base = stencil_cfg(96, 4);
+  base.streaming_stores = true;
+  const double naive = trace_stencil(Scheme::kNaive, base).bytes_per_update();
+
+  auto blocked = base;
+  blocked.dim_t = 2;
+  blocked.dim_x = blocked.dim_y = 64;
+  const double b35 = trace_stencil(Scheme::kBlocked35D, blocked).bytes_per_update();
+
+  const double reduction = naive / b35;
+  // kappa(1,2,64,64) ~= 1.14 -> expect ~2/1.14 ~= 1.75x.
+  EXPECT_GT(reduction, 1.5);
+  EXPECT_LT(reduction, 2.1);
+
+  auto blocked3 = base;
+  blocked3.dim_t = 4;
+  blocked3.dim_x = blocked3.dim_y = 64;
+  const double b35t4 = trace_stencil(Scheme::kBlocked35D, blocked3).bytes_per_update();
+  EXPECT_GT(naive / b35t4, 2.3);  // deeper temporal blocking cuts more
+  EXPECT_LT(b35t4, b35);
+}
+
+// 2.5D spatial-only matches naive traffic on a cached machine (no temporal
+// reuse to exploit; Section VII-A "spatial blocking in itself did not
+// obtain much benefit").
+TEST(TrafficStencil, Spatial25dAlone) {
+  auto cfg = stencil_cfg(96, 2);
+  cfg.streaming_stores = true;
+  const double naive = trace_stencil(Scheme::kNaive, cfg).bytes_per_update();
+  auto cfg2 = cfg;
+  cfg2.dim_x = cfg2.dim_y = 64;
+  const double sp = trace_stencil(Scheme::kSpatial25D, cfg2).bytes_per_update();
+  EXPECT_NEAR(sp, naive, 0.3 * naive);
+}
+
+// Temporal-only blocking works when the whole XY slab set fits (small
+// grid), fails to cut traffic when it does not (Figure 4(a) story).
+TEST(TrafficStencil, TemporalOnlyNeedsFittingSlabs) {
+  auto small = stencil_cfg(48, 4);  // 48^2 plane set fits the 1 MB cache
+  small.streaming_stores = true;
+  small.dim_t = 2;
+  const double naive_small = trace_stencil(Scheme::kNaive, small).bytes_per_update();
+  const double temp_small =
+      trace_stencil(Scheme::kTemporalOnly, small).bytes_per_update();
+  EXPECT_LT(temp_small, 0.75 * naive_small);
+
+  // 224^2 XY planes: the (2R+2) x dim_t plane buffer alone exceeds the
+  // 1 MB cache, so temporal reuse dies (the paper's large-grid failure).
+  auto big = stencil_cfg(224, 2);
+  big.streaming_stores = true;
+  big.dim_t = 2;
+  const double naive_big = trace_stencil(Scheme::kNaive, big).bytes_per_update();
+  const double temp_big = trace_stencil(Scheme::kTemporalOnly, big).bytes_per_update();
+  EXPECT_GT(temp_big, 0.9 * naive_big);
+}
+
+// 4D blocking pays ghost traffic in all three dimensions: more external
+// bytes than 3.5D at the same dim_t and comparable buffer budget.
+TEST(TrafficStencil, Blocked4dWorseThan35d) {
+  auto cfg = stencil_cfg(96, 4);
+  cfg.streaming_stores = true;
+  cfg.dim_t = 2;
+  cfg.dim_x = cfg.dim_y = 64;
+  const double b35 = trace_stencil(Scheme::kBlocked35D, cfg).bytes_per_update();
+  auto cfg4 = cfg;
+  cfg4.dim_x = cfg4.dim_y = cfg4.dim_z = 16;  // similar buffer bytes
+  const double b4 = trace_stencil(Scheme::kBlocked4D, cfg4).bytes_per_update();
+  EXPECT_GT(b4, b35);
+}
+
+// ------------------------------------------------------------------- LBM --
+
+TraceConfig lbm_cfg(long n, int steps) {
+  TraceConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = n;
+  cfg.steps = steps;
+  cfg.elem_bytes = 4;
+  cfg.radius = 1;
+  cfg.cache.size_bytes = 1u << 20;
+  cfg.cache.ways = 16;
+  return cfg;
+}
+
+// Naive LBM streams ~19 reads + 19 write-allocs + 19 write-backs + flag
+// ~= 229 B/cell SP (matches the paper's 228 B analysis).
+TEST(TrafficLbm, NaiveMatchesPaperByteCount) {
+  // nx = 64 keeps rows exact cache-line multiples; with nx = 40 the rows
+  // span partial lines and the measured bytes rise above the analytic 229
+  // (the effect of the paper's footnote 1).
+  const auto rep = trace_lbm(Scheme::kNaive, lbm_cfg(64, 2));
+  EXPECT_NEAR(rep.bytes_per_update(), 229.0, 12.0);
+  const auto padded = trace_lbm(Scheme::kNaive, lbm_cfg(40, 2));
+  EXPECT_GT(padded.bytes_per_update(), rep.bytes_per_update());
+}
+
+// 3.5D with dim_t = 3 cuts LBM traffic by ~ dim_t / kappa.
+TEST(TrafficLbm, Blocked35dCutsTraffic) {
+  auto cfg = lbm_cfg(48, 6);
+  // The blocking buffer (19 arrays x 4 slots x 3 instances x 24^2) is
+  // ~0.7 MB; the cache must hold it comfortably, as eq. 1 requires.
+  cfg.cache.size_bytes = 2u << 20;
+  const double naive = trace_lbm(Scheme::kNaive, cfg).bytes_per_update();
+  auto blocked = cfg;
+  blocked.dim_t = 3;
+  blocked.dim_x = blocked.dim_y = 24;
+  const double b35 = trace_lbm(Scheme::kBlocked35D, blocked).bytes_per_update();
+  // kappa(1,3,24,24) = (1-6/24)^-2 = 1.78 -> reduction ~ 3/1.78 = 1.7.
+  EXPECT_GT(naive / b35, 1.35);
+  EXPECT_LT(naive / b35, 2.2);
+}
+
+// Temporal-only helps only when the whole working set fits (64^3 bars of
+// Figure 4(a) at real scale; scaled down here).
+TEST(TrafficLbm, TemporalOnlySmallVsLarge) {
+  // Small case mirrors the paper's 64^3 regime: the lattice itself exceeds
+  // the cache (no naive reuse) but the temporal plane buffer fits.
+  auto small = lbm_cfg(32, 4);
+  small.dim_t = 2;
+  small.cache.size_bytes = 2u << 20;  // buffer 655 KB << 2 MB << lattice 5 MB
+  const double naive_small = trace_lbm(Scheme::kNaive, small).bytes_per_update();
+  const double temp_small = trace_lbm(Scheme::kTemporalOnly, small).bytes_per_update();
+  EXPECT_LT(temp_small, 0.8 * naive_small);
+
+  auto big = lbm_cfg(64, 4);
+  big.dim_t = 2;
+  const double naive_big = trace_lbm(Scheme::kNaive, big).bytes_per_update();
+  const double temp_big = trace_lbm(Scheme::kTemporalOnly, big).bytes_per_update();
+  EXPECT_GT(temp_big, 0.9 * naive_big);
+}
+
+TEST(TrafficLbm, TlbLargePagesReduceMisses) {
+  auto cfg = lbm_cfg(32, 1);
+  const double m4k = lbm_tlb_misses_per_update(cfg, {64, 4096});
+  const double m2m = lbm_tlb_misses_per_update(cfg, {32, 2u << 20});
+  EXPECT_LT(m2m, m4k * 0.25);
+}
+
+// Hierarchy-backed replay: external traffic matches the single-level
+// replay with the same LLC, and inner levels show real reuse.
+TEST(TrafficStencil, HierarchyMatchesSingleLevelExternally) {
+  auto cfg = stencil_cfg(96, 2);
+  cfg.streaming_stores = true;
+  cfg.dim_t = 2;
+  cfg.dim_x = cfg.dim_y = 64;
+  const double single = trace_stencil(Scheme::kBlocked35D, cfg).bytes_per_update();
+
+  HierarchyConfig h;
+  h.levels.push_back({16u << 10, 8, 64});
+  h.levels.push_back({64u << 10, 8, 64});
+  h.levels.push_back({1u << 20, 16, 64});
+  auto cfg2 = cfg;
+  cfg2.hierarchy = &h;
+  const auto rep = trace_stencil(Scheme::kBlocked35D, cfg2);
+  ASSERT_EQ(rep.levels.size(), 3u);
+  EXPECT_NEAR(rep.bytes_per_update(), single, 0.15 * single);
+  // The LLC must be absorbing the ring-buffer reuse (the replay works at
+  // row-range granularity, so L1-level reuse is under-represented; the
+  // LLC hit rate is the meaningful signal).
+  EXPECT_GT(1.0 - rep.levels[2].miss_rate(), 0.7);
+}
+
+TEST(Scheme, NamesStable) {
+  EXPECT_STREQ(to_string(Scheme::kBlocked35D), "3.5d");
+  EXPECT_STREQ(to_string(Scheme::kNaive), "naive");
+}
+
+}  // namespace
+}  // namespace s35::memsim

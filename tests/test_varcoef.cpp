@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "machine/kernel_sig.h"
+#include "stencil/stencil_varcoef.h"
+#include "stencil/sweeps.h"
+
+namespace s35::stencil {
+namespace {
+
+// Scalar reference (independent loops, same arithmetic).
+template <typename T>
+void reference_steps(const Stencil7VarCoef<T>& s0, grid::Grid3<T>& grid, int steps) {
+  grid::Grid3<T> tmp(grid.nx(), grid.ny(), grid.nz());
+  for (int step = 0; step < steps; ++step) {
+    tmp.copy_from(grid);
+    for (long z = 1; z < grid.nz() - 1; ++z)
+      for (long y = 1; y < grid.ny() - 1; ++y) {
+        const auto s = s0.with_row(y, z);
+        const auto acc = [&](int dz, int dy) -> const T* {
+          return grid.row(y + dy, z + dz);
+        };
+        T* out = tmp.row(y, z);
+        for (long x = 1; x < grid.nx() - 1; ++x) out[x] = s.point(acc, x);
+      }
+    grid.copy_from(tmp);
+  }
+}
+
+class VarCoefFixture : public ::testing::Test {
+ protected:
+  static constexpr long kN = 36;
+
+  void SetUp() override {
+    alpha_ = std::make_unique<grid::Grid3<float>>(kN, kN, kN);
+    beta_ = std::make_unique<grid::Grid3<float>>(kN, kN, kN);
+    // Smooth, spatially varying, stable coefficients.
+    alpha_->fill_with([](long x, long y, long z) {
+      return 0.3f + 0.05f * std::sin(0.2f * x + 0.1f * y + 0.15f * z);
+    });
+    beta_->fill_with([](long x, long y, long z) {
+      return 0.08f + 0.02f * std::cos(0.12f * x - 0.2f * y + 0.07f * z);
+    });
+    stencil_ = Stencil7VarCoef<float>{alpha_.get(), beta_.get(), 0, 0};
+  }
+
+  std::unique_ptr<grid::Grid3<float>> alpha_;
+  std::unique_ptr<grid::Grid3<float>> beta_;
+  Stencil7VarCoef<float> stencil_;
+};
+
+TEST_F(VarCoefFixture, AllVariantsMatchReferenceBitExact) {
+  const int steps = 5;
+  grid::Grid3<float> expected(kN, kN, kN);
+  expected.fill_random(12, -1.0f, 1.0f);
+  reference_steps(stencil_, expected, steps);
+
+  core::Engine35 engine(3);
+  const struct {
+    Variant v;
+    SweepConfig cfg;
+    const char* name;
+  } runs[] = {
+      {Variant::kNaive, {}, "naive"},
+      {Variant::kSpatial3D, {.dim_x = 16}, "3d"},
+      {Variant::kBlocked4D, {.dim_t = 2, .dim_x = 18}, "4d"},
+      {Variant::kBlocked35D, {.dim_t = 2, .dim_x = 20}, "3.5d"},
+      {Variant::kBlocked35D, {.dim_t = 3, .dim_x = 24}, "3.5d_t3"},
+  };
+  for (const auto& r : runs) {
+    grid::GridPair<float> pair(kN, kN, kN);
+    pair.src().fill_random(12, -1.0f, 1.0f);
+    run_sweep(r.v, stencil_, pair, steps, r.cfg, engine);
+    EXPECT_EQ(grid::count_mismatches(expected, pair.src()), 0) << r.name;
+  }
+}
+
+// With constant coefficient fields the variable-coefficient kernel must
+// reproduce the plain Stencil7 bit-for-bit.
+TEST_F(VarCoefFixture, ConstantFieldsEqualPlainStencil) {
+  alpha_->fill(0.4f);
+  beta_->fill(0.1f);
+
+  core::Engine35 engine(2);
+  SweepConfig cfg;
+  cfg.dim_t = 2;
+  cfg.dim_x = 20;
+
+  grid::GridPair<float> vc(kN, kN, kN), plain(kN, kN, kN);
+  vc.src().fill_random(3);
+  plain.src().fill_random(3);
+  run_sweep(Variant::kBlocked35D, stencil_, vc, 4, cfg, engine);
+  run_sweep(Variant::kBlocked35D, default_stencil7<float>(), plain, 4, cfg, engine);
+  EXPECT_EQ(grid::count_mismatches(vc.src(), plain.src()), 0);
+}
+
+TEST(VarCoefSig, GammaReflectsCoefficientStreams) {
+  const auto k = machine::seven_point_varcoef();
+  EXPECT_DOUBLE_EQ(k.bytes_sp, 16.0);
+  EXPECT_DOUBLE_EQ(k.ops(), 18.0);
+  // Higher gamma than the constant-coefficient kernel: blocking matters
+  // even more.
+  EXPECT_GT(k.gamma(machine::Precision::kSingle),
+            machine::seven_point().gamma(machine::Precision::kSingle));
+}
+
+TEST(ForRow, PlainKernelsPassThrough) {
+  const auto s = default_stencil7<float>();
+  const auto t = for_row(s, 5, 7);
+  EXPECT_EQ(t.alpha, s.alpha);
+  EXPECT_EQ(t.beta, s.beta);
+  static_assert(!RowAwareStencil<Stencil7<float>>);
+  static_assert(RowAwareStencil<Stencil7VarCoef<float>>);
+}
+
+}  // namespace
+}  // namespace s35::stencil

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/wavefront.h"
+
+namespace s35::core {
+namespace {
+
+// Brute-force count for small grids.
+std::int64_t brute_cells(long nx, long ny, long nz, long s) {
+  std::int64_t n = 0;
+  for (long z = 0; z < nz; ++z)
+    for (long y = 0; y < ny; ++y)
+      for (long x = 0; x < nx; ++x)
+        if (x + y + z == s) ++n;
+  return n;
+}
+
+TEST(Wavefront, CellCountsMatchBruteForce) {
+  for (const auto& [nx, ny, nz] :
+       {std::tuple{5L, 5L, 5L}, std::tuple{7L, 3L, 4L}, std::tuple{1L, 9L, 2L}}) {
+    for (long s = -1; s <= nx + ny + nz; ++s) {
+      EXPECT_EQ(wavefront_cells(nx, ny, nz, s), brute_cells(nx, ny, nz, s))
+          << nx << "x" << ny << "x" << nz << " s=" << s;
+    }
+  }
+}
+
+TEST(Wavefront, TotalOverAllFrontsEqualsGridSize) {
+  const long nx = 6, ny = 7, nz = 8;
+  std::int64_t total = 0;
+  for (long s = 0; s <= (nx - 1) + (ny - 1) + (nz - 1); ++s)
+    total += wavefront_cells(nx, ny, nz, s);
+  EXPECT_EQ(total, nx * ny * nz);
+}
+
+TEST(Wavefront, WorkingSetSumsNeighboringFronts) {
+  EXPECT_EQ(wavefront_working_set(5, 5, 5, 3, 1),
+            brute_cells(5, 5, 5, 2) + brute_cells(5, 5, 5, 3) + brute_cells(5, 5, 5, 4));
+}
+
+// Section V-A1's rejection: the wavefront's resident set is the whole
+// diagonal front — it cannot be tiled down without re-loading — and its
+// peak grows as O(N^2) (the grid's diagonal cross-section). The paper's
+// 2.5D scheme instead tiles the XY plane, so its resident set is the
+// fixed cache-sized buffer regardless of N. The ratio therefore grows
+// without bound with the grid size.
+TEST(Wavefront, PeakGrowsQuadraticallyVsFixedTiledBuffer) {
+  const int R = 1;
+  const std::int64_t tiled_buffer = (2 * R + 1) * 64 * 64;  // a 64x64 2.5D tile
+  double prev_ratio = 0.0;
+  for (long n : {32L, 64L, 128L, 256L}) {
+    const auto peak = wavefront_peak_working_set(n, n, n, R);
+    // Peak front of a cube holds ~0.75 n^2 points per front, x (2R+1).
+    EXPECT_GT(peak, static_cast<std::int64_t>(1.5 * n * n));
+    EXPECT_LT(peak, static_cast<std::int64_t>(2.5 * n * n));
+    const double ratio = static_cast<double>(peak) / static_cast<double>(tiled_buffer);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 10.0);  // 256^3: 12x a cache-sized tile, and growing
+}
+
+// Sanity on the bound: the working set can never exceed (2R+1) full XY
+// cross-sections (each front meets each (x, y) column at most once), and
+// the cube peak sits at ~75% of that bound.
+TEST(Wavefront, PeakBoundedByCrossSections) {
+  const int R = 1;
+  for (long n : {32L, 128L}) {
+    const auto peak = wavefront_peak_working_set(n, n, n, R);
+    EXPECT_LE(peak, (2 * R + 1) * n * n);
+    EXPECT_GT(peak, static_cast<std::int64_t>(0.7 * (2 * R + 1) * n * n));
+  }
+}
+
+TEST(Wavefront, DegenerateAxes) {
+  EXPECT_EQ(wavefront_cells(1, 1, 1, 0), 1);
+  EXPECT_EQ(wavefront_cells(1, 1, 1, 1), 0);
+  EXPECT_EQ(wavefront_peak_working_set(1, 1, 8, 1), 3);
+}
+
+}  // namespace
+}  // namespace s35::core

@@ -1,0 +1,231 @@
+// s35 — command-line front end to the stencil35 library.
+//
+//   s35 plan     [--bw G] [--sp G] [--dp G] [--cache MB] [--cores N]
+//                blocking parameters for a machine (default: presets + host)
+//   s35 traffic  [--kernel 7pt|27pt|lbm] [--n N] [--steps S] [--dimt T]
+//                [--dim D] [--cache MB] [--stream]
+//                simulated external traffic per scheme
+//   s35 gpu      GTX 285 model + SIMT simulation of the paper's kernels
+//   s35 tune     [--n N] [--cache MB]   auto-tune tile/dim_t by traffic
+//   s35 wavefront [--n N]               Section V-A1 working-set analysis
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/autotuner.h"
+#include "core/planner.h"
+#include "core/wavefront.h"
+#include "gpumodel/gpu_model.h"
+#include "gpusim/programs.h"
+#include "machine/descriptor.h"
+#include "machine/kernel_sig.h"
+#include "memsim/traffic.h"
+
+using namespace s35;
+using machine::Precision;
+
+namespace {
+
+// Minimal --key value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) kv_[argv[i] + 2] = argv[i + 1];
+    }
+    for (int i = first; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stream") == 0) flags_.push_back("stream");
+    }
+  }
+  double num(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+  bool flag(const std::string& f) const {
+    for (const auto& g : flags_)
+      if (g == f) return true;
+    return false;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> flags_;
+};
+
+void print_plan(const machine::Descriptor& d) {
+  std::printf("\n== %s ==\n", d.name.c_str());
+  Table t({"kernel", "prec", "gamma", "bound", "dim_t", "tile", "kappa", "pred Mupd/s"});
+  for (const auto& k : {machine::seven_point(), machine::twenty_seven_point(),
+                        machine::lbm_d3q19()}) {
+    for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+      const auto plan = core::plan(d, k, p, {.round_multiple = 4});
+      t.add_row({k.name, machine::to_string(p), Table::fmt(k.gamma(p), 2),
+                 k.gamma(p) > d.bytes_per_op(p) ? "bandwidth" : "compute",
+                 Table::fmt(plan.dim_t, 0),
+                 plan.feasible ? std::to_string(plan.dim_x) + "x" +
+                                     std::to_string(plan.dim_y)
+                               : "infeasible",
+                 plan.feasible ? Table::fmt(plan.kappa, 2) : "-",
+                 plan.feasible ? Table::fmt(plan.predicted_mups, 0) : "-"});
+    }
+  }
+  t.print();
+}
+
+int cmd_plan(const Args& args) {
+  if (args.num("bw", 0) > 0) {
+    machine::Descriptor d;
+    d.name = "user machine";
+    d.peak_bw_gbps = args.num("bw", 30);
+    d.achievable_bw_gbps = 0.78 * d.peak_bw_gbps;
+    d.peak_sp_gops = args.num("sp", 100);
+    d.peak_dp_gops = args.num("dp", d.peak_sp_gops / 2);
+    d.effective_sp_gops = d.peak_sp_gops;
+    d.effective_dp_gops = d.peak_dp_gops;
+    d.llc_bytes = static_cast<std::size_t>(args.num("cache", 8) * 1048576.0);
+    d.blocking_capacity_bytes = d.llc_bytes / 2;
+    d.cores = static_cast<int>(args.num("cores", 4));
+    print_plan(d);
+    return 0;
+  }
+  print_plan(machine::core_i7());
+  print_plan(machine::gtx285());
+  print_plan(machine::host());
+  return 0;
+}
+
+int cmd_traffic(const Args& args) {
+  const std::string kname = args.str("kernel", "7pt");
+  memsim::TraceConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = static_cast<long>(args.num("n", 96));
+  cfg.steps = static_cast<int>(args.num("steps", 4));
+  cfg.elem_bytes = 4;
+  cfg.radius = 1;
+  cfg.cube_neighborhood = kname == "27pt";
+  cfg.streaming_stores = args.flag("stream");
+  cfg.cache.size_bytes =
+      static_cast<std::uint64_t>(args.num("cache", 1) * 1048576.0);
+  cfg.dim_t = static_cast<int>(args.num("dimt", 2));
+  cfg.dim_x = cfg.dim_y = static_cast<long>(args.num("dim", 64));
+
+  const bool lbm = kname == "lbm";
+  Table t({"scheme", "B/update", "vs naive"});
+  const auto run = [&](memsim::Scheme s, memsim::TraceConfig c) {
+    return lbm ? memsim::trace_lbm(s, c) : memsim::trace_stencil(s, c);
+  };
+  auto naive_cfg = cfg;
+  naive_cfg.dim_t = 1;
+  const double naive = run(memsim::Scheme::kNaive, naive_cfg).bytes_per_update();
+  t.add_row({"naive", Table::fmt(naive, 2), "1.00"});
+  for (memsim::Scheme s :
+       {memsim::Scheme::kSpatial25D, memsim::Scheme::kTemporalOnly,
+        memsim::Scheme::kBlocked4D, memsim::Scheme::kBlocked35D}) {
+    auto c = cfg;
+    if (s == memsim::Scheme::kBlocked4D) c.dim_x = c.dim_y = c.dim_z = 16;
+    const double b = run(s, c).bytes_per_update();
+    t.add_row({memsim::to_string(s), Table::fmt(b, 2), Table::fmt(naive / b, 2)});
+  }
+  std::printf("kernel %s, %ld^3, %d steps, cache %.1f MB, dim_t %d, tile %ld\n",
+              kname.c_str(), cfg.nx, cfg.steps, cfg.cache.size_bytes / 1048576.0,
+              cfg.dim_t, cfg.dim_x);
+  t.print();
+  return 0;
+}
+
+int cmd_gpu(const Args&) {
+  Table t({"kernel", "model Mupd/s", "simt Mupd/s", "paper"});
+  using gpumodel::GpuScheme;
+  using gpusim::GpuKernel;
+  const struct {
+    GpuScheme m;
+    GpuKernel s;
+    const char* paper;
+  } rows[] = {
+      {GpuScheme::kNaive, GpuKernel::kNaive7pt, "3300"},
+      {GpuScheme::kSpatialShared, GpuKernel::kSpatial7pt, "9234"},
+      {GpuScheme::kMultiUpdate, GpuKernel::kBlocked35D7pt, "13252-17115"},
+  };
+  for (const auto& r : rows) {
+    t.add_row({gpusim::to_string(r.s),
+               Table::fmt(gpumodel::predict_stencil7(r.m, Precision::kSingle).mups, 0),
+               Table::fmt(gpusim::run_kernel(r.s, Precision::kSingle).mups, 0),
+               r.paper});
+  }
+  t.print();
+  const auto lbm = gpusim::run_kernel(GpuKernel::kNaiveLbm, Precision::kSingle);
+  std::printf("lbm naive (simt): %.0f MLUPS (paper 485); SP blocking infeasible "
+              "(dim_x <= %ld)\n",
+              lbm.mups, gpumodel::plan_lbm_sp(7).dim_x_bound);
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  memsim::TraceConfig base;
+  base.nx = base.ny = base.nz = static_cast<long>(args.num("n", 96));
+  base.steps = 4;
+  base.elem_bytes = 4;
+  base.radius = 1;
+  base.streaming_stores = true;
+  base.cache.size_bytes =
+      static_cast<std::uint64_t>(args.num("cache", 1) * 1048576.0);
+  const std::size_t budget = base.cache.size_bytes / 2;
+
+  const auto cost = [&](const core::TuneCandidate& c) {
+    const double buffer = 4.0 * c.dim_t * c.dim_x * c.dim_y * base.elem_bytes;
+    if (buffer > static_cast<double>(budget))
+      return std::numeric_limits<double>::infinity();
+    auto cfg = base;
+    cfg.dim_x = c.dim_x;
+    cfg.dim_y = c.dim_y;
+    cfg.dim_t = c.dim_t;
+    return memsim::trace_stencil(memsim::Scheme::kBlocked35D, cfg).bytes_per_update();
+  };
+  const auto result = core::autotune(core::make_candidates(16, base.nx, 4, 1), cost);
+  std::printf("tuned best: tile %ldx%ld, dim_t %d -> %.2f B/update (%zu candidates)\n",
+              result.best.dim_x, result.best.dim_y, result.best.dim_t,
+              result.best_cost, result.samples.size());
+  return 0;
+}
+
+int cmd_wavefront(const Args& args) {
+  const long n = static_cast<long>(args.num("n", 128));
+  Table t({"grid", "wavefront peak (pts)", "2.5D planes (pts)", "64^2 tile buffer"});
+  t.add_row({std::to_string(n) + "^3",
+             std::to_string(core::wavefront_peak_working_set(n, n, n, 1)),
+             std::to_string(core::streaming_working_set(n, n, 1)),
+             std::to_string(core::streaming_working_set(64, 64, 1))});
+  t.print();
+  std::puts("the wavefront set cannot be tiled; 2.5D tiles down to the fixed buffer.");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  const Args args(argc, argv, 2);
+  if (cmd == "plan") return cmd_plan(args);
+  if (cmd == "traffic") return cmd_traffic(args);
+  if (cmd == "gpu") return cmd_gpu(args);
+  if (cmd == "tune") return cmd_tune(args);
+  if (cmd == "wavefront") return cmd_wavefront(args);
+  std::puts(
+      "usage: s35 <plan|traffic|gpu|tune|wavefront> [options]\n"
+      "  plan      blocking parameters (eqs. 1-4) for presets/host or\n"
+      "            --bw G --sp G --dp G --cache MB [--cores N]\n"
+      "  traffic   simulated external bytes/update per scheme\n"
+      "            [--kernel 7pt|27pt|lbm] [--n N] [--steps S] [--dimt T]\n"
+      "            [--dim D] [--cache MB] [--stream]\n"
+      "  gpu       GTX 285 model + SIMT simulation\n"
+      "  tune      auto-tune tile/dim_t for simulated traffic [--n N] [--cache MB]\n"
+      "  wavefront Section V-A1 working-set comparison [--n N]");
+  return cmd.empty() ? 0 : 1;
+}
