@@ -20,7 +20,8 @@ namespace {
 
 double run(long n, int steps, const stencil::SweepConfig& cfg, core::Engine35& engine) {
   return bench::measure_stencil7<float>(stencil::Variant::kBlocked35D, n, steps, cfg,
-                                        engine);
+                                        engine)
+      .mups;
 }
 
 }  // namespace

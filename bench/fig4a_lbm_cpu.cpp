@@ -16,7 +16,8 @@ using machine::Precision;
 namespace {
 
 template <typename T>
-void run_precision(Precision prec, core::Engine35& engine) {
+void run_precision(Precision prec, core::Engine35& engine,
+                   telemetry::JsonReporter& reporter) {
   std::printf("\n-- %s --\n", machine::to_string(prec));
   Table t({"grid", "variant", "measured MLUPS", "model i7 MLUPS", "paper"});
 
@@ -49,10 +50,14 @@ void run_precision(Precision prec, core::Engine35& engine) {
     };
 
     for (const auto& row : rows) {
-      const double measured = bench::measure_lbm<T>(row.v, n, steps, row.cfg, engine);
+      const auto m = bench::measure_lbm<T>(row.v, n, steps, row.cfg, engine);
       const double model = core::predict_lbm_cpu(row.model, prec, n).mups;
       t.add_row({std::to_string(n) + "^3", lbm::to_string(row.v),
-                 Table::fmt(measured, 1), Table::fmt(model, 0), row.paper});
+                 Table::fmt(m.mups, 1), Table::fmt(model, 0), row.paper});
+      auto rec = bench::lbm_record<T>(row.v, prec, n, steps, row.cfg,
+                                      engine.num_threads(), m);
+      rec.extra["model_mups"] = model;
+      reporter.add(rec);
     }
   }
   t.print();
@@ -60,13 +65,15 @@ void run_precision(Precision prec, core::Engine35& engine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figure 4(a): D3Q19 LBM, CPU ==");
+  telemetry::JsonReporter reporter("fig4a_lbm_cpu", argc, argv);
+  bench::want_records(reporter);
   core::Engine35 engine(bench::bench_threads());
   std::printf("host threads: %d (S35_THREADS), S35_FULL=1 for paper-scale grids\n",
               engine.num_threads());
-  run_precision<float>(Precision::kSingle, engine);
-  run_precision<double>(Precision::kDouble, engine);
+  run_precision<float>(Precision::kSingle, engine, reporter);
+  run_precision<double>(Precision::kDouble, engine, reporter);
   std::puts(
       "\nshape checks (paper): naive is bandwidth bound; temporal-only matches 3.5D\n"
       "only on small grids; 3.5D reaches ~2.1X SP / ~2X DP over naive; DP ~= SP/2.");

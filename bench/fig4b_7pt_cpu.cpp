@@ -22,7 +22,8 @@ using machine::Precision;
 namespace {
 
 template <typename T>
-void run_precision(Precision prec, core::Engine35& engine) {
+void run_precision(Precision prec, core::Engine35& engine,
+                   telemetry::JsonReporter& reporter) {
   std::printf("\n-- %s --\n", machine::to_string(prec));
   Table t({"grid", "variant", "measured Mupd/s", "model i7 Mupd/s", "paper"});
 
@@ -55,10 +56,14 @@ void run_precision(Precision prec, core::Engine35& engine) {
     };
 
     for (const auto& row : rows) {
-      const double measured = bench::measure_stencil7<T>(row.v, n, steps, row.cfg, engine);
+      const auto m = bench::measure_stencil7<T>(row.v, n, steps, row.cfg, engine);
       const double model = core::predict_stencil7_cpu(row.model, prec, n).mups;
       t.add_row({std::to_string(n) + "^3", stencil::to_string(row.v),
-                 Table::fmt(measured, 0), Table::fmt(model, 0), row.paper});
+                 Table::fmt(m.mups, 0), Table::fmt(model, 0), row.paper});
+      auto rec = bench::stencil_record<T>("stencil7", row.v, prec, n, steps, row.cfg,
+                                          engine.num_threads(), m);
+      rec.extra["model_mups"] = model;
+      reporter.add(rec);
     }
   }
   t.print();
@@ -66,13 +71,15 @@ void run_precision(Precision prec, core::Engine35& engine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figure 4(b): 7-point stencil, CPU ==");
+  telemetry::JsonReporter reporter("fig4b_7pt_cpu", argc, argv);
+  bench::want_records(reporter);
   core::Engine35 engine(bench::bench_threads());
   std::printf("host threads: %d (S35_THREADS), S35_FULL=1 for paper-scale grids\n",
               engine.num_threads());
-  run_precision<float>(Precision::kSingle, engine);
-  run_precision<double>(Precision::kDouble, engine);
+  run_precision<float>(Precision::kSingle, engine, reporter);
+  run_precision<double>(Precision::kDouble, engine, reporter);
   std::puts(
       "\nshape checks (paper): 3.5D ~1.5X over naive at >=256^3; spatial-only ~= naive\n"
       "on cache-based CPUs; at 64^3 blocking gives a slight slowdown; DP ~= SP/2.");

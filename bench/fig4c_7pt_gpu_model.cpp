@@ -7,12 +7,30 @@
 #include "common/table.h"
 #include "gpumodel/gpu_model.h"
 #include "gpusim/programs.h"
+#include "telemetry/report.h"
 
 using namespace s35;
 using machine::Precision;
 using namespace s35::gpumodel;
 
-int main() {
+namespace {
+
+telemetry::BenchRecord model_record(const char* variant, Precision prec, double mups,
+                                    double bytes_per_update) {
+  telemetry::BenchRecord rec;
+  rec.kernel = "stencil7_gtx285";
+  rec.variant = variant;
+  rec.precision = prec == Precision::kSingle ? "sp" : "dp";
+  rec.source = "model";
+  rec.mups = mups;
+  rec.bytes_per_update_measured = bytes_per_update;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::JsonReporter reporter("fig4c_7pt_gpu_model", argc, argv);
   std::puts("== Section VI-A: GPU 3.5D parameters (7-pt SP, 64 KB register file) ==");
   const GpuBlockingParams bp = plan_stencil7_sp();
   Table p({"dim_t", "dim_x bound", "dim_x (warp)", "kappa", "feasible"});
@@ -39,6 +57,7 @@ int main() {
       t.add_row({machine::to_string(prec), to_string(r.s), Table::fmt(pr.mups, 0),
                  pr.bandwidth_bound ? "bandwidth" : "compute",
                  prec == Precision::kSingle ? r.paper_sp : r.paper_dp});
+      reporter.add(model_record(to_string(r.s), prec, pr.mups, pr.bytes_per_update));
     }
   }
   t.print();

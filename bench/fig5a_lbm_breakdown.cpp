@@ -15,8 +15,10 @@
 using namespace s35;
 using machine::Precision;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figure 5(a): LBM on CPU, SP optimization breakdown ==");
+  telemetry::JsonReporter reporter("fig5a_lbm_breakdown", argc, argv);
+  bench::want_records(reporter);
   core::Engine35 engine(bench::bench_threads());
   const long n = env_int("S35_FULL", 0) ? 256 : 96;
   const int steps = n >= 128 ? 3 : 6;
@@ -76,10 +78,14 @@ int main() {
        "171"},
   };
   for (const auto& bar : bars) {
-    const double measured = bench::measure_lbm<float>(bar.v, n, steps, bar.cfg, engine);
-    t.add_row({bar.name, Table::fmt(measured, 1),
-               Table::fmt(core::predict_lbm_cpu(bar.model, Precision::kSingle, n).mups, 0),
-               bar.paper});
+    const auto m = bench::measure_lbm<float>(bar.v, n, steps, bar.cfg, engine);
+    const double model = core::predict_lbm_cpu(bar.model, Precision::kSingle, n).mups;
+    t.add_row({bar.name, Table::fmt(m.mups, 1), Table::fmt(model, 0), bar.paper});
+    auto rec = bench::lbm_record<float>(bar.v, Precision::kSingle, n, steps, bar.cfg,
+                                        engine.num_threads(), m);
+    rec.variant = bar.name;  // disambiguate the cumulative bars
+    rec.extra["model_mups"] = model;
+    reporter.add(rec);
   }
   t.print();
   std::puts(

@@ -6,13 +6,15 @@
 
 #include "common/table.h"
 #include "gpumodel/gpu_model.h"
+#include "telemetry/report.h"
 
 using namespace s35;
 using namespace s35::gpumodel;
 using machine::Precision;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Figure 5(b): 7-pt stencil on GTX 285 (model), SP ==");
+  telemetry::JsonReporter reporter("fig5b_gpu_breakdown_model", argc, argv);
   Table t({"bar", "model Mupd/s", "bytes/upd", "ops/upd", "bound", "paper"});
   const struct {
     GpuScheme s;
@@ -30,6 +32,14 @@ int main() {
     t.add_row({to_string(bar.s), Table::fmt(p.mups, 0), Table::fmt(p.bytes_per_update, 1),
                Table::fmt(p.ops_per_update, 1), p.bandwidth_bound ? "bandwidth" : "compute",
                bar.paper});
+    telemetry::BenchRecord rec;
+    rec.kernel = "stencil7_gtx285";
+    rec.variant = to_string(bar.s);
+    rec.source = "model";
+    rec.mups = p.mups;
+    rec.bytes_per_update_measured = p.bytes_per_update;
+    rec.extra["ops_per_update"] = p.ops_per_update;
+    reporter.add(rec);
   }
   t.print();
   std::puts(

@@ -13,11 +13,40 @@
 #include "core/planner.h"
 #include "memsim/hierarchy.h"
 #include "memsim/traffic.h"
+#include "telemetry/report.h"
 
 using namespace s35;
 using namespace s35::memsim;
 
-int main() {
+namespace {
+
+// Cache-replay record: bytes_per_update.measured is the simulated external
+// traffic, predicted is the eq. 3 arithmetic it is checked against.
+telemetry::BenchRecord sim_record(const char* kernel, const char* variant,
+                                  const TraceConfig& cfg, double bpu, double predicted,
+                                  double kappa, int dim_t) {
+  telemetry::BenchRecord rec;
+  rec.kernel = kernel;
+  rec.variant = variant;
+  rec.source = "simulated";
+  rec.nx = cfg.nx;
+  rec.ny = cfg.ny;
+  rec.nz = cfg.nz;
+  rec.steps = cfg.steps;
+  rec.dim_x = cfg.dim_x;
+  rec.dim_y = cfg.dim_y;
+  rec.dim_t = dim_t;
+  rec.kappa = kappa;
+  rec.bytes_per_update_measured = bpu;
+  rec.bytes_per_update_predicted = predicted;
+  rec.extra["cache_bytes"] = static_cast<double>(cfg.cache.size_bytes);
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  telemetry::JsonReporter reporter("memtraffic", argc, argv);
   const bool full = env_flag("S35_FULL");
 
   std::puts("== 7-point stencil (SP, streaming stores) ==");
@@ -34,23 +63,27 @@ int main() {
     Table t({"scheme", "B/update", "vs naive", "analytic"});
     const double naive = trace_stencil(Scheme::kNaive, cfg).bytes_per_update();
     t.add_row({"naive", Table::fmt(naive, 2), "1.00", "8 (1r + 1w)"});
+    reporter.add(sim_record("stencil7", "naive", cfg, naive, naive, 1.0, 1));
 
     auto c25 = cfg;
     c25.dim_x = c25.dim_y = 64;
     const double sp = trace_stencil(Scheme::kSpatial25D, c25).bytes_per_update();
     t.add_row({"2.5d spatial", Table::fmt(sp, 2), Table::fmt(naive / sp, 2),
                "~= naive (LLC covers reuse)"});
+    reporter.add(sim_record("stencil7", "2.5d", c25, sp, naive, 1.0, 1));
 
     for (int dt : {2, 4}) {
       auto cb = cfg;
       cb.dim_t = dt;
       cb.dim_x = cb.dim_y = 64;
       const double b = trace_stencil(Scheme::kBlocked35D, cb).bytes_per_update();
+      const double kappa = core::kappa_35d(1, dt, 64, 64);
       char label[32], analytic[48];
       std::snprintf(label, sizeof(label), "3.5d dim_t=%d", dt);
       std::snprintf(analytic, sizeof(analytic), "naive x kappa/dim_t = %.2f",
-                    naive * core::kappa_35d(1, dt, 64, 64) / dt);
+                    naive * kappa / dt);
       t.add_row({label, Table::fmt(b, 2), Table::fmt(naive / b, 2), analytic});
+      reporter.add(sim_record("stencil7", "3.5d", cb, b, naive * kappa / dt, kappa, dt));
     }
 
     auto c4 = cfg;
@@ -59,6 +92,9 @@ int main() {
     const double b4 = trace_stencil(Scheme::kBlocked4D, c4).bytes_per_update();
     t.add_row({"4d (16^3 blocks)", Table::fmt(b4, 2), Table::fmt(naive / b4, 2),
                "worse: ghosts in 3 dims"});
+    reporter.add(sim_record("stencil7", "4d", c4,  b4,
+                            naive * core::kappa_4d(1, 2, 16, 16, 16) / 2,
+                            core::kappa_4d(1, 2, 16, 16, 16), 2));
     t.print();
     std::printf("paper: 3.5D traffic = naive x kappa/dim_t (kappa(64,dt=2) = %.2f)\n\n",
                 kappa2);
@@ -76,21 +112,25 @@ int main() {
     Table t({"scheme", "B/update", "vs naive", "analytic"});
     const double naive = trace_lbm(Scheme::kNaive, cfg).bytes_per_update();
     t.add_row({"naive", Table::fmt(naive, 1), "1.00", "228-229 (Sec IV-B)"});
+    reporter.add(sim_record("lbm_d3q19", "naive", cfg, naive, naive, 1.0, 1));
 
     auto ct = cfg;
     ct.dim_t = 3;
     const double temp = trace_lbm(Scheme::kTemporalOnly, ct).bytes_per_update();
     t.add_row({"temporal-only", Table::fmt(temp, 1), Table::fmt(naive / temp, 2),
                "no cut: plane buffer > LLC"});
+    reporter.add(sim_record("lbm_d3q19", "temporal-only", ct, temp, naive, 1.0, 3));
 
     auto cb = cfg;
     cb.dim_t = 3;
     cb.dim_x = cb.dim_y = full ? 64 : 24;
     const double b35 = trace_lbm(Scheme::kBlocked35D, cb).bytes_per_update();
+    const double kappa = core::kappa_35d(1, 3, cb.dim_x, cb.dim_y);
     char analytic[48];
     std::snprintf(analytic, sizeof(analytic), "naive x kappa/dim_t = %.0f",
-                  naive * core::kappa_35d(1, 3, cb.dim_x, cb.dim_y) / 3);
+                  naive * kappa / 3);
     t.add_row({"3.5d dim_t=3", Table::fmt(b35, 1), Table::fmt(naive / b35, 2), analytic});
+    reporter.add(sim_record("lbm_d3q19", "3.5d", cb, b35, naive * kappa / 3, kappa, 3));
     t.print();
   }
 

@@ -18,8 +18,10 @@
 using namespace s35;
 using machine::Precision;
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== Thread scaling, 3.5D 7-pt stencil (SP) ==");
+  telemetry::JsonReporter reporter("scaling_cores", argc, argv);
+  bench::want_records(reporter);
   const long n = env_int("S35_FULL", 0) ? 256 : 128;
   const int steps = 4;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -35,11 +37,16 @@ int main() {
   double base = 0.0;
   for (int threads : {1, 2, 4}) {
     core::Engine35 engine(threads);
-    const double mups =
-        bench::measure_stencil7<float>(stencil::Variant::kBlocked35D, n, steps, cfg, engine);
-    if (threads == 1) base = mups;
-    t.add_row({Table::fmt(threads, 0), Table::fmt(mups, 0), Table::fmt(mups / base, 2),
+    const auto m = bench::measure_stencil7<float>(stencil::Variant::kBlocked35D, n,
+                                                  steps, cfg, engine);
+    if (threads == 1) base = m.mups;
+    t.add_row({Table::fmt(threads, 0), Table::fmt(m.mups, 0),
+               Table::fmt(m.mups / base, 2),
                Table::fmt(core::predicted_core_scaling(threads, false, 0.87), 2)});
+    auto rec = bench::stencil_record<float>("stencil7", stencil::Variant::kBlocked35D,
+                                            Precision::kSingle, n, steps, cfg, threads, m);
+    rec.extra["speedup"] = m.mups / base;
+    reporter.add(rec);
   }
   t.print();
   std::puts("\npaper: ~3.6X on 4 cores; bandwidth-bound kernels do not scale (naive LBM).");

@@ -52,8 +52,26 @@ double naive_sweep_mups(long n, int steps, core::Engine35& engine) {
   return static_cast<double>(n) * n * n * steps / secs / 1e6;
 }
 
+// Emits one record per (granularity, backend): the record's variant names
+// the SIMD backend, extra carries the scaling ratio vs scalar.
+void add_record(telemetry::JsonReporter& reporter, const char* kernel,
+                const char* prec, const char* backend, long n, int steps, int threads,
+                double mups, double vs_scalar) {
+  telemetry::BenchRecord rec;
+  rec.kernel = kernel;
+  rec.variant = backend;
+  rec.precision = prec;
+  rec.nx = rec.ny = rec.nz = n;
+  rec.steps = steps;
+  rec.threads = threads;
+  rec.mups = mups;
+  rec.extra["vs_scalar"] = vs_scalar;
+  reporter.add(rec);
+}
+
 template <typename T>
-void report(const char* prec, long n, int steps, core::Engine35& engine, Table& t) {
+void report(const char* prec, long n, int steps, core::Engine35& engine, Table& t,
+            telemetry::JsonReporter& reporter) {
   const double rs = row_kernel_mups<T, simd::ScalarTag>(512);
   const double r4 = row_kernel_mups<T, simd::SseTag>(512);
   const double r8 = row_kernel_mups<T, simd::AvxTag>(512);
@@ -65,18 +83,28 @@ void report(const char* prec, long n, int steps, core::Engine35& engine, Table& 
   const double s8 = naive_sweep_mups<T, simd::AvxTag>(n, steps, engine);
   t.add_row({"7-pt naive sweep", prec, Table::fmt(ss, 0), Table::fmt(s4, 0),
              Table::fmt(s8, 0), Table::fmt(s4 / ss, 2), Table::fmt(s8 / ss, 2)});
+
+  const int threads = engine.num_threads();
+  add_record(reporter, "stencil7_row", prec, "scalar", 512, 1, 1, rs, 1.0);
+  add_record(reporter, "stencil7_row", prec, "sse", 512, 1, 1, r4, r4 / rs);
+  add_record(reporter, "stencil7_row", prec, "avx", 512, 1, 1, r8, r8 / rs);
+  add_record(reporter, "stencil7", prec, "naive-scalar", n, steps, threads, ss, 1.0);
+  add_record(reporter, "stencil7", prec, "naive-sse", n, steps, threads, s4, s4 / ss);
+  add_record(reporter, "stencil7", prec, "naive-avx", n, steps, threads, s8, s8 / ss);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::puts("== SIMD scaling (scalar vs SSE vs AVX backends) ==");
+  telemetry::JsonReporter reporter("scaling_simd", argc, argv);
+  bench::want_records(reporter);
   core::Engine35 engine(bench::bench_threads());
   const long n = env_int("S35_FULL", 0) ? 256 : 128;
 
   Table t({"kernel", "precision", "scalar", "sse", "avx", "sse/scalar", "avx/scalar"});
-  report<float>("SP", n, 4, engine, t);
-  report<double>("DP", n, 4, engine, t);
+  report<float>("SP", n, 4, engine, t, reporter);
+  report<double>("DP", n, 4, engine, t, reporter);
   t.print();
   std::puts(
       "\npaper (Core i7): 3.2X SP / 1.65X DP SSE scaling on the compute-bound 3.5D\n"

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Machine-readable bench harness.
+
+Runs a configurable subset of the bench binaries with --json, aggregates
+every record into a single BENCH_<date>.json ("s35.bench.agg.v1"), and
+diffs the result against a committed baseline (bench/baseline.json):
+
+  * bytes/op fields are deterministic (engine cell counts / cache replay),
+    so they are compared strictly (--bytes-tolerance, default 5%).
+  * mups is machine-dependent; a record FAILs only when it is more than
+    --mups-tolerance (default 20%) SLOWER than baseline. Speedups pass.
+    --no-mups skips throughput comparison entirely (e.g. heterogeneous CI
+    runners against a baseline captured elsewhere).
+
+Typical use:
+
+  scripts/bench_harness.py --build-dir build                 # smoke set
+  scripts/bench_harness.py --benches fig4b_7pt_cpu,memtraffic
+  scripts/bench_harness.py --update-baseline                 # re-baseline
+
+Exit status: 0 = PASS (all matched records within tolerance), 1 = FAIL,
+2 = harness error (bench crashed, missing binary, bad JSON).
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+# Smoke set: tiny configs chosen so the whole run stays under ~1 minute on
+# one core. Env overrides shrink the grids; S35_TELEMETRY is implied by
+# --json. Each entry: (bench binary name, extra environment).
+SMOKE_SET = [
+    ("fig4b_7pt_cpu", {"S35_GRIDS": "64"}),
+    ("fig4a_lbm_cpu", {"S35_LBM_GRIDS": "32"}),
+    ("memtraffic", {}),
+]
+
+AGG_SCHEMA = "s35.bench.agg.v1"
+REPORT_SCHEMA = "s35.bench.report.v1"
+RECORD_SCHEMA = "s35.bench.v1"
+
+
+def record_key(rec):
+    """Identity of a record across runs: everything but the measurements."""
+    grid = rec.get("grid", {})
+    blocking = rec.get("blocking", {})
+    return (
+        rec.get("bench", ""),
+        rec.get("kernel", ""),
+        rec.get("variant", ""),
+        rec.get("precision", ""),
+        rec.get("source", ""),
+        grid.get("nx", 0),
+        grid.get("ny", 0),
+        grid.get("nz", 0),
+        grid.get("steps", 0),
+        blocking.get("dim_t", 1),
+        rec.get("threads", 1),
+    )
+
+
+def key_str(key):
+    bench, kernel, variant, prec, source, nx, ny, nz, steps, dim_t, thr = key
+    return (f"{bench}:{kernel}/{variant}/{prec}/{source} "
+            f"{nx}x{ny}x{nz}s{steps} dim_t={dim_t} t={thr}")
+
+
+def run_bench(build_dir, name, extra_env, timeout):
+    exe = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(exe):
+        raise RuntimeError(f"bench binary not found: {exe} (build it first)")
+    env = dict(os.environ)
+    env.update(extra_env)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [exe, "--json", json_path],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=timeout,
+        )
+        if proc.returncode != 0:
+            tail = proc.stdout.decode(errors="replace")[-2000:]
+            raise RuntimeError(f"{name} exited {proc.returncode}:\n{tail}")
+        with open(json_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(json_path)
+    if report.get("schema") != REPORT_SCHEMA:
+        raise RuntimeError(f"{name}: unexpected report schema "
+                           f"{report.get('schema')!r}")
+    for rec in report.get("records", []):
+        if rec.get("schema") != RECORD_SCHEMA:
+            raise RuntimeError(f"{name}: unexpected record schema "
+                               f"{rec.get('schema')!r}")
+    return report
+
+
+def rel_delta(current, base):
+    if base == 0:
+        return 0.0 if current == 0 else float("inf")
+    return (current - base) / base
+
+
+def compare(records, baseline_records, bytes_tol, mups_tol, check_mups):
+    """Returns (failures, checked, missing) lists of human-readable lines."""
+    base_by_key = {}
+    for rec in baseline_records:
+        base_by_key[record_key(rec)] = rec
+
+    failures, checked, missing = [], [], []
+    for rec in records:
+        key = record_key(rec)
+        base = base_by_key.get(key)
+        if base is None:
+            missing.append(key_str(key))
+            continue
+        label = key_str(key)
+        n_checked = 0
+
+        for field in ("measured", "predicted_eq3", "ideal"):
+            cur = rec.get("bytes_per_update", {}).get(field, 0.0)
+            ref = base.get("bytes_per_update", {}).get(field, 0.0)
+            if ref == 0.0 and cur == 0.0:
+                continue  # "not measured" on both sides
+            delta = rel_delta(cur, ref)
+            n_checked += 1
+            if abs(delta) > bytes_tol:
+                failures.append(
+                    f"{label}: bytes/op.{field} {cur:.3f} vs baseline "
+                    f"{ref:.3f} ({delta:+.1%}, tol {bytes_tol:.0%})")
+
+        if check_mups:
+            cur = rec.get("mups", 0.0)
+            ref = base.get("mups", 0.0)
+            if ref > 0.0 and cur > 0.0:
+                delta = rel_delta(cur, ref)
+                n_checked += 1
+                if delta < -mups_tol:
+                    failures.append(
+                        f"{label}: mups {cur:.1f} vs baseline {ref:.1f} "
+                        f"({delta:+.1%}, regression tol {mups_tol:.0%})")
+        if n_checked:
+            checked.append(label)
+    return failures, checked, missing
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir containing bench/ (default: build)")
+    ap.add_argument("--benches", default="",
+                    help="comma-separated bench names; default = smoke set "
+                         "(" + ",".join(n for n, _ in SMOKE_SET) + ")")
+    ap.add_argument("--out", default="",
+                    help="aggregate output path (default: BENCH_<date>.json)")
+    ap.add_argument("--baseline", default="bench/baseline.json",
+                    help="committed baseline to diff against")
+    ap.add_argument("--bytes-tolerance", type=float, default=0.05,
+                    help="relative tolerance for bytes/op fields (default 0.05)")
+    ap.add_argument("--mups-tolerance", type=float, default=0.20,
+                    help="max relative mups regression (default 0.20)")
+    ap.add_argument("--no-mups", action="store_true",
+                    help="skip throughput comparison (heterogeneous machines)")
+    ap.add_argument("--timeout", type=float, default=600.0,
+                    help="per-bench timeout in seconds (default 600)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="write the aggregated records to --baseline and exit")
+    args = ap.parse_args()
+
+    if args.benches:
+        extra = {name: env for name, env in SMOKE_SET}
+        plan = [(n.strip(), extra.get(n.strip(), {}))
+                for n in args.benches.split(",") if n.strip()]
+    else:
+        plan = SMOKE_SET
+
+    records = []
+    bench_names = []
+    for name, env in plan:
+        pretty_env = " ".join(f"{k}={v}" for k, v in env.items())
+        print(f"[bench_harness] running {name} {pretty_env}".rstrip())
+        try:
+            report = run_bench(args.build_dir, name, env, args.timeout)
+        except (RuntimeError, subprocess.TimeoutExpired, json.JSONDecodeError) as e:
+            print(f"[bench_harness] ERROR: {e}", file=sys.stderr)
+            return 2
+        bench_names.append(name)
+        records.extend(report.get("records", []))
+
+    date = datetime.date.today().isoformat()
+    aggregate = {
+        "schema": AGG_SCHEMA,
+        "date": date,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "benches": bench_names,
+        "records": records,
+    }
+    out_path = args.out or f"BENCH_{date}.json"
+    with open(out_path, "w") as f:
+        json.dump(aggregate, f, indent=1)
+        f.write("\n")
+    print(f"[bench_harness] wrote {out_path} ({len(records)} records "
+          f"from {len(bench_names)} benches)")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as f:
+            json.dump(aggregate, f, indent=1)
+            f.write("\n")
+        print(f"[bench_harness] baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"[bench_harness] no baseline at {args.baseline}; "
+              "run with --update-baseline to create one. VERDICT: PASS (no baseline)")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    failures, checked, new = compare(
+        records, baseline.get("records", []),
+        args.bytes_tolerance, args.mups_tolerance, not args.no_mups)
+
+    for line in new:
+        print(f"[bench_harness] new record (not in baseline): {line}")
+    for line in failures:
+        print(f"[bench_harness] REGRESSION: {line}")
+    print(f"[bench_harness] compared {len(checked)} records against "
+          f"{args.baseline} ({len(new)} new, {len(failures)} failing)")
+    if failures:
+        print("VERDICT: FAIL")
+        return 1
+    print("VERDICT: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,56 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every table/figure of the paper.
+#
+# Env overrides:
+#   S35_BUILD_DIR   build directory                      (default: build)
+#   S35_BUILD_TYPE  CMAKE_BUILD_TYPE                     (default: RelWithDebInfo)
+#   S35_GENERATOR   cmake -G generator                   (default: cmake's default)
+#   S35_CMAKE_ARGS  extra configure args, e.g. "-DS35_NATIVE=OFF"
+#   S35_TEST_LABEL  ctest -L filter, e.g. tier1          (default: run everything)
+#   S35_SKIP_BENCH  =1 skips the bench sweep
+#   S35_JSON_DIR    if set, each bench also writes <dir>/<name>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-  echo "=== $b ==="
-  "$b"
-  echo
-done
+
+build_dir=${S35_BUILD_DIR:-build}
+
+cmake_args=(-B "$build_dir" -S .
+            -DCMAKE_BUILD_TYPE="${S35_BUILD_TYPE:-RelWithDebInfo}")
+if [[ -n ${S35_GENERATOR:-} ]]; then
+  cmake_args+=(-G "$S35_GENERATOR")
+fi
+if [[ -n ${S35_CMAKE_ARGS:-} ]]; then
+  # shellcheck disable=SC2206  # deliberate word splitting of the override
+  cmake_args+=(${S35_CMAKE_ARGS})
+fi
+cmake "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+
+ctest_args=(--test-dir "$build_dir" --output-on-failure -j "$(nproc)")
+if [[ -n ${S35_TEST_LABEL:-} ]]; then
+  ctest_args+=(-L "$S35_TEST_LABEL")
+fi
+ctest "${ctest_args[@]}"
+
+if [[ ${S35_SKIP_BENCH:-0} != 1 ]]; then
+  for b in "$build_dir"/bench/*; do
+    [[ -f $b && -x $b ]] || continue
+    name=$(basename "$b")
+    echo "=== $name ==="
+    case $name in
+      barrier_bench | micro_kernels)
+        # google-benchmark binaries reject unknown flags; no JSON records.
+        "$b"
+        ;;
+      *)
+        if [[ -n ${S35_JSON_DIR:-} ]]; then
+          mkdir -p "$S35_JSON_DIR"
+          "$b" --json "$S35_JSON_DIR/$name.json"
+        else
+          "$b"
+        fi
+        ;;
+    esac
+    echo
+  done
+fi

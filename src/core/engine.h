@@ -36,8 +36,24 @@
 #include "parallel/barrier.h"
 #include "parallel/partition.h"
 #include "parallel/thread_team.h"
+#include "telemetry/telemetry.h"
 
 namespace s35::core {
+
+// Telemetry phase charged for a schedule step: external loads are
+// external-IO, frozen-boundary propagation is ghost-fill, the rest is
+// compute (external stores are part of the compute step itself).
+inline telemetry::Phase phase_of(StepKind kind) {
+  switch (kind) {
+    case StepKind::kLoad:
+      return telemetry::Phase::kExternalIo;
+    case StepKind::kCopy:
+      return telemetry::Phase::kGhostFill;
+    case StepKind::kCompute:
+      return telemetry::Phase::kCompute;
+  }
+  return telemetry::Phase::kCompute;
+}
 
 class Engine35 {
  public:
@@ -77,6 +93,7 @@ class Engine35 {
           for (const Step& step : round) {
             const Rect& region =
                 step.kind == StepKind::kLoad ? tile.region(0) : tile.region(step.t);
+            const telemetry::ScopedPhase phase(tid, phase_of(step.kind));
             parallel::for_each_span(region.x.size(), region.y.size(), 1, 0,
                                     [&](long y, long x0, long x1) {
                                       kernel.execute(tile, step, region.y.begin + y,
@@ -107,17 +124,30 @@ class Engine35 {
     parallel::Barrier& barrier = *barrier_;
 
     team_.run([&](int tid) {
+      const bool tel = telemetry::enabled();
       for (const Tile& tile : tiling.tiles()) {
         for (const auto& round : rounds) {
           for (const Step& step : round) {
             const Rect& region =
                 step.kind == StepKind::kLoad ? tile.region(0) : tile.region(step.t);
-            parallel::for_each_span(
-                region.x.size(), region.y.size(), nthreads, tid,
-                [&](long y, long x0, long x1) {
-                  kernel.execute(tile, step, region.y.begin + y,
-                                 region.x.begin + x0, region.x.begin + x1);
-                });
+            {
+              const telemetry::ScopedPhase phase(tid, phase_of(step.kind));
+              std::uint64_t cells = 0;
+              parallel::for_each_span(
+                  region.x.size(), region.y.size(), nthreads, tid,
+                  [&](long y, long x0, long x1) {
+                    kernel.execute(tile, step, region.y.begin + y,
+                                   region.x.begin + x0, region.x.begin + x1);
+                    cells += static_cast<std::uint64_t>(x1 - x0);
+                  });
+              if (tel) {
+                if (step.kind == StepKind::kLoad) {
+                  telemetry::add_external_cells(tid, cells, 0);
+                } else if (step.to_external) {
+                  telemetry::add_external_cells(tid, 0, cells);
+                }
+              }
+            }
             if (serialized && nthreads > 1) barrier.arrive_and_wait(tid);
           }
           if (!serialized && nthreads > 1) barrier.arrive_and_wait(tid);

@@ -73,6 +73,8 @@ void lbm_step_naive(const Geometry& geom, const BgkParams<T>& prm,
   const long rows = src.ny() * src.nz();
   const int nthreads = team.size();
   team.run([&](int tid) {
+    const telemetry::ScopedPhase phase(tid, telemetry::Phase::kCompute);
+    std::uint64_t cells = 0;
     parallel::for_each_span(src.nx(), rows, nthreads, tid, [&](long r, long x0, long x1) {
       const long z = r / src.ny();
       const long y = r % src.ny();
@@ -81,7 +83,11 @@ void lbm_step_naive(const Geometry& geom, const BgkParams<T>& prm,
       };
       const auto dst_acc = [&](int i) -> T* { return dst.row(i, y, z); };
       lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, x0, x1);
+      cells += static_cast<std::uint64_t>(x1 - x0);
     });
+    // Ideal-reuse accounting (one cell read + write per update); the memsim
+    // replay measures the streaming-neighbor cache effects.
+    telemetry::add_external_cells(tid, cells, cells);
   });
 }
 

@@ -8,6 +8,7 @@
 #include "core/schedule.h"
 #include "core/tiling.h"
 #include "grid/grid3.h"
+#include "telemetry/telemetry.h"
 
 namespace s35::memsim {
 
@@ -378,6 +379,9 @@ TrafficReport trace_stencil(Scheme scheme, const TraceConfig& cfg) {
   cache.finish(rep);
   rep.updates = static_cast<std::uint64_t>(cfg.nx) * cfg.ny * cfg.nz *
                 static_cast<std::uint64_t>(cfg.steps);
+  // Mirror the replayed external traffic into the telemetry registry so
+  // simulated and wall-clock runs report through one channel.
+  telemetry::add_external_bytes(0, rep.external_read_bytes, rep.external_write_bytes);
   return rep;
 }
 
@@ -591,6 +595,9 @@ TrafficReport trace_lbm(Scheme scheme, const TraceConfig& cfg) {
   cache.finish(rep);
   rep.updates = static_cast<std::uint64_t>(cfg.nx) * cfg.ny * cfg.nz *
                 static_cast<std::uint64_t>(cfg.steps);
+  // Mirror the replayed external traffic into the telemetry registry so
+  // simulated and wall-clock runs report through one channel.
+  telemetry::add_external_bytes(0, rep.external_read_bytes, rep.external_write_bytes);
   return rep;
 }
 

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -44,7 +45,7 @@ SpinBarrier::SpinBarrier(int num_threads) : num_threads_(num_threads) {
 
 void SpinBarrier::arrive_and_wait(int tid) {
   S35_DCHECK(tid >= 0 && tid < num_threads_);
-  (void)tid;
+  const telemetry::ScopedPhase phase(tid, telemetry::Phase::kBarrierWait);
   const std::uint32_t my_sense = sense_.load(std::memory_order_relaxed);
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) == num_threads_ - 1) {
     // Last arrival: reset the counter, then flip the sense to release.
@@ -75,6 +76,7 @@ TournamentBarrier::TournamentBarrier(int num_threads)
 
 void TournamentBarrier::arrive_and_wait(int tid) {
   S35_DCHECK(tid >= 0 && tid < num_threads_);
+  const telemetry::ScopedPhase phase(tid, telemetry::Phase::kBarrierWait);
   const std::uint32_t epoch = ++local_epoch_[tid];
 
   // Dissemination-free static tournament: in round r, threads whose bit r is
@@ -114,7 +116,7 @@ PthreadBarrier::PthreadBarrier(int num_threads) : num_threads_(num_threads) {
 PthreadBarrier::~PthreadBarrier() { pthread_barrier_destroy(&barrier_); }
 
 void PthreadBarrier::arrive_and_wait(int tid) {
-  (void)tid;
+  const telemetry::ScopedPhase phase(tid, telemetry::Phase::kBarrierWait);
   const int rc = pthread_barrier_wait(&barrier_);
   S35_CHECK(rc == 0 || rc == PTHREAD_BARRIER_SERIAL_THREAD);
 }

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "parallel/partition.h"
+#include "telemetry/telemetry.h"
 
 namespace s35::parallel {
 
@@ -53,6 +54,7 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
     caller_pinned_ = true;
   }
   if (num_threads_ == 1) {
+    const telemetry::ScopedPhase region(0, telemetry::Phase::kRegion);
     fn(0);
     return;
   }
@@ -65,7 +67,10 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
   }
   cv_start_.notify_all();
 
-  fn(0);
+  {
+    const telemetry::ScopedPhase region(0, telemetry::Phase::kRegion);
+    fn(0);
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [this] { return running_ == 0; });
@@ -90,7 +95,10 @@ void ThreadTeam::worker_main(int tid) {
       if (shutdown_) return;
       job = job_;
     }
-    (*job)(tid);
+    {
+      const telemetry::ScopedPhase region(tid, telemetry::Phase::kRegion);
+      (*job)(tid);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--running_ == 0) cv_done_.notify_one();

@@ -83,12 +83,19 @@ void sweep_step_naive(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T
   const long rows = (src.nz() - 2 * R) * iy;
   const int nthreads = team.size();
   team.run([&](int tid) {
+    const telemetry::ScopedPhase phase(tid, telemetry::Phase::kCompute);
+    std::uint64_t cells = 0;
     parallel::for_each_span(ix, rows, nthreads, tid, [&](long r, long lx0, long lx1) {
       const long z = R + r / iy;
       const long y = R + r % iy;
       const auto acc = [&](int dz, int dy) -> const T* { return src.row(y + dy, z + dz); };
       update_row<V>(for_row(stencil, y, z), acc, dst.row(y, z), R + lx0, R + lx1);
+      cells += static_cast<std::uint64_t>(lx1 - lx0);
     });
+    // Ideal-reuse accounting: each interior cell is read once and written
+    // once per step; neighbor re-fetches are a cache effect the memsim
+    // replay measures instead.
+    telemetry::add_external_cells(tid, cells, cells);
   });
 }
 
@@ -114,6 +121,7 @@ void sweep_step_3d(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& 
 
   const int nthreads = team.size();
   team.run([&](int tid) {
+    const telemetry::ScopedPhase phase(tid, telemetry::Phase::kCompute);
     const auto [b0, b1] = parallel::chunk_range(static_cast<long>(blocks.size()),
                                                 nthreads, tid);
     for (long b = b0; b < b1; ++b) {

@@ -16,7 +16,10 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
     case Variant::kSpatial3D: {
       // One grid sweep per time step; interior writes only, so the frozen
       // shell must be present in both grids up front.
-      freeze_boundary(pair.src(), pair.dst(), R);
+      {
+        const telemetry::ScopedPhase phase(0, telemetry::Phase::kGhostFill);
+        freeze_boundary(pair.src(), pair.dst(), R);
+      }
       const long bx = cfg.dim_x > 0 ? cfg.dim_x : nx;
       const long by = cfg.dim_y > 0 ? cfg.dim_y : bx;
       const long bz = cfg.dim_z > 0 ? cfg.dim_z : bx;

@@ -1,0 +1,97 @@
+#include "telemetry/telemetry.h"
+
+namespace s35::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+Slot g_slots[kMaxThreads];
+Slot g_overflow;  // sink for out-of-range tids
+}  // namespace
+
+Slot& slot(int tid) {
+  if (tid < 0 || tid >= kMaxThreads) return g_overflow;
+  return g_slots[tid];
+}
+
+}  // namespace detail
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kGhostFill:
+      return "ghost_fill";
+    case Phase::kBarrierWait:
+      return "barrier_wait";
+    case Phase::kExternalIo:
+      return "external_io";
+    case Phase::kRegion:
+      return "region";
+  }
+  return "?";
+}
+
+Totals& Totals::operator+=(const Totals& o) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    seconds[p] += o.seconds[p];
+    calls[p] += o.calls[p];
+  }
+  cells_loaded += o.cells_loaded;
+  cells_stored += o.cells_stored;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  return *this;
+}
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  for (int t = 0; t < kMaxThreads; ++t) detail::slot(t) = detail::Slot{};
+  detail::slot(kMaxThreads) = detail::Slot{};  // the overflow sink
+}
+
+void record_ns(int tid, Phase p, std::int64_t ns) {
+  if (!enabled()) return;
+  detail::Slot& s = detail::slot(tid);
+  s.ns[static_cast<int>(p)] += ns;
+  ++s.calls[static_cast<int>(p)];
+}
+
+void add_external_cells(int tid, std::uint64_t loaded, std::uint64_t stored) {
+  if (!enabled()) return;
+  detail::Slot& s = detail::slot(tid);
+  s.cells_loaded += loaded;
+  s.cells_stored += stored;
+}
+
+void add_external_bytes(int tid, std::uint64_t read, std::uint64_t written) {
+  if (!enabled()) return;
+  detail::Slot& s = detail::slot(tid);
+  s.bytes_read += read;
+  s.bytes_written += written;
+}
+
+Totals thread_totals(int tid) {
+  const detail::Slot& s = detail::slot(tid);
+  Totals t;
+  for (int p = 0; p < kNumPhases; ++p) {
+    t.seconds[p] = static_cast<double>(s.ns[p]) * 1e-9;
+    t.calls[p] = s.calls[p];
+  }
+  t.cells_loaded = s.cells_loaded;
+  t.cells_stored = s.cells_stored;
+  t.bytes_read = s.bytes_read;
+  t.bytes_written = s.bytes_written;
+  return t;
+}
+
+Totals aggregate() {
+  Totals sum;
+  for (int t = 0; t < kMaxThreads; ++t) sum += thread_totals(t);
+  return sum;
+}
+
+}  // namespace s35::telemetry

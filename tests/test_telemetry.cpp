@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "core/planner.h"
+#include "stencil/sweeps.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
+
+namespace s35::telemetry {
+namespace {
+
+// The registry is process-global: every test starts from a clean, enabled
+// slate and leaves collection off.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(TelemetryTest, ScopedPhaseChargesTidAndPhase) {
+  {
+    const ScopedPhase phase(3, Phase::kCompute);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  record_ns(3, Phase::kBarrierWait, 500);
+  record_ns(7, Phase::kCompute, 1000);
+
+  const Totals t3 = thread_totals(3);
+  EXPECT_GE(t3.phase_seconds(Phase::kCompute), 0.002);
+  EXPECT_EQ(t3.calls[static_cast<int>(Phase::kCompute)], 1u);
+  EXPECT_DOUBLE_EQ(t3.phase_seconds(Phase::kBarrierWait), 500e-9);
+
+  const Totals sum = aggregate();
+  EXPECT_EQ(sum.calls[static_cast<int>(Phase::kCompute)], 2u);
+  EXPECT_GE(sum.phase_seconds(Phase::kCompute), 0.002 + 1000e-9);
+}
+
+TEST_F(TelemetryTest, DisabledRecordsNothing) {
+  set_enabled(false);
+  {
+    const ScopedPhase phase(0, Phase::kCompute);
+  }
+  record_ns(0, Phase::kCompute, 1000);
+  add_external_cells(0, 10, 10);
+  add_external_bytes(0, 64, 64);
+
+  const Totals sum = aggregate();
+  EXPECT_EQ(sum.calls[static_cast<int>(Phase::kCompute)], 0u);
+  EXPECT_EQ(sum.cells_loaded, 0u);
+  EXPECT_EQ(sum.bytes_read, 0u);
+}
+
+TEST_F(TelemetryTest, OutOfRangeTidIsDroppedNotCrashed) {
+  record_ns(kMaxThreads + 5, Phase::kCompute, 1000);
+  record_ns(-1, Phase::kCompute, 1000);
+  add_external_cells(kMaxThreads, 7, 7);
+
+  const Totals sum = aggregate();
+  EXPECT_EQ(sum.calls[static_cast<int>(Phase::kCompute)], 0u);
+  EXPECT_EQ(sum.cells_loaded, 0u);
+}
+
+TEST_F(TelemetryTest, ResetClearsEverything) {
+  record_ns(0, Phase::kRegion, 1000);
+  add_external_cells(1, 5, 6);
+  reset();
+  const Totals sum = aggregate();
+  EXPECT_EQ(sum.calls[static_cast<int>(Phase::kRegion)], 0u);
+  EXPECT_EQ(sum.cells_loaded, 0u);
+  EXPECT_EQ(sum.cells_stored, 0u);
+}
+
+// End-to-end through the engine: a 3.5D sweep must charge compute time,
+// one region per thread per pass, barrier waits, and exact external cell
+// counts (each cell loaded and stored once per dim_t-step round).
+TEST_F(TelemetryTest, EngineSweepAccountsPhasesAndCells) {
+  const long n = 32;
+  const int steps = 4, dim_t = 2, threads = 2;
+  const auto stencil = stencil::default_stencil7<float>();
+  grid::GridPair<float> pair(n, n, n);
+  pair.src().fill_random(11, -1.0f, 1.0f);
+  core::Engine35 engine(threads);
+
+  stencil::SweepConfig cfg;
+  cfg.dim_t = dim_t;
+  cfg.dim_x = 16;
+  run_sweep(stencil::Variant::kBlocked35D, stencil, pair, steps, cfg, engine);
+
+  const Totals sum = aggregate();
+  EXPECT_GT(sum.phase_seconds(Phase::kCompute), 0.0);
+  EXPECT_GT(sum.phase_seconds(Phase::kRegion), 0.0);
+  EXPECT_GT(sum.calls[static_cast<int>(Phase::kBarrierWait)], 0u);
+  EXPECT_EQ(sum.calls[static_cast<int>(Phase::kRegion)],
+            static_cast<std::uint64_t>(threads) * (steps / dim_t));
+  // Plane streaming: every cell is stored out exactly once per round;
+  // loads additionally cover inter-tile ghost overlap, bounded by the
+  // eq. 2 ghost factor kappa.
+  const std::uint64_t per_round = static_cast<std::uint64_t>(n) * n * n;
+  const std::uint64_t rounds = steps / dim_t;
+  EXPECT_EQ(sum.cells_stored, per_round * rounds);
+  EXPECT_GE(sum.cells_loaded, per_round * rounds);
+  const double kappa = core::kappa_35d(1, dim_t, cfg.dim_x, cfg.dim_x);
+  EXPECT_LE(static_cast<double>(sum.cells_loaded),
+            kappa * static_cast<double>(per_round * rounds));
+}
+
+TEST(TelemetryReport, BenchRecordJsonShape) {
+  BenchRecord rec;
+  rec.bench = "test_bench";
+  rec.kernel = "stencil7";
+  rec.variant = "3.5d";
+  rec.nx = rec.ny = rec.nz = 64;
+  rec.steps = 8;
+  rec.dim_t = 2;
+  rec.kappa = 1.14;
+  rec.mups = 123.5;
+  rec.bytes_per_update_measured = 6.0;
+  rec.bytes_per_update_predicted = 6.83;
+  rec.phases.seconds[static_cast<int>(Phase::kCompute)] = 0.25;
+  rec.extra["speedup"] = 2.5;
+
+  const std::string json = to_json(rec);
+  for (const char* needle :
+       {"\"schema\":\"s35.bench.v1\"", "\"bench\":\"test_bench\"",
+        "\"kernel\":\"stencil7\"", "\"variant\":\"3.5d\"", "\"dim_t\":2",
+        "\"measured\":6", "\"predicted_eq3\":6.83", "\"compute_s\":0.25",
+        "\"speedup\":2.5", "\"glups\":0.1235"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\nin: " << json;
+  }
+}
+
+TEST(TelemetryReport, EscapesStringsAndHandlesNonFinite) {
+  BenchRecord rec;
+  rec.bench = "quote\"back\\slash";
+  rec.mups = std::numeric_limits<double>::infinity();
+  const std::string json = to_json(rec);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mups\":null"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace s35::telemetry
