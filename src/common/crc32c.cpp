@@ -1,0 +1,32 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace s35 {
+
+namespace {
+
+// Reflected CRC32C table, generated once at startup.
+struct Table {
+  std::array<std::uint32_t, 256> t;
+  Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+const Table g_table;
+
+}  // namespace
+
+std::uint32_t crc32c(const void* p, std::size_t n, std::uint32_t crc) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < n; ++i) c = g_table.t[(c ^ b[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace s35

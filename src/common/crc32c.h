@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78).
+//
+// The checksum behind checkpoint format v2 and the verified halo
+// transfers of the distributed drivers: CRC32C detects every single-bit
+// flip and all burst errors up to 32 bits, which is exactly the failure
+// model of torn writes and corrupted exchanges the fault framework
+// injects. Software table implementation — portable, deterministic across
+// platforms, fast enough for the restart path (which is I/O bound anyway).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace s35 {
+
+// Extends `crc` (0 for a fresh checksum) over `n` bytes at `p`. Chaining
+// calls over consecutive ranges equals one call over the concatenation.
+std::uint32_t crc32c(const void* p, std::size_t n, std::uint32_t crc = 0);
+
+}  // namespace s35

@@ -1,0 +1,73 @@
+#include "fault/fault_plan.h"
+
+namespace s35::fault {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer the test fixtures use for grids.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double FaultPlan::unit(std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t h = mix(seed_ ^ mix(a + 0x9E3779B97F4A7C15ull));
+  h = mix(h ^ mix(b + 0x632BE59BD9B4E019ull));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+HaloFault FaultPlan::halo_fault(std::uint64_t pass, std::uint64_t message,
+                                int attempt) {
+  if (halo_corrupt_prob <= 0.0 && halo_drop_prob <= 0.0) return HaloFault::kNone;
+  if (attempt >= transient_attempts) return HaloFault::kNone;  // site healed
+  const double u = unit(pass, message);
+  HaloFault f = HaloFault::kNone;
+  if (u < halo_drop_prob) {
+    f = HaloFault::kDrop;
+  } else if (u < halo_drop_prob + halo_corrupt_prob) {
+    f = HaloFault::kCorrupt;
+  }
+  if (f != HaloFault::kNone) ++counters_.halo_faults;
+  return f;
+}
+
+bool FaultPlan::rank_fails(int rank, std::uint64_t pass) {
+  if (!rank_failure_armed_ || rank != fail_rank || fail_at_pass < 0 ||
+      pass != static_cast<std::uint64_t>(fail_at_pass))
+    return false;
+  rank_failure_armed_ = false;
+  ++counters_.rank_failures;
+  return true;
+}
+
+bool FaultPlan::next_write_fails() {
+  const bool fail = write_op_ == io_write_fail_op;
+  ++write_op_;
+  if (fail) ++counters_.io_write_failures;
+  return fail;
+}
+
+bool FaultPlan::next_read_corrupts() {
+  const bool corrupt = read_op_ == io_read_corrupt_op;
+  ++read_op_;
+  if (corrupt) ++counters_.io_read_corruptions;
+  return corrupt;
+}
+
+bool FaultPlan::alloc_fails(std::uint64_t site) {
+  if (alloc_fail_prob <= 0.0) return false;
+  const bool fail = unit(0xA110C, site) < alloc_fail_prob;
+  if (fail) ++counters_.alloc_failures;
+  return fail;
+}
+
+void FaultPlan::rearm() {
+  rank_failure_armed_ = true;
+  write_op_ = 0;
+  read_op_ = 0;
+}
+
+}  // namespace s35::fault

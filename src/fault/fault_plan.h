@@ -1,0 +1,82 @@
+// Deterministic, seed-driven fault injection.
+//
+// A FaultPlan is the single source of truth for which faults fire during a
+// run: halo-exchange corruption/drops, permanent rank failure at a chosen
+// pass, checkpoint I/O errors (via FaultyIoBackend), and allocation
+// refusal. Every decision is a pure hash of (seed, site coordinates), so a
+// seed replays the exact same fault sequence — the property the recovery
+// tests lean on: run once with faults, once without, and demand bitwise
+// identical results.
+//
+// Transient faults model torn-but-retryable transfers: a faulty site fails
+// the first `transient_attempts` delivery attempts and then succeeds, so a
+// retry loop with budget >= transient_attempts absorbs it.
+#pragma once
+
+#include <cstdint>
+
+namespace s35::fault {
+
+// Injection tallies, bumped as faults actually fire.
+struct FaultCounters {
+  std::uint64_t halo_faults = 0;        // corrupt + drop events injected
+  std::uint64_t rank_failures = 0;      // permanent rank deaths triggered
+  std::uint64_t io_write_failures = 0;  // file writes / syncs refused
+  std::uint64_t io_read_corruptions = 0;
+  std::uint64_t alloc_failures = 0;
+};
+
+enum class HaloFault { kNone, kCorrupt, kDrop };
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // ---- knobs (configure before the run) ----
+  double halo_corrupt_prob = 0.0;  // P(message payload corrupted in flight)
+  double halo_drop_prob = 0.0;     // P(message payload lost in flight)
+  int transient_attempts = 1;      // failing attempts before a faulty site heals
+  int fail_rank = -1;              // permanent rank failure: which rank ...
+  std::int64_t fail_at_pass = -1;  // ... dies at which blocked pass (0-based)
+  int io_write_fail_op = -1;       // 0-based write/sync op to refuse (-1 = off)
+  int io_read_corrupt_op = -1;     // 0-based read op to corrupt (-1 = off)
+  double alloc_fail_prob = 0.0;    // P(refuse a guarded allocation)
+
+  // ---- deterministic queries ----
+
+  // Fault for delivery attempt `attempt` (0-based) of `message` in `pass`.
+  // Whether a site is faulty depends only on (seed, pass, message); the
+  // attempt index makes the fault transient.
+  HaloFault halo_fault(std::uint64_t pass, std::uint64_t message, int attempt);
+
+  // True exactly once: when `rank` == fail_rank and `pass` == fail_at_pass.
+  // Disarms after firing so recovery can replay the pass without re-killing
+  // the (already removed) rank.
+  bool rank_fails(int rank, std::uint64_t pass);
+
+  // Consumed by FaultyIoBackend: each call advances the op counter.
+  bool next_write_fails();
+  bool next_read_corrupts();
+
+  // Guarded-allocation check for `site` (any stable caller-chosen id).
+  bool alloc_fails(std::uint64_t site);
+
+  std::uint64_t seed() const { return seed_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  // Re-arms one-shot faults and rewinds the I/O op counters (counters()
+  // keeps accumulating) — for replaying the same plan over a fresh run.
+  void rearm();
+
+ private:
+  // Pure hash of (seed_, a, b) to a uniform double in [0, 1).
+  double unit(std::uint64_t a, std::uint64_t b) const;
+
+  std::uint64_t seed_;
+  bool rank_failure_armed_ = true;
+  int write_op_ = 0;
+  int read_op_ = 0;
+  FaultCounters counters_;
+};
+
+}  // namespace s35::fault

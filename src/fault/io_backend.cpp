@@ -1,0 +1,54 @@
+#include "fault/io_backend.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace s35::fault {
+
+std::FILE* IoBackend::open(const std::string& path, const char* mode) {
+  return std::fopen(path.c_str(), mode);
+}
+
+bool IoBackend::write(std::FILE* f, const void* p, std::size_t n) {
+  return std::fwrite(p, 1, n, f) == n;
+}
+
+bool IoBackend::read(std::FILE* f, void* p, std::size_t n) {
+  return std::fread(p, 1, n, f) == n;
+}
+
+bool IoBackend::flush_and_sync(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+  const int fd = fileno(f);
+  return fd >= 0 && ::fsync(fd) == 0;
+}
+
+bool IoBackend::atomic_rename(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void IoBackend::remove_file(const std::string& path) { std::remove(path.c_str()); }
+
+IoBackend& IoBackend::standard() {
+  static IoBackend backend;
+  return backend;
+}
+
+bool FaultyIoBackend::write(std::FILE* f, const void* p, std::size_t n) {
+  if (plan_.next_write_fails()) return false;
+  return base_.write(f, p, n);
+}
+
+bool FaultyIoBackend::read(std::FILE* f, void* p, std::size_t n) {
+  if (!base_.read(f, p, n)) return false;
+  if (n > 0 && plan_.next_read_corrupts()) static_cast<unsigned char*>(p)[0] ^= 0x40;
+  return true;
+}
+
+bool FaultyIoBackend::flush_and_sync(std::FILE* f) {
+  if (plan_.next_write_fails()) return false;  // a sync is a durability write
+  return base_.flush_and_sync(f);
+}
+
+}  // namespace s35::fault

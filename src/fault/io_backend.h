@@ -1,0 +1,51 @@
+// Injectable file backend for durable checkpoint I/O.
+//
+// The checkpoint layer performs all file operations through an IoBackend so
+// tests (and chaos runs) can inject write failures, short reads and bit rot
+// without touching the filesystem semantics the production path relies on:
+// write-to-temp, fsync, atomic rename. The default backend is plain stdio +
+// POSIX fsync/rename; FaultyIoBackend wraps any backend and consults a
+// FaultPlan on every operation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "fault/fault_plan.h"
+
+namespace s35::fault {
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual std::FILE* open(const std::string& path, const char* mode);
+  virtual bool write(std::FILE* f, const void* p, std::size_t n);
+  virtual bool read(std::FILE* f, void* p, std::size_t n);
+  // Flushes stdio buffers and fsyncs the descriptor — the durability point.
+  virtual bool flush_and_sync(std::FILE* f);
+  virtual bool atomic_rename(const std::string& from, const std::string& to);
+  virtual void remove_file(const std::string& path);
+
+  // Process-wide default backend (plain stdio).
+  static IoBackend& standard();
+};
+
+// Decorator injecting the plan's I/O faults into another backend: refused
+// writes/syncs (buffered-flush errors, full disks) and corrupted reads
+// (bit rot between write and restore).
+class FaultyIoBackend final : public IoBackend {
+ public:
+  explicit FaultyIoBackend(FaultPlan& plan, IoBackend& base = IoBackend::standard())
+      : plan_(plan), base_(base) {}
+
+  bool write(std::FILE* f, const void* p, std::size_t n) override;
+  bool read(std::FILE* f, void* p, std::size_t n) override;
+  bool flush_and_sync(std::FILE* f) override;
+
+ private:
+  FaultPlan& plan_;
+  IoBackend& base_;
+};
+
+}  // namespace s35::fault

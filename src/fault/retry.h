@@ -1,0 +1,52 @@
+// Capped exponential backoff for transient faults.
+//
+// Transient comm faults (torn halo transfers) are retried a bounded number
+// of times with exponentially growing, capped sleeps — the standard
+// distributed-systems discipline: bounded so a permanent fault escalates
+// quickly (to checkpoint restore), exponential so a congested transport
+// isn't hammered, capped so the tail retry isn't absurd.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "fault/status.h"
+
+namespace s35::fault {
+
+struct RetryPolicy {
+  int max_retries = 3;  // retries after the initial attempt
+  std::chrono::microseconds base_delay{50};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_delay{2000};
+};
+
+// Delay before retry number `retry` (0-based): base * multiplier^retry,
+// capped at max_delay.
+inline std::chrono::microseconds backoff_delay(const RetryPolicy& p, int retry) {
+  double us = static_cast<double>(p.base_delay.count());
+  for (int i = 0; i < retry; ++i) us *= p.multiplier;
+  const double cap = static_cast<double>(p.max_delay.count());
+  return std::chrono::microseconds(static_cast<long>(us < cap ? us : cap));
+}
+
+// Calls fn(attempt) (attempt = 0, 1, ...) until it returns ok or a
+// non-transient error (both returned as-is), sleeping backoff_delay between
+// attempts. After max_retries retries a still-transient status becomes
+// kRetriesExhausted carrying the last failure's message.
+template <typename Fn>
+Status retry_with_backoff(const RetryPolicy& policy, Fn&& fn) {
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    last = fn(attempt);
+    if (last.ok() || !is_transient(last.code())) return last;
+    if (attempt >= policy.max_retries)
+      return Status(ErrorCode::kRetriesExhausted,
+                    "gave up after " + std::to_string(policy.max_retries) +
+                        " retries — last: " + last.message());
+    std::this_thread::sleep_for(backoff_delay(policy, attempt));
+  }
+}
+
+}  // namespace s35::fault

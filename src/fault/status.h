@@ -1,0 +1,116 @@
+// Recoverable-error types for the fault-tolerance subsystem.
+//
+// The library's hard invariants stay fatal (S35_CHECK): a mis-sized halo
+// or a null grid is a programming error. But I/O failures, corrupted
+// checkpoints, torn halo exchanges and rank loss are *operational* errors
+// a long run must survive, so every recoverable path returns a Status (or
+// Expected<T>) instead of aborting, and callers decide: retry, restore,
+// degrade, or propagate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace s35::fault {
+
+enum class ErrorCode {
+  kOk = 0,
+  kIoError,           // open/write/fsync/rename failed
+  kBadMagic,          // not a checkpoint file at all
+  kBadHeader,         // header fails sanity/overflow validation
+  kTruncated,         // file ends before the payload the header promises
+  kCorrupted,         // CRC mismatch (header or payload)
+  kMismatch,          // valid file, but dims/type don't match the target
+  kTransient,         // a retryable fault (torn halo transfer)
+  kRankFailure,       // permanent loss of a rank
+  kAllocFailure,      // allocation refused (injected or real)
+  kRetriesExhausted,  // transient fault persisted past the retry budget
+  kUnavailable,       // nothing to restore from
+};
+
+constexpr const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kBadMagic:
+      return "bad_magic";
+    case ErrorCode::kBadHeader:
+      return "bad_header";
+    case ErrorCode::kTruncated:
+      return "truncated";
+    case ErrorCode::kCorrupted:
+      return "corrupted";
+    case ErrorCode::kMismatch:
+      return "mismatch";
+    case ErrorCode::kTransient:
+      return "transient";
+    case ErrorCode::kRankFailure:
+      return "rank_failure";
+    case ErrorCode::kAllocFailure:
+      return "alloc_failure";
+    case ErrorCode::kRetriesExhausted:
+      return "retries_exhausted";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+// Transient errors are worth retrying; everything else is permanent from
+// the caller's point of view.
+constexpr bool is_transient(ErrorCode c) { return c == ErrorCode::kTransient; }
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(fault::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status ok_status() { return Status(); }
+
+// Value-or-Status, for factories whose failure is recoverable (e.g. probing
+// a checkpoint header before committing to an allocation).
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    S35_CHECK_MSG(!status_.ok(), "Expected built from an ok Status needs a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  T& value() {
+    S35_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    S35_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace s35::fault

@@ -4,13 +4,26 @@
 // distributions) before each blocked pass, and runs independently. Same
 // thick-halo correctness argument as stencil/distributed.h; the geometry
 // is sliced per rank from the global one (flags are time-invariant).
+//
+// Fault tolerance mirrors the stencil driver: attach a fault::FaultPlan
+// for verified (CRC-checked, retried) halo transfers; enable durable
+// checkpointing and permanent rank failure is survived by repartitioning
+// the survivors (geometry re-sliced from the retained global copy) and
+// restoring the last good checkpoint. See docs/RESILIENCE.md.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "stencil/distributed.h"  // CommStats
+#include "common/crc32c.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
+#include "grid/checkpoint.h"
 #include "lbm/sweeps.h"
+#include "stencil/distributed.h"  // CommStats
+#include "telemetry/telemetry.h"
 
 namespace s35::lbm {
 
@@ -23,27 +36,15 @@ class DistributedLbmDriver {
  public:
   DistributedLbmDriver(const Geometry& global_geom, int ranks, int dim_t)
       : nx_(global_geom.nx()), ny_(global_geom.ny()), nz_(global_geom.nz()),
-        ranks_(ranks), dim_t_(dim_t), halo_(static_cast<long>(R) * dim_t) {
+        ranks_(ranks), dim_t_(dim_t), halo_(static_cast<long>(R) * dim_t),
+        global_geom_(global_geom) {
     S35_CHECK(ranks >= 1 && dim_t >= 1);
     for (int r = 0; r < ranks; ++r) {
       const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
       S35_CHECK_MSG(e - b >= halo_ || ranks == 1,
                     "subdomain shallower than the R*dim_t halo");
-      const long lo = (r == 0) ? b : b - halo_;
-      const long hi = (r == ranks - 1) ? e : e + halo_;
-      owned_.push_back({b, e});
-      extended_.push_back({lo, hi});
-      locals_.emplace_back(nx_, ny_, hi - lo);
-
-      // Slice the global geometry for this rank's extended range.
-      auto geom = std::make_unique<Geometry>(nx_, ny_, hi - lo);
-      for (long z = lo; z < hi; ++z)
-        for (long y = 0; y < ny_; ++y)
-          std::memcpy(geom->row(y, z - lo), global_geom.row(y, z),
-                      static_cast<std::size_t>(geom->pitch()));
-      geom->finalize(/*frozen_z_edges=*/true);
-      geoms_.push_back(std::move(geom));
     }
+    build_partition(ranks);
   }
 
   void scatter(const Lattice<T>& global) {
@@ -71,12 +72,54 @@ class DistributedLbmDriver {
     }
   }
 
-  void run(const BgkParams<T>& prm, int steps, const SweepConfig& cfg,
-           core::Engine35& engine) {
-    int remaining = steps;
-    while (remaining > 0) {
-      const int dt = remaining < dim_t_ ? remaining : dim_t_;
-      exchange_halos();
+  // ---- fault tolerance configuration (all optional) ----
+  void set_fault_plan(fault::FaultPlan* plan) { plan_ = plan; }
+  void set_retry_policy(const fault::RetryPolicy& p) { retry_ = p; }
+  void set_io_backend(fault::IoBackend* io) { io_ = io; }
+
+  void enable_checkpointing(const std::string& path, int every_passes) {
+    S35_CHECK(every_passes >= 1);
+    ckpt_path_ = path;
+    checkpoint_every_ = every_passes;
+  }
+
+  fault::Status resume_from(const std::string& path) {
+    Lattice<T> global(nx_, ny_, nz_);
+    std::uint64_t tag = 0;
+    if (fault::Status st = grid::load_checkpoint_arrays_ex(path, global, kQ, &tag, io_);
+        !st.ok())
+      return st;
+    scatter(global);
+    steps_done_ = tag;
+    last_good_ = path;
+    return {};
+  }
+
+  fault::Status run_guarded(const BgkParams<T>& prm, int steps, const SweepConfig& cfg,
+                            core::Engine35& engine) {
+    const std::uint64_t target = steps_done_ + static_cast<std::uint64_t>(steps);
+    if (checkpoint_every_ > 0 && last_good_.empty())
+      (void)write_checkpoint();  // failure tolerated: counted, run continues
+    while (steps_done_ < target) {
+      if (plan_ != nullptr) {
+        int dead = -1;
+        for (int r = 0; r < ranks_; ++r)
+          if (plan_->rank_fails(r, pass_index_)) dead = r;
+        if (dead >= 0) {
+          if (fault::Status st = recover_from_rank_failure(dead); !st.ok()) return st;
+          continue;
+        }
+      }
+      const std::uint64_t left = target - steps_done_;
+      const int dt = left < static_cast<std::uint64_t>(dim_t_)
+                         ? static_cast<int>(left)
+                         : dim_t_;
+      if (fault::Status st = exchange_halos(); !st.ok()) {
+        if (st.code() != fault::ErrorCode::kRetriesExhausted || last_good_.empty())
+          return st;
+        if (fault::Status rst = restore(); !rst.ok()) return rst;
+        continue;
+      }
       for (int r = 0; r < ranks_; ++r) {
         auto& pair = locals_[static_cast<std::size_t>(r)];
         run_lbm_engine_pass<T, simd::DefaultTag>(
@@ -87,18 +130,75 @@ class DistributedLbmDriver {
       }
       stats_.passes += 1;
       stats_.time_steps += static_cast<std::uint64_t>(dt);
-      remaining -= dt;
+      steps_done_ += static_cast<std::uint64_t>(dt);
+      ++pass_index_;
+      if (checkpoint_every_ > 0 && pass_index_ % checkpoint_every_ == 0)
+        (void)write_checkpoint();  // failure tolerated: counted, run continues
     }
+    return {};
+  }
+
+  void run(const BgkParams<T>& prm, int steps, const SweepConfig& cfg,
+           core::Engine35& engine) {
+    const fault::Status st = run_guarded(prm, steps, cfg, engine);
+    S35_CHECK_MSG(st.ok(), st.to_string().c_str());
   }
 
   const CommStats& stats() const { return stats_; }
+  int ranks() const { return ranks_; }
+  std::uint64_t steps_done() const { return steps_done_; }
 
  private:
   struct Extent {
     long begin, end;
   };
 
-  void exchange_halos() {
+  bool partition_viable(int ranks) const {
+    if (ranks == 1) return true;
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      if (e - b < halo_) return false;
+    }
+    return true;
+  }
+
+  void build_partition(int ranks) {
+    locals_.clear();
+    geoms_.clear();
+    owned_.clear();
+    extended_.clear();
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      const long lo = (r == 0) ? b : b - halo_;
+      const long hi = (r == ranks - 1) ? e : e + halo_;
+      owned_.push_back({b, e});
+      extended_.push_back({lo, hi});
+      locals_.emplace_back(nx_, ny_, hi - lo);
+
+      // Slice the global geometry for this rank's extended range.
+      auto geom = std::make_unique<Geometry>(nx_, ny_, hi - lo);
+      for (long z = lo; z < hi; ++z)
+        for (long y = 0; y < ny_; ++y)
+          std::memcpy(geom->row(y, z - lo), global_geom_.row(y, z),
+                      static_cast<std::size_t>(geom->pitch()));
+      geom->finalize(/*frozen_z_edges=*/true);
+      geoms_.push_back(std::move(geom));
+    }
+    ranks_ = ranks;
+  }
+
+  std::uint32_t halo_crc(const Lattice<T>& lat, long z_begin, long z_end,
+                         long local_lo) const {
+    const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
+    std::uint32_t crc = 0;
+    for (int i = 0; i < kQ; ++i)
+      for (long z = z_begin; z < z_end; ++z)
+        for (long y = 0; y < ny_; ++y)
+          crc = crc32c(lat.row(i, y, z - local_lo), row_bytes, crc);
+    return crc;
+  }
+
+  fault::Status exchange_halos() {
     const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
     for (int r = 0; r + 1 < ranks_; ++r) {
       auto& left = locals_[static_cast<std::size_t>(r)];
@@ -106,30 +206,126 @@ class DistributedLbmDriver {
       const long lb = extended_[static_cast<std::size_t>(r)].begin;
       const long rb = extended_[static_cast<std::size_t>(r + 1)].begin;
       const long face = owned_[static_cast<std::size_t>(r)].end;
-      for (int i = 0; i < kQ; ++i) {
-        for (long z = face - halo_; z < face; ++z)
-          for (long y = 0; y < ny_; ++y)
-            std::memcpy(right.src().row(i, y, z - rb), left.src().row(i, y, z - lb),
-                        row_bytes);
-        for (long z = face; z < face + halo_; ++z)
-          for (long y = 0; y < ny_; ++y)
-            std::memcpy(left.src().row(i, y, z - lb), right.src().row(i, y, z - rb),
-                        row_bytes);
+      for (int dir = 0; dir < 2; ++dir) {
+        Lattice<T>& src = dir == 0 ? left.src() : right.src();
+        Lattice<T>& dst = dir == 0 ? right.src() : left.src();
+        const long src_lo = dir == 0 ? lb : rb;
+        const long dst_lo = dir == 0 ? rb : lb;
+        const long z0 = dir == 0 ? face - halo_ : face;
+        const long z1 = dir == 0 ? face : face + halo_;
+        const auto copy_once = [&] {
+          for (int i = 0; i < kQ; ++i)
+            for (long z = z0; z < z1; ++z)
+              for (long y = 0; y < ny_; ++y)
+                std::memcpy(dst.row(i, y, z - dst_lo), src.row(i, y, z - src_lo),
+                            row_bytes);
+        };
+        if (plan_ == nullptr) {
+          copy_once();
+        } else {
+          const std::uint64_t msg = 2ull * static_cast<std::uint64_t>(r) +
+                                    static_cast<std::uint64_t>(dir);
+          const std::uint32_t want = halo_crc(src, z0, z1, src_lo);
+          int attempts = 0;
+          const std::int64_t t0 = telemetry::detail::now_ns();
+          fault::Status st = fault::retry_with_backoff(retry_, [&](int attempt) {
+            attempts = attempt + 1;
+            copy_once();
+            switch (plan_->halo_fault(pass_index_, msg, attempt)) {
+              case fault::HaloFault::kCorrupt:
+                reinterpret_cast<unsigned char*>(dst.row(0, 0, z0 - dst_lo))[0] ^= 0x01;
+                break;
+              case fault::HaloFault::kDrop:
+                std::memset(dst.row(0, 0, z0 - dst_lo), 0, row_bytes);
+                break;
+              case fault::HaloFault::kNone:
+                break;
+            }
+            if (halo_crc(dst, z0, z1, dst_lo) != want) {
+              ++stats_.halo_faults;
+              return fault::Status(fault::ErrorCode::kTransient,
+                                   "halo message checksum mismatch");
+            }
+            return fault::Status();
+          });
+          if (attempts > 1) {
+            stats_.halo_retries += static_cast<std::uint64_t>(attempts - 1);
+            telemetry::record_ns(0, telemetry::Phase::kRecovery,
+                                 telemetry::detail::now_ns() - t0);
+          }
+          if (!st.ok()) return st;
+        }
+        stats_.messages += 1;
+        stats_.bytes += static_cast<std::uint64_t>(kQ) * halo_ * ny_ * row_bytes;
       }
-      stats_.messages += 2;
-      stats_.bytes += 2ull * kQ * halo_ * ny_ * row_bytes;
     }
+    return {};
+  }
+
+  fault::Status write_checkpoint() {
+    Lattice<T> global(nx_, ny_, nz_);
+    gather(global);
+    const fault::Status st =
+        grid::save_checkpoint_arrays_ex(ckpt_path_, global, kQ, steps_done_, io_);
+    if (st.ok()) {
+      ++stats_.checkpoints_written;
+      last_good_ = ckpt_path_;
+    } else {
+      ++stats_.checkpoint_failures;
+    }
+    return st;
+  }
+
+  fault::Status restore() {
+    const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+    Lattice<T> global(nx_, ny_, nz_);
+    std::uint64_t tag = 0;
+    if (fault::Status st =
+            grid::load_checkpoint_arrays_ex(last_good_, global, kQ, &tag, io_);
+        !st.ok())
+      return st;
+    scatter(global);
+    steps_done_ = tag;
+    ++stats_.restores;
+    return {};
+  }
+
+  fault::Status recover_from_rank_failure(int dead_rank) {
+    const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+    ++stats_.rank_failures;
+    if (last_good_.empty())
+      return {fault::ErrorCode::kUnavailable,
+              "rank " + std::to_string(dead_rank) +
+                  " failed with no checkpoint to restore from"};
+    int survivors = ranks_ > 1 ? ranks_ - 1 : 1;
+    while (survivors > 1 && !partition_viable(survivors)) --survivors;
+    if (plan_ != nullptr && plan_->alloc_fails(pass_index_))
+      return {fault::ErrorCode::kAllocFailure,
+              "allocation refused while repartitioning to " +
+                  std::to_string(survivors) + " ranks"};
+    build_partition(survivors);
+    return restore();
   }
 
   long nx_, ny_, nz_;
   int ranks_;
   int dim_t_;
   long halo_;
+  Geometry global_geom_;  // retained for degraded-mode re-slicing
   std::vector<LatticePair<T>> locals_;
   std::vector<std::unique_ptr<Geometry>> geoms_;
   std::vector<Extent> owned_;
   std::vector<Extent> extended_;
   CommStats stats_;
+
+  fault::FaultPlan* plan_ = nullptr;
+  fault::IoBackend* io_ = nullptr;
+  fault::RetryPolicy retry_;
+  std::string ckpt_path_;
+  std::string last_good_;
+  int checkpoint_every_ = 0;
+  std::uint64_t pass_index_ = 0;
+  std::uint64_t steps_done_ = 0;
 };
 
 }  // namespace s35::lbm

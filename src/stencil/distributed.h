@@ -16,19 +16,50 @@
 // per pass each interior face moves H planes once, so temporal blocking
 // divides the message count by dim_t at constant bytes per time step —
 // the latency-amortization benefit distributed stencil codes chase.
+//
+// Fault tolerance (optional, zero-overhead when unconfigured): attach a
+// fault::FaultPlan and the driver treats every halo message as a verified
+// transfer — source CRC32C against destination CRC32C, the signal a
+// checksumming transport would deliver — retrying torn transfers with
+// capped exponential backoff. Enable checkpointing and the driver writes
+// durable format-v2 checkpoints (completed steps in the user tag) every N
+// passes; a permanent rank failure is then survived by repartitioning the
+// dead rank's slab across the survivors (degraded mode) and restoring the
+// last good checkpoint, replaying from there. Because results are
+// bitwise rank-count-independent, a recovered run finishes bit-identical
+// to a fault-free one. All events are counted in CommStats and charged to
+// the telemetry kRecovery phase.
 #pragma once
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/crc32c.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
+#include "grid/checkpoint.h"
 #include "stencil/sweeps.h"
+#include "telemetry/telemetry.h"
 
 namespace s35::stencil {
 
 struct CommStats {
-  std::uint64_t messages = 0;       // one per (face, pass)
+  std::uint64_t messages = 0;       // one per (face, direction, pass)
   std::uint64_t bytes = 0;          // payload exchanged
   std::uint64_t passes = 0;
   std::uint64_t time_steps = 0;
+
+  // Fault-tolerance accounting: transient halo faults detected, the
+  // retransmits that absorbed them, durable checkpoints written (and
+  // write failures tolerated), restores from checkpoint, and permanent
+  // rank failures survived via degraded repartitioning.
+  std::uint64_t halo_faults = 0;
+  std::uint64_t halo_retries = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t rank_failures = 0;
 
   double bytes_per_step() const {
     return time_steps == 0 ? 0.0 : static_cast<double>(bytes) / time_steps;
@@ -49,19 +80,8 @@ class DistributedStencilDriver {
       : nx_(nx), ny_(ny), nz_(nz), ranks_(ranks), dim_t_(dim_t),
         halo_(static_cast<long>(R) * dim_t) {
     S35_CHECK(ranks >= 1 && dim_t >= 1);
-    long z0 = 0;
-    for (int r = 0; r < ranks; ++r) {
-      const auto [b, e] = parallel::chunk_range(nz, ranks, r);
-      S35_CHECK_MSG(e - b >= halo_ || ranks == 1,
-                    "subdomain shallower than the R*dim_t halo");
-      const long lo = (r == 0) ? b : b - halo_;
-      const long hi = (r == ranks - 1) ? e : e + halo_;
-      locals_.emplace_back(nx, ny, hi - lo);
-      owned_.push_back({b, e});
-      extended_.push_back({lo, hi});
-      z0 = e;
-    }
-    S35_CHECK(z0 == nz);
+    S35_CHECK(partition_fits(ranks));
+    build_partition(ranks);
   }
 
   // Scatters a full grid into the local (extended) subdomains.
@@ -89,14 +109,70 @@ class DistributedStencilDriver {
     }
   }
 
+  // ---- fault tolerance configuration (all optional) ----
+
+  // Attaches the fault plan consulted on every pass/message. The driver
+  // does not own the plan; pass nullptr to detach.
+  void set_fault_plan(fault::FaultPlan* plan) { plan_ = plan; }
+  void set_retry_policy(const fault::RetryPolicy& p) { retry_ = p; }
+  // Routes checkpoint I/O through `io` (e.g. a FaultyIoBackend).
+  void set_io_backend(fault::IoBackend* io) { io_ = io; }
+
+  // Writes a durable checkpoint to `path` every `every_passes` blocked
+  // passes (plus one at run start so rank-failure recovery always has a
+  // restore point). The file is also the restore source for recovery.
+  void enable_checkpointing(const std::string& path, int every_passes) {
+    S35_CHECK(every_passes >= 1);
+    ckpt_path_ = path;
+    checkpoint_every_ = every_passes;
+  }
+
+  // Restores grid state and the completed-step count from a checkpoint
+  // written by a previous (interrupted) run.
+  fault::Status resume_from(const std::string& path) {
+    grid::Grid3<T> g(nx_, ny_, nz_);
+    std::uint64_t tag = 0;
+    if (fault::Status st = grid::load_checkpoint_ex(path, g, &tag, io_); !st.ok())
+      return st;
+    scatter(g);
+    steps_done_ = tag;
+    last_good_ = path;
+    return {};
+  }
+
   // Advances `steps` time steps: halo exchange, one blocked pass per rank,
   // repeat. `cfg.dim_x/dim_y` select the per-rank tiling; dim_t is fixed
-  // by the constructor (it sizes the halos).
-  void run(const S& stencil, int steps, const SweepConfig& cfg, core::Engine35& engine) {
-    int remaining = steps;
-    while (remaining > 0) {
-      const int dt = remaining < dim_t_ ? remaining : dim_t_;
-      exchange_halos();
+  // by the constructor (it sizes the halos). Recoverable faults (torn
+  // exchanges within the retry budget, rank failure with a checkpoint
+  // available) are absorbed; anything else comes back as an error.
+  fault::Status run_guarded(const S& stencil, int steps, const SweepConfig& cfg,
+                            core::Engine35& engine) {
+    const std::uint64_t target = steps_done_ + static_cast<std::uint64_t>(steps);
+    if (checkpoint_every_ > 0 && last_good_.empty())
+      (void)write_checkpoint();  // failure tolerated: counted, run continues
+    while (steps_done_ < target) {
+      if (plan_ != nullptr) {
+        int dead = -1;
+        for (int r = 0; r < ranks_; ++r)
+          if (plan_->rank_fails(r, pass_index_)) dead = r;
+        if (dead >= 0) {
+          if (fault::Status st = recover_from_rank_failure(dead); !st.ok()) return st;
+          continue;
+        }
+      }
+      const std::uint64_t left = target - steps_done_;
+      const int dt = left < static_cast<std::uint64_t>(dim_t_)
+                         ? static_cast<int>(left)
+                         : dim_t_;
+      if (fault::Status st = exchange_halos(); !st.ok()) {
+        // A transfer that stayed torn past the retry budget is a permanent
+        // comm fault: fall back to the last good checkpoint if there is
+        // one (same ranks — the hardware survived, the exchange didn't).
+        if (st.code() != fault::ErrorCode::kRetriesExhausted || last_good_.empty())
+          return st;
+        if (fault::Status rst = restore(); !rst.ok()) return rst;
+        continue;
+      }
       for (int r = 0; r < ranks_; ++r) {
         auto& pair = locals_[static_cast<std::size_t>(r)];
         run_engine_pass<S, T, simd::DefaultTag>(
@@ -107,44 +183,195 @@ class DistributedStencilDriver {
       }
       stats_.passes += 1;
       stats_.time_steps += static_cast<std::uint64_t>(dt);
-      remaining -= dt;
+      steps_done_ += static_cast<std::uint64_t>(dt);
+      ++pass_index_;
+      if (checkpoint_every_ > 0 && pass_index_ % checkpoint_every_ == 0)
+        (void)write_checkpoint();  // failure tolerated: counted, run continues
     }
+    return {};
+  }
+
+  // Legacy entry point: recoverable faults are still absorbed, anything
+  // unrecoverable is fatal (matching the library's hard-invariant policy).
+  void run(const S& stencil, int steps, const SweepConfig& cfg, core::Engine35& engine) {
+    const fault::Status st = run_guarded(stencil, steps, cfg, engine);
+    S35_CHECK_MSG(st.ok(), st.to_string().c_str());
   }
 
   const CommStats& stats() const { return stats_; }
-  int ranks() const { return ranks_; }
+  int ranks() const { return ranks_; }  // shrinks in degraded mode
   long halo_planes() const { return halo_; }
+  std::uint64_t steps_done() const { return steps_done_; }
 
  private:
   struct Extent {
     long begin, end;
   };
 
+  bool partition_fits(int ranks) const {
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      S35_CHECK_MSG(e - b >= halo_ || ranks == 1,
+                    "subdomain shallower than the R*dim_t halo");
+    }
+    return true;
+  }
+
+  // True when every slab of a `ranks`-way split stays at least halo deep.
+  bool partition_viable(int ranks) const {
+    if (ranks == 1) return true;
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      if (e - b < halo_) return false;
+    }
+    return true;
+  }
+
+  void build_partition(int ranks) {
+    locals_.clear();
+    owned_.clear();
+    extended_.clear();
+    long z0 = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = parallel::chunk_range(nz_, ranks, r);
+      const long lo = (r == 0) ? b : b - halo_;
+      const long hi = (r == ranks - 1) ? e : e + halo_;
+      locals_.emplace_back(nx_, ny_, hi - lo);
+      owned_.push_back({b, e});
+      extended_.push_back({lo, hi});
+      z0 = e;
+    }
+    S35_CHECK(z0 == nz_);
+    ranks_ = ranks;
+  }
+
+  std::uint32_t halo_crc(const grid::Grid3<T>& g, long z_begin, long z_end,
+                         long local_lo) const {
+    const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
+    std::uint32_t crc = 0;
+    for (long z = z_begin; z < z_end; ++z)
+      for (long y = 0; y < ny_; ++y)
+        crc = crc32c(g.row(y, z - local_lo), row_bytes, crc);
+    return crc;
+  }
+
   // Copies the halo slabs from each neighbor's owned region into this
-  // rank's extended grid (both directions for every interior face).
-  void exchange_halos() {
+  // rank's extended grid (both directions for every interior face). With a
+  // fault plan attached each message is a verified transfer: retried with
+  // backoff while the destination CRC disagrees with the source.
+  fault::Status exchange_halos() {
     const std::size_t row_bytes = static_cast<std::size_t>(nx_) * sizeof(T);
     for (int r = 0; r + 1 < ranks_; ++r) {
       auto& left = locals_[static_cast<std::size_t>(r)];
       auto& right = locals_[static_cast<std::size_t>(r + 1)];
-      const Extent le = extended_[static_cast<std::size_t>(r)];
-      const Extent re = extended_[static_cast<std::size_t>(r + 1)];
+      const long le = extended_[static_cast<std::size_t>(r)].begin;
+      const long re = extended_[static_cast<std::size_t>(r + 1)].begin;
       const long face = owned_[static_cast<std::size_t>(r)].end;  // global z of the cut
 
-      // Right rank's lower halo [face - halo, face) from the left rank.
-      for (long z = face - halo_; z < face; ++z)
-        for (long y = 0; y < ny_; ++y)
-          std::memcpy(right.src().row(y, z - re.begin), left.src().row(y, z - le.begin),
-                      row_bytes);
-      // Left rank's upper halo [face, face + halo) from the right rank.
-      for (long z = face; z < face + halo_; ++z)
-        for (long y = 0; y < ny_; ++y)
-          std::memcpy(left.src().row(y, z - le.begin), right.src().row(y, z - re.begin),
-                      row_bytes);
-
-      stats_.messages += 2;
-      stats_.bytes += 2ull * halo_ * ny_ * row_bytes;
+      // dir 0: right rank's lower halo [face - halo, face) from the left
+      // rank; dir 1: left rank's upper halo [face, face + halo) from the
+      // right rank.
+      for (int dir = 0; dir < 2; ++dir) {
+        grid::Grid3<T>& src = dir == 0 ? left.src() : right.src();
+        grid::Grid3<T>& dst = dir == 0 ? right.src() : left.src();
+        const long src_lo = dir == 0 ? le : re;
+        const long dst_lo = dir == 0 ? re : le;
+        const long z0 = dir == 0 ? face - halo_ : face;
+        const long z1 = dir == 0 ? face : face + halo_;
+        const auto copy_once = [&] {
+          for (long z = z0; z < z1; ++z)
+            for (long y = 0; y < ny_; ++y)
+              std::memcpy(dst.row(y, z - dst_lo), src.row(y, z - src_lo), row_bytes);
+        };
+        if (plan_ == nullptr) {
+          copy_once();
+        } else {
+          const std::uint64_t msg = 2ull * static_cast<std::uint64_t>(r) +
+                                    static_cast<std::uint64_t>(dir);
+          const std::uint32_t want = halo_crc(src, z0, z1, src_lo);
+          int attempts = 0;
+          const std::int64_t t0 = telemetry::detail::now_ns();
+          fault::Status st = fault::retry_with_backoff(retry_, [&](int attempt) {
+            attempts = attempt + 1;
+            copy_once();
+            switch (plan_->halo_fault(pass_index_, msg, attempt)) {
+              case fault::HaloFault::kCorrupt:
+                // Torn payload: flip one bit of the delivered slab.
+                reinterpret_cast<unsigned char*>(dst.row(0, z0 - dst_lo))[0] ^= 0x01;
+                break;
+              case fault::HaloFault::kDrop:
+                std::memset(dst.row(0, z0 - dst_lo), 0, row_bytes);  // lost payload
+                break;
+              case fault::HaloFault::kNone:
+                break;
+            }
+            if (halo_crc(dst, z0, z1, dst_lo) != want) {
+              ++stats_.halo_faults;
+              return fault::Status(fault::ErrorCode::kTransient,
+                                   "halo message checksum mismatch");
+            }
+            return fault::Status();
+          });
+          if (attempts > 1) {
+            stats_.halo_retries += static_cast<std::uint64_t>(attempts - 1);
+            telemetry::record_ns(0, telemetry::Phase::kRecovery,
+                                 telemetry::detail::now_ns() - t0);
+          }
+          if (!st.ok()) return st;
+        }
+        stats_.messages += 1;
+        stats_.bytes += static_cast<std::uint64_t>(halo_) * ny_ * row_bytes;
+      }
     }
+    return {};
+  }
+
+  fault::Status write_checkpoint() {
+    grid::Grid3<T> g(nx_, ny_, nz_);
+    gather(g);
+    const fault::Status st = grid::save_checkpoint_ex(ckpt_path_, g, steps_done_, io_);
+    if (st.ok()) {
+      ++stats_.checkpoints_written;
+      last_good_ = ckpt_path_;
+    } else {
+      ++stats_.checkpoint_failures;
+    }
+    return st;
+  }
+
+  fault::Status restore() {
+    const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+    grid::Grid3<T> g(nx_, ny_, nz_);
+    std::uint64_t tag = 0;
+    if (fault::Status st = grid::load_checkpoint_ex(last_good_, g, &tag, io_);
+        !st.ok())
+      return st;
+    scatter(g);
+    steps_done_ = tag;
+    ++stats_.restores;
+    return {};
+  }
+
+  // Permanent rank failure: shrink the partition to the surviving rank
+  // count (the dead rank's slab is spread across survivors), then restore
+  // from the last good checkpoint and replay. Surfaces kUnavailable when
+  // checkpointing was never enabled/succeeded and kAllocFailure when the
+  // plan refuses the repartition allocations.
+  fault::Status recover_from_rank_failure(int dead_rank) {
+    const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+    ++stats_.rank_failures;
+    if (last_good_.empty())
+      return {fault::ErrorCode::kUnavailable,
+              "rank " + std::to_string(dead_rank) +
+                  " failed with no checkpoint to restore from"};
+    int survivors = ranks_ > 1 ? ranks_ - 1 : 1;
+    while (survivors > 1 && !partition_viable(survivors)) --survivors;
+    if (plan_ != nullptr && plan_->alloc_fails(pass_index_))
+      return {fault::ErrorCode::kAllocFailure,
+              "allocation refused while repartitioning to " +
+                  std::to_string(survivors) + " ranks"};
+    build_partition(survivors);
+    return restore();
   }
 
   long nx_, ny_, nz_;
@@ -155,6 +382,15 @@ class DistributedStencilDriver {
   std::vector<Extent> owned_;
   std::vector<Extent> extended_;
   CommStats stats_;
+
+  fault::FaultPlan* plan_ = nullptr;
+  fault::IoBackend* io_ = nullptr;
+  fault::RetryPolicy retry_;
+  std::string ckpt_path_;
+  std::string last_good_;  // most recent restore source (may equal ckpt_path_)
+  int checkpoint_every_ = 0;
+  std::uint64_t pass_index_ = 0;  // monotonic blocked-pass counter
+  std::uint64_t steps_done_ = 0;  // completed time steps (rewinds on restore)
 };
 
 }  // namespace s35::stencil

@@ -115,8 +115,10 @@ std::string to_json(const BenchRecord& rec) {
       .num("barrier_wait_s", ph.phase_seconds(Phase::kBarrierWait))
       .num("external_io_s", ph.phase_seconds(Phase::kExternalIo))
       .num("region_s", ph.phase_seconds(Phase::kRegion))
+      .num("recovery_s", ph.phase_seconds(Phase::kRecovery))
       .unsigned64("barrier_waits",
-                  ph.calls[static_cast<int>(Phase::kBarrierWait)]);
+                  ph.calls[static_cast<int>(Phase::kBarrierWait)])
+      .unsigned64("recoveries", ph.calls[static_cast<int>(Phase::kRecovery)]);
   Obj external;
   external.unsigned64("cells_loaded", ph.cells_loaded)
       .unsigned64("cells_stored", ph.cells_stored)

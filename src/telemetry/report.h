@@ -22,7 +22,8 @@
 //       "ideal": ..                      //   perfect-reuse kernel bytes
 //     },
 //     "phases": {"compute_s":.., "ghost_fill_s":.., "barrier_wait_s":..,
-//                "external_io_s":.., "region_s":.., "barrier_waits":..},
+//                "external_io_s":.., "region_s":.., "recovery_s":..,
+//                "barrier_waits":.., "recoveries":..},
 //     "external": {"cells_loaded":.., "cells_stored":..,
 //                  "bytes_read":.., "bytes_written":..},
 //     "extra": {..}                      // free-form numeric key/values

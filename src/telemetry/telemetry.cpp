@@ -30,6 +30,8 @@ const char* to_string(Phase p) {
       return "external_io";
     case Phase::kRegion:
       return "region";
+    case Phase::kRecovery:
+      return "recovery";
   }
   return "?";
 }

@@ -11,6 +11,9 @@
 //   kExternalIo  — external plane loads into instance 0 (kLoad steps)
 //   kRegion      — whole SPMD region per participant (ThreadTeam::run);
 //                  region − Σ(other phases) ≈ dispatch + imbalance
+//   kRecovery    — fault-tolerance work in the distributed drivers: halo
+//                  retransmits (incl. backoff sleeps), checkpoint restores
+//                  and degraded repartitioning; zero in healthy runs
 //
 // plus external-traffic tallies (cells and bytes) fed by the engine's
 // plane-streaming loop and by the memsim traffic replays.
@@ -36,15 +39,16 @@ enum class Phase : int {
   kBarrierWait,
   kExternalIo,
   kRegion,
+  kRecovery,
 };
-inline constexpr int kNumPhases = 5;
+inline constexpr int kNumPhases = 6;
 
 const char* to_string(Phase p);
 
 // Aggregated view of one thread's counters (or of the whole team).
 struct Totals {
-  double seconds[kNumPhases] = {0, 0, 0, 0, 0};
-  std::uint64_t calls[kNumPhases] = {0, 0, 0, 0, 0};
+  double seconds[kNumPhases] = {};
+  std::uint64_t calls[kNumPhases] = {};
   // External-traffic tallies from the engine's plane-streaming loop, in
   // grid cells (the kernel element size is policy-specific, so byte
   // conversion happens at reporting time — see report.h).
@@ -64,8 +68,8 @@ inline constexpr int kMaxThreads = 256;
 namespace detail {
 
 struct alignas(64) Slot {
-  std::int64_t ns[kNumPhases] = {0, 0, 0, 0, 0};
-  std::uint64_t calls[kNumPhases] = {0, 0, 0, 0, 0};
+  std::int64_t ns[kNumPhases] = {};
+  std::uint64_t calls[kNumPhases] = {};
   std::uint64_t cells_loaded = 0;
   std::uint64_t cells_stored = 0;
   std::uint64_t bytes_read = 0;

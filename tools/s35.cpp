@@ -8,6 +8,8 @@
 //   s35 gpu      GTX 285 model + SIMT simulation of the paper's kernels
 //   s35 tune     [--n N] [--cache MB]   auto-tune tile/dim_t by traffic
 //   s35 wavefront [--n N]               Section V-A1 working-set analysis
+//   s35 run      distributed 3.5D run with durable checkpoints, resume,
+//                and (optional) deterministic fault injection
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -15,15 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "common/table.h"
 #include "core/autotuner.h"
 #include "core/planner.h"
 #include "core/wavefront.h"
+#include "fault/fault_plan.h"
 #include "gpumodel/gpu_model.h"
 #include "gpusim/programs.h"
 #include "machine/descriptor.h"
 #include "machine/kernel_sig.h"
 #include "memsim/traffic.h"
+#include "stencil/distributed.h"
 
 using namespace s35;
 using machine::Precision;
@@ -195,6 +200,92 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+// A real (measured) distributed 7-point run that exercises the durable
+// checkpoint/restart path and the fault-tolerance machinery end to end.
+// The final CRC32C over the logical grid lets shell tests compare a
+// resumed or fault-injected run against an uninterrupted one bit for bit.
+int cmd_run(const Args& args) {
+  const long n = static_cast<long>(args.num("n", 64));
+  const int steps = static_cast<int>(args.num("steps", 8));
+  const int dim_t = static_cast<int>(args.num("dimt", 2));
+  const int ranks = static_cast<int>(args.num("ranks", 2));
+  const int threads = static_cast<int>(args.num("threads", 2));
+  const int ckpt_every = static_cast<int>(args.num("checkpoint-every", 0));
+  const std::string ckpt = args.str("ckpt", "s35_run.ckpt");
+  const std::string resume = args.str("resume", "");
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 42));
+
+  stencil::DistributedStencilDriver<stencil::Stencil7<float>, float> driver(
+      n, n, n, ranks, dim_t);
+
+  // Deterministic fault injection: a permanent rank death and/or transient
+  // halo corruption, replayable from the seed.
+  fault::FaultPlan plan(seed);
+  plan.fail_rank = static_cast<int>(args.num("fail-rank", -1));
+  plan.fail_at_pass = static_cast<std::int64_t>(args.num("fail-pass", -1));
+  plan.halo_corrupt_prob = args.num("halo-corrupt", 0.0);
+  plan.transient_attempts = static_cast<int>(args.num("transient-attempts", 2));
+  if (plan.fail_rank >= 0 || plan.halo_corrupt_prob > 0.0)
+    driver.set_fault_plan(&plan);
+  if (ckpt_every > 0) driver.enable_checkpointing(ckpt, ckpt_every);
+
+  grid::Grid3<float> g(n, n, n);
+  g.fill_random(seed, -1.0f, 1.0f);
+  driver.scatter(g);
+
+  std::uint64_t already_done = 0;
+  if (!resume.empty()) {
+    const fault::Status st = driver.resume_from(resume);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume from %s failed: %s\n", resume.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+    already_done = driver.steps_done();
+    std::printf("resumed from %s at step %llu\n", resume.c_str(),
+                static_cast<unsigned long long>(already_done));
+  }
+  if (already_done >= static_cast<std::uint64_t>(steps)) {
+    std::puts("nothing to do: checkpoint is at/past the requested step count");
+    return 1;
+  }
+
+  stencil::SweepConfig cfg;
+  cfg.dim_t = dim_t;
+  cfg.dim_x = std::min<long>(n, 64);
+  core::Engine35 engine(threads);
+  const auto stencil = stencil::default_stencil7<float>();
+  const fault::Status st = driver.run_guarded(
+      stencil, static_cast<int>(steps - already_done), cfg, engine);
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  grid::Grid3<float> out(n, n, n);
+  driver.gather(out);
+  std::uint32_t crc = 0;
+  for (long z = 0; z < n; ++z)
+    for (long y = 0; y < n; ++y)
+      crc = crc32c(out.row(y, z), static_cast<std::size_t>(n) * sizeof(float), crc);
+
+  const auto& s = driver.stats();
+  std::printf("grid %ld^3 steps %d dim_t %d ranks %d -> %d (threads %d)\n", n, steps,
+              dim_t, ranks, driver.ranks(), threads);
+  std::printf(
+      "comm: %llu msgs, %.1f KB/step | faults: %llu halo (%llu retries), "
+      "%llu rank failures | checkpoints: %llu written, %llu failed, %llu restores\n",
+      static_cast<unsigned long long>(s.messages), s.bytes_per_step() / 1024.0,
+      static_cast<unsigned long long>(s.halo_faults),
+      static_cast<unsigned long long>(s.halo_retries),
+      static_cast<unsigned long long>(s.rank_failures),
+      static_cast<unsigned long long>(s.checkpoints_written),
+      static_cast<unsigned long long>(s.checkpoint_failures),
+      static_cast<unsigned long long>(s.restores));
+  std::printf("final crc32c %08x\n", crc);
+  return 0;
+}
+
 int cmd_wavefront(const Args& args) {
   const long n = static_cast<long>(args.num("n", 128));
   Table t({"grid", "wavefront peak (pts)", "2.5D planes (pts)", "64^2 tile buffer"});
@@ -217,8 +308,9 @@ int main(int argc, char** argv) {
   if (cmd == "gpu") return cmd_gpu(args);
   if (cmd == "tune") return cmd_tune(args);
   if (cmd == "wavefront") return cmd_wavefront(args);
+  if (cmd == "run") return cmd_run(args);
   std::puts(
-      "usage: s35 <plan|traffic|gpu|tune|wavefront> [options]\n"
+      "usage: s35 <plan|traffic|gpu|tune|wavefront|run> [options]\n"
       "  plan      blocking parameters (eqs. 1-4) for presets/host or\n"
       "            --bw G --sp G --dp G --cache MB [--cores N]\n"
       "  traffic   simulated external bytes/update per scheme\n"
@@ -226,6 +318,11 @@ int main(int argc, char** argv) {
       "            [--dim D] [--cache MB] [--stream]\n"
       "  gpu       GTX 285 model + SIMT simulation\n"
       "  tune      auto-tune tile/dim_t for simulated traffic [--n N] [--cache MB]\n"
-      "  wavefront Section V-A1 working-set comparison [--n N]");
+      "  wavefront Section V-A1 working-set comparison [--n N]\n"
+      "  run       distributed 3.5D run with checkpoint/restart + fault injection\n"
+      "            [--n N] [--steps S] [--dimt T] [--ranks R] [--threads N]\n"
+      "            [--checkpoint-every P] [--ckpt PATH] [--resume PATH]\n"
+      "            [--fail-rank R] [--fail-pass P] [--halo-corrupt PROB]\n"
+      "            [--transient-attempts K] [--seed S]");
   return cmd.empty() ? 0 : 1;
 }
