@@ -68,15 +68,17 @@ Measurement measure_updates(Fn&& run, double updates) {
   return m;
 }
 
-// Measures a 7-point-stencil sweep (Mupdates/s plus telemetry).
+// Measures a 7-point-stencil sweep (Mupdates/s plus telemetry). The grids
+// are first-touch initialized by the engine's team (NUMA page placement
+// matches the sweep row partition) and the backend honors cfg.kernel.isa.
 template <typename T>
 Measurement measure_stencil7(stencil::Variant v, long n, int steps,
                              const stencil::SweepConfig& cfg, core::Engine35& engine) {
   const auto stencil = stencil::default_stencil7<T>();
-  grid::GridPair<T> pair(n, n, n);
+  grid::GridPair<T> pair(n, n, n, engine.team());
   pair.src().fill_random(7, T(-1), T(1));
   return measure_updates(
-      [&] { stencil::run_sweep(v, stencil, pair, steps, cfg, engine); },
+      [&] { stencil::run_sweep_auto(v, stencil, pair, steps, cfg, engine); },
       static_cast<double>(n) * n * n * steps);
 }
 
@@ -94,7 +96,7 @@ Measurement measure_lbm(lbm::Variant v, long n, int steps, const lbm::SweepConfi
   lbm::LatticePair<T> pair(n, n, n);
   pair.src().init_equilibrium();
   return measure_updates(
-      [&] { lbm::run_lbm(v, geom, prm, pair, steps, cfg, engine); },
+      [&] { lbm::run_lbm_auto(v, geom, prm, pair, steps, cfg, engine); },
       static_cast<double>(n) * n * n * steps);
 }
 

@@ -15,6 +15,7 @@
 #include "core/perf_model.h"
 #include "core/planner.h"
 #include "machine/kernel_sig.h"
+#include "row_ablation.h"
 
 using namespace s35;
 using machine::Precision;
@@ -69,6 +70,38 @@ void run_precision(Precision prec, core::Engine35& engine,
   t.print();
 }
 
+// AVX generic loop vs AVX2+FMA register-blocked fast path, single thread —
+// recorded as extra["fast_speedup"] so CI can track the interior-kernel gain
+// independently of the memory-bound full-sweep numbers above. The row
+// timings come from row_ablation.cpp, whose TU keeps the reference loops
+// unvectorized by the compiler (see that file).
+void report_fastpath(telemetry::JsonReporter& reporter) {
+  if (!simd::isa_available(simd::Isa::kAvx) ||
+      !simd::isa_available(simd::Isa::kAvx2)) {
+    return;
+  }
+  const long n = 512;
+  const double generic_avx = bench::row_ablation_mups(simd::Isa::kAvx, false, false, n);
+  const double fast_fma = bench::row_ablation_mups(simd::Isa::kAvx2, true, true, n);
+  const double speedup = fast_fma / generic_avx;
+  std::printf(
+      "\nfast-path ablation (SP row kernel, 1 thread): avx generic %.0f Mupd/s,\n"
+      "avx2+fma fast %.0f Mupd/s -> %.2fX\n",
+      generic_avx, fast_fma, speedup);
+
+  telemetry::BenchRecord rec;
+  rec.kernel = "stencil7_row";
+  rec.variant = "avx2-fma-fast-vs-avx";
+  rec.precision = "sp";
+  rec.nx = rec.ny = rec.nz = n;
+  rec.steps = 1;
+  rec.threads = 1;
+  rec.mups = fast_fma;
+  rec.extra["generic_avx_mups"] = generic_avx;
+  rec.extra["fast_speedup"] = speedup;
+  reporter.add(rec);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +113,7 @@ int main(int argc, char** argv) {
               engine.num_threads());
   run_precision<float>(Precision::kSingle, engine, reporter);
   run_precision<double>(Precision::kDouble, engine, reporter);
+  report_fastpath(reporter);
   std::puts(
       "\nshape checks (paper): 3.5D ~1.5X over naive at >=256^3; spatial-only ~= naive\n"
       "on cache-based CPUs; at 64^3 blocking gives a slight slowdown; DP ~= SP/2.");

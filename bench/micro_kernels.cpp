@@ -27,6 +27,45 @@ void BM_Stencil7Row(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (n - 2));
 }
 
+// Register-blocked interior fast path (scalar peel to alignment, 4xW
+// X-unroll); Fma=true additionally fuses each multiply-add (one rounding).
+template <typename T, typename Tag, bool Fma>
+void BM_Stencil7RowFast(benchmark::State& state) {
+  using V = simd::Vec<T, Tag>;
+  const long n = state.range(0);
+  grid::Grid3<T> g(n, 3, 3);
+  g.fill_random(1, T(-1), T(1));
+  grid::Grid3<T> out(n, 1, 1);
+  const auto stencil = stencil::default_stencil7<T>();
+  const auto acc = [&](int dz, int dy) -> const T* { return g.row(1 + dy, 1 + dz); };
+  const stencil::RowFastOpts opt;
+  for (auto _ : state) {
+    stencil::update_row_auto<V>(stencil, acc, out.row(0, 0), 1, n - 1, true, Fma, opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2));
+}
+
+// Y unroll-and-jam pair path: two adjacent rows per call, center-plane rows
+// shared between both accumulator chains.
+template <typename T, typename Tag>
+void BM_Stencil7RowPair(benchmark::State& state) {
+  using V = simd::Vec<T, Tag>;
+  const long n = state.range(0);
+  grid::Grid3<T> g(n, 5, 3);
+  g.fill_random(1, T(-1), T(1));
+  grid::Grid3<T> out(n, 2, 1);
+  const auto stencil = stencil::default_stencil7<T>();
+  const auto acc = [&](int dz, int dy) -> const T* { return g.row(1 + dy, 1 + dz); };
+  const stencil::RowFastOpts opt;
+  for (auto _ : state) {
+    stencil.template rows2_fast<V, false>(acc, out.row(0, 0), out.row(1, 0), 1, n - 1,
+                                          opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (n - 2));
+}
+
 template <typename T, typename Tag>
 void BM_Stencil27Row(benchmark::State& state) {
   using V = simd::Vec<T, Tag>;
@@ -67,6 +106,19 @@ BENCHMARK_TEMPLATE(BM_Stencil7Row, double, simd::SseTag)->Arg(512);
 #if defined(__AVX__)
 BENCHMARK_TEMPLATE(BM_Stencil7Row, float, simd::AvxTag)->Arg(512);
 BENCHMARK_TEMPLATE(BM_Stencil7Row, double, simd::AvxTag)->Arg(512);
+#endif
+
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, float, simd::ScalarTag, false)->Arg(512);
+#if defined(__AVX__)
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, float, simd::AvxTag, false)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, double, simd::AvxTag, false)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Stencil7RowPair, float, simd::AvxTag)->Arg(512);
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, float, simd::Avx2Tag, false)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, float, simd::Avx2Tag, true)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Stencil7RowFast, double, simd::Avx2Tag, true)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Stencil7RowPair, float, simd::Avx2Tag)->Arg(512);
 #endif
 
 BENCHMARK_TEMPLATE(BM_Stencil27Row, float, simd::ScalarTag)->Arg(512);

@@ -1,0 +1,40 @@
+// See row_ablation.h. This TU is compiled with -fno-tree-vectorize (set in
+// bench/CMakeLists.txt) for the same reason as scaling_simd.cpp: the scalar
+// and generic reference loops must stay as written for the backend ablation
+// to attribute speedups to the explicit SIMD paths.
+#include "row_ablation.h"
+
+#include "common/timer.h"
+#include "grid/grid3.h"
+#include "stencil/stencil_kernels.h"
+
+namespace s35::bench {
+
+double row_ablation_mups(simd::Isa isa, bool fast, bool fma, long n) {
+  return simd::dispatch(isa, [&](auto tag) {
+    using V = simd::Vec<float, decltype(tag)>;
+    grid::Grid3<float> g(n, 3, 3);
+    g.fill_random(1, -1.0f, 1.0f);
+    grid::Grid3<float> out(n, 1, 1);
+    const auto stencil = stencil::default_stencil7<float>();
+    const auto acc = [&](int dz, int dy) -> const float* {
+      return g.row(1 + dy, 1 + dz);
+    };
+    const stencil::RowFastOpts opt;
+    const double secs = time_best_of(
+        [&] {
+          for (int rep = 0; rep < 512; ++rep) {
+            if (fast) {
+              stencil::update_row_auto<V>(stencil, acc, out.row(0, 0), 1, n - 1, true,
+                                          fma, opt);
+            } else {
+              stencil::update_row<V>(stencil, acc, out.row(0, 0), 1, n - 1);
+            }
+          }
+        },
+        3, 0.05);
+    return 512.0 * static_cast<double>(n - 2) / secs / 1e6;
+  });
+}
+
+}  // namespace s35::bench

@@ -1,0 +1,17 @@
+// Single-thread SP 7-point row-kernel throughput for one (backend, path)
+// choice — the interior fast-path ablation the perf work targets. Lives in
+// its own TU compiled with -fno-tree-vectorize so the comparison measures
+// the hand-written vector code: GCC 12 auto-vectorizes surrounding loops at
+// -O2, which would blur what each explicit backend contributes.
+#pragma once
+
+#include "simd/dispatch.h"
+
+namespace s35::bench {
+
+// Mupdates/s for a 7-point SP row of length n on backend `isa`, through the
+// generic vector loop (fast=false) or the register-blocked fast path
+// (fast=true), optionally with fused multiply-add.
+double row_ablation_mups(simd::Isa isa, bool fast, bool fma, long n);
+
+}  // namespace s35::bench

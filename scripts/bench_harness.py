@@ -38,6 +38,7 @@ SMOKE_SET = [
     ("fig4b_7pt_cpu", {"S35_GRIDS": "64"}),
     ("fig4a_lbm_cpu", {"S35_LBM_GRIDS": "32"}),
     ("memtraffic", {}),
+    ("scaling_simd", {}),
 ]
 
 AGG_SCHEMA = "s35.bench.agg.v1"

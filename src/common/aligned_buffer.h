@@ -78,6 +78,14 @@ class AlignedBuffer {
     for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
   }
 
+  // Zero-fills elements [begin, end). Building block for parallel
+  // first-touch initialization: under Linux's first-touch policy the pages
+  // of the range land on the NUMA node of the calling thread.
+  void zero_range(std::size_t begin, std::size_t end) {
+    S35_DCHECK(begin <= end && end <= size_);
+    if (begin < end) std::memset(data_ + begin, 0, (end - begin) * sizeof(T));
+  }
+
  private:
   T* data_ = nullptr;
   std::size_t size_ = 0;

@@ -1,0 +1,44 @@
+// Runtime knobs for the interior fast-path kernels, threaded from the sweep
+// configs through Engine35 into the stencil and LBM kernel policies.
+//
+// Defaults keep the library's bit-exactness contract: the dispatched ISA only
+// changes vector width (same expression tree per lane), the fast path
+// replicates the generic path's rounding order, and FMA — the one transform
+// that changes results (one rounding instead of two) — stays off until the
+// caller opts in. See docs/PERFORMANCE.md for the accuracy contract.
+#pragma once
+
+#include <cstdlib>
+
+#include "simd/dispatch.h"
+
+namespace s35::core {
+
+struct KernelOptions {
+  // Vector backend for this run; defaults to the widest compiled+detected.
+  simd::Isa isa = simd::dispatch_isa();
+  // Use the register-blocked interior fast path (bit-exact to generic).
+  bool fast_path = true;
+  // Allow fused multiply-add in the fast path. Changes results within a
+  // documented ULP tolerance and makes them depend on the thread partition.
+  bool allow_fma = false;
+  // Software-prefetch the next ring-slot rows inside the fast path.
+  bool prefetch = true;
+
+  // Env overrides: S35_ISA (read by dispatch_isa), S35_FAST=0, S35_FMA=1,
+  // S35_PREFETCH=0. Benches use this so runs are steerable without rebuilds.
+  static KernelOptions from_env() {
+    KernelOptions o;
+    auto flag = [](const char* name, bool dflt) {
+      const char* v = std::getenv(name);
+      if (!v || !*v) return dflt;
+      return !(v[0] == '0' && v[1] == '\0');
+    };
+    o.fast_path = flag("S35_FAST", o.fast_path);
+    o.allow_fma = flag("S35_FMA", false);
+    o.prefetch = flag("S35_PREFETCH", o.prefetch);
+    return o;
+  }
+};
+
+}  // namespace s35::core

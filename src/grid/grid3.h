@@ -16,6 +16,8 @@
 #include "common/aligned_buffer.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "parallel/partition.h"
+#include "parallel/thread_team.h"
 
 namespace s35::grid {
 
@@ -34,6 +36,23 @@ class Grid3 {
       : nx_(nx), ny_(ny), nz_(nz), pitch_(padded_pitch(nx, sizeof(T))),
         storage_(static_cast<std::size_t>(pitch_) * ny * nz, T{}) {
     S35_CHECK(nx > 0 && ny > 0 && nz > 0);
+  }
+
+  // NUMA-aware construction: allocates uninitialized and zero-fills in
+  // parallel, each team participant touching the same contiguous row chunk
+  // the sweeps will later assign to it (chunk_range over ny*nz rows), so
+  // under the first-touch policy every thread's rows live on its own node.
+  Grid3(long nx, long ny, long nz, parallel::ThreadTeam& team)
+      : nx_(nx), ny_(ny), nz_(nz), pitch_(padded_pitch(nx, sizeof(T))),
+        storage_(static_cast<std::size_t>(pitch_) * ny * nz) {
+    S35_CHECK(nx > 0 && ny > 0 && nz > 0);
+    const long rows = ny_ * nz_;
+    const int nthreads = team.size();
+    team.run([&](int tid) {
+      const auto [r0, r1] = parallel::chunk_range(rows, nthreads, tid);
+      storage_.zero_range(static_cast<std::size_t>(r0 * pitch_),
+                          static_cast<std::size_t>(r1 * pitch_));
+    });
   }
 
   long nx() const { return nx_; }
@@ -105,6 +124,11 @@ template <typename T>
 class GridPair {
  public:
   GridPair(long nx, long ny, long nz) : a_(nx, ny, nz), b_(nx, ny, nz) {}
+
+  // First-touch variant: both grids are zero-filled by `team` following the
+  // sweep row partition (see the Grid3 team constructor).
+  GridPair(long nx, long ny, long nz, parallel::ThreadTeam& team)
+      : a_(nx, ny, nz, team), b_(nx, ny, nz, team) {}
 
   // Role selection is an index, not a pointer, so GridPair stays safely
   // movable (e.g. inside std::vector).

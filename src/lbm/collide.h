@@ -24,7 +24,10 @@ namespace s35::lbm {
 
 namespace detail {
 
-template <int I, typename V, typename T>
+// UseFma=false replicates the historical expression trees bit for bit (the
+// mul_add rewrites only commute IEEE additions); UseFma=true fuses each
+// multiply-add into one rounding — opt-in via KernelOptions::allow_fma.
+template <int I, bool UseFma, typename V, typename T>
 inline V equilibrium(V rho, V ux, V uy, V uz, V usq) {
   V cu = V::set1(T(0));
   if constexpr (kCx[I] == 1) cu = cu + ux;
@@ -34,12 +37,12 @@ inline V equilibrium(V rho, V ux, V uy, V uz, V usq) {
   if constexpr (kCz[I] == 1) cu = cu + uz;
   if constexpr (kCz[I] == -1) cu = cu - uz;
   const V w_rho = V::set1(weight<T>(I)) * rho;
-  return w_rho * (((V::set1(T(1)) + V::set1(T(3)) * cu) +
-                   V::set1(T(4.5)) * (cu * cu)) -
-                  V::set1(T(1.5)) * usq);
+  const V t0 = simd::mul_add<UseFma>(V::set1(T(3)), cu, V::set1(T(1)));
+  const V t1 = simd::mul_add<UseFma>(V::set1(T(4.5)), cu * cu, t0);
+  return w_rho * simd::neg_mul_add<UseFma>(V::set1(T(1.5)), usq, t1);
 }
 
-template <typename V, typename T, std::size_t... I>
+template <typename V, typename T, bool UseFma, std::size_t... I>
 inline void bgk_collide_impl(const V (&fin)[kQ], V (&fout)[kQ], T omega,
                              std::index_sequence<I...>) {
   V rho = fin[0];
@@ -59,36 +62,42 @@ inline void bgk_collide_impl(const V (&fin)[kQ], V (&fout)[kQ], T omega,
   const V usq = (ux * ux + uy * uy) + uz * uz;
 
   const V w = V::set1(omega);
-  ((fout[I] = fin[I] + w * (equilibrium<static_cast<int>(I), V, T>(rho, ux, uy, uz, usq) -
-                            fin[I])),
+  ((fout[I] = simd::mul_add<UseFma>(
+        w,
+        equilibrium<static_cast<int>(I), UseFma, V, T>(rho, ux, uy, uz, usq) -
+            fin[I],
+        fin[I])),
    ...);
 }
 
 }  // namespace detail
 
-template <typename V, typename T>
+template <typename V, typename T, bool UseFma = false>
 inline void bgk_collide(const V (&fin)[kQ], V (&fout)[kQ], T omega) {
-  detail::bgk_collide_impl<V, T>(fin, fout, omega, std::make_index_sequence<kQ>{});
+  detail::bgk_collide_impl<V, T, UseFma>(fin, fout, omega,
+                                         std::make_index_sequence<kQ>{});
 }
 
 namespace detail {
 
-template <typename V, typename T, std::size_t... I>
+template <typename V, typename T, bool UseFma, std::size_t... I>
 inline void trt_collide_impl(const V (&fin)[kQ], V (&fout)[kQ], T omega_plus,
                              T omega_minus, std::index_sequence<I...>) {
   // Equilibria via the shared moment computation (same expression tree as
   // BGK) — obtained by relaxing at rate 1: feq = fin + 1*(eq - fin).
   V feq[kQ];
-  bgk_collide_impl<V, T>(fin, feq, T(1), std::make_index_sequence<kQ>{});
+  bgk_collide_impl<V, T, UseFma>(fin, feq, T(1), std::make_index_sequence<kQ>{});
 
   const V half = V::set1(T(0.5));
   const V wp = V::set1(omega_plus);
   const V wm = V::set1(omega_minus);
   ((fout[I] = fin[I] -
-              (wp * ((fin[I] + fin[kOpposite[I]]) * half -
-                     (feq[I] + feq[kOpposite[I]]) * half) +
-               wm * ((fin[I] - fin[kOpposite[I]]) * half -
-                     (feq[I] - feq[kOpposite[I]]) * half))),
+              simd::mul_add<UseFma>(
+                  wp,
+                  (fin[I] + fin[kOpposite[I]]) * half -
+                      (feq[I] + feq[kOpposite[I]]) * half,
+                  wm * ((fin[I] - fin[kOpposite[I]]) * half -
+                        (feq[I] - feq[kOpposite[I]]) * half))),
    ...);
 }
 
@@ -102,11 +111,11 @@ inline void trt_collide_impl(const V (&fin)[kQ], V (&fout)[kQ], T omega_plus,
 // wall exactly mid-link at *every* viscosity, removing BGK's
 // omega-dependent wall slip. With omega_minus == omega_plus TRT is
 // mathematically identical to BGK.
-template <typename V, typename T>
+template <typename V, typename T, bool UseFma = false>
 inline void trt_collide(const V (&fin)[kQ], V (&fout)[kQ], T omega_plus,
                         T omega_minus) {
-  detail::trt_collide_impl<V, T>(fin, fout, omega_plus, omega_minus,
-                                 std::make_index_sequence<kQ>{});
+  detail::trt_collide_impl<V, T, UseFma>(fin, fout, omega_plus, omega_minus,
+                                         std::make_index_sequence<kQ>{});
 }
 
 // omega_minus realizing a given magic parameter Lambda at viscosity rate
@@ -162,10 +171,10 @@ struct CollideCtx {
 //
 // Pure-fluid intervals (from geom.pure_fluid_spans) run vectorized; all
 // remaining cells take the scalar flag-checking path.
-template <typename T, typename Tag, typename SrcRow, typename DstRow>
-inline void lbm_update_row(const Geometry& geom, const CollideCtx<T>& ctx,
-                           const SrcRow& src, const DstRow& dst,
-                           long y, long z, long x0, long x1) {
+template <typename T, typename Tag, bool UseFma, typename SrcRow, typename DstRow>
+inline void lbm_update_row_impl(const Geometry& geom, const CollideCtx<T>& ctx,
+                                const SrcRow& src, const DstRow& dst,
+                                long y, long z, long x0, long x1) {
   using V = simd::Vec<T, Tag>;
   using SV = simd::Vec<T, simd::ScalarTag>;
   const std::uint8_t* flags = geom.row(y, z);
@@ -193,9 +202,9 @@ inline void lbm_update_row(const Geometry& geom, const CollideCtx<T>& ctx,
     }
     SV fout[kQ];
     if (trt) {
-      trt_collide<SV, T>(fin, fout, omega, ctx.omega_minus);
+      trt_collide<SV, T, UseFma>(fin, fout, omega, ctx.omega_minus);
     } else {
-      bgk_collide<SV, T>(fin, fout, omega);
+      bgk_collide<SV, T, UseFma>(fin, fout, omega);
     }
     for (int i = 0; i < kQ; ++i) dst(i)[x] = fout[i].v + force_corr[i];
   };
@@ -207,9 +216,9 @@ inline void lbm_update_row(const Geometry& geom, const CollideCtx<T>& ctx,
     }
     V fout[kQ];
     if (trt) {
-      trt_collide<V, T>(fin, fout, omega, ctx.omega_minus);
+      trt_collide<V, T, UseFma>(fin, fout, omega, ctx.omega_minus);
     } else {
-      bgk_collide<V, T>(fin, fout, omega);
+      bgk_collide<V, T, UseFma>(fin, fout, omega);
     }
     for (int i = 0; i < kQ; ++i) (fout[i] + V::set1(force_corr[i])).storeu(dst(i) + x);
   };
@@ -227,6 +236,18 @@ inline void lbm_update_row(const Geometry& geom, const CollideCtx<T>& ctx,
     x = sb;
   }
   for (; x < x1; ++x) scalar_cell(x);
+}
+
+template <typename T, typename Tag, typename SrcRow, typename DstRow>
+inline void lbm_update_row(const Geometry& geom, const CollideCtx<T>& ctx,
+                           const SrcRow& src, const DstRow& dst,
+                           long y, long z, long x0, long x1,
+                           bool allow_fma = false) {
+  if (allow_fma) {
+    lbm_update_row_impl<T, Tag, true>(geom, ctx, src, dst, y, z, x0, x1);
+  } else {
+    lbm_update_row_impl<T, Tag, false>(geom, ctx, src, dst, y, z, x0, x1);
+  }
 }
 
 }  // namespace s35::lbm

@@ -10,6 +10,7 @@
 
 #include "common/aligned_buffer.h"
 #include "core/engine.h"
+#include "core/kernel_options.h"
 #include "lbm/collide.h"
 #include "lbm/lattice.h"
 #include "simd/simd.h"
@@ -25,10 +26,11 @@ class LbmSlabKernel {
   template <typename Params>
   LbmSlabKernel(const Geometry& geom, const Params& prm, const Lattice<T>& src,
                 Lattice<T>& dst, long dim_x, long dim_y, int dim_t,
-                int planes_per_instance)
+                int planes_per_instance, core::KernelOptions opts = {})
       : geom_(&geom),
         src_(&src),
         dst_(&dst),
+        allow_fma_(opts.allow_fma),
         pitch_(grid::padded_pitch(dim_x, sizeof(T))),
         buf_ny_(dim_y),
         ring_(planes_per_instance),
@@ -76,12 +78,14 @@ class LbmSlabKernel {
         };
         if (step.to_external) {
           const auto dst_acc = [&](int i) -> T* { return dst_->row(i, y, step.z); };
-          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1);
+          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1,
+                                 allow_fma_);
         } else {
           const auto dst_acc = [&](int i) -> T* {
             return buffer_row(tile, step.t, step.dst_slot, i, y);
           };
-          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1);
+          lbm_update_row<T, Tag>(*geom_, ctx_, src_acc, dst_acc, y, step.z, x0, x1,
+                                 allow_fma_);
         }
         return;
       }
@@ -102,6 +106,7 @@ class LbmSlabKernel {
   CollideCtx<T> ctx_;
   const Lattice<T>* src_;
   Lattice<T>* dst_;
+  bool allow_fma_ = false;
   long pitch_;
   long buf_ny_;
   int ring_;

@@ -15,8 +15,10 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/kernel_options.h"
 #include "lbm/slab_kernel.h"
 #include "parallel/partition.h"
+#include "simd/dispatch.h"
 
 namespace s35::lbm {
 
@@ -35,6 +37,9 @@ struct SweepConfig {
   long dim_y = 0;
   long dim_z = 0;  // 4D only
   bool serialized = false;
+  // ISA / FMA knobs (kernel.isa honored by run_lbm_auto only; fast_path
+  // and prefetch are stencil-side knobs the LBM kernels ignore).
+  core::KernelOptions kernel = {};
 };
 
 // Physics parameters shared by all variants.
@@ -67,7 +72,8 @@ CollideCtx<T> make_collide_ctx(const BgkParams<T>& prm) {
 template <typename T, typename Tag>
 void lbm_step_naive(const Geometry& geom, const BgkParams<T>& prm,
                     const Lattice<T>& src, Lattice<T>& dst,
-                    parallel::ThreadTeam& team) {
+                    parallel::ThreadTeam& team,
+                    const core::KernelOptions& opts = {}) {
   S35_CHECK(geom.finalized());
   const CollideCtx<T> ctx = make_collide_ctx(prm);
   const long rows = src.ny() * src.nz();
@@ -82,7 +88,8 @@ void lbm_step_naive(const Geometry& geom, const BgkParams<T>& prm,
         return src.row(i, y + dy, z + dz);
       };
       const auto dst_acc = [&](int i) -> T* { return dst.row(i, y, z); };
-      lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, x0, x1);
+      lbm_update_row<T, Tag>(geom, ctx, src_acc, dst_acc, y, z, x0, x1,
+                             opts.allow_fma);
       cells += static_cast<std::uint64_t>(x1 - x0);
     });
     // Ideal-reuse accounting (one cell read + write per update); the memsim
@@ -97,11 +104,12 @@ template <typename T, typename Tag>
 void run_lbm_engine_pass(const Geometry& geom, const BgkParams<T>& prm,
                          const Lattice<T>& src, Lattice<T>& dst, long dim_x,
                          long dim_y, int dim_t, bool serialized,
-                         core::Engine35& engine) {
+                         core::Engine35& engine,
+                         const core::KernelOptions& opts = {}) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, 1, dim_t);
   const core::TemporalSchedule sched(src.nz(), 1, dim_t, serialized);
   LbmSlabKernel<T, Tag> kernel(geom, prm, src, dst, dim_x, dim_y, dim_t,
-                               sched.planes_per_instance());
+                               sched.planes_per_instance(), opts);
   engine.run_pass(kernel, tiling, sched);
 }
 
@@ -122,7 +130,8 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
   switch (variant) {
     case Variant::kNaive:
       for (int s = 0; s < steps; ++s) {
-        lbm_step_naive<T, Tag>(geom, prm, pair.src(), pair.dst(), engine.team());
+        lbm_step_naive<T, Tag>(geom, prm, pair.src(), pair.dst(), engine.team(),
+                               cfg.kernel);
         pair.swap();
       }
       return;
@@ -146,7 +155,8 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
         const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t,
                                            cfg.serialized);
         LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
-                                     cfg.dim_t, sched.planes_per_instance());
+                                     cfg.dim_t, sched.planes_per_instance(),
+                                     cfg.kernel);
         while (remaining >= cfg.dim_t) {
           kernel.rebind(pair.src(), pair.dst());
           engine.run_pass(kernel, tiling, sched);
@@ -156,7 +166,7 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
       }
       if (remaining > 0) {
         run_lbm_engine_pass<T, Tag>(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
-                                    remaining, cfg.serialized, engine);
+                                    remaining, cfg.serialized, engine, cfg.kernel);
         pair.swap();
       }
       return;
@@ -179,6 +189,17 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
     }
   }
   S35_CHECK_MSG(false, "unknown Variant");
+}
+
+// Like run_lbm, but selects the vector backend at run time from
+// cfg.kernel.isa (clamped to what this build and CPU support).
+template <typename T>
+void run_lbm_auto(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
+                  LatticePair<T>& pair, int steps, const SweepConfig& cfg,
+                  core::Engine35& engine) {
+  simd::dispatch(cfg.kernel.isa, [&](auto tag) {
+    run_lbm<T, decltype(tag)>(variant, geom, prm, pair, steps, cfg, engine);
+  });
 }
 
 }  // namespace s35::lbm

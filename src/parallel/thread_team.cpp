@@ -1,5 +1,8 @@
 #include "parallel/thread_team.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #if defined(__linux__)
@@ -13,9 +16,72 @@
 
 namespace s35::parallel {
 
+namespace {
+
+thread_local int t_current_tid = 0;
+
+#if defined(__linux__)
+// Physical package (socket) of a CPU, from sysfs; 0 when unknown so the
+// sort below degrades to the identity order on single-socket machines.
+int package_of(int cpu) {
+  char path[128];
+  std::snprintf(path, sizeof(path),
+                "/sys/devices/system/cpu/cpu%d/topology/physical_package_id", cpu);
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  int pkg = 0;
+  if (std::fscanf(f, "%d", &pkg) != 1) pkg = 0;
+  std::fclose(f);
+  return pkg;
+}
+#endif
+
+}  // namespace
+
+int current_tid() { return t_current_tid; }
+
+std::vector<int> build_pin_map(int n) {
+  S35_CHECK(n >= 1);
+  std::vector<int> cpus;
+  if (const char* env = std::getenv("S35_PIN_MAP")) {
+    const char* p = env;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const long cpu = std::strtol(p, &end, 10);
+      if (end == p) break;  // malformed tail: keep what parsed so far
+      if (cpu >= 0) cpus.push_back(static_cast<int>(cpu));
+      p = (*end == ',') ? end + 1 : end;
+      if (end == p && *end != '\0') break;
+    }
+  }
+#if defined(__linux__)
+  if (cpus.empty()) {
+    cpu_set_t allowed;
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) == 0) {
+      for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+      }
+      std::stable_sort(cpus.begin(), cpus.end(),
+                       [](int a, int b) { return package_of(a) < package_of(b); });
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    for (int c = 0; c < hw; ++c) cpus.push_back(c);
+  }
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    map[static_cast<std::size_t>(i)] =
+        cpus[static_cast<std::size_t>(i) % cpus.size()];
+  }
+  return map;
+}
+
 ThreadTeam::ThreadTeam(int num_threads, bool pin_threads)
     : num_threads_(num_threads), pin_threads_(pin_threads) {
   S35_CHECK(num_threads >= 1);
+  if (pin_threads_) pin_map_ = build_pin_map(num_threads_);
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int tid = 1; tid < num_threads; ++tid) {
     workers_.emplace_back([this, tid] {
@@ -27,11 +93,11 @@ ThreadTeam::ThreadTeam(int num_threads, bool pin_threads)
 
 void ThreadTeam::pin_self(int tid) const {
 #if defined(__linux__)
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(static_cast<unsigned>(tid) % hw, &set);
-  // Best effort: failure (e.g. restricted affinity masks) is not fatal.
+  CPU_SET(static_cast<unsigned>(pin_map_[static_cast<std::size_t>(tid)]), &set);
+  // Best effort: failure (e.g. the map names a CPU outside the allowed
+  // mask) is not fatal.
   (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
 #else
   (void)tid;
@@ -85,6 +151,7 @@ void ThreadTeam::parallel_for(long n, const std::function<void(long, long)>& bod
 }
 
 void ThreadTeam::worker_main(int tid) {
+  t_current_tid = tid;
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

@@ -17,13 +17,26 @@
 
 namespace s35::parallel {
 
+// Stable SPMD tid of the calling thread while inside ThreadTeam::run
+// (participant 0 is the caller). Returns 0 outside a region so telemetry
+// hooks reached from serial code still land in a valid slot.
+int current_tid();
+
+// CPU ids participant i should pin to, for a team of `n` threads. Sources,
+// in order: S35_PIN_MAP (comma-separated CPU ids, wrapped modulo its
+// length), else the allowed-affinity mask from sched_getaffinity — so
+// pinning stays correct under taskset/cgroup restriction — sorted so CPUs
+// on the same physical package are consecutive: adjacent tids share a
+// socket, and their first-touch pages land on one NUMA node.
+std::vector<int> build_pin_map(int n);
+
 class ThreadTeam {
  public:
   // Creates `num_threads - 1` workers; the caller of run() is participant 0.
-  // With pin_threads, worker i is pinned to CPU (i mod hardware_concurrency)
-  // — the HPC idiom that keeps each thread's blocking-buffer rows in its
-  // own L1/L2 (Section VI-A's inter-cache-communication argument). The
-  // calling thread is pinned on its first run() when pinning is enabled.
+  // With pin_threads, participant i is pinned to build_pin_map(n)[i] — the
+  // HPC idiom that keeps each thread's blocking-buffer rows in its own
+  // L1/L2 (Section VI-A's inter-cache-communication argument). The calling
+  // thread is pinned on its first run() when pinning is enabled.
   explicit ThreadTeam(int num_threads, bool pin_threads = false);
   ~ThreadTeam();
 
@@ -47,6 +60,7 @@ class ThreadTeam {
   const int num_threads_;
   const bool pin_threads_;
   bool caller_pinned_ = false;
+  std::vector<int> pin_map_;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

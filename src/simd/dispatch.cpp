@@ -1,0 +1,75 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+
+namespace s35::simd {
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse:
+      return "sse";
+    case Isa::kAvx:
+      return "avx";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> parse_isa(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse") return Isa::kSse;
+  if (name == "avx") return Isa::kAvx;
+  if (name == "avx2") return Isa::kAvx2;
+  return std::nullopt;
+}
+
+namespace {
+
+Isa probe_cpu() {
+#if defined(__x86_64__) || defined(__i386__)
+  // "avx2" here means the fast path's full requirement: AVX2 *and* FMA.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+  if (__builtin_cpu_supports("avx")) return Isa::kAvx;
+  if (__builtin_cpu_supports("sse2")) return Isa::kSse;
+  return Isa::kScalar;
+#else
+  return compiled_isa();
+#endif
+}
+
+}  // namespace
+
+Isa detected_isa() {
+  static const Isa cached = probe_cpu();
+  return cached;
+}
+
+Isa dispatch_isa() {
+  Isa isa = detected_isa();
+  if (static_cast<int>(compiled_isa()) < static_cast<int>(isa)) {
+    isa = compiled_isa();
+  }
+  // Re-read every call: tests and benches toggle S35_ISA between runs.
+  if (const char* env = std::getenv("S35_ISA")) {
+    if (auto forced = parse_isa(env);
+        forced && static_cast<int>(*forced) < static_cast<int>(isa)) {
+      isa = *forced;
+    }
+  }
+  return isa;
+}
+
+bool isa_available(Isa isa) {
+  int widest = static_cast<int>(detected_isa());
+  if (static_cast<int>(compiled_isa()) < widest) {
+    widest = static_cast<int>(compiled_isa());
+  }
+  return static_cast<int>(isa) <= widest;
+}
+
+}  // namespace s35::simd

@@ -1,0 +1,75 @@
+// Runtime ISA selection between the SIMD backends compiled into this build.
+//
+// One binary carries every backend its compile flags allow (simd.h); at run
+// time we pick the widest ISA the CPU actually supports, clamped to what was
+// compiled, so a -march=x86-64-v3 binary still runs (scalar/SSE) on an older
+// machine and a portable binary never executes AVX it was not built with.
+// S35_ISA=scalar|sse|avx|avx2 forces a narrower backend for benchmarking and
+// tests; forcing a wider one than compiled+detected silently clamps down.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "simd/simd.h"
+
+namespace s35::simd {
+
+// Ordered narrow -> wide so "widest supported" is a max().
+enum class Isa { kScalar = 0, kSse = 1, kAvx = 2, kAvx2 = 3 };
+
+const char* to_string(Isa isa);
+
+// Parses "scalar" / "sse" / "avx" / "avx2"; nullopt for anything else.
+std::optional<Isa> parse_isa(std::string_view name);
+
+// Widest backend compiled into this binary (compile-time constant).
+constexpr Isa compiled_isa() {
+#if defined(__AVX2__) && defined(__FMA__)
+  return Isa::kAvx2;
+#elif defined(__AVX__)
+  return Isa::kAvx;
+#elif defined(__SSE2__)
+  return Isa::kSse;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+// Widest ISA the running CPU supports (CPUID, cached after the first call).
+// Not clamped to compiled_isa().
+Isa detected_isa();
+
+// min(compiled, detected), then optionally narrowed by S35_ISA. The env
+// variable is re-read on every call so tests can flip it between runs.
+Isa dispatch_isa();
+
+// True when `isa` can actually execute in this build on this machine.
+bool isa_available(Isa isa);
+
+// Invokes fn with the Vec backend tag for `isa`, clamped to what this build
+// and CPU support: fn(simd::AvxTag{}) etc. Returns fn's result.
+template <typename Fn>
+decltype(auto) dispatch(Isa isa, Fn&& fn) {
+  if (static_cast<int>(isa) > static_cast<int>(dispatch_isa())) {
+    isa = dispatch_isa();
+  }
+  switch (isa) {
+#if defined(__AVX2__) && defined(__FMA__)
+    case Isa::kAvx2:
+      return fn(Avx2Tag{});
+#endif
+#if defined(__AVX__)
+    case Isa::kAvx:
+      return fn(AvxTag{});
+#endif
+#if defined(__SSE2__)
+    case Isa::kSse:
+      return fn(SseTag{});
+#endif
+    default:
+      return fn(ScalarTag{});
+  }
+}
+
+}  // namespace s35::simd

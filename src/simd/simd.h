@@ -1,13 +1,18 @@
-// Thin fixed-width vector wrappers over SSE2 / AVX2 / scalar.
+// Thin fixed-width vector wrappers over SSE2 / AVX / AVX2+FMA / scalar.
 //
 // The paper exploits DLP with SSE intrinsics (4-wide SP, 2-wide DP) on the
 // Core i7 (Section VI). Kernels in this library are written once against
 // Vec<T, Backend>; the backend tag selects the instruction set, which lets
 // the SIMD-scaling bench (Section VII-A: "3.2X SP SSE scaling, 1.65X DP")
-// compare scalar vs SSE vs AVX of the *same* kernel inside one binary.
+// compare scalar vs SSE vs AVX vs AVX2 of the *same* kernel inside one
+// binary. Runtime CPUID selection between the compiled backends lives in
+// simd/dispatch.h.
 //
 // All backends evaluate the same arithmetic expression per lane, so results
 // are bit-identical to scalar for the stencil kernels (verified in tests).
+// The only exception is madd()/nmadd() on the AVX2 backend, which emit real
+// FMA instructions (one rounding instead of two); kernels call them only
+// when the caller opted in via KernelOptions::allow_fma.
 #pragma once
 
 #include <cstddef>
@@ -31,9 +36,14 @@ struct SseTag {};
 #if defined(__AVX__)
 struct AvxTag {};
 #endif
+#if defined(__AVX2__) && defined(__FMA__)
+struct Avx2Tag {};
+#endif
 
 // Widest backend this build supports; kernels default to it.
-#if defined(__AVX__)
+#if defined(__AVX2__) && defined(__FMA__)
+using DefaultTag = Avx2Tag;
+#elif defined(__AVX__)
 using DefaultTag = AvxTag;
 #elif defined(__SSE2__)
 using DefaultTag = SseTag;
@@ -67,6 +77,11 @@ struct Vec<T, ScalarTag> {
   friend Vec operator*(Vec a, Vec b) { return {a.v * b.v}; }
   friend Vec operator/(Vec a, Vec b) { return {a.v / b.v}; }
 
+  // a*b + c / c - a*b with two roundings (the build disables contraction),
+  // so the scalar backend stays the bit-exactness reference.
+  static Vec madd(Vec a, Vec b, Vec c) { return {a.v * b.v + c.v}; }
+  static Vec nmadd(Vec a, Vec b, Vec c) { return {c.v - a.v * b.v}; }
+
   T reduce_add() const { return v; }
 };
 
@@ -91,6 +106,9 @@ struct Vec<float, SseTag> {
   friend Vec operator-(Vec a, Vec b) { return {_mm_sub_ps(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm_mul_ps(a.v, b.v)}; }
   friend Vec operator/(Vec a, Vec b) { return {_mm_div_ps(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) { return a * b + c; }
+  static Vec nmadd(Vec a, Vec b, Vec c) { return c - a * b; }
 
   float reduce_add() const {
     alignas(16) float lanes[4];
@@ -118,6 +136,9 @@ struct Vec<double, SseTag> {
   friend Vec operator-(Vec a, Vec b) { return {_mm_sub_pd(a.v, b.v)}; }
   friend Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
   friend Vec operator/(Vec a, Vec b) { return {_mm_div_pd(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) { return a * b + c; }
+  static Vec nmadd(Vec a, Vec b, Vec c) { return c - a * b; }
 
   double reduce_add() const {
     alignas(16) double lanes[2];
@@ -149,6 +170,9 @@ struct Vec<float, AvxTag> {
   friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_ps(a.v, b.v)}; }
   friend Vec operator/(Vec a, Vec b) { return {_mm256_div_ps(a.v, b.v)}; }
 
+  static Vec madd(Vec a, Vec b, Vec c) { return a * b + c; }
+  static Vec nmadd(Vec a, Vec b, Vec c) { return c - a * b; }
+
   float reduce_add() const {
     alignas(32) float lanes[8];
     _mm256_store_ps(lanes, v);
@@ -177,6 +201,9 @@ struct Vec<double, AvxTag> {
   friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
   friend Vec operator/(Vec a, Vec b) { return {_mm256_div_pd(a.v, b.v)}; }
 
+  static Vec madd(Vec a, Vec b, Vec c) { return a * b + c; }
+  static Vec nmadd(Vec a, Vec b, Vec c) { return c - a * b; }
+
   double reduce_add() const {
     alignas(32) double lanes[4];
     _mm256_store_pd(lanes, v);
@@ -184,6 +211,113 @@ struct Vec<double, AvxTag> {
   }
 };
 #endif  // __AVX__
+
+#if defined(__AVX2__) && defined(__FMA__)
+// ------------------------------------------------------------- AVX2 + FMA --
+// Same 256-bit lanes as AVX; madd()/nmadd() are the only semantic difference
+// (fused multiply-add, one rounding). Everything else matches AVX bit for
+// bit, so forcing this backend without allow_fma still reproduces scalar.
+template <>
+struct Vec<float, Avx2Tag> {
+  using value_type = float;
+  static constexpr int width = 8;
+  static constexpr const char* name = "avx2";
+
+  __m256 v;
+
+  static Vec load(const float* p) { return {_mm256_load_ps(p)}; }
+  static Vec loadu(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static Vec set1(float x) { return {_mm256_set1_ps(x)}; }
+  void store(float* p) const { _mm256_store_ps(p, v); }
+  void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+  void stream(float* p) const { _mm256_stream_ps(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_ps(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm256_div_ps(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) {
+    return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+  }
+  static Vec nmadd(Vec a, Vec b, Vec c) {
+    return {_mm256_fnmadd_ps(a.v, b.v, c.v)};
+  }
+
+  float reduce_add() const {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, v);
+    return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+           ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  }
+};
+
+template <>
+struct Vec<double, Avx2Tag> {
+  using value_type = double;
+  static constexpr int width = 4;
+  static constexpr const char* name = "avx2";
+
+  __m256d v;
+
+  static Vec load(const double* p) { return {_mm256_load_pd(p)}; }
+  static Vec loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Vec set1(double x) { return {_mm256_set1_pd(x)}; }
+  void store(double* p) const { _mm256_store_pd(p, v); }
+  void storeu(double* p) const { _mm256_storeu_pd(p, v); }
+  void stream(double* p) const { _mm256_stream_pd(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static Vec nmadd(Vec a, Vec b, Vec c) {
+    return {_mm256_fnmadd_pd(a.v, b.v, c.v)};
+  }
+
+  double reduce_add() const {
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, v);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  }
+};
+#endif  // __AVX2__ && __FMA__
+
+// a*b + c, fused to one rounding only when the caller opted in. The !UseFma
+// branch spells out the two-rounding expression instead of calling V::madd
+// so that forcing the AVX2 backend stays bit-identical to scalar by default.
+template <bool UseFma, typename V>
+inline V mul_add(V a, V b, V c) {
+  if constexpr (UseFma) {
+    return V::madd(a, b, c);
+  } else {
+    return a * b + c;
+  }
+}
+
+// c - a*b with the same opt-in fusion contract as mul_add.
+template <bool UseFma, typename V>
+inline V neg_mul_add(V a, V b, V c) {
+  if constexpr (UseFma) {
+    return V::nmadd(a, b, c);
+  } else {
+    return c - a * b;
+  }
+}
+
+// Read prefetch into all cache levels. Prefetches never fault, so callers
+// may pass addresses slightly past the end of a row.
+inline void prefetch_ro(const void* p) {
+#if defined(__SSE2__)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#else
+  __builtin_prefetch(p, 0, 3);
+#endif
+}
 
 // Issues a store fence so streaming (non-temporal) stores are globally
 // visible before a thread signals a barrier. No-op for the scalar backend.

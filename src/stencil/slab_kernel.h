@@ -13,9 +13,12 @@
 
 #include "common/aligned_buffer.h"
 #include "core/engine.h"
+#include "core/kernel_options.h"
 #include "grid/grid3.h"
+#include "parallel/thread_team.h"
 #include "simd/simd.h"
 #include "stencil/stencil_kernels.h"
+#include "telemetry/telemetry.h"
 
 namespace s35::stencil {
 
@@ -27,7 +30,7 @@ class StencilSlabKernel {
  public:
   StencilSlabKernel(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
                     long dim_x, long dim_y, int dim_t, int planes_per_instance,
-                    bool streaming_stores = false)
+                    bool streaming_stores = false, core::KernelOptions opts = {})
       : stencil_(stencil),
         src_(&src),
         dst_(&dst),
@@ -35,6 +38,7 @@ class StencilSlabKernel {
         buf_ny_(dim_y),
         ring_(planes_per_instance),
         streaming_(streaming_stores),
+        opts_(opts),
         buffer_(static_cast<std::size_t>(pitch_) * dim_y * ring_ * dim_t) {
     S35_CHECK(dim_t >= 1 && planes_per_instance >= 2 * R + 1);
   }
@@ -109,14 +113,23 @@ class StencilSlabKernel {
                         step.src_slots[static_cast<std::size_t>(dz + R)], y + dy);
     };
     const S row_stencil = for_row(stencil_, y, step.z);
-    if (streaming_ && step.to_external) {
-      update_row_stream<V>(row_stencil, acc, out, xa, xb);
+    RowFastOpts ropt;
+    ropt.stream = streaming_ && step.to_external;
+    if (opts_.fast_path && opts_.prefetch) {
+      // Touch the ring-slot rows the next row's update will read: two rows
+      // down in the center slot, one row down in the z+1 slot. Clamped to
+      // the tile's load window so the pointers stay inside the buffer.
+      if (y + 2 < tile.load.y.end) ropt.pf0 = acc(0, 2);
+      if (y + 1 < tile.load.y.end) ropt.pf1 = acc(1, 1);
+    }
+    const bool fast = update_row_auto<V>(row_stencil, acc, out, xa, xb,
+                                         opts_.fast_path, opts_.allow_fma, ropt);
+    if (ropt.stream) {
       // Make the non-temporal stores globally visible before this thread
       // signals the round barrier.
       simd::stream_fence();
-    } else {
-      update_row<V>(row_stencil, acc, out, xa, xb);
     }
+    telemetry::add_row_counts(parallel::current_tid(), fast ? 1 : 0, fast ? 0 : 1);
   }
 
   S stencil_;
@@ -126,6 +139,7 @@ class StencilSlabKernel {
   long buf_ny_;
   int ring_;
   bool streaming_;
+  core::KernelOptions opts_;
   AlignedBuffer<T> buffer_;
 };
 

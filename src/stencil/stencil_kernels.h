@@ -18,7 +18,19 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "simd/simd.h"
+
 namespace s35::stencil {
+
+// Per-row options for the register-blocked interior fast path (row_fast /
+// rows2_fast below). pf0/pf1 are rows the caller wants touched ahead of use
+// (typically the next ring-slot rows); the fast path prefetches them at the
+// same x offsets it is computing, one iteration ahead of the load stream.
+struct RowFastOpts {
+  bool stream = false;       // non-temporal stores for the aligned interior
+  const void* pf0 = nullptr;  // optional: row to prefetch (global-x indexed)
+  const void* pf1 = nullptr;  // optional: second row to prefetch
+};
 
 // B(t+1) = alpha*A + beta*(sum of 6 face neighbors); 2 muls + 6 adds.
 template <typename T>
@@ -44,6 +56,140 @@ struct Stencil7 {
                    (V::loadu(acc(0, -1) + x) + V::loadu(acc(0, 1) + x))) +
                   (V::loadu(acc(-1, 0) + x) + V::loadu(acc(1, 0) + x));
     return V::set1(alpha) * V::loadu(c + x) + V::set1(beta) * sum;
+  }
+
+  // Interior fast path for one row: scalar peel until dst is vector-aligned,
+  // then a 4xW unrolled body (four independent dependency chains) with
+  // aligned or streaming stores and optional prefetch of the next ring-slot
+  // rows. The wide unroll only pays off for real vector widths, so the
+  // scalar backend (W=1) skips it and keeps the simple loop the compiler can
+  // still auto-vectorize. With UseFma=false this is bit-identical to
+  // update_row (the beta*sum + alpha*c commutation is exact in IEEE
+  // arithmetic); with UseFma=true the outer add fuses into one rounding.
+  template <typename V, bool UseFma, typename Acc>
+  void row_fast(const Acc& acc, T* dst, long x0, long x1,
+                const RowFastOpts& opt) const {
+    const T* c = acc(0, 0);
+    const T* ym = acc(0, -1);
+    const T* yp = acc(0, 1);
+    const T* zm = acc(-1, 0);
+    const T* zp = acc(1, 0);
+    const V va = V::set1(alpha);
+    const V vb = V::set1(beta);
+    const T* pf0 = static_cast<const T*>(opt.pf0);
+    const T* pf1 = static_cast<const T*>(opt.pf1);
+
+    auto cell = [&](long xx) {
+      const V sum = ((V::loadu(c + xx - 1) + V::loadu(c + xx + 1)) +
+                     (V::loadu(ym + xx) + V::loadu(yp + xx))) +
+                    (V::loadu(zm + xx) + V::loadu(zp + xx));
+      return simd::mul_add<UseFma>(vb, sum, va * V::loadu(c + xx));
+    };
+
+    constexpr std::size_t kVecBytes = sizeof(T) * static_cast<std::size_t>(V::width);
+    long x = x0;
+    while (x < x1 && (reinterpret_cast<std::uintptr_t>(dst + x) % kVecBytes) != 0) {
+      dst[x] = point(acc, x);
+      ++x;
+    }
+    if constexpr (V::width > 1) {
+      for (; x + 4 * V::width <= x1; x += 4 * V::width) {
+        const V r0 = cell(x);
+        const V r1 = cell(x + V::width);
+        const V r2 = cell(x + 2 * V::width);
+        const V r3 = cell(x + 3 * V::width);
+        if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
+        if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+        if (opt.stream) {
+          r0.stream(dst + x);
+          r1.stream(dst + x + V::width);
+          r2.stream(dst + x + 2 * V::width);
+          r3.stream(dst + x + 3 * V::width);
+        } else {
+          r0.store(dst + x);
+          r1.store(dst + x + V::width);
+          r2.store(dst + x + 2 * V::width);
+          r3.store(dst + x + 3 * V::width);
+        }
+      }
+    }
+    for (; x + V::width <= x1; x += V::width) {
+      const V r = cell(x);
+      if (opt.stream) {
+        r.stream(dst + x);
+      } else {
+        r.store(dst + x);
+      }
+    }
+    for (; x < x1; ++x) dst[x] = point(acc, x);
+  }
+
+  // Y unroll-and-jam: rows y and y+1 in one x pass. The center-plane rows
+  // y-1..y+2 are loaded once per chunk and reused across both outputs (12
+  // vector loads per chunk instead of 14), which is where the register-reuse
+  // win of Section V's register blocking comes from. Requires acc(dz, dy)
+  // to be valid for dy in [-1, 2]. Bit-exact to two row_fast calls.
+  template <typename V, bool UseFma, typename Acc>
+  void rows2_fast(const Acc& acc, T* dst0, T* dst1, long x0, long x1,
+                  const RowFastOpts& opt) const {
+    const T* ym = acc(0, -1);
+    const T* c0 = acc(0, 0);
+    const T* c1 = acc(0, 1);
+    const T* yp = acc(0, 2);
+    const T* zm0 = acc(-1, 0);
+    const T* zp0 = acc(1, 0);
+    const T* zm1 = acc(-1, 1);
+    const T* zp1 = acc(1, 1);
+    const V va = V::set1(alpha);
+    const V vb = V::set1(beta);
+    const T* pf0 = static_cast<const T*>(opt.pf0);
+    const T* pf1 = static_cast<const T*>(opt.pf1);
+
+    constexpr std::size_t kVecBytes = sizeof(T) * static_cast<std::size_t>(V::width);
+    long x = x0;
+    // Peel to dst0's alignment class; dst1 shares it whenever the row pitch
+    // is a multiple of the vector width (callers guarantee this — padded
+    // pitches are cache-line multiples).
+    while (x < x1 && (reinterpret_cast<std::uintptr_t>(dst0 + x) % kVecBytes) != 0) {
+      dst0[x] = point(acc, x);
+      dst1[x] = point_shifted(acc, x);
+      ++x;
+    }
+    for (; x + V::width <= x1; x += V::width) {
+      const V m0 = V::loadu(c0 + x);  // row y center: shared with row y+1's ym
+      const V m1 = V::loadu(c1 + x);  // row y+1 center: shared with row y's yp
+      const V sum0 = ((V::loadu(c0 + x - 1) + V::loadu(c0 + x + 1)) +
+                      (V::loadu(ym + x) + m1)) +
+                     (V::loadu(zm0 + x) + V::loadu(zp0 + x));
+      const V sum1 = ((V::loadu(c1 + x - 1) + V::loadu(c1 + x + 1)) +
+                      (m0 + V::loadu(yp + x))) +
+                     (V::loadu(zm1 + x) + V::loadu(zp1 + x));
+      const V r0 = simd::mul_add<UseFma>(vb, sum0, va * m0);
+      const V r1 = simd::mul_add<UseFma>(vb, sum1, va * m1);
+      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
+      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+      if (opt.stream) {
+        r0.stream(dst0 + x);
+        r1.stream(dst1 + x);
+      } else {
+        r0.store(dst0 + x);
+        r1.store(dst1 + x);
+      }
+    }
+    for (; x < x1; ++x) {
+      dst0[x] = point(acc, x);
+      dst1[x] = point_shifted(acc, x);
+    }
+  }
+
+ private:
+  // point() evaluated one row down (dy+1) without rebuilding the accessor.
+  template <typename Acc>
+  T point_shifted(const Acc& acc, long x) const {
+    const T* c = acc(0, 1);
+    const T sum = ((c[x - 1] + c[x + 1]) + (acc(0, 0)[x] + acc(0, 2)[x])) +
+                  (acc(-1, 1)[x] + acc(1, 1)[x]);
+    return alpha * c[x] + beta * sum;
   }
 };
 
@@ -104,6 +250,65 @@ struct Stencil27 {
     return ((V::set1(c_center) * L(cc, x) + V::set1(c_face) * faces) +
             (V::set1(c_edge) * edges)) +
            V::set1(c_corner) * corners;
+  }
+
+  // Interior fast path (see Stencil7::row_fast). The 27-point kernel is
+  // compute-bound enough that the win is mostly FMA (3 fused madds) and the
+  // aligned/streaming store; 2x unroll would spill with 9 live row pointers,
+  // so the body stays 1xW. Bit-identical to update_row when UseFma=false:
+  // each mul_add only commutes an IEEE addition.
+  template <typename V, bool UseFma, typename Acc>
+  void row_fast(const Acc& acc, T* dst, long x0, long x1,
+                const RowFastOpts& opt) const {
+    const T* zm = acc(-1, 0);
+    const T* zp = acc(1, 0);
+    const T* ym = acc(0, -1);
+    const T* yp = acc(0, 1);
+    const T* cc = acc(0, 0);
+    const T* zmym = acc(-1, -1);
+    const T* zmyp = acc(-1, 1);
+    const T* zpym = acc(1, -1);
+    const T* zpyp = acc(1, 1);
+    const V va = V::set1(c_center);
+    const V vf = V::set1(c_face);
+    const V ve = V::set1(c_edge);
+    const V vc = V::set1(c_corner);
+    const T* pf0 = static_cast<const T*>(opt.pf0);
+    const T* pf1 = static_cast<const T*>(opt.pf1);
+
+    auto L = [](const T* p, long i) { return V::loadu(p + i); };
+    auto cell = [&](long xx) {
+      const V faces = ((L(cc, xx - 1) + L(cc, xx + 1)) + (L(ym, xx) + L(yp, xx))) +
+                      (L(zm, xx) + L(zp, xx));
+      const V edges =
+          (((L(ym, xx - 1) + L(ym, xx + 1)) + (L(yp, xx - 1) + L(yp, xx + 1))) +
+           ((L(zm, xx - 1) + L(zm, xx + 1)) + (L(zp, xx - 1) + L(zp, xx + 1)))) +
+          ((L(zmym, xx) + L(zmyp, xx)) + (L(zpym, xx) + L(zpyp, xx)));
+      const V corners =
+          ((L(zmym, xx - 1) + L(zmym, xx + 1)) + (L(zmyp, xx - 1) + L(zmyp, xx + 1))) +
+          ((L(zpym, xx - 1) + L(zpym, xx + 1)) + (L(zpyp, xx - 1) + L(zpyp, xx + 1)));
+      const V t0 = simd::mul_add<UseFma>(vf, faces, va * L(cc, xx));
+      const V t1 = simd::mul_add<UseFma>(ve, edges, t0);
+      return simd::mul_add<UseFma>(vc, corners, t1);
+    };
+
+    constexpr std::size_t kVecBytes = sizeof(T) * static_cast<std::size_t>(V::width);
+    long x = x0;
+    while (x < x1 && (reinterpret_cast<std::uintptr_t>(dst + x) % kVecBytes) != 0) {
+      dst[x] = point(acc, x);
+      ++x;
+    }
+    for (; x + V::width <= x1; x += V::width) {
+      const V r = cell(x);
+      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
+      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+      if (opt.stream) {
+        r.stream(dst + x);
+      } else {
+        r.store(dst + x);
+      }
+    }
+    for (; x < x1; ++x) dst[x] = point(acc, x);
   }
 };
 
@@ -168,5 +373,44 @@ inline void update_row_stream(const S& s, const Acc& acc, T* dst, long x0, long 
   }
   for (; x < x1; ++x) dst[x] = s.point(acc, x);
 }
+
+// Satisfied by kernels that provide the register-blocked fast path above.
+// Row-aware kernels (variable-coefficient) fall back to the generic loop.
+template <typename S, typename V, typename Acc>
+concept HasFastRow = requires(const S s, const Acc acc,
+                              typename S::value_type* dst, RowFastOpts o) {
+  s.template row_fast<V, false>(acc, dst, long{0}, long{0}, o);
+};
+
+// One row through the fast path when the kernel has one and the caller asked
+// for it, else through the generic vector loop. Returns true when the fast
+// path ran (telemetry counts fast vs generic rows per phase with this).
+template <typename V, typename S, typename Acc, typename T>
+inline bool update_row_auto(const S& s, const Acc& acc, T* dst, long x0, long x1,
+                            bool fast, bool fma, const RowFastOpts& opt) {
+  if constexpr (HasFastRow<S, V, Acc>) {
+    if (fast) {
+      if (fma) {
+        s.template row_fast<V, true>(acc, dst, x0, x1, opt);
+      } else {
+        s.template row_fast<V, false>(acc, dst, x0, x1, opt);
+      }
+      return true;
+    }
+  }
+  if (opt.stream) {
+    update_row_stream<V>(s, acc, dst, x0, x1);
+  } else {
+    update_row<V>(s, acc, dst, x0, x1);
+  }
+  return false;
+}
+
+// Satisfied by kernels with the Y unroll-and-jam pair path.
+template <typename S, typename V, typename Acc>
+concept HasFastRowPair = requires(const S s, const Acc acc,
+                                  typename S::value_type* dst, RowFastOpts o) {
+  s.template rows2_fast<V, false>(acc, dst, dst, long{0}, long{0}, o);
+};
 
 }  // namespace s35::stencil

@@ -20,8 +20,10 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/kernel_options.h"
 #include "core/planner.h"
 #include "grid/grid3.h"
+#include "simd/dispatch.h"
 #include "simd/simd.h"
 #include "stencil/slab_kernel.h"
 #include "stencil/stencil_kernels.h"
@@ -48,6 +50,21 @@ struct SweepConfig {
   // Use non-temporal stores for external output rows (engine-based
   // variants), eliminating the write-allocate fetch (Section IV-A1).
   bool streaming_stores = false;
+  // Interior fast-path knobs (ISA, register blocking, FMA, prefetch); the
+  // defaults keep results bit-identical to scalar. kernel.isa is only
+  // honored by run_sweep_auto — the Tag template parameter of run_sweep
+  // fixes the backend at compile time.
+  core::KernelOptions kernel = {};
+};
+
+// Grid row accessor with the acc(dz, dy) shape every kernel expects; a
+// named type (unlike the ad-hoc lambdas) so fast-path concepts can be
+// checked against it.
+template <typename T>
+struct GridAcc {
+  const grid::Grid3<T>* g;
+  long y, z;
+  const T* operator()(int dz, int dy) const { return g->row(y + dy, z + dz); }
 };
 
 // ------------------------------------------------------------------ naive
@@ -75,7 +92,8 @@ void freeze_boundary(const grid::Grid3<T>& src, grid::Grid3<T>& dst, int radius)
 
 template <typename S, typename T, typename Tag>
 void sweep_step_naive(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
-                      parallel::ThreadTeam& team) {
+                      parallel::ThreadTeam& team,
+                      const core::KernelOptions& opts = {}) {
   using V = simd::Vec<T, Tag>;
   constexpr long R = S::radius;
   const long iy = src.ny() - 2 * R;  // interior rows per plane
@@ -85,17 +103,60 @@ void sweep_step_naive(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T
   team.run([&](int tid) {
     const telemetry::ScopedPhase phase(tid, telemetry::Phase::kCompute);
     std::uint64_t cells = 0;
+    std::uint64_t rows_fast = 0, rows_generic = 0;
+    // No streaming/prefetch hints here: dst is next step's src, and the
+    // plane walk is sequential enough for the hardware prefetcher.
+    const RowFastOpts ropt;
+    auto emit_one = [&](long y, long z, long x0, long x1) {
+      const GridAcc<T> acc{&src, y, z};
+      const bool fast =
+          update_row_auto<V>(for_row(stencil, y, z), acc, dst.row(y, z), x0, x1,
+                             opts.fast_path, opts.allow_fma, ropt);
+      ++(fast ? rows_fast : rows_generic);
+    };
+    // Pending-row state for Y unroll-and-jam: vertically adjacent spans
+    // with the same x-range are emitted as one register-blocked pair.
+    long py = -1, pz = -1, px0 = 0, px1 = 0;
+    auto flush = [&] {
+      if (py >= 0) emit_one(py, pz, px0, px1);
+      py = -1;
+    };
     parallel::for_each_span(ix, rows, nthreads, tid, [&](long r, long lx0, long lx1) {
       const long z = R + r / iy;
       const long y = R + r % iy;
-      const auto acc = [&](int dz, int dy) -> const T* { return src.row(y + dy, z + dz); };
-      update_row<V>(for_row(stencil, y, z), acc, dst.row(y, z), R + lx0, R + lx1);
+      const long x0 = R + lx0, x1 = R + lx1;
       cells += static_cast<std::uint64_t>(lx1 - lx0);
+      if constexpr (HasFastRowPair<S, V, GridAcc<T>>) {
+        if (opts.fast_path) {
+          if (py >= 0 && z == pz && y == py + 1 && x0 == px0 && x1 == px1) {
+            const GridAcc<T> acc{&src, py, pz};
+            if (opts.allow_fma) {
+              stencil.template rows2_fast<V, true>(acc, dst.row(py, pz),
+                                                   dst.row(y, z), x0, x1, ropt);
+            } else {
+              stencil.template rows2_fast<V, false>(acc, dst.row(py, pz),
+                                                    dst.row(y, z), x0, x1, ropt);
+            }
+            rows_fast += 2;
+            py = -1;
+            return;
+          }
+          flush();
+          py = y;
+          pz = z;
+          px0 = x0;
+          px1 = x1;
+          return;
+        }
+      }
+      emit_one(y, z, x0, x1);
     });
+    flush();
     // Ideal-reuse accounting: each interior cell is read once and written
     // once per step; neighbor re-fetches are a cache effect the memsim
     // replay measures instead.
     telemetry::add_external_cells(tid, cells, cells);
+    telemetry::add_row_counts(tid, rows_fast, rows_generic);
   });
 }
 
@@ -103,7 +164,8 @@ void sweep_step_naive(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T
 
 template <typename S, typename T, typename Tag>
 void sweep_step_3d(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
-                   long bx, long by, long bz, parallel::ThreadTeam& team) {
+                   long bx, long by, long bz, parallel::ThreadTeam& team,
+                   const core::KernelOptions& opts = {}) {
   using V = simd::Vec<T, Tag>;
   constexpr long R = S::radius;
   S35_CHECK(bx >= 1 && by >= 1 && bz >= 1);
@@ -122,18 +184,41 @@ void sweep_step_3d(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& 
   const int nthreads = team.size();
   team.run([&](int tid) {
     const telemetry::ScopedPhase phase(tid, telemetry::Phase::kCompute);
+    std::uint64_t rows_fast = 0, rows_generic = 0;
+    const RowFastOpts ropt;
     const auto [b0, b1] = parallel::chunk_range(static_cast<long>(blocks.size()),
                                                 nthreads, tid);
     for (long b = b0; b < b1; ++b) {
       const Block& blk = blocks[static_cast<std::size_t>(b)];
-      for (long z = blk.z0; z < blk.z1; ++z)
-        for (long y = blk.y0; y < blk.y1; ++y) {
-          const auto acc = [&](int dz, int dy) -> const T* {
-            return src.row(y + dy, z + dz);
-          };
-          update_row<V>(for_row(stencil, y, z), acc, dst.row(y, z), blk.x0, blk.x1);
+      for (long z = blk.z0; z < blk.z1; ++z) {
+        long y = blk.y0;
+        // Y unroll-and-jam within the block when the kernel supports it:
+        // each row pair shares its center-plane loads.
+        if constexpr (HasFastRowPair<S, V, GridAcc<T>>) {
+          if (opts.fast_path) {
+            for (; y + 1 < blk.y1; y += 2) {
+              const GridAcc<T> acc{&src, y, z};
+              if (opts.allow_fma) {
+                stencil.template rows2_fast<V, true>(
+                    acc, dst.row(y, z), dst.row(y + 1, z), blk.x0, blk.x1, ropt);
+              } else {
+                stencil.template rows2_fast<V, false>(
+                    acc, dst.row(y, z), dst.row(y + 1, z), blk.x0, blk.x1, ropt);
+              }
+              rows_fast += 2;
+            }
+          }
         }
+        for (; y < blk.y1; ++y) {
+          const GridAcc<T> acc{&src, y, z};
+          const bool fast =
+              update_row_auto<V>(for_row(stencil, y, z), acc, dst.row(y, z), blk.x0,
+                                 blk.x1, opts.fast_path, opts.allow_fma, ropt);
+          ++(fast ? rows_fast : rows_generic);
+        }
+      }
     }
+    telemetry::add_row_counts(tid, rows_fast, rows_generic);
   });
 }
 
@@ -145,11 +230,13 @@ void sweep_step_3d(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& 
 template <typename S, typename T, typename Tag>
 void run_engine_pass(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
                      long dim_x, long dim_y, int dim_t, bool serialized,
-                     bool streaming_stores, core::Engine35& engine) {
+                     bool streaming_stores, core::Engine35& engine,
+                     const core::KernelOptions& opts = {}) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, S::radius, dim_t);
   const core::TemporalSchedule sched(src.nz(), S::radius, dim_t, serialized);
   StencilSlabKernel<S, T, Tag> kernel(stencil, src, dst, dim_x, dim_y, dim_t,
-                                      sched.planes_per_instance(), streaming_stores);
+                                      sched.planes_per_instance(), streaming_stores,
+                                      opts);
   engine.run_pass(kernel, tiling, sched);
 }
 
@@ -163,6 +250,17 @@ void run_engine_pass(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>
 template <typename S, typename T, typename Tag = simd::DefaultTag>
 void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int steps,
                const SweepConfig& cfg, core::Engine35& engine);
+
+// Like run_sweep, but selects the vector backend at run time from
+// cfg.kernel.isa (clamped to what this build and CPU support — see
+// simd/dispatch.h). This is the entry point one-binary tools should use.
+template <typename S, typename T>
+void run_sweep_auto(Variant variant, const S& stencil, grid::GridPair<T>& pair,
+                    int steps, const SweepConfig& cfg, core::Engine35& engine) {
+  simd::dispatch(cfg.kernel.isa, [&](auto tag) {
+    run_sweep<S, T, decltype(tag)>(variant, stencil, pair, steps, cfg, engine);
+  });
+}
 
 }  // namespace s35::stencil
 

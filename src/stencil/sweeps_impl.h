@@ -25,10 +25,11 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
       const long bz = cfg.dim_z > 0 ? cfg.dim_z : bx;
       for (int s = 0; s < steps; ++s) {
         if (variant == Variant::kNaive) {
-          sweep_step_naive<S, T, Tag>(stencil, pair.src(), pair.dst(), engine.team());
+          sweep_step_naive<S, T, Tag>(stencil, pair.src(), pair.dst(), engine.team(),
+                                      cfg.kernel);
         } else {
           sweep_step_3d<S, T, Tag>(stencil, pair.src(), pair.dst(), bx, by, bz,
-                                   engine.team());
+                                   engine.team(), cfg.kernel);
         }
         pair.swap();
       }
@@ -64,7 +65,7 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
                                            cfg.serialized);
         StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x,
                                             dim_y, pass_t, sched.planes_per_instance(),
-                                            cfg.streaming_stores);
+                                            cfg.streaming_stores, cfg.kernel);
         while (remaining >= pass_t) {
           kernel.rebind(pair.src(), pair.dst());
           engine.run_pass(kernel, tiling, sched);
@@ -75,7 +76,7 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
       if (remaining > 0) {
         run_engine_pass<S, T, Tag>(stencil, pair.src(), pair.dst(), dim_x, dim_y,
                                    remaining, cfg.serialized, cfg.streaming_stores,
-                                   engine);
+                                   engine, cfg.kernel);
         pair.swap();
       }
       return;

@@ -124,6 +124,9 @@ std::string to_json(const BenchRecord& rec) {
       .unsigned64("cells_stored", ph.cells_stored)
       .unsigned64("bytes_read", ph.bytes_read)
       .unsigned64("bytes_written", ph.bytes_written);
+  Obj fastpath;
+  fastpath.unsigned64("rows_fast", ph.rows_fast)
+      .unsigned64("rows_generic", ph.rows_generic);
   Obj extra;
   for (const auto& [k, v] : rec.extra) extra.num(k.c_str(), v);
 
@@ -143,6 +146,7 @@ std::string to_json(const BenchRecord& rec) {
       .raw("bytes_per_update", bpu.done())
       .raw("phases", phases.done())
       .raw("external", external.done())
+      .raw("fastpath", fastpath.done())
       .raw("extra", extra.done());
   return rec_obj.done();
 }

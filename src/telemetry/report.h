@@ -26,6 +26,8 @@
 //                "barrier_waits":.., "recoveries":..},
 //     "external": {"cells_loaded":.., "cells_stored":..,
 //                  "bytes_read":.., "bytes_written":..},
+//     "fastpath": {"rows_fast":.., "rows_generic":..},  // interior fast-path
+//                                                       // coverage (rows)
 //     "extra": {..}                      // free-form numeric key/values
 //   }
 //

@@ -45,6 +45,8 @@ Totals& Totals::operator+=(const Totals& o) {
   cells_stored += o.cells_stored;
   bytes_read += o.bytes_read;
   bytes_written += o.bytes_written;
+  rows_fast += o.rows_fast;
+  rows_generic += o.rows_generic;
   return *this;
 }
 
@@ -76,6 +78,13 @@ void add_external_bytes(int tid, std::uint64_t read, std::uint64_t written) {
   s.bytes_written += written;
 }
 
+void add_row_counts(int tid, std::uint64_t fast, std::uint64_t generic) {
+  if (!enabled()) return;
+  detail::Slot& s = detail::slot(tid);
+  s.rows_fast += fast;
+  s.rows_generic += generic;
+}
+
 Totals thread_totals(int tid) {
   const detail::Slot& s = detail::slot(tid);
   Totals t;
@@ -87,6 +96,8 @@ Totals thread_totals(int tid) {
   t.cells_stored = s.cells_stored;
   t.bytes_read = s.bytes_read;
   t.bytes_written = s.bytes_written;
+  t.rows_fast = s.rows_fast;
+  t.rows_generic = s.rows_generic;
   return t;
 }
 

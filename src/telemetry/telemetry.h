@@ -57,6 +57,11 @@ struct Totals {
   // External bytes from sources that know them exactly (memsim replays).
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  // Fast-path coverage: rows computed through the register-blocked interior
+  // fast path vs the generic vector loop. A bench whose coverage silently
+  // drops to zero has been de-optimized (see bench JSON "fastpath").
+  std::uint64_t rows_fast = 0;
+  std::uint64_t rows_generic = 0;
 
   double phase_seconds(Phase p) const { return seconds[static_cast<int>(p)]; }
   Totals& operator+=(const Totals& o);
@@ -74,6 +79,8 @@ struct alignas(64) Slot {
   std::uint64_t cells_stored = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t rows_fast = 0;
+  std::uint64_t rows_generic = 0;
 };
 
 extern std::atomic<bool> g_enabled;
@@ -100,6 +107,7 @@ void reset();
 void record_ns(int tid, Phase p, std::int64_t ns);
 void add_external_cells(int tid, std::uint64_t loaded, std::uint64_t stored);
 void add_external_bytes(int tid, std::uint64_t read, std::uint64_t written);
+void add_row_counts(int tid, std::uint64_t fast, std::uint64_t generic);
 
 // Sum over all thread slots. Only well-defined once the writing threads
 // have been joined (e.g. after ThreadTeam::run returns).

@@ -41,6 +41,14 @@ TEST(FuzzStencil, RandomConfigsMatchNaive) {
     cfg.dim_z = 5 + static_cast<long>(rng.below(20));
     cfg.serialized = rng.below(2) == 0;
     cfg.streaming_stores = rng.below(2) == 0;
+    // Kernel knobs: fast path and prefetch on/off, random ISA request
+    // (dispatch clamps to what this build and CPU support). allow_fma stays
+    // off — these trials assert bit-exactness against the naive sweep.
+    cfg.kernel.fast_path = rng.below(2) == 0;
+    cfg.kernel.prefetch = rng.below(2) == 0;
+    constexpr simd::Isa kIsas[] = {simd::Isa::kScalar, simd::Isa::kSse,
+                                   simd::Isa::kAvx, simd::Isa::kAvx2};
+    cfg.kernel.isa = kIsas[rng.below(4)];
     // Keep tiles feasible: dim > 2*R*dim_t unless covering the axis.
     if (cfg.dim_x <= 2 * cfg.dim_t) cfg.dim_x = 2 * cfg.dim_t + 2;
     if (cfg.dim_y <= 2 * cfg.dim_t) cfg.dim_y = 2 * cfg.dim_t + 2;
@@ -53,7 +61,9 @@ TEST(FuzzStencil, RandomConfigsMatchNaive) {
                               " tile=" + std::to_string(cfg.dim_x) + "x" +
                               std::to_string(cfg.dim_y) +
                               " thr=" + std::to_string(threads) +
-                              (cfg.serialized ? " ser" : "");
+                              (cfg.serialized ? " ser" : "") + " isa=" +
+                              simd::to_string(cfg.kernel.isa) +
+                              (cfg.kernel.fast_path ? " fast" : " generic");
 
     const auto stencil = stencil::default_stencil7<float>();
     const std::uint64_t seed = rng.next_u64();
@@ -67,7 +77,7 @@ TEST(FuzzStencil, RandomConfigsMatchNaive) {
     grid::GridPair<float> got(nx, ny, nz);
     got.src().fill_random(seed, -1.0f, 1.0f);
     core::Engine35 engine(threads);
-    stencil::run_sweep(v, stencil, got, steps, cfg, engine);
+    stencil::run_sweep_auto(v, stencil, got, steps, cfg, engine);
 
     ASSERT_EQ(grid::count_mismatches(expected.src(), got.src()), 0) << label;
   }
@@ -89,6 +99,9 @@ TEST(FuzzLbm, RandomConfigsMatchNaive) {
     cfg.dim_y = std::max<long>(2 * cfg.dim_t + 2, 6 + static_cast<long>(rng.below(24)));
     cfg.dim_z = std::max<long>(2 * cfg.dim_t + 2, 6 + static_cast<long>(rng.below(12)));
     cfg.serialized = rng.below(2) == 0;
+    constexpr simd::Isa kIsas[] = {simd::Isa::kScalar, simd::Isa::kSse,
+                                   simd::Isa::kAvx, simd::Isa::kAvx2};
+    cfg.kernel.isa = kIsas[rng.below(4)];
 
     lbm::Geometry geom(nx, ny, nz);
     geom.set_box_walls();
@@ -111,8 +124,8 @@ TEST(FuzzLbm, RandomConfigsMatchNaive) {
     core::Engine35 ref_engine(1);
     lbm::run_lbm(lbm::Variant::kNaive, geom, prm, expected, steps, {}, ref_engine);
     core::Engine35 engine(threads);
-    lbm::run_lbm(use_4d ? lbm::Variant::kBlocked4D : lbm::Variant::kBlocked35D, geom,
-                 prm, got, steps, cfg, engine);
+    lbm::run_lbm_auto(use_4d ? lbm::Variant::kBlocked4D : lbm::Variant::kBlocked35D,
+                      geom, prm, got, steps, cfg, engine);
 
     long bad = 0;
     for (int i = 0; i < lbm::kQ && bad == 0; ++i)
@@ -124,7 +137,8 @@ TEST(FuzzLbm, RandomConfigsMatchNaive) {
             if (std::memcmp(&a, &b, sizeof(float)) != 0) ++bad;
           }
     ASSERT_EQ(bad, 0) << "trial " << trial << " " << nx << "x" << ny << "x" << nz
-                      << " dt=" << cfg.dim_t << " 4d=" << use_4d;
+                      << " dt=" << cfg.dim_t << " 4d=" << use_4d
+                      << " isa=" << simd::to_string(cfg.kernel.isa);
   }
 }
 

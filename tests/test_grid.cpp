@@ -86,5 +86,24 @@ TEST(Grid3, BytesAccountsForPadding) {
   EXPECT_EQ(g.bytes(), static_cast<std::size_t>(16) * 7 * 5 * sizeof(float));
 }
 
+// The first-touch (parallel zero-fill) constructor must observably equal the
+// serial one: same dims, all points zero including the row padding.
+TEST(Grid3, FirstTouchCtorIsZeroFilled) {
+  parallel::ThreadTeam team(3);
+  Grid3<float> g(17, 9, 5, team);
+  EXPECT_EQ(g.nx(), 17);
+  EXPECT_EQ(g.ny(), 9);
+  EXPECT_EQ(g.nz(), 5);
+  const Grid3<float> serial(17, 9, 5);
+  EXPECT_EQ(count_mismatches(serial, g), 0);
+  for (std::size_t i = 0; i < g.bytes() / sizeof(float); ++i) {
+    ASSERT_EQ(g.data()[i], 0.0f) << i;
+  }
+
+  GridPair<float> pair(8, 8, 4, team);
+  EXPECT_EQ(pair.src().at(7, 7, 3), 0.0f);
+  EXPECT_EQ(pair.dst().at(0, 0, 0), 0.0f);
+}
+
 }  // namespace
 }  // namespace s35::grid

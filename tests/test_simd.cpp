@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -20,6 +22,10 @@ using VecTypes = ::testing::Types<Vec<float, ScalarTag>, Vec<double, ScalarTag>
 #if defined(__AVX__)
                                   ,
                                   Vec<float, AvxTag>, Vec<double, AvxTag>
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+                                  ,
+                                  Vec<float, Avx2Tag>, Vec<double, Avx2Tag>
 #endif
                                   >;
 TYPED_TEST_SUITE(VecTest, VecTypes);
@@ -104,6 +110,54 @@ TYPED_TEST(VecTest, StreamingStoreWritesThrough) {
   for (int i = 0; i < V::width; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], T(9));
 }
 
+TYPED_TEST(VecTest, MaddWithoutFmaMatchesTwoRoundings) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  AlignedBuffer<T> a(static_cast<std::size_t>(V::width)),
+      b(static_cast<std::size_t>(V::width)), c(static_cast<std::size_t>(V::width));
+  for (int i = 0; i < V::width; ++i) {
+    a[static_cast<std::size_t>(i)] = T(1.0) / T(3) + T(i);
+    b[static_cast<std::size_t>(i)] = T(0.7) * T(i + 1);
+    c[static_cast<std::size_t>(i)] = T(-0.3) + T(i);
+  }
+  const V va = V::load(a.data()), vb = V::load(b.data()), vc = V::load(c.data());
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width));
+
+  // mul_add<false> must be the two-rounding a*b + c on every backend,
+  // including AVX2 — the fused version is only reachable via mul_add<true>.
+  mul_add<false>(va, vb, vc).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], a[idx] * b[idx] + c[idx]);
+  }
+  neg_mul_add<false>(va, vb, vc).store(out.data());
+  for (int i = 0; i < V::width; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(out[idx], c[idx] - a[idx] * b[idx]);
+  }
+}
+
+TYPED_TEST(VecTest, MaddFusedIsCloseToExact) {
+  using V = TypeParam;
+  using T = typename V::value_type;
+  // madd may round once (FMA) or twice; both must be within 1 ulp of the
+  // two-rounding reference for these well-scaled inputs.
+  const T a = T(1.0) / T(3), b = T(0.7), c = T(-0.2);
+  AlignedBuffer<T> out(static_cast<std::size_t>(V::width));
+  V::madd(V::set1(a), V::set1(b), V::set1(c)).store(out.data());
+  const T ref = a * b + c;
+  const T tol = std::abs(ref) * std::numeric_limits<T>::epsilon();
+  for (int i = 0; i < V::width; ++i) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], ref, tol);
+  }
+  V::nmadd(V::set1(a), V::set1(b), V::set1(c)).store(out.data());
+  const T nref = c - a * b;
+  const T ntol = std::abs(nref) * std::numeric_limits<T>::epsilon();
+  for (int i = 0; i < V::width; ++i) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)], nref, ntol);
+  }
+}
+
 TEST(Simd, DefaultBackendNameNonEmpty) {
   EXPECT_NE(default_backend_name(), nullptr);
   EXPECT_GT(std::strlen(default_backend_name()), 0u);
@@ -119,6 +173,10 @@ TEST(Simd, WidthsMatchInstructionSet) {
 #if defined(__AVX__)
   EXPECT_EQ((Vec<float, AvxTag>::width), 8);
   EXPECT_EQ((Vec<double, AvxTag>::width), 4);
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+  EXPECT_EQ((Vec<float, Avx2Tag>::width), 8);
+  EXPECT_EQ((Vec<double, Avx2Tag>::width), 4);
 #endif
 }
 

@@ -1,0 +1,158 @@
+// Runtime ISA dispatch: CPUID detection, the S35_ISA override, clamping to
+// the compiled backend set, and forced-backend sweep equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "core/kernel_options.h"
+#include "grid/grid3.h"
+#include "simd/dispatch.h"
+#include "stencil/sweeps.h"
+
+namespace s35::simd {
+namespace {
+
+// Scoped setenv/unsetenv so test order cannot leak S35_ISA.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Dispatch, ParseRoundTrips) {
+  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx, Isa::kAvx2}) {
+    const auto parsed = parse_isa(to_string(isa));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(parse_isa("avx512").has_value());
+  EXPECT_FALSE(parse_isa("").has_value());
+  EXPECT_FALSE(parse_isa("SSE").has_value());
+}
+
+TEST(Dispatch, DetectedIsAtLeastScalarAndStable) {
+  const Isa a = detected_isa();
+  EXPECT_GE(static_cast<int>(a), static_cast<int>(Isa::kScalar));
+  EXPECT_EQ(a, detected_isa());  // cached
+}
+
+TEST(Dispatch, DefaultClampsToCompiledAndDetected) {
+  const ScopedEnv env("S35_ISA", nullptr);
+  const Isa isa = dispatch_isa();
+  EXPECT_LE(static_cast<int>(isa), static_cast<int>(compiled_isa()));
+  EXPECT_LE(static_cast<int>(isa), static_cast<int>(detected_isa()));
+  EXPECT_TRUE(isa_available(isa));
+}
+
+TEST(Dispatch, EnvOverrideNarrows) {
+  const ScopedEnv env("S35_ISA", "scalar");
+  EXPECT_EQ(dispatch_isa(), Isa::kScalar);
+}
+
+TEST(Dispatch, EnvOverrideCannotWiden) {
+  // Asking for a wider ISA than supported silently clamps down rather than
+  // executing instructions the build or CPU lacks.
+  const ScopedEnv env("S35_ISA", "avx2");
+  const Isa isa = dispatch_isa();
+  EXPECT_LE(static_cast<int>(isa), static_cast<int>(compiled_isa()));
+  EXPECT_LE(static_cast<int>(isa), static_cast<int>(detected_isa()));
+}
+
+TEST(Dispatch, MalformedEnvIsIgnored) {
+  const ScopedEnv env("S35_ISA", "fastest-please");
+  EXPECT_EQ(dispatch_isa(), [&] {
+    const ScopedEnv none("S35_ISA", nullptr);
+    return dispatch_isa();
+  }());
+}
+
+TEST(Dispatch, DispatchInvokesMatchingTag) {
+  const std::string name =
+      dispatch(dispatch_isa(), [](auto tag) -> std::string {
+        return Vec<float, decltype(tag)>::name;
+      });
+  EXPECT_EQ(name, to_string(dispatch_isa()));
+}
+
+TEST(Dispatch, WiderRequestClampsInsideDispatch) {
+  const ScopedEnv env("S35_ISA", nullptr);
+  const std::string name = dispatch(Isa::kAvx2, [](auto tag) -> std::string {
+    return Vec<float, decltype(tag)>::name;
+  });
+  EXPECT_EQ(name, to_string(dispatch_isa()));
+}
+
+TEST(Dispatch, KernelOptionsFromEnvReadsFlags) {
+  const ScopedEnv fast("S35_FAST", "0");
+  const ScopedEnv fma("S35_FMA", "1");
+  const ScopedEnv pf("S35_PREFETCH", "0");
+  const core::KernelOptions o = core::KernelOptions::from_env();
+  EXPECT_FALSE(o.fast_path);
+  EXPECT_TRUE(o.allow_fma);
+  EXPECT_FALSE(o.prefetch);
+}
+
+TEST(Dispatch, KernelOptionsDefaultsAreBitExact) {
+  const ScopedEnv fast("S35_FAST", nullptr);
+  const ScopedEnv fma("S35_FMA", nullptr);
+  const ScopedEnv pf("S35_PREFETCH", nullptr);
+  const core::KernelOptions o = core::KernelOptions::from_env();
+  EXPECT_TRUE(o.fast_path);
+  EXPECT_FALSE(o.allow_fma);  // FMA is strictly opt-in
+  EXPECT_TRUE(o.prefetch);
+}
+
+// Every backend this build+CPU can run must produce the identical grid via
+// the runtime-dispatched sweep entry point (the ISSUE's forced-backend
+// equivalence requirement).
+TEST(Dispatch, ForcedBackendSweepsAreBitIdentical) {
+  constexpr long N = 20;
+  constexpr int kSteps = 3;
+  core::Engine35 engine(2);
+  const auto stencil = stencil::default_stencil7<float>();
+
+  auto run_with = [&](Isa isa) {
+    grid::GridPair<float> pair(N, N, N);
+    pair.src().fill_random(77);
+    stencil::SweepConfig cfg;
+    cfg.kernel.isa = isa;
+    stencil::run_sweep_auto(stencil::Variant::kNaive, stencil, pair, kSteps, cfg,
+                            engine);
+    return pair.src();  // copy out
+  };
+
+  const grid::Grid3<float> ref = run_with(Isa::kScalar);
+  for (Isa isa : {Isa::kSse, Isa::kAvx, Isa::kAvx2}) {
+    if (!isa_available(isa)) continue;
+    const grid::Grid3<float> got = run_with(isa);
+    EXPECT_EQ(grid::count_mismatches(ref, got), 0)
+        << "backend " << to_string(isa) << " diverged from scalar";
+  }
+}
+
+}  // namespace
+}  // namespace s35::simd

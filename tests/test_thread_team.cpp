@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "parallel/partition.h"
 #include "parallel/thread_team.h"
@@ -80,6 +85,66 @@ TEST(ThreadTeam, SumReductionViaChunks) {
     partial[static_cast<std::size_t>(tid)] = s;
   });
   EXPECT_EQ(std::accumulate(partial.begin(), partial.end(), 0L), n * (n - 1) / 2);
+}
+
+// current_tid() must report the SPMD participant id inside run() (workers
+// and the caller alike) and 0 from serial code.
+TEST(ThreadTeam, CurrentTidReportsParticipant) {
+  EXPECT_EQ(current_tid(), 0);
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> ok(4);
+  for (auto& o : ok) o.store(0);
+  team.run([&](int tid) {
+    ok[static_cast<std::size_t>(tid)].store(current_tid() == tid ? 1 : 0);
+  });
+  for (auto& o : ok) EXPECT_EQ(o.load(), 1);
+  EXPECT_EQ(current_tid(), 0);
+}
+
+TEST(PinMap, EnvOverrideParsesAndWraps) {
+  ::setenv("S35_PIN_MAP", "3,1,2", 1);
+  const std::vector<int> map = build_pin_map(5);
+  ::unsetenv("S35_PIN_MAP");
+  ASSERT_EQ(map.size(), 5u);
+  EXPECT_EQ(map[0], 3);
+  EXPECT_EQ(map[1], 1);
+  EXPECT_EQ(map[2], 2);
+  EXPECT_EQ(map[3], 3);  // wraps modulo the list length
+  EXPECT_EQ(map[4], 1);
+}
+
+TEST(PinMap, MalformedEnvKeepsParsedPrefix) {
+  ::setenv("S35_PIN_MAP", "2,junk,9", 1);
+  const std::vector<int> map = build_pin_map(3);
+  ::unsetenv("S35_PIN_MAP");
+  ASSERT_EQ(map.size(), 3u);
+  for (int c : map) EXPECT_EQ(c, 2);
+}
+
+// Without an override, every pin target must come from the allowed-affinity
+// mask (pinning must stay valid under taskset/cgroup CPU restriction).
+TEST(PinMap, DefaultIsSubsetOfAllowedAffinity) {
+#if defined(__linux__)
+  ::unsetenv("S35_PIN_MAP");
+  cpu_set_t allowed;
+  ASSERT_EQ(sched_getaffinity(0, sizeof(allowed), &allowed), 0);
+  const std::vector<int> map = build_pin_map(16);
+  ASSERT_EQ(map.size(), 16u);
+  for (int c : map) EXPECT_TRUE(CPU_ISSET(static_cast<unsigned>(c), &allowed)) << c;
+#endif
+}
+
+TEST(ThreadTeam, PinnedTeamWithEnvMapStillCorrect) {
+  ::setenv("S35_PIN_MAP", "0", 1);
+  std::atomic<long> total{0};
+  {
+    ThreadTeam team(3, /*pin_threads=*/true);
+    for (int r = 0; r < 20; ++r) {
+      team.run([&](int) { total.fetch_add(1); });
+    }
+  }
+  ::unsetenv("S35_PIN_MAP");
+  EXPECT_EQ(total.load(), 60);
 }
 
 TEST(ThreadTeam, PinnedTeamStillCorrect) {
