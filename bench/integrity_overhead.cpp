@@ -1,0 +1,103 @@
+// Online-integrity overhead: what does --audit cost on a fault-free run?
+//
+// Measures the 3.5D 7-point sweep three ways — integrity off, the default
+// profile (audit rate 1/256, sentinel stride 32, guard stride 8), and
+// audits on every row — and reports the throughput overhead of each
+// against the unaudited run. The default profile is budgeted at <= ~5% on
+// a quiet multi-core host (docs/RESILIENCE.md derives the expected cost
+// from the scalar-reference/fast-path ratio and the plane-stride
+// sampling); the rate-1.0 column shows the full price of exhaustive
+// re-execution for scale.
+//
+// Every audited record also demands *zero* detections: a fault-free run
+// that reports an SDC event is a false positive, and the bench (and the
+// harness gate on the emitted records) fails on it.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "integrity/integrity.h"
+
+using namespace s35;
+using machine::Precision;
+
+namespace {
+
+struct AuditPoint {
+  const char* label;
+  bool enabled;
+  double rate;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("== online-integrity overhead (fault-free --audit runs) ==");
+  telemetry::JsonReporter reporter("integrity_overhead", argc, argv);
+  bench::want_records(reporter);
+  core::Engine35 engine(bench::bench_threads());
+
+  const long n = bench::env_grid_list("S35_GRIDS", {96}).front();
+  const int steps = 4;
+  const auto s = stencil::default_stencil7<float>();
+  const AuditPoint points[] = {
+      {"off", false, 0.0},
+      {"default", true, integrity::kDefaultAuditRate},
+      {"every-row", true, 1.0},
+  };
+
+  Table t({"audit", "rate", "Mupd/s", "overhead", "rows audited", "sdc"});
+  double base_mups = 0.0;
+  bool clean = true;
+  for (const AuditPoint& p : points) {
+    stencil::SweepConfig cfg;
+    cfg.dim_t = 2;
+    cfg.dim_x = std::min<long>(n, 96);
+    integrity::IntegrityMonitor mon;
+    cfg.integrity.options.enabled = p.enabled;
+    cfg.integrity.options.audit_rate = p.rate;
+    if (p.rate >= 1.0) {  // paranoid column: full coverage, not just audits
+      cfg.integrity.options.sentinel_stride = 1;
+      cfg.integrity.options.guard_stride = 1;
+    }
+    cfg.integrity.monitor = p.enabled ? &mon : nullptr;
+
+    grid::GridPair<float> pair(n, n, n, engine.team());
+    pair.src().fill_random(7, -1.0f, 1.0f);
+    const bench::Measurement m = bench::measure_updates(
+        [&] {
+          if (p.enabled) {
+            (void)stencil::run_sweep_verified(stencil::Variant::kBlocked35D, s,
+                                              pair, steps, cfg, engine);
+          } else {
+            stencil::run_sweep(stencil::Variant::kBlocked35D, s, pair, steps, cfg,
+                               engine);
+          }
+        },
+        static_cast<double>(n) * n * n * steps);
+    if (base_mups == 0.0) base_mups = m.mups;
+    const double overhead_pct = 100.0 * (base_mups / m.mups - 1.0);
+    if (mon.sdc_detected() != 0) clean = false;
+
+    t.add_row({p.label, Table::fmt(p.rate, 4), Table::fmt(m.mups, 0),
+               p.enabled ? Table::fmt(overhead_pct, 1) + "%" : "-",
+               std::to_string(mon.audited_rows()),
+               std::to_string(mon.sdc_detected())});
+
+    telemetry::BenchRecord rec = bench::stencil_record<float>(
+        "7pt", stencil::Variant::kBlocked35D, Precision::kSingle, n, steps, cfg,
+        engine.num_threads(), m);
+    rec.variant = std::string("blocked35d/audit-") + p.label;
+    rec.extra["audit_rate"] = p.rate;
+    if (p.enabled) rec.extra["overhead_pct"] = overhead_pct;
+    reporter.add(rec);
+  }
+  t.print();
+  std::puts("budget: default-rate overhead <= ~5%; any sdc event on a fault-free"
+            " run is a false positive (hard failure).");
+  if (!clean) {
+    std::puts("FAIL: fault-free audited run reported SDC events");
+    return 1;
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@ SMOKE_SET = [
     ("fig4a_lbm_cpu", {"S35_LBM_GRIDS": "32"}),
     ("memtraffic", {}),
     ("scaling_simd", {}),
+    ("integrity_overhead", {"S35_GRIDS": "64"}),
 ]
 
 AGG_SCHEMA = "s35.bench.agg.v1"
@@ -102,6 +103,36 @@ def run_bench(build_dir, name, extra_env, timeout):
             raise RuntimeError(f"{name}: unexpected record schema "
                                f"{rec.get('schema')!r}")
     return report
+
+
+def integrity_failures(records):
+    """Hard gate on the online-integrity counters carried by bench records.
+
+    Every fault-free bench run must report zero SDC detections and zero
+    watchdog stalls — a nonzero count is a detector false positive (or a
+    genuinely corrupted run), and unlike throughput it is not machine- or
+    baseline-dependent, so it fails regardless of tolerances. The audit
+    overhead percentage is reported informationally only (timing gates
+    flake on shared CI runners).
+    """
+    failures = []
+    for rec in records:
+        integ = rec.get("integrity")
+        if not integ:
+            continue  # record predates the integrity layer or has no counters
+        label = key_str(record_key(rec))
+        for field in ("sdc_detected", "watchdog_stalls"):
+            count = integ.get(field, 0)
+            if count:
+                failures.append(
+                    f"{label}: integrity.{field} = {count} on a fault-free run")
+        overhead = rec.get("extra", {}).get("overhead_pct")
+        if overhead is not None:
+            print(f"[bench_harness] integrity overhead: {label}: "
+                  f"{overhead:.1f}% (audit_rate "
+                  f"{rec.get('extra', {}).get('audit_rate', 0):.4f}, "
+                  f"{integ.get('audited_rows', 0)} rows audited)")
+    return failures
 
 
 def rel_delta(current, base):
@@ -215,6 +246,13 @@ def main():
         f.write("\n")
     print(f"[bench_harness] wrote {out_path} ({len(records)} records "
           f"from {len(bench_names)} benches)")
+
+    sdc_failures = integrity_failures(records)
+    for line in sdc_failures:
+        print(f"[bench_harness] INTEGRITY: {line}")
+    if sdc_failures:
+        print("VERDICT: FAIL")
+        return 1
 
     if args.update_baseline:
         with open(args.baseline, "w") as f:

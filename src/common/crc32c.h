@@ -4,8 +4,10 @@
 // transfers of the distributed drivers: CRC32C detects every single-bit
 // flip and all burst errors up to 32 bits, which is exactly the failure
 // model of torn writes and corrupted exchanges the fault framework
-// injects. Software table implementation — portable, deterministic across
-// platforms, fast enough for the restart path (which is I/O bound anyway).
+// injects. Uses the SSE4.2 CRC32 instruction when the build targets it and
+// a slice-by-8 table kernel otherwise — the ring sentinels of the online
+// integrity layer re-CRC every resident plane, so this is compute-path
+// hot, not just restart-path I/O.
 #pragma once
 
 #include <cstddef>

@@ -20,6 +20,16 @@
 //     void execute(const Tile& tile, const Step& step, long y, long x0, long x1);
 //   };
 //
+// Kernels may additionally implement the online-integrity hook set (see
+// HasIntegrityHooks below and src/integrity). When present *and* active,
+// the engine publishes watchdog heartbeats around steps and barriers and
+// gives the kernel one fenced slot per round — after the round barrier,
+// before the next round starts — in which tid 0 records/verifies ring
+// sentinels while every other thread is parked at the extra barrier. The
+// extra barrier is paid only when integrity is armed; inert kernels and
+// inactive contexts keep the paper's one-barrier-per-round schedule.
+// run_pass_tile_parallel (an ablation mode) never runs integrity hooks.
+//
 // Every step of a round is executed cooperatively by all threads: thread i
 // runs the i-th element-balanced slice of the step's valid region, so each
 // thread performs the same external I/O and the same ops (Section V-D).
@@ -27,6 +37,7 @@
 // is guaranteed by the 2R+2-deep plane rings (see schedule.h).
 #pragma once
 
+#include <concepts>
 #include <memory>
 #include <vector>
 
@@ -54,6 +65,17 @@ inline telemetry::Phase phase_of(StepKind kind) {
   }
   return telemetry::Phase::kCompute;
 }
+
+// Optional kernel hook set for the online-integrity layer.
+template <typename K>
+concept HasIntegrityHooks =
+    requires(K& k, const Tile& tile, const std::vector<std::vector<Step>>& rounds) {
+      { k.integrity_active() } -> std::convertible_to<bool>;
+      k.integrity_heartbeat(0, telemetry::Phase::kCompute);
+      k.integrity_tile_begin(tile, 0);
+      k.integrity_round(tile, rounds, 0L, 0);
+      k.integrity_region_end(0);
+    };
 
 class Engine35 {
  public:
@@ -123,14 +145,28 @@ class Engine35 {
     const int nthreads = team_.size();
     parallel::Barrier& barrier = *barrier_;
 
+    // Integrity is an opt-in: the hooks exist on the kernel *and* the
+    // kernel's context is armed. Resolved once, outside the SPMD region.
+    constexpr bool kHasHooks = HasIntegrityHooks<Kernel>;
+    bool integrity_on = false;
+    if constexpr (kHasHooks) integrity_on = kernel.integrity_active();
+    [[maybe_unused]] const bool iact = integrity_on;
+
     team_.run([&](int tid) {
       const bool tel = telemetry::enabled();
       for (const Tile& tile : tiling.tiles()) {
+        if constexpr (kHasHooks) {
+          if (iact) kernel.integrity_tile_begin(tile, tid);
+        }
+        long m = 0;
         for (const auto& round : rounds) {
           for (const Step& step : round) {
             const Rect& region =
                 step.kind == StepKind::kLoad ? tile.region(0) : tile.region(step.t);
             {
+              if constexpr (kHasHooks) {
+                if (iact) kernel.integrity_heartbeat(tid, phase_of(step.kind));
+              }
               const telemetry::ScopedPhase phase(tid, phase_of(step.kind));
               std::uint64_t cells = 0;
               parallel::for_each_span(
@@ -148,10 +184,38 @@ class Engine35 {
                 }
               }
             }
-            if (serialized && nthreads > 1) barrier.arrive_and_wait(tid);
+            if (serialized && nthreads > 1) {
+              if constexpr (kHasHooks) {
+                if (iact)
+                  kernel.integrity_heartbeat(tid, telemetry::Phase::kBarrierWait);
+              }
+              barrier.arrive_and_wait(tid);
+            }
           }
-          if (!serialized && nthreads > 1) barrier.arrive_and_wait(tid);
+          if (!serialized && nthreads > 1) {
+            if constexpr (kHasHooks) {
+              if (iact)
+                kernel.integrity_heartbeat(tid, telemetry::Phase::kBarrierWait);
+            }
+            barrier.arrive_and_wait(tid);
+          }
+          if constexpr (kHasHooks) {
+            // Fenced sentinel/injection slot: every thread reports in (the
+            // stalled-thread fault also sleeps here, attributable because
+            // the other threads are parked at the barrier below).
+            if (iact) {
+              kernel.integrity_round(tile, rounds, m, tid);
+              if (nthreads > 1) {
+                kernel.integrity_heartbeat(tid, telemetry::Phase::kBarrierWait);
+                barrier.arrive_and_wait(tid);
+              }
+            }
+          }
+          ++m;
         }
+      }
+      if constexpr (kHasHooks) {
+        if (iact) kernel.integrity_region_end(tid);
       }
     });
   }

@@ -57,6 +57,44 @@ bool FaultPlan::next_read_corrupts() {
   return corrupt;
 }
 
+bool FaultPlan::plane_flip_fires(std::uint64_t pass, std::int64_t round) {
+  if (flip_pass < 0 || pass != static_cast<std::uint64_t>(flip_pass) ||
+      round != flip_round)
+    return false;
+  bool expected = true;
+  if (!plane_flip_armed_.compare_exchange_strong(expected, false,
+                                                 std::memory_order_relaxed))
+    return false;
+  ++counters_.plane_flips;
+  return true;
+}
+
+bool FaultPlan::wrong_row_fires(std::uint64_t pass, long z, long y) {
+  if (wrong_row_pass < 0 || pass != static_cast<std::uint64_t>(wrong_row_pass) ||
+      z != wrong_row_z || y != wrong_row_y)
+    return false;
+  if (!wrong_row_sticky) {
+    bool expected = true;
+    if (!wrong_row_armed_.compare_exchange_strong(expected, false,
+                                                  std::memory_order_relaxed))
+      return false;
+  }
+  ++counters_.wrong_rows;
+  return true;
+}
+
+bool FaultPlan::stall_fires(std::uint64_t pass, int tid) {
+  if (stall_pass < 0 || pass != static_cast<std::uint64_t>(stall_pass) ||
+      tid != stall_tid || stall_ms <= 0)
+    return false;
+  bool expected = true;
+  if (!stall_armed_.compare_exchange_strong(expected, false,
+                                            std::memory_order_relaxed))
+    return false;
+  ++counters_.thread_stalls;
+  return true;
+}
+
 bool FaultPlan::alloc_fails(std::uint64_t site) {
   if (alloc_fail_prob <= 0.0) return false;
   const bool fail = unit(0xA110C, site) < alloc_fail_prob;
@@ -66,6 +104,9 @@ bool FaultPlan::alloc_fails(std::uint64_t site) {
 
 void FaultPlan::rearm() {
   rank_failure_armed_ = true;
+  plane_flip_armed_.store(true, std::memory_order_relaxed);
+  wrong_row_armed_.store(true, std::memory_order_relaxed);
+  stall_armed_.store(true, std::memory_order_relaxed);
   write_op_ = 0;
   read_op_ = 0;
 }

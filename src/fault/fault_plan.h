@@ -13,6 +13,7 @@
 // retry loop with budget >= transient_attempts absorbs it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace s35::fault {
@@ -24,6 +25,9 @@ struct FaultCounters {
   std::uint64_t io_write_failures = 0;  // file writes / syncs refused
   std::uint64_t io_read_corruptions = 0;
   std::uint64_t alloc_failures = 0;
+  std::uint64_t plane_flips = 0;    // resident ring-plane bit flips
+  std::uint64_t wrong_rows = 0;     // wrong-result kernel rows
+  std::uint64_t thread_stalls = 0;  // injected straggler-thread sleeps
 };
 
 enum class HaloFault { kNone, kCorrupt, kDrop };
@@ -41,6 +45,30 @@ class FaultPlan {
   int io_write_fail_op = -1;       // 0-based write/sync op to refuse (-1 = off)
   int io_read_corrupt_op = -1;     // 0-based read op to corrupt (-1 = off)
   double alloc_fail_prob = 0.0;    // P(refuse a guarded allocation)
+
+  // ---- SDC fault kinds (consumed by the integrity layer's hooks) ----
+  // Resident-plane bit flip: after round `flip_round` of blocked pass
+  // `flip_pass`, the plane loaded into the ring that round gets one bit
+  // (flip_bit of its first element) flipped — an in-cache SDC that the
+  // ring sentinels must catch when the plane retires.
+  std::int64_t flip_pass = -1;
+  std::int64_t flip_round = -1;
+  int flip_bit = 20;
+  // Wrong-result kernel row: the fast-path output row at (pass, z, y) gets
+  // one element corrupted after compute — a miscompiled/flaky-ALU row that
+  // only the sampled scalar audits can catch.
+  std::int64_t wrong_row_pass = -1;
+  long wrong_row_z = -1;
+  long wrong_row_y = -1;
+  // Sticky wrong rows refire on every re-execution of the same pass, so
+  // in-memory recovery keeps failing and the ladder escalates to the
+  // checkpoint rung. One-shot (default) models a transient upset.
+  bool wrong_row_sticky = false;
+  // Stalled thread: tid `stall_tid` sleeps `stall_ms` during pass
+  // `stall_pass` — a straggler the phase watchdog must attribute.
+  int stall_tid = -1;
+  std::int64_t stall_pass = -1;
+  int stall_ms = 0;
 
   // ---- deterministic queries ----
 
@@ -61,6 +89,13 @@ class FaultPlan {
   // Guarded-allocation check for `site` (any stable caller-chosen id).
   bool alloc_fails(std::uint64_t site);
 
+  // SDC fault queries. Safe to call concurrently from kernel threads: the
+  // one-shot arming is an atomic exchange, so exactly one caller observes
+  // the fault (sticky wrong rows re-arm per (pass, z, y) refire instead).
+  bool plane_flip_fires(std::uint64_t pass, std::int64_t round);
+  bool wrong_row_fires(std::uint64_t pass, long z, long y);
+  bool stall_fires(std::uint64_t pass, int tid);
+
   std::uint64_t seed() const { return seed_; }
   const FaultCounters& counters() const { return counters_; }
 
@@ -74,6 +109,9 @@ class FaultPlan {
 
   std::uint64_t seed_;
   bool rank_failure_armed_ = true;
+  std::atomic<bool> plane_flip_armed_{true};
+  std::atomic<bool> wrong_row_armed_{true};
+  std::atomic<bool> stall_armed_{true};
   int write_op_ = 0;
   int read_op_ = 0;
   FaultCounters counters_;

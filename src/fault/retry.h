@@ -1,13 +1,17 @@
-// Capped exponential backoff for transient faults.
+// Capped exponential backoff with decorrelation jitter for transient faults.
 //
 // Transient comm faults (torn halo transfers) are retried a bounded number
 // of times with exponentially growing, capped sleeps — the standard
 // distributed-systems discipline: bounded so a permanent fault escalates
 // quickly (to checkpoint restore), exponential so a congested transport
-// isn't hammered, capped so the tail retry isn't absurd.
+// isn't hammered, capped so the tail retry isn't absurd. On top of the
+// deterministic schedule a bounded multiplicative jitter, keyed by a
+// caller-chosen salt (rank/message id), spreads the ranks' retries so a
+// shared-medium fault doesn't make every rank re-transmit in lockstep.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -20,10 +24,15 @@ struct RetryPolicy {
   std::chrono::microseconds base_delay{50};
   double multiplier = 2.0;
   std::chrono::microseconds max_delay{2000};
+  // Decorrelation jitter: each sleep is scaled by a deterministic factor in
+  // [1 - jitter, 1 + jitter) hashed from (jitter_seed, salt, retry), then
+  // re-capped at max_delay. 0 disables jitter (exact schedule above).
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0x6A177E5ull;
 };
 
-// Delay before retry number `retry` (0-based): base * multiplier^retry,
-// capped at max_delay.
+// Delay before retry number `retry` (0-based), without jitter:
+// base * multiplier^retry, capped at max_delay.
 inline std::chrono::microseconds backoff_delay(const RetryPolicy& p, int retry) {
   double us = static_cast<double>(p.base_delay.count());
   for (int i = 0; i < retry; ++i) us *= p.multiplier;
@@ -31,12 +40,42 @@ inline std::chrono::microseconds backoff_delay(const RetryPolicy& p, int retry) 
   return std::chrono::microseconds(static_cast<long>(us < cap ? us : cap));
 }
 
+namespace detail {
+// splitmix64 finalizer — pure, so the jittered schedule replays per seed.
+inline std::uint64_t jmix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+// Jittered delay before retry number `retry` for the caller identified by
+// `salt`. Bound (unit-tested): for d = backoff_delay(p, retry),
+//   (1 - jitter) * d  <=  result  <=  min((1 + jitter) * d, max_delay).
+inline std::chrono::microseconds backoff_delay_jittered(const RetryPolicy& p,
+                                                        int retry,
+                                                        std::uint64_t salt) {
+  const std::chrono::microseconds d = backoff_delay(p, retry);
+  if (p.jitter <= 0.0) return d;
+  const std::uint64_t h = detail::jmix(
+      p.jitter_seed ^ detail::jmix(salt + 0x9E3779B97F4A7C15ull) ^
+      detail::jmix(static_cast<std::uint64_t>(retry) + 0x632BE59BD9B4E019ull));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 - p.jitter + 2.0 * p.jitter * u;
+  double us = static_cast<double>(d.count()) * factor;
+  const double cap = static_cast<double>(p.max_delay.count());
+  if (us > cap) us = cap;
+  return std::chrono::microseconds(static_cast<long>(us));
+}
+
 // Calls fn(attempt) (attempt = 0, 1, ...) until it returns ok or a
-// non-transient error (both returned as-is), sleeping backoff_delay between
-// attempts. After max_retries retries a still-transient status becomes
-// kRetriesExhausted carrying the last failure's message.
+// non-transient error (both returned as-is), sleeping the jittered backoff
+// between attempts. `salt` decorrelates concurrent retriers (pass a stable
+// rank/message id). After max_retries retries a still-transient status
+// becomes kRetriesExhausted carrying the last failure's message.
 template <typename Fn>
-Status retry_with_backoff(const RetryPolicy& policy, Fn&& fn) {
+Status retry_with_backoff(const RetryPolicy& policy, std::uint64_t salt,
+                          Fn&& fn) {
   Status last;
   for (int attempt = 0;; ++attempt) {
     last = fn(attempt);
@@ -45,8 +84,14 @@ Status retry_with_backoff(const RetryPolicy& policy, Fn&& fn) {
       return Status(ErrorCode::kRetriesExhausted,
                     "gave up after " + std::to_string(policy.max_retries) +
                         " retries — last: " + last.message());
-    std::this_thread::sleep_for(backoff_delay(policy, attempt));
+    std::this_thread::sleep_for(backoff_delay_jittered(policy, attempt, salt));
   }
+}
+
+// Salt-free convenience overload (single retrier, nothing to decorrelate).
+template <typename Fn>
+Status retry_with_backoff(const RetryPolicy& policy, Fn&& fn) {
+  return retry_with_backoff(policy, 0, std::forward<Fn>(fn));
 }
 
 }  // namespace s35::fault

@@ -29,6 +29,7 @@ enum class ErrorCode {
   kAllocFailure,      // allocation refused (injected or real)
   kRetriesExhausted,  // transient fault persisted past the retry budget
   kUnavailable,       // nothing to restore from
+  kSdcDetected,       // silent data corruption survived in-memory recovery
 };
 
 constexpr const char* to_string(ErrorCode c) {
@@ -57,6 +58,8 @@ constexpr const char* to_string(ErrorCode c) {
       return "retries_exhausted";
     case ErrorCode::kUnavailable:
       return "unavailable";
+    case ErrorCode::kSdcDetected:
+      return "sdc_detected";
   }
   return "?";
 }

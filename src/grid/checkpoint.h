@@ -85,6 +85,18 @@ class File {
   bool write(const void* p, std::size_t n) { return io_.write(f_, p, n); }
   bool read(void* p, std::size_t n) { return io_.read(f_, p, n); }
   bool sync() { return io_.flush_and_sync(f_); }
+
+  // Total file size in bytes (-1 when it cannot be determined); preserves
+  // the current read position. Filesystem metadata, so it bypasses the
+  // injectable IoBackend read path on purpose.
+  std::int64_t size() {
+    if (f_ == nullptr) return -1;
+    const long pos = std::ftell(f_);
+    if (pos < 0 || std::fseek(f_, 0, SEEK_END) != 0) return -1;
+    const long end = std::ftell(f_);
+    if (std::fseek(f_, pos, SEEK_SET) != 0 || end < 0) return -1;
+    return end;
+  }
   bool close() {
     if (f_ == nullptr) return true;
     const bool flushed = std::fclose(f_) == 0;
@@ -200,6 +212,14 @@ fault::Status load_v2_rows(fault::IoBackend& io, const std::string& path, Kind k
     if (h.kind != kind || h.elem_bytes != elem_bytes || h.arrays != arrays ||
         h.nx != nx || h.ny != ny || h.nz != nz)
       return {fault::ErrorCode::kMismatch, "checkpoint shape does not match target"};
+    // Compare the actual file size with the header's promise up front: a
+    // truncated-then-padded file is reported as kTruncated here instead of
+    // surfacing later as a misleading payload-CRC mismatch.
+    if (const std::int64_t fsz = f.size();
+        fsz >= 0 && static_cast<std::uint64_t>(fsz) < sizeof(h) + h.payload_bytes)
+      return {fault::ErrorCode::kTruncated,
+              "file holds " + std::to_string(fsz) + " bytes, header promises " +
+                  std::to_string(sizeof(h) + h.payload_bytes)};
     std::uint32_t crc = 0;
     for (std::uint32_t a = 0; a < arrays; ++a)
       for (std::int64_t z = 0; z < nz; ++z)
@@ -226,6 +246,11 @@ fault::Status load_v2_rows(fault::IoBackend& io, const std::string& path, Kind k
     if (h.elem_bytes != elem_bytes || h.arrays != arrays || h.nx != nx ||
         h.ny != ny || h.nz != nz)
       return {fault::ErrorCode::kMismatch, "checkpoint shape does not match target"};
+    if (const std::int64_t fsz = f.size();
+        fsz >= 0 && static_cast<std::uint64_t>(fsz) < sizeof(h) + payload)
+      return {fault::ErrorCode::kTruncated,
+              "file holds " + std::to_string(fsz) + " bytes, header promises " +
+                  std::to_string(sizeof(h) + payload)};
     for (std::uint32_t a = 0; a < arrays; ++a)
       for (std::int64_t z = 0; z < nz; ++z)
         for (std::int64_t y = 0; y < ny; ++y)
@@ -269,6 +294,12 @@ inline fault::Expected<CheckpointInfo> probe_checkpoint(const std::string& path,
     if (!f.read(reinterpret_cast<char*>(&h) + 8, sizeof(h) - 8))
       return fault::Status{fault::ErrorCode::kTruncated, "short v2 header"};
     if (const fault::Status st = detail::validate_v2(h); !st.ok()) return st;
+    if (const std::int64_t fsz = f.size();
+        fsz >= 0 && static_cast<std::uint64_t>(fsz) < sizeof(h) + h.payload_bytes)
+      return fault::Status{fault::ErrorCode::kTruncated,
+                           "file holds " + std::to_string(fsz) +
+                               " bytes, header promises " +
+                               std::to_string(sizeof(h) + h.payload_bytes)};
     info = {h.version, h.kind == detail::kKindLattice, h.elem_bytes,
             h.arrays,  h.nx,
             h.ny,      h.nz,

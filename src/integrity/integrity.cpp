@@ -1,0 +1,31 @@
+#include "integrity/integrity.h"
+
+#include "common/env.h"
+
+namespace s35::integrity {
+
+const char* to_string(SdcKind k) {
+  switch (k) {
+    case SdcKind::kSentinel:
+      return "sentinel";
+    case SdcKind::kGuard:
+      return "guard";
+    case SdcKind::kAudit:
+      return "audit";
+    case SdcKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+IntegrityOptions IntegrityOptions::from_env() {
+  IntegrityOptions o;
+  o.enabled = env_int("S35_AUDIT", 0) != 0;
+  o.audit_rate = env_double("S35_AUDIT_RATE", o.audit_rate);
+  o.sentinel_stride = static_cast<int>(env_int("S35_SENTINEL_STRIDE", o.sentinel_stride));
+  o.guard_stride = static_cast<int>(env_int("S35_GUARD_STRIDE", o.guard_stride));
+  o.watchdog_ms = static_cast<int>(env_int("S35_WATCHDOG_MS", o.watchdog_ms));
+  return o;
+}
+
+}  // namespace s35::integrity

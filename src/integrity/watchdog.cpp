@@ -1,0 +1,80 @@
+#include "integrity/watchdog.h"
+
+#include <chrono>
+
+namespace s35::integrity {
+
+void Watchdog::arm(int num_threads, int deadline_ms, IntegrityMonitor* monitor) {
+  S35_CHECK(num_threads > 0 && deadline_ms > 0 && monitor != nullptr);
+  disarm();
+  num_threads_ = num_threads < kMaxWatched ? num_threads : kMaxWatched;
+  deadline_ns_ = static_cast<std::int64_t>(deadline_ms) * 1'000'000;
+  monitor_ = monitor;
+  for (int t = 0; t < kMaxWatched; ++t) {
+    beats_[t].ns.store(0, std::memory_order_relaxed);
+    beats_[t].phase.store(kIdle, std::memory_order_relaxed);
+    beats_[t].flagged.store(false, std::memory_order_relaxed);
+  }
+  stop_ = false;
+  armed_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Watchdog::disarm() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  armed_.store(false, std::memory_order_release);
+}
+
+void Watchdog::loop() {
+  const auto wake_every = std::chrono::nanoseconds(deadline_ns_ / 4 + 1);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!cv_.wait_for(lock, wake_every, [this] { return stop_; })) {
+    const std::int64_t now = telemetry::detail::now_ns();
+    // First pass: find stale non-idle beats, split stragglers (any phase
+    // but barrier-wait) from parked barrier-waiters.
+    int stale_total = 0;
+    int stale_waiters = 0;
+    for (int t = 0; t < num_threads_; ++t) {
+      const Beat& b = beats_[t];
+      const int phase = b.phase.load(std::memory_order_relaxed);
+      if (phase == kIdle) continue;
+      if (now - b.ns.load(std::memory_order_relaxed) <= deadline_ns_) continue;
+      ++stale_total;
+      if (phase == static_cast<int>(telemetry::Phase::kBarrierWait))
+        ++stale_waiters;
+    }
+    if (stale_total == 0) continue;
+    const bool barrier_broken = stale_total == stale_waiters;
+    for (int t = 0; t < num_threads_; ++t) {
+      Beat& b = beats_[t];
+      const int phase = b.phase.load(std::memory_order_relaxed);
+      if (phase == kIdle) continue;
+      const std::int64_t age = now - b.ns.load(std::memory_order_relaxed);
+      if (age <= deadline_ns_) continue;
+      const bool waiter =
+          phase == static_cast<int>(telemetry::Phase::kBarrierWait);
+      if (waiter && !barrier_broken) continue;  // victim, not culprit
+      if (b.flagged.exchange(true, std::memory_order_relaxed)) continue;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      SdcEvent e;
+      e.kind = SdcKind::kStall;
+      e.tid = t;
+      e.phase = static_cast<telemetry::Phase>(phase);
+      e.detail = std::string(waiter ? "whole team parked in barrier; tid "
+                                    : "straggler thread; tid ") +
+                 std::to_string(t) + " silent for " +
+                 std::to_string(age / 1'000'000) + " ms in phase " +
+                 telemetry::to_string(e.phase);
+      monitor_->record(e);
+      telemetry::add_integrity_counts(t, 0, 0, 1);
+    }
+  }
+}
+
+}  // namespace s35::integrity

@@ -1,0 +1,86 @@
+// Phase watchdog: detects stuck barriers and straggler threads.
+//
+// Every SPMD participant publishes a heartbeat (timestamp + current phase)
+// at each engine step and before each barrier; a monitor thread wakes a few
+// times per deadline and flags any participant whose beat is older than the
+// deadline. Attribution matters more than detection here: when one thread
+// hangs, every *other* thread soon goes stale too — parked inside
+// Barrier::arrive_and_wait. The watchdog therefore reports only threads
+// whose last published phase is not kBarrierWait (the true stragglers);
+// barrier-waiters are flagged only if the whole team is parked, which
+// indicates a broken barrier rather than a straggler.
+//
+// The watchdog is report-only: a stall is recorded on the IntegrityMonitor
+// (kind kStall, with tid and phase) and counted into telemetry, but the run
+// is never interrupted — a stalled-but-correct thread must not cost a
+// recovery. Hot-path cost is two relaxed stores per heartbeat.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "integrity/integrity.h"
+#include "telemetry/telemetry.h"
+
+namespace s35::integrity {
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  ~Watchdog() { disarm(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Starts the monitor thread. Beats start idle: a tid is only watched
+  // after its first heartbeat and ignored again after idle(tid).
+  void arm(int num_threads, int deadline_ms, IntegrityMonitor* monitor);
+  // Stops and joins the monitor thread. Idempotent.
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  // Hot-path hooks (no-ops when not armed).
+  void heartbeat(int tid, telemetry::Phase phase) {
+    if (!armed() || tid < 0 || tid >= kMaxWatched) return;
+    Beat& b = beats_[tid];
+    b.phase.store(static_cast<int>(phase), std::memory_order_relaxed);
+    b.ns.store(telemetry::detail::now_ns(), std::memory_order_relaxed);
+    b.flagged.store(false, std::memory_order_relaxed);
+  }
+  void idle(int tid) {
+    if (!armed() || tid < 0 || tid >= kMaxWatched) return;
+    beats_[tid].phase.store(kIdle, std::memory_order_relaxed);
+  }
+
+  std::uint64_t stalls_flagged() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kMaxWatched = 256;
+  static constexpr int kIdle = -1;
+
+  struct alignas(64) Beat {
+    std::atomic<std::int64_t> ns{0};
+    std::atomic<int> phase{kIdle};
+    std::atomic<bool> flagged{false};
+  };
+
+  void loop();
+
+  Beat beats_[kMaxWatched];
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  int num_threads_ = 0;
+  std::int64_t deadline_ns_ = 0;
+  IntegrityMonitor* monitor_ = nullptr;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace s35::integrity

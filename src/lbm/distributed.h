@@ -77,18 +77,35 @@ class DistributedLbmDriver {
   void set_retry_policy(const fault::RetryPolicy& p) { retry_ = p; }
   void set_io_backend(fault::IoBackend* io) { io_ = io; }
 
+  // Arms the online-integrity layer for every per-rank pass; mirrors
+  // stencil::DistributedStencilDriver::set_integrity.
+  void set_integrity(const integrity::IntegrityOptions& opts,
+                     integrity::IntegrityMonitor* monitor,
+                     integrity::Watchdog* watchdog = nullptr) {
+    ictx_.options = opts;
+    ictx_.monitor = monitor;
+    ictx_.watchdog = watchdog;
+  }
+
   void enable_checkpointing(const std::string& path, int every_passes) {
     S35_CHECK(every_passes >= 1);
     ckpt_path_ = path;
     checkpoint_every_ = every_passes;
   }
 
-  fault::Status resume_from(const std::string& path) {
+  // A nonzero `max_steps` rejects checkpoints whose completed-step tag
+  // exceeds what the run schedules (kMismatch), as in the stencil driver.
+  fault::Status resume_from(const std::string& path, std::uint64_t max_steps = 0) {
     Lattice<T> global(nx_, ny_, nz_);
     std::uint64_t tag = 0;
     if (fault::Status st = grid::load_checkpoint_arrays_ex(path, global, kQ, &tag, io_);
         !st.ok())
       return st;
+    if (max_steps > 0 && tag > max_steps)
+      return {fault::ErrorCode::kMismatch,
+              "checkpoint claims " + std::to_string(tag) +
+                  " completed steps, run schedules only " +
+                  std::to_string(max_steps)};
     scatter(global);
     steps_done_ = tag;
     last_good_ = path;
@@ -120,13 +137,27 @@ class DistributedLbmDriver {
         if (fault::Status rst = restore(); !rst.ok()) return rst;
         continue;
       }
-      for (int r = 0; r < ranks_; ++r) {
+      bool escalate = false;
+      for (int r = 0; r < ranks_ && !escalate; ++r) {
         auto& pair = locals_[static_cast<std::size_t>(r)];
-        run_lbm_engine_pass<T, simd::DefaultTag>(
-            *geoms_[static_cast<std::size_t>(r)], prm, pair.src(), pair.dst(),
-            cfg.dim_x > 0 ? cfg.dim_x : nx_, cfg.dim_y > 0 ? cfg.dim_y : ny_, dt,
-            cfg.serialized, engine);
-        pair.swap();
+        if (fault::Status st = run_rank_pass(r, prm, pair, dt, cfg, engine);
+            !st.ok()) {
+          if (st.code() != fault::ErrorCode::kSdcDetected) return st;
+          if (last_good_.empty()) return st;
+          escalate = true;
+        } else {
+          pair.swap();
+        }
+      }
+      if (escalate) {
+        ++pass_index_;  // the replayed pass gets a fresh fault-plan ordinal
+        ++stats_.sdc_restores;
+        if (ictx_.monitor != nullptr) {
+          ictx_.monitor->clear_poison();
+          ictx_.monitor->note_checkpoint_restore();
+        }
+        if (fault::Status rst = restore(); !rst.ok()) return rst;
+        continue;
       }
       stats_.passes += 1;
       stats_.time_steps += static_cast<std::uint64_t>(dt);
@@ -228,7 +259,9 @@ class DistributedLbmDriver {
           const std::uint32_t want = halo_crc(src, z0, z1, src_lo);
           int attempts = 0;
           const std::int64_t t0 = telemetry::detail::now_ns();
-          fault::Status st = fault::retry_with_backoff(retry_, [&](int attempt) {
+          // Per-(pass, message) salt decorrelates concurrent retry delays.
+          const std::uint64_t salt = (pass_index_ << 16) ^ msg;
+          fault::Status st = fault::retry_with_backoff(retry_, salt, [&](int attempt) {
             attempts = attempt + 1;
             copy_once();
             switch (plan_->halo_fault(pass_index_, msg, attempt)) {
@@ -260,6 +293,41 @@ class DistributedLbmDriver {
       }
     }
     return {};
+  }
+
+  // One blocked pass on rank r with the in-memory re-execution rung (see
+  // stencil::DistributedStencilDriver::run_rank_pass).
+  fault::Status run_rank_pass(int r, const BgkParams<T>& prm, LatticePair<T>& pair,
+                              int dt, const SweepConfig& cfg, core::Engine35& engine) {
+    integrity::IntegrityContext ictx = ictx_;
+    ictx.plan = plan_;
+    ictx.pass = pass_index_;
+    const Geometry& geom = *geoms_[static_cast<std::size_t>(r)];
+    const long dx = cfg.dim_x > 0 ? cfg.dim_x : nx_;
+    const long dy = cfg.dim_y > 0 ? cfg.dim_y : ny_;
+    const bool armed = ictx.active();
+    for (int attempt = 0;; ++attempt) {
+      if (attempt == 0) {
+        run_lbm_engine_pass<T, simd::DefaultTag>(geom, prm, pair.src(), pair.dst(),
+                                                 dx, dy, dt, cfg.serialized, engine,
+                                                 {}, ictx);
+      } else {
+        const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+        run_lbm_engine_pass<T, simd::DefaultTag>(geom, prm, pair.src(), pair.dst(),
+                                                 dx, dy, dt, cfg.serialized, engine,
+                                                 {}, ictx);
+      }
+      if (!armed || !ictx_.monitor->poisoned()) return {};
+      ++stats_.sdc_detected;
+      if (attempt >= ictx.options.max_reexec)
+        return {fault::ErrorCode::kSdcDetected,
+                "SDC persisted after " + std::to_string(ictx.options.max_reexec) +
+                    " in-memory re-executions of LBM pass " +
+                    std::to_string(pass_index_)};
+      ictx_.monitor->clear_poison();
+      ictx_.monitor->note_reexec();
+      ++stats_.sdc_reexecs;
+    }
   }
 
   fault::Status write_checkpoint() {
@@ -321,6 +389,7 @@ class DistributedLbmDriver {
   fault::FaultPlan* plan_ = nullptr;
   fault::IoBackend* io_ = nullptr;
   fault::RetryPolicy retry_;
+  integrity::IntegrityContext ictx_;  // plan/pass filled per rank pass
   std::string ckpt_path_;
   std::string last_good_;
   int checkpoint_every_ = 0;

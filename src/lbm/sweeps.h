@@ -16,6 +16,8 @@
 
 #include "core/engine.h"
 #include "core/kernel_options.h"
+#include "fault/status.h"
+#include "integrity/integrity.h"
 #include "lbm/slab_kernel.h"
 #include "parallel/partition.h"
 #include "simd/dispatch.h"
@@ -40,6 +42,9 @@ struct SweepConfig {
   // ISA / FMA knobs (kernel.isa honored by run_lbm_auto only; fast_path
   // and prefetch are stencil-side knobs the LBM kernels ignore).
   core::KernelOptions kernel = {};
+  // Online-integrity context (src/integrity), honored by the Engine35-based
+  // variants; pair with run_lbm_verified for re-execution recovery.
+  integrity::IntegrityContext integrity = {};
 };
 
 // Physics parameters shared by all variants.
@@ -105,11 +110,12 @@ void run_lbm_engine_pass(const Geometry& geom, const BgkParams<T>& prm,
                          const Lattice<T>& src, Lattice<T>& dst, long dim_x,
                          long dim_y, int dim_t, bool serialized,
                          core::Engine35& engine,
-                         const core::KernelOptions& opts = {}) {
+                         const core::KernelOptions& opts = {},
+                         const integrity::IntegrityContext& ictx = {}) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, 1, dim_t);
   const core::TemporalSchedule sched(src.nz(), 1, dim_t, serialized);
   LbmSlabKernel<T, Tag> kernel(geom, prm, src, dst, dim_x, dim_y, dim_t,
-                               sched.planes_per_instance(), opts);
+                               sched.planes_per_instance(), opts, ictx);
   engine.run_pass(kernel, tiling, sched);
 }
 
@@ -148,6 +154,7 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
         dim_y = cfg.dim_y > 0 ? cfg.dim_y : cfg.dim_x;
       }
       S35_CHECK(cfg.dim_t >= 1);
+      integrity::IntegrityContext ictx = cfg.integrity;
       int remaining = steps;
       if (remaining >= cfg.dim_t) {
         const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
@@ -156,17 +163,20 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
                                            cfg.serialized);
         LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
                                      cfg.dim_t, sched.planes_per_instance(),
-                                     cfg.kernel);
+                                     cfg.kernel, ictx);
         while (remaining >= cfg.dim_t) {
           kernel.rebind(pair.src(), pair.dst());
+          kernel.set_integrity_pass(ictx.pass);
           engine.run_pass(kernel, tiling, sched);
           pair.swap();
+          ++ictx.pass;
           remaining -= cfg.dim_t;
         }
       }
       if (remaining > 0) {
         run_lbm_engine_pass<T, Tag>(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
-                                    remaining, cfg.serialized, engine, cfg.kernel);
+                                    remaining, cfg.serialized, engine, cfg.kernel,
+                                    ictx);
         pair.swap();
       }
       return;
@@ -200,6 +210,83 @@ void run_lbm_auto(Variant variant, const Geometry& geom, const BgkParams<T>& prm
   simd::dispatch(cfg.kernel.isa, [&](auto tag) {
     run_lbm<T, decltype(tag)>(variant, geom, prm, pair, steps, cfg, engine);
   });
+}
+
+// Integrity-verified LBM sweep: the LBM counterpart of
+// stencil::run_sweep_verified (same in-memory re-execution rung — the
+// source lattice is read-only during a pass, so a replay is bit-exact).
+// Engine35 variants only (kTemporalOnly, kBlocked35D).
+template <typename T, typename Tag = simd::DefaultTag>
+fault::Status run_lbm_verified(Variant variant, const Geometry& geom,
+                               const BgkParams<T>& prm, LatticePair<T>& pair,
+                               int steps, const SweepConfig& cfg,
+                               core::Engine35& engine) {
+  S35_CHECK_MSG(variant == Variant::kTemporalOnly || variant == Variant::kBlocked35D,
+                "run_lbm_verified needs an Engine35 variant");
+  S35_CHECK(steps >= 0);
+  long dim_x, dim_y;
+  if (variant == Variant::kTemporalOnly) {
+    dim_x = pair.src().nx();
+    dim_y = pair.src().ny();
+  } else {
+    S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked35D needs dim_x");
+    dim_x = cfg.dim_x;
+    dim_y = cfg.dim_y > 0 ? cfg.dim_y : cfg.dim_x;
+  }
+  S35_CHECK(cfg.dim_t >= 1);
+
+  integrity::IntegrityContext ictx = cfg.integrity;
+  integrity::IntegrityMonitor* mon = ictx.monitor;
+  auto run_checked = [&](auto& kernel, const core::Tiling& tiling,
+                         const core::TemporalSchedule& sched) -> fault::Status {
+    for (int attempt = 0;; ++attempt) {
+      kernel.rebind(pair.src(), pair.dst());
+      kernel.set_integrity_pass(ictx.pass);
+      if (attempt == 0) {
+        engine.run_pass(kernel, tiling, sched);
+      } else {
+        const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+        engine.run_pass(kernel, tiling, sched);
+      }
+      if (!ictx.active() || !mon->poisoned()) return fault::ok_status();
+      if (attempt >= ictx.options.max_reexec) {
+        return fault::Status(fault::ErrorCode::kSdcDetected,
+                             "SDC persisted after " +
+                                 std::to_string(ictx.options.max_reexec) +
+                                 " in-memory re-executions of LBM pass " +
+                                 std::to_string(ictx.pass));
+      }
+      mon->clear_poison();
+      mon->note_reexec();
+    }
+  };
+
+  int remaining = steps;
+  if (remaining >= cfg.dim_t) {
+    const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
+                              cfg.dim_t);
+    const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t, cfg.serialized);
+    LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
+                                 cfg.dim_t, sched.planes_per_instance(), cfg.kernel,
+                                 ictx);
+    while (remaining >= cfg.dim_t) {
+      if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
+      pair.swap();
+      ++ictx.pass;
+      remaining -= cfg.dim_t;
+    }
+  }
+  if (remaining > 0) {
+    const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
+                              remaining);
+    const core::TemporalSchedule sched(pair.src().nz(), 1, remaining, cfg.serialized);
+    LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
+                                 remaining, sched.planes_per_instance(), cfg.kernel,
+                                 ictx);
+    if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
+    pair.swap();
+  }
+  return fault::ok_status();
 }
 
 }  // namespace s35::lbm

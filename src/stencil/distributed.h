@@ -61,6 +61,13 @@ struct CommStats {
   std::uint64_t restores = 0;
   std::uint64_t rank_failures = 0;
 
+  // Online-integrity accounting (set_integrity): SDC detections, the
+  // in-memory pass re-executions that absorbed them, and the escalations
+  // to a checkpoint restore when re-execution did not converge.
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t sdc_reexecs = 0;
+  std::uint64_t sdc_restores = 0;
+
   double bytes_per_step() const {
     return time_steps == 0 ? 0.0 : static_cast<double>(bytes) / time_steps;
   }
@@ -118,6 +125,19 @@ class DistributedStencilDriver {
   // Routes checkpoint I/O through `io` (e.g. a FaultyIoBackend).
   void set_io_backend(fault::IoBackend* io) { io_ = io; }
 
+  // Arms the online-integrity layer (src/integrity) for every per-rank
+  // pass: sentinels/guards/audits feed `monitor`, and a poisoned pass
+  // climbs the recovery ladder — in-memory re-execution first, checkpoint
+  // restore when re-execution does not converge. The monitor (and optional
+  // watchdog) are borrowed, not owned.
+  void set_integrity(const integrity::IntegrityOptions& opts,
+                     integrity::IntegrityMonitor* monitor,
+                     integrity::Watchdog* watchdog = nullptr) {
+    ictx_.options = opts;
+    ictx_.monitor = monitor;
+    ictx_.watchdog = watchdog;
+  }
+
   // Writes a durable checkpoint to `path` every `every_passes` blocked
   // passes (plus one at run start so rank-failure recovery always has a
   // restore point). The file is also the restore source for recovery.
@@ -128,12 +148,20 @@ class DistributedStencilDriver {
   }
 
   // Restores grid state and the completed-step count from a checkpoint
-  // written by a previous (interrupted) run.
-  fault::Status resume_from(const std::string& path) {
+  // written by a previous (interrupted) run. A nonzero `max_steps` bounds
+  // the plausible completed-step tag: a checkpoint claiming more finished
+  // steps than the run ever schedules is rejected as kMismatch instead of
+  // silently fast-forwarding past the end of the run.
+  fault::Status resume_from(const std::string& path, std::uint64_t max_steps = 0) {
     grid::Grid3<T> g(nx_, ny_, nz_);
     std::uint64_t tag = 0;
     if (fault::Status st = grid::load_checkpoint_ex(path, g, &tag, io_); !st.ok())
       return st;
+    if (max_steps > 0 && tag > max_steps)
+      return {fault::ErrorCode::kMismatch,
+              "checkpoint claims " + std::to_string(tag) +
+                  " completed steps, run schedules only " +
+                  std::to_string(max_steps)};
     scatter(g);
     steps_done_ = tag;
     last_good_ = path;
@@ -173,13 +201,28 @@ class DistributedStencilDriver {
         if (fault::Status rst = restore(); !rst.ok()) return rst;
         continue;
       }
-      for (int r = 0; r < ranks_; ++r) {
+      bool escalate = false;
+      for (int r = 0; r < ranks_ && !escalate; ++r) {
         auto& pair = locals_[static_cast<std::size_t>(r)];
-        run_engine_pass<S, T, simd::DefaultTag>(
-            stencil, pair.src(), pair.dst(), cfg.dim_x > 0 ? cfg.dim_x : nx_,
-            cfg.dim_y > 0 ? cfg.dim_y : ny_, dt, cfg.serialized,
-            cfg.streaming_stores, engine);
-        pair.swap();
+        if (fault::Status st = run_rank_pass(stencil, pair, dt, cfg, engine);
+            !st.ok()) {
+          if (st.code() != fault::ErrorCode::kSdcDetected) return st;
+          // Re-execution did not converge: climb to the checkpoint rung.
+          if (last_good_.empty()) return st;
+          escalate = true;
+        } else {
+          pair.swap();
+        }
+      }
+      if (escalate) {
+        ++pass_index_;  // the replayed pass gets a fresh fault-plan ordinal
+        ++stats_.sdc_restores;
+        if (ictx_.monitor != nullptr) {
+          ictx_.monitor->clear_poison();
+          ictx_.monitor->note_checkpoint_restore();
+        }
+        if (fault::Status rst = restore(); !rst.ok()) return rst;
+        continue;
       }
       stats_.passes += 1;
       stats_.time_steps += static_cast<std::uint64_t>(dt);
@@ -291,7 +334,10 @@ class DistributedStencilDriver {
           const std::uint32_t want = halo_crc(src, z0, z1, src_lo);
           int attempts = 0;
           const std::int64_t t0 = telemetry::detail::now_ns();
-          fault::Status st = fault::retry_with_backoff(retry_, [&](int attempt) {
+          // Salted with (pass, message) so concurrent ranks' retry delays
+          // decorrelate instead of hammering the fabric in lockstep.
+          const std::uint64_t salt = (pass_index_ << 16) ^ msg;
+          fault::Status st = fault::retry_with_backoff(retry_, salt, [&](int attempt) {
             attempts = attempt + 1;
             copy_once();
             switch (plan_->halo_fault(pass_index_, msg, attempt)) {
@@ -324,6 +370,45 @@ class DistributedStencilDriver {
       }
     }
     return {};
+  }
+
+  // One blocked pass over a single rank's extended grid, with the
+  // in-memory re-execution rung when integrity is armed: the rank's source
+  // grid is read-only during the pass, so replaying it from the same
+  // inputs is bit-exact with a fault-free execution. Returns kSdcDetected
+  // when the monitor still reports poison after max_reexec replays.
+  fault::Status run_rank_pass(const S& stencil, grid::GridPair<T>& pair, int dt,
+                              const SweepConfig& cfg, core::Engine35& engine) {
+    integrity::IntegrityContext ictx = ictx_;
+    ictx.plan = plan_;
+    ictx.pass = pass_index_;
+    const long dx = cfg.dim_x > 0 ? cfg.dim_x : nx_;
+    const long dy = cfg.dim_y > 0 ? cfg.dim_y : ny_;
+    const bool armed = ictx.active();
+    for (int attempt = 0;; ++attempt) {
+      if (attempt == 0) {
+        run_engine_pass<S, T, simd::DefaultTag>(stencil, pair.src(), pair.dst(), dx,
+                                                dy, dt, cfg.serialized,
+                                                cfg.streaming_stores, engine, {},
+                                                ictx);
+      } else {
+        const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+        run_engine_pass<S, T, simd::DefaultTag>(stencil, pair.src(), pair.dst(), dx,
+                                                dy, dt, cfg.serialized,
+                                                cfg.streaming_stores, engine, {},
+                                                ictx);
+      }
+      if (!armed || !ictx_.monitor->poisoned()) return {};
+      ++stats_.sdc_detected;
+      if (attempt >= ictx.options.max_reexec)
+        return {fault::ErrorCode::kSdcDetected,
+                "SDC persisted after " + std::to_string(ictx.options.max_reexec) +
+                    " in-memory re-executions of pass " +
+                    std::to_string(pass_index_)};
+      ictx_.monitor->clear_poison();
+      ictx_.monitor->note_reexec();
+      ++stats_.sdc_reexecs;
+    }
   }
 
   fault::Status write_checkpoint() {
@@ -386,6 +471,7 @@ class DistributedStencilDriver {
   fault::FaultPlan* plan_ = nullptr;
   fault::IoBackend* io_ = nullptr;
   fault::RetryPolicy retry_;
+  integrity::IntegrityContext ictx_;  // plan/pass filled per rank pass
   std::string ckpt_path_;
   std::string last_good_;  // most recent restore source (may equal ckpt_path_)
   int checkpoint_every_ = 0;

@@ -9,12 +9,21 @@
 // external storage.
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
 
 #include "common/aligned_buffer.h"
+#include "common/crc32c.h"
 #include "core/engine.h"
 #include "core/kernel_options.h"
+#include "fault/fault_plan.h"
 #include "grid/grid3.h"
+#include "integrity/integrity.h"
+#include "integrity/watchdog.h"
 #include "parallel/thread_team.h"
 #include "simd/simd.h"
 #include "stencil/stencil_kernels.h"
@@ -30,7 +39,8 @@ class StencilSlabKernel {
  public:
   StencilSlabKernel(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
                     long dim_x, long dim_y, int dim_t, int planes_per_instance,
-                    bool streaming_stores = false, core::KernelOptions opts = {})
+                    bool streaming_stores = false, core::KernelOptions opts = {},
+                    integrity::IntegrityContext ictx = {})
       : stencil_(stencil),
         src_(&src),
         dst_(&dst),
@@ -39,8 +49,11 @@ class StencilSlabKernel {
         ring_(planes_per_instance),
         streaming_(streaming_stores),
         opts_(opts),
+        ictx_(ictx),
         buffer_(static_cast<std::size_t>(pitch_) * dim_y * ring_ * dim_t) {
     S35_CHECK(dim_t >= 1 && planes_per_instance >= 2 * R + 1);
+    if (ictx_.active() && ictx_.options.sentinels)
+      sentinels_.configure(dim_t, planes_per_instance);
   }
 
   std::size_t buffer_bytes() const { return buffer_.size() * sizeof(T); }
@@ -58,6 +71,7 @@ class StencilSlabKernel {
         const T* in = src_->row(y, step.z);
         T* out = buffer_row(tile, 0, step.dst_slot, y);
         copy_span(in, out, x0, x1);
+        if (guards_on(step)) guard_span(out, x0, x1, step, y, 0, "load");
         return;
       }
       case core::StepKind::kCopy: {
@@ -65,12 +79,83 @@ class StencilSlabKernel {
         T* out = step.to_external ? dst_->row(y, step.z)
                                   : buffer_row(tile, step.t, step.dst_slot, y);
         copy_span(in, out, x0, x1);
+        if (guards_on(step) && step.to_external)
+          guard_span(out, x0, x1, step, y, step.t, "store");
         return;
       }
       case core::StepKind::kCompute:
         compute_span(tile, step, y, x0, x1);
+        if (guards_on(step) && step.to_external)
+          guard_span(dst_->row(y, step.z), x0, x1, step, y, step.t, "store");
         return;
     }
+  }
+
+  // ---- online-integrity hook set (see core::HasIntegrityHooks) ----
+
+  bool integrity_active() const {
+    return ictx_.active() || (ictx_.watchdog && ictx_.watchdog->armed());
+  }
+
+  // The blocked-pass ordinal feeds the audit sampler and the fault plan;
+  // the verified runners bump it per pass (re-executions keep it).
+  void set_integrity_pass(std::uint64_t pass) { ictx_.pass = pass; }
+
+  void integrity_heartbeat(int tid, telemetry::Phase p) {
+    if (ictx_.watchdog) ictx_.watchdog->heartbeat(tid, p);
+  }
+
+  void integrity_tile_begin(const core::Tile& tile, int tid) {
+    (void)tile;
+    if (tid == 0 && ictx_.active() && ictx_.options.sentinels) sentinels_.reset();
+  }
+
+  // Fenced per-round slot (tid 0 does sentinel work; see engine.h). Rolls
+  // the sentinel table forward: record planes round m produced, then verify
+  // the planes round m+1 is about to overwrite — i.e. every resident plane
+  // is CRC-checked exactly once, when it retires (or at pass end).
+  void integrity_round(const core::Tile& tile,
+                       const std::vector<std::vector<core::Step>>& rounds, long m,
+                       int tid) {
+    integrity_heartbeat(tid, telemetry::Phase::kAudit);
+    if (ictx_.plan && ictx_.plan->stall_fires(ictx_.pass, tid))
+      std::this_thread::sleep_for(std::chrono::milliseconds(ictx_.plan->stall_ms));
+    if (tid != 0 || !ictx_.active() || !ictx_.options.sentinels) return;
+    const telemetry::ScopedPhase phase(tid, telemetry::Phase::kAudit);
+    for (const core::Step& step : rounds[static_cast<std::size_t>(m)]) {
+      // Unsampled planes leave their slot sentinel-free (it was already
+      // verified and taken when the previous occupant retired), so the
+      // stride can never turn into a false positive downstream.
+      if (!integrity::plane_selects(ictx_.options.sentinel_stride, ictx_.pass,
+                                     step.z))
+        continue;
+      if (step.kind == core::StepKind::kLoad) {
+        sentinels_.record(0, step.dst_slot, step.z, plane_crc(tile, 0, step.dst_slot));
+      } else if (!step.to_external) {
+        sentinels_.record(step.t, step.dst_slot, step.z,
+                          plane_crc(tile, step.t, step.dst_slot));
+      }
+    }
+    if (ictx_.plan) maybe_flip_plane(tile, rounds[static_cast<std::size_t>(m)], m);
+    if (m + 1 < static_cast<long>(rounds.size())) {
+      for (const core::Step& step : rounds[static_cast<std::size_t>(m + 1)]) {
+        if (step.kind == core::StepKind::kLoad) {
+          verify_retiring(tile, 0, step.dst_slot);
+        } else if (!step.to_external) {
+          verify_retiring(tile, step.t, step.dst_slot);
+        }
+      }
+    } else {
+      sentinels_.for_each_valid([&](int instance, int slot,
+                                    const integrity::RingSentinels::Entry& e) {
+        verify_entry(tile, instance, slot, e);
+      });
+      sentinels_.reset();
+    }
+  }
+
+  void integrity_region_end(int tid) {
+    if (ictx_.watchdog) ictx_.watchdog->idle(tid);
   }
 
  private:
@@ -130,6 +215,147 @@ class StencilSlabKernel {
       simd::stream_fence();
     }
     telemetry::add_row_counts(parallel::current_tid(), fast ? 1 : 0, fast ? 0 : 1);
+
+    if (ictx_.active()) {
+      // Wrong-result-row injection: corrupt one element of the final
+      // external write of row (z, y) — a fault only the audits can catch.
+      if (ictx_.plan && step.to_external) {
+        const long xc = src_->nx() / 2;
+        if (xc >= xa && xc < xb &&
+            ictx_.plan->wrong_row_fires(ictx_.pass, step.z, y))
+          flip_value_bit(&out[xc], ictx_.plan->flip_bit);
+      }
+      if (integrity::audit_selects(ictx_.options.audit_seed, ictx_.pass, step.t,
+                                   step.z, y, ictx_.options.audit_rate))
+        audit_span(row_stencil, acc, out, xa, xb, step, y);
+    }
+  }
+
+  // ---- integrity helpers ----
+
+  // Guards sample planes on the rotating stride grid; localization tests
+  // pin guard_stride = 1 for exact plane attribution.
+  bool guards_on(const core::Step& step) const {
+    return ictx_.active() && ictx_.options.guards &&
+           integrity::plane_selects(ictx_.options.guard_stride, ictx_.pass, step.z);
+  }
+
+  static void flip_value_bit(T* v, int bit) {
+    if (bit < 0 || bit >= static_cast<int>(sizeof(T)) * 8) bit = 0;
+    unsigned char* p = reinterpret_cast<unsigned char*>(v);
+    p[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+
+  // NaN/Inf (and optional range) scan of a written span; a hit is localized
+  // to (plane z, row y, step) — corrupted external input shows up at its
+  // load, corrupted results at their external write.
+  void guard_span(const T* p, long x0, long x1, const core::Step& step, long y,
+                  int instance, const char* where) {
+    const double lo = ictx_.options.range_lo;
+    const double hi = ictx_.options.range_hi;
+    const bool banded = lo > -std::numeric_limits<double>::infinity() ||
+                        hi < std::numeric_limits<double>::infinity();
+    // Fast path: no plausibility band, nothing non-finite — one
+    // vectorizable bit scan instead of a per-element double conversion.
+    if (!banded && integrity::span_all_finite(p + x0, x1 - x0)) return;
+    for (long x = x0; x < x1; ++x) {
+      const double v = static_cast<double>(p[x]);
+      if (std::isfinite(v) && v >= lo && v <= hi) continue;
+      const int tid = parallel::current_tid();
+      integrity::SdcEvent e;
+      e.kind = integrity::SdcKind::kGuard;
+      e.pass = ictx_.pass;
+      e.instance = instance;
+      e.z = step.z;
+      e.y = y;
+      e.tid = tid;
+      e.detail = std::string(where) + " guard: non-finite/out-of-range at x=" +
+                 std::to_string(x) + " t=" + std::to_string(step.t);
+      ictx_.monitor->record(e);
+      telemetry::add_integrity_counts(tid, 0, 1, 0);
+      return;
+    }
+  }
+
+  // Re-runs the scalar reference (the generic update_row path evaluates
+  // s.point per cell — same expression tree, no FMA) over the interior span
+  // and compares: bit-exact without FMA, within the documented tolerance
+  // with it (docs/PERFORMANCE.md).
+  template <typename Acc>
+  void audit_span(const S& s, const Acc& acc, const T* out, long xa, long xb,
+                  const core::Step& step, long y) {
+    const int tid = parallel::current_tid();
+    const telemetry::ScopedPhase phase(tid, telemetry::Phase::kAudit);
+    for (long x = xa; x < xb; ++x) {
+      const T ref = s.point(acc, x);
+      if (integrity::audit_matches(out[x], ref, opts_.allow_fma)) continue;
+      integrity::SdcEvent e;
+      e.kind = integrity::SdcKind::kAudit;
+      e.pass = ictx_.pass;
+      e.instance = step.t;
+      e.z = step.z;
+      e.y = y;
+      e.tid = tid;
+      e.detail = "audit mismatch at x=" + std::to_string(x) + ": fast=" +
+                 std::to_string(static_cast<double>(out[x])) + " ref=" +
+                 std::to_string(static_cast<double>(ref));
+      ictx_.monitor->record(e);
+      telemetry::add_integrity_counts(tid, 0, 1, 0);
+      return;
+    }
+    ictx_.monitor->add_audited_rows(1);
+    telemetry::add_integrity_counts(tid, 1, 0, 0);
+  }
+
+  // CRC32C over the plane's written window: rows region(instance).y,
+  // columns region(instance).x — exactly what the schedule wrote there.
+  std::uint32_t plane_crc(const core::Tile& tile, int instance, int slot) {
+    const core::Rect& region = tile.region(instance);
+    std::uint32_t crc = 0;
+    for (long y = region.y.begin; y < region.y.end; ++y) {
+      const T* row = buffer_row(tile, instance, slot, y);
+      crc = crc32c(row + region.x.begin,
+                   static_cast<std::size_t>(region.x.size()) * sizeof(T), crc);
+    }
+    return crc;
+  }
+
+  void verify_retiring(const core::Tile& tile, int instance, int slot) {
+    const integrity::RingSentinels::Entry e = sentinels_.take(instance, slot);
+    if (e.valid) verify_entry(tile, instance, slot, e);
+  }
+
+  void verify_entry(const core::Tile& tile, int instance, int slot,
+                    const integrity::RingSentinels::Entry& e) {
+    ictx_.monitor->add_sentinel_checks(1);
+    const std::uint32_t crc = plane_crc(tile, instance, slot);
+    if (crc == e.crc) return;
+    integrity::SdcEvent ev;
+    ev.kind = integrity::SdcKind::kSentinel;
+    ev.pass = ictx_.pass;
+    ev.instance = instance;
+    ev.slot = slot;
+    ev.z = e.z;
+    ev.tid = 0;
+    ev.detail = "resident plane CRC mismatch (instance " + std::to_string(instance) +
+                ", slot " + std::to_string(slot) + ", z " + std::to_string(e.z) + ")";
+    ictx_.monitor->record(ev);
+    telemetry::add_integrity_counts(0, 0, 1, 0);
+  }
+
+  // Plane-flip injection: one bit of the plane loaded this round, flipped
+  // *after* its sentinel was recorded — the in-cache SDC the sentinels must
+  // catch when the plane retires.
+  void maybe_flip_plane(const core::Tile& tile, const std::vector<core::Step>& round,
+                        long m) {
+    for (const core::Step& step : round) {
+      if (step.kind != core::StepKind::kLoad) continue;
+      if (!ictx_.plan->plane_flip_fires(ictx_.pass, m)) return;
+      const core::Rect& region = tile.region(0);
+      T* row = buffer_row(tile, 0, step.dst_slot, region.y.begin);
+      flip_value_bit(&row[region.x.begin], ictx_.plan->flip_bit);
+      return;
+    }
   }
 
   S stencil_;
@@ -140,6 +366,8 @@ class StencilSlabKernel {
   int ring_;
   bool streaming_;
   core::KernelOptions opts_;
+  integrity::IntegrityContext ictx_;
+  integrity::RingSentinels sentinels_;
   AlignedBuffer<T> buffer_;
 };
 

@@ -22,7 +22,9 @@
 #include "core/engine.h"
 #include "core/kernel_options.h"
 #include "core/planner.h"
+#include "fault/status.h"
 #include "grid/grid3.h"
+#include "integrity/integrity.h"
 #include "simd/dispatch.h"
 #include "simd/simd.h"
 #include "stencil/slab_kernel.h"
@@ -55,6 +57,11 @@ struct SweepConfig {
   // honored by run_sweep_auto — the Tag template parameter of run_sweep
   // fixes the backend at compile time.
   core::KernelOptions kernel = {};
+  // Online-integrity context (src/integrity): sentinels/guards/audits and
+  // the watchdog, honored by the Engine35-based variants. Inert by default.
+  // run_sweep only *detects* (events land on the monitor); pair it with
+  // run_sweep_verified for the in-memory re-execution recovery rung.
+  integrity::IntegrityContext integrity = {};
 };
 
 // Grid row accessor with the acc(dz, dy) shape every kernel expects; a
@@ -231,12 +238,13 @@ template <typename S, typename T, typename Tag>
 void run_engine_pass(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>& dst,
                      long dim_x, long dim_y, int dim_t, bool serialized,
                      bool streaming_stores, core::Engine35& engine,
-                     const core::KernelOptions& opts = {}) {
+                     const core::KernelOptions& opts = {},
+                     const integrity::IntegrityContext& ictx = {}) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, S::radius, dim_t);
   const core::TemporalSchedule sched(src.nz(), S::radius, dim_t, serialized);
   StencilSlabKernel<S, T, Tag> kernel(stencil, src, dst, dim_x, dim_y, dim_t,
                                       sched.planes_per_instance(), streaming_stores,
-                                      opts);
+                                      opts, ictx);
   engine.run_pass(kernel, tiling, sched);
 }
 
@@ -260,6 +268,31 @@ void run_sweep_auto(Variant variant, const S& stencil, grid::GridPair<T>& pair,
   simd::dispatch(cfg.kernel.isa, [&](auto tag) {
     run_sweep<S, T, decltype(tag)>(variant, stencil, pair, steps, cfg, engine);
   });
+}
+
+// Integrity-verified sweep: like run_sweep, but runs pass by pass and, when
+// the monitor reports a data-corrupting detection, re-executes the poisoned
+// pass in memory from the still-intact Jacobi source grid (dst and every
+// ring plane are fully rewritten, so the replay is bit-exact). After
+// cfg.integrity.options.max_reexec failed re-executions the pass is given
+// up with kSdcDetected — the caller's cue to climb to the checkpoint rung
+// (see stencil/distributed.h). Engine35-based variants only (kSpatial25D,
+// kTemporalOnly, kBlocked35D). Result in pair.src() on ok.
+template <typename S, typename T, typename Tag = simd::DefaultTag>
+fault::Status run_sweep_verified(Variant variant, const S& stencil,
+                                 grid::GridPair<T>& pair, int steps,
+                                 const SweepConfig& cfg, core::Engine35& engine);
+
+template <typename S, typename T>
+fault::Status run_sweep_verified_auto(Variant variant, const S& stencil,
+                                      grid::GridPair<T>& pair, int steps,
+                                      const SweepConfig& cfg, core::Engine35& engine) {
+  fault::Status st;
+  simd::dispatch(cfg.kernel.isa, [&](auto tag) {
+    st = run_sweep_verified<S, T, decltype(tag)>(variant, stencil, pair, steps, cfg,
+                                                 engine);
+  });
+  return st;
 }
 
 }  // namespace s35::stencil

@@ -56,6 +56,7 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
         pass_t = cfg.dim_t;
       }
       S35_CHECK(pass_t >= 1);
+      integrity::IntegrityContext ictx = cfg.integrity;
       int remaining = steps;
       if (remaining >= pass_t) {
         // One tiling/schedule/kernel (and thus one ring-buffer allocation)
@@ -65,18 +66,20 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
                                            cfg.serialized);
         StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x,
                                             dim_y, pass_t, sched.planes_per_instance(),
-                                            cfg.streaming_stores, cfg.kernel);
+                                            cfg.streaming_stores, cfg.kernel, ictx);
         while (remaining >= pass_t) {
           kernel.rebind(pair.src(), pair.dst());
+          kernel.set_integrity_pass(ictx.pass);
           engine.run_pass(kernel, tiling, sched);
           pair.swap();
+          ++ictx.pass;
           remaining -= pass_t;
         }
       }
       if (remaining > 0) {
         run_engine_pass<S, T, Tag>(stencil, pair.src(), pair.dst(), dim_x, dim_y,
                                    remaining, cfg.serialized, cfg.streaming_stores,
-                                   engine, cfg.kernel);
+                                   engine, cfg.kernel, ictx);
         pair.swap();
       }
       return;
@@ -100,6 +103,95 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
     }
   }
   S35_CHECK_MSG(false, "unknown Variant");
+}
+
+template <typename S, typename T, typename Tag>
+fault::Status run_sweep_verified(Variant variant, const S& stencil,
+                                 grid::GridPair<T>& pair, int steps,
+                                 const SweepConfig& cfg, core::Engine35& engine) {
+  S35_CHECK_MSG(variant == Variant::kSpatial25D || variant == Variant::kTemporalOnly ||
+                    variant == Variant::kBlocked35D,
+                "run_sweep_verified needs an Engine35 variant");
+  constexpr long R = S::radius;
+  const long nx = pair.src().nx(), ny = pair.src().ny();
+  S35_CHECK(steps >= 0);
+
+  long dim_x, dim_y;
+  int pass_t;
+  if (variant == Variant::kSpatial25D) {
+    dim_x = cfg.dim_x > 0 ? cfg.dim_x : nx;
+    dim_y = cfg.dim_y > 0 ? cfg.dim_y : dim_x;
+    pass_t = 1;
+  } else if (variant == Variant::kTemporalOnly) {
+    dim_x = nx;
+    dim_y = ny;
+    pass_t = cfg.dim_t;
+  } else {
+    S35_CHECK_MSG(cfg.dim_x > 0, "kBlocked35D needs dim_x");
+    dim_x = cfg.dim_x;
+    dim_y = cfg.dim_y > 0 ? cfg.dim_y : cfg.dim_x;
+    pass_t = cfg.dim_t;
+  }
+  S35_CHECK(pass_t >= 1);
+
+  integrity::IntegrityContext ictx = cfg.integrity;
+  integrity::IntegrityMonitor* mon = ictx.monitor;
+
+  // Runs one pass, re-executing it in memory while the monitor reports the
+  // output poisoned. The Jacobi source grid is read-only during a pass and
+  // a pass rewrites dst and every ring plane it reads, so a replay from the
+  // same src is bit-exact with a fault-free execution. One-shot injected
+  // faults are disarmed after firing, so the first replay comes out clean;
+  // sticky corruption (e.g. NaN already resident in src) survives every
+  // replay and escalates.
+  auto run_checked = [&](auto& kernel, const core::Tiling& tiling,
+                         const core::TemporalSchedule& sched) -> fault::Status {
+    for (int attempt = 0;; ++attempt) {
+      kernel.rebind(pair.src(), pair.dst());
+      kernel.set_integrity_pass(ictx.pass);
+      if (attempt == 0) {
+        engine.run_pass(kernel, tiling, sched);
+      } else {
+        const telemetry::ScopedPhase phase(0, telemetry::Phase::kRecovery);
+        engine.run_pass(kernel, tiling, sched);
+      }
+      if (!ictx.active() || !mon->poisoned()) return fault::ok_status();
+      if (attempt >= ictx.options.max_reexec) {
+        return fault::Status(fault::ErrorCode::kSdcDetected,
+                             "SDC persisted after " +
+                                 std::to_string(ictx.options.max_reexec) +
+                                 " in-memory re-executions of pass " +
+                                 std::to_string(ictx.pass));
+      }
+      mon->clear_poison();
+      mon->note_reexec();
+    }
+  };
+
+  int remaining = steps;
+  if (remaining >= pass_t) {
+    const core::Tiling tiling(nx, ny, dim_x, dim_y, R, pass_t);
+    const core::TemporalSchedule sched(pair.src().nz(), R, pass_t, cfg.serialized);
+    StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x, dim_y,
+                                        pass_t, sched.planes_per_instance(),
+                                        cfg.streaming_stores, cfg.kernel, ictx);
+    while (remaining >= pass_t) {
+      if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
+      pair.swap();
+      ++ictx.pass;
+      remaining -= pass_t;
+    }
+  }
+  if (remaining > 0) {
+    const core::Tiling tiling(nx, ny, dim_x, dim_y, R, remaining);
+    const core::TemporalSchedule sched(pair.src().nz(), R, remaining, cfg.serialized);
+    StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x, dim_y,
+                                        remaining, sched.planes_per_instance(),
+                                        cfg.streaming_stores, cfg.kernel, ictx);
+    if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
+    pair.swap();
+  }
+  return fault::ok_status();
 }
 
 }  // namespace s35::stencil

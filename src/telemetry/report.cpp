@@ -116,6 +116,7 @@ std::string to_json(const BenchRecord& rec) {
       .num("external_io_s", ph.phase_seconds(Phase::kExternalIo))
       .num("region_s", ph.phase_seconds(Phase::kRegion))
       .num("recovery_s", ph.phase_seconds(Phase::kRecovery))
+      .num("audit_s", ph.phase_seconds(Phase::kAudit))
       .unsigned64("barrier_waits",
                   ph.calls[static_cast<int>(Phase::kBarrierWait)])
       .unsigned64("recoveries", ph.calls[static_cast<int>(Phase::kRecovery)]);
@@ -127,6 +128,10 @@ std::string to_json(const BenchRecord& rec) {
   Obj fastpath;
   fastpath.unsigned64("rows_fast", ph.rows_fast)
       .unsigned64("rows_generic", ph.rows_generic);
+  Obj integrity;
+  integrity.unsigned64("audited_rows", ph.audited_rows)
+      .unsigned64("sdc_detected", ph.sdc_detected)
+      .unsigned64("watchdog_stalls", ph.watchdog_stalls);
   Obj extra;
   for (const auto& [k, v] : rec.extra) extra.num(k.c_str(), v);
 
@@ -147,6 +152,7 @@ std::string to_json(const BenchRecord& rec) {
       .raw("phases", phases.done())
       .raw("external", external.done())
       .raw("fastpath", fastpath.done())
+      .raw("integrity", integrity.done())
       .raw("extra", extra.done());
   return rec_obj.done();
 }

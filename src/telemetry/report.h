@@ -23,11 +23,14 @@
 //     },
 //     "phases": {"compute_s":.., "ghost_fill_s":.., "barrier_wait_s":..,
 //                "external_io_s":.., "region_s":.., "recovery_s":..,
-//                "barrier_waits":.., "recoveries":..},
+//                "audit_s":.., "barrier_waits":.., "recoveries":..},
 //     "external": {"cells_loaded":.., "cells_stored":..,
 //                  "bytes_read":.., "bytes_written":..},
 //     "fastpath": {"rows_fast":.., "rows_generic":..},  // interior fast-path
 //                                                       // coverage (rows)
+//     "integrity": {"audited_rows":.., "sdc_detected":..,
+//                   "watchdog_stalls":..},  // online-integrity counters;
+//                                           // all zero when --audit is off
 //     "extra": {..}                      // free-form numeric key/values
 //   }
 //

@@ -32,6 +32,8 @@ const char* to_string(Phase p) {
       return "region";
     case Phase::kRecovery:
       return "recovery";
+    case Phase::kAudit:
+      return "audit";
   }
   return "?";
 }
@@ -47,6 +49,9 @@ Totals& Totals::operator+=(const Totals& o) {
   bytes_written += o.bytes_written;
   rows_fast += o.rows_fast;
   rows_generic += o.rows_generic;
+  audited_rows += o.audited_rows;
+  sdc_detected += o.sdc_detected;
+  watchdog_stalls += o.watchdog_stalls;
   return *this;
 }
 
@@ -85,6 +90,15 @@ void add_row_counts(int tid, std::uint64_t fast, std::uint64_t generic) {
   s.rows_generic += generic;
 }
 
+void add_integrity_counts(int tid, std::uint64_t audited, std::uint64_t sdc,
+                          std::uint64_t stalls) {
+  if (!enabled()) return;
+  detail::Slot& s = detail::slot(tid);
+  s.audited_rows += audited;
+  s.sdc_detected += sdc;
+  s.watchdog_stalls += stalls;
+}
+
 Totals thread_totals(int tid) {
   const detail::Slot& s = detail::slot(tid);
   Totals t;
@@ -98,6 +112,9 @@ Totals thread_totals(int tid) {
   t.bytes_written = s.bytes_written;
   t.rows_fast = s.rows_fast;
   t.rows_generic = s.rows_generic;
+  t.audited_rows = s.audited_rows;
+  t.sdc_detected = s.sdc_detected;
+  t.watchdog_stalls = s.watchdog_stalls;
   return t;
 }
 

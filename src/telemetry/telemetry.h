@@ -14,6 +14,9 @@
 //   kRecovery    — fault-tolerance work in the distributed drivers: halo
 //                  retransmits (incl. backoff sleeps), checkpoint restores
 //                  and degraded repartitioning; zero in healthy runs
+//   kAudit       — online-integrity work (src/integrity): sampled scalar
+//                  row audits, ring-sentinel CRC record/verify and
+//                  NaN/Inf guard scans; zero when --audit is off
 //
 // plus external-traffic tallies (cells and bytes) fed by the engine's
 // plane-streaming loop and by the memsim traffic replays.
@@ -40,8 +43,9 @@ enum class Phase : int {
   kExternalIo,
   kRegion,
   kRecovery,
+  kAudit,
 };
-inline constexpr int kNumPhases = 6;
+inline constexpr int kNumPhases = 7;
 
 const char* to_string(Phase p);
 
@@ -62,6 +66,13 @@ struct Totals {
   // drops to zero has been de-optimized (see bench JSON "fastpath").
   std::uint64_t rows_fast = 0;
   std::uint64_t rows_generic = 0;
+  // Online-integrity counters (src/integrity). audited_rows counts row
+  // segments re-executed through the scalar reference; sdc_detected counts
+  // sentinel/guard/audit mismatches; watchdog_stalls counts threads flagged
+  // past their phase deadline. All zero when integrity is off.
+  std::uint64_t audited_rows = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t watchdog_stalls = 0;
 
   double phase_seconds(Phase p) const { return seconds[static_cast<int>(p)]; }
   Totals& operator+=(const Totals& o);
@@ -81,6 +92,9 @@ struct alignas(64) Slot {
   std::uint64_t bytes_written = 0;
   std::uint64_t rows_fast = 0;
   std::uint64_t rows_generic = 0;
+  std::uint64_t audited_rows = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t watchdog_stalls = 0;
 };
 
 extern std::atomic<bool> g_enabled;
@@ -108,6 +122,8 @@ void record_ns(int tid, Phase p, std::int64_t ns);
 void add_external_cells(int tid, std::uint64_t loaded, std::uint64_t stored);
 void add_external_bytes(int tid, std::uint64_t read, std::uint64_t written);
 void add_row_counts(int tid, std::uint64_t fast, std::uint64_t generic);
+void add_integrity_counts(int tid, std::uint64_t audited, std::uint64_t sdc,
+                          std::uint64_t stalls);
 
 // Sum over all thread slots. Only well-defined once the writing threads
 // have been joined (e.g. after ThreadTeam::run returns).

@@ -614,5 +614,139 @@ TEST(DistributedRecovery, LbmCombinedFaultsRecoverBitExact) {
   std::remove(ckpt.c_str());
 }
 
+// --------------------------------------------------- decorrelation jitter
+
+// Documented bound: (1 - jitter) * d <= jittered <= min((1 + jitter) * d,
+// max_delay), where d is the deterministic capped delay.
+TEST(Retry, JitteredDelayHonorsTheBound) {
+  fault::RetryPolicy p;  // 50us base, x2, 2000us cap, jitter 0.25
+  for (int retry = 0; retry < 12; ++retry) {
+    const double d = static_cast<double>(fault::backoff_delay(p, retry).count());
+    for (std::uint64_t salt = 0; salt < 32; ++salt) {
+      const double j = static_cast<double>(
+          fault::backoff_delay_jittered(p, retry, salt).count());
+      EXPECT_GE(j, (1.0 - p.jitter) * d - 1.0) << "retry=" << retry;
+      const double hi = (1.0 + p.jitter) * d;
+      const double cap = static_cast<double>(p.max_delay.count());
+      EXPECT_LE(j, (hi < cap ? hi : cap) + 1.0) << "retry=" << retry;
+    }
+  }
+}
+
+TEST(Retry, JitterIsDeterministicPerSaltAndSpreadsSalts) {
+  fault::RetryPolicy p;
+  // Replayable: the same (policy, retry, salt) always sleeps the same.
+  EXPECT_EQ(fault::backoff_delay_jittered(p, 3, 7).count(),
+            fault::backoff_delay_jittered(p, 3, 7).count());
+  // Decorrelating: across salts the delays actually differ.
+  long distinct = 0;
+  const long base = fault::backoff_delay_jittered(p, 3, 0).count();
+  for (std::uint64_t salt = 1; salt < 64; ++salt)
+    if (fault::backoff_delay_jittered(p, 3, salt).count() != base) ++distinct;
+  EXPECT_GT(distinct, 0);
+  // jitter = 0 degenerates to the exact deterministic schedule.
+  p.jitter = 0.0;
+  for (int retry = 0; retry < 6; ++retry)
+    EXPECT_EQ(fault::backoff_delay_jittered(p, retry, 99).count(),
+              fault::backoff_delay(p, retry).count());
+}
+
+// ---------------------------------------------------- SDC fault knobs
+
+TEST(FaultPlan, SdcKindsFireOnceAtTheirSiteAndRearm) {
+  fault::FaultPlan plan(7);
+  plan.flip_pass = 2;
+  plan.flip_round = 5;
+  plan.wrong_row_pass = 1;
+  plan.wrong_row_z = 10;
+  plan.wrong_row_y = 3;
+  plan.stall_tid = 1;
+  plan.stall_pass = 0;
+  plan.stall_ms = 10;
+
+  // Wrong site: never fires.
+  EXPECT_FALSE(plan.plane_flip_fires(2, 4));
+  EXPECT_FALSE(plan.plane_flip_fires(1, 5));
+  EXPECT_FALSE(plan.wrong_row_fires(1, 10, 4));
+  EXPECT_FALSE(plan.stall_fires(0, 0));
+  // Right site: fires exactly once (one-shot models a transient upset).
+  EXPECT_TRUE(plan.plane_flip_fires(2, 5));
+  EXPECT_FALSE(plan.plane_flip_fires(2, 5));
+  EXPECT_TRUE(plan.wrong_row_fires(1, 10, 3));
+  EXPECT_FALSE(plan.wrong_row_fires(1, 10, 3));
+  EXPECT_TRUE(plan.stall_fires(0, 1));
+  EXPECT_FALSE(plan.stall_fires(0, 1));
+  EXPECT_EQ(plan.counters().plane_flips, 1u);
+  EXPECT_EQ(plan.counters().wrong_rows, 1u);
+  EXPECT_EQ(plan.counters().thread_stalls, 1u);
+  // rearm() re-arms the one-shots; the counters keep accumulating.
+  plan.rearm();
+  EXPECT_TRUE(plan.plane_flip_fires(2, 5));
+  EXPECT_TRUE(plan.wrong_row_fires(1, 10, 3));
+  EXPECT_TRUE(plan.stall_fires(0, 1));
+  EXPECT_EQ(plan.counters().plane_flips, 2u);
+}
+
+TEST(FaultPlan, StickyWrongRowRefiresOnEveryReplay) {
+  fault::FaultPlan plan(7);
+  plan.wrong_row_pass = 1;
+  plan.wrong_row_z = 6;
+  plan.wrong_row_y = 2;
+  plan.wrong_row_sticky = true;
+  // Re-fires on every re-execution of its (pass, z, y) site — the knob the
+  // recovery-ladder escalation tests lean on.
+  EXPECT_TRUE(plan.wrong_row_fires(1, 6, 2));
+  EXPECT_TRUE(plan.wrong_row_fires(1, 6, 2));
+  EXPECT_TRUE(plan.wrong_row_fires(1, 6, 2));
+  EXPECT_FALSE(plan.wrong_row_fires(2, 6, 2));
+  EXPECT_EQ(plan.counters().wrong_rows, 3u);
+}
+
+// ------------------------------------- checkpoint header/length hardening
+
+// A file shorter than the header-declared payload length is reported as
+// kTruncated (a clear length mismatch), not as a misleading payload-CRC
+// kCorrupted.
+TEST(CheckpointV2, ShortPayloadReportsTruncatedNotCorrupted) {
+  const std::string path = tmp_path("fault_shortpay.ckpt");
+  grid::Grid3<float> g(8, 8, 8);
+  g.fill_random(21);
+  ASSERT_TRUE(grid::save_checkpoint_ex(path, g, 5).ok());
+  const std::vector<unsigned char> bytes = slurp(path);
+
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() - 7,
+                          bytes.size() - bytes.size() / 3}) {
+    spit(path, bytes, cut);
+    grid::Grid3<float> out(8, 8, 8);
+    std::uint64_t tag = 0;
+    const fault::Status st = grid::load_checkpoint_ex(path, out, &tag);
+    EXPECT_EQ(st.code(), fault::ErrorCode::kTruncated) << "cut=" << cut;
+    // probe_checkpoint applies the same length validation.
+    const auto info = grid::probe_checkpoint(path);
+    EXPECT_FALSE(info.ok());
+    EXPECT_EQ(info.status().code(), fault::ErrorCode::kTruncated);
+  }
+  std::remove(path.c_str());
+}
+
+// A checkpoint claiming more completed steps than the run ever schedules
+// is rejected up front as kMismatch instead of silently fast-forwarding.
+TEST(DistributedRecovery, ResumeRejectsImplausibleStepTag) {
+  const long n = 24;
+  const std::string path = tmp_path("fault_badtag.ckpt");
+  grid::Grid3<float> g(n, n, n);
+  g.fill_random(9);
+  ASSERT_TRUE(grid::save_checkpoint_ex(path, g, /*user_tag=*/100).ok());
+
+  StencilDriver driver(n, n, n, 2, 2);
+  const fault::Status st = driver.resume_from(path, /*max_steps=*/6);
+  EXPECT_EQ(st.code(), fault::ErrorCode::kMismatch);
+  EXPECT_NE(st.message().find("100"), std::string::npos);
+  // Without a bound (legacy call shape) the tag is taken at face value.
+  EXPECT_TRUE(driver.resume_from(path).ok());
+  EXPECT_EQ(driver.steps_done(), 100u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace s35

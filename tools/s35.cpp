@@ -25,6 +25,8 @@
 #include "fault/fault_plan.h"
 #include "gpumodel/gpu_model.h"
 #include "gpusim/programs.h"
+#include "integrity/integrity.h"
+#include "integrity/watchdog.h"
 #include "machine/descriptor.h"
 #include "machine/kernel_sig.h"
 #include "memsim/traffic.h"
@@ -35,15 +37,22 @@ using machine::Precision;
 
 namespace {
 
-// Minimal --key value parser.
+// Minimal --key value parser. Boolean flags take no value and must be
+// listed in is_flag() so they do not desync the key/value pairing.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) kv_[argv[i] + 2] = argv[i + 1];
-    }
+    const auto is_flag = [](const char* a) {
+      return std::strcmp(a, "--stream") == 0 || std::strcmp(a, "--audit") == 0;
+    };
     for (int i = first; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--stream") == 0) flags_.push_back("stream");
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (is_flag(argv[i])) {
+        flags_.push_back(argv[i] + 2);
+      } else if (i + 1 < argc) {
+        kv_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      }
     }
   }
   double num(const std::string& key, double fallback) const {
@@ -218,16 +227,46 @@ int cmd_run(const Args& args) {
   stencil::DistributedStencilDriver<stencil::Stencil7<float>, float> driver(
       n, n, n, ranks, dim_t);
 
-  // Deterministic fault injection: a permanent rank death and/or transient
-  // halo corruption, replayable from the seed.
+  // Deterministic fault injection: a permanent rank death, transient halo
+  // corruption, and/or the SDC kinds (plane bit flip, wrong-result row,
+  // stalled thread), all replayable from the seed.
   fault::FaultPlan plan(seed);
   plan.fail_rank = static_cast<int>(args.num("fail-rank", -1));
   plan.fail_at_pass = static_cast<std::int64_t>(args.num("fail-pass", -1));
   plan.halo_corrupt_prob = args.num("halo-corrupt", 0.0);
   plan.transient_attempts = static_cast<int>(args.num("transient-attempts", 2));
-  if (plan.fail_rank >= 0 || plan.halo_corrupt_prob > 0.0)
+  plan.flip_pass = static_cast<std::int64_t>(args.num("flip-pass", -1));
+  plan.flip_round = static_cast<std::int64_t>(args.num("flip-round", -1));
+  plan.flip_bit = static_cast<int>(args.num("flip-bit", 20));
+  plan.wrong_row_pass = static_cast<std::int64_t>(args.num("wrong-pass", -1));
+  plan.wrong_row_z = static_cast<long>(args.num("wrong-z", -1));
+  plan.wrong_row_y = static_cast<long>(args.num("wrong-y", -1));
+  plan.stall_tid = static_cast<int>(args.num("stall-tid", -1));
+  plan.stall_pass = static_cast<std::int64_t>(args.num("stall-pass", -1));
+  plan.stall_ms = static_cast<int>(args.num("stall-ms", 0));
+  const bool sdc_faults =
+      plan.flip_pass >= 0 || plan.wrong_row_pass >= 0 || plan.stall_tid >= 0;
+  if (plan.fail_rank >= 0 || plan.halo_corrupt_prob > 0.0 || sdc_faults)
     driver.set_fault_plan(&plan);
   if (ckpt_every > 0) driver.enable_checkpointing(ckpt, ckpt_every);
+
+  // Online-integrity layer: --audit arms sentinels/guards/audits (and the
+  // in-memory re-execution recovery ladder); --watchdog-ms arms the phase
+  // watchdog independently.
+  integrity::IntegrityOptions iopt;
+  iopt.enabled = args.flag("audit");
+  iopt.audit_rate = args.num("audit-rate", integrity::kDefaultAuditRate);
+  iopt.sentinel_stride = static_cast<int>(
+      args.num("sentinel-stride", integrity::kDefaultSentinelStride));
+  iopt.guard_stride =
+      static_cast<int>(args.num("guard-stride", integrity::kDefaultGuardStride));
+  iopt.watchdog_ms = static_cast<int>(args.num("watchdog-ms", 0));
+  integrity::IntegrityMonitor monitor;
+  integrity::Watchdog watchdog;
+  if (iopt.enabled || iopt.watchdog_ms > 0)
+    driver.set_integrity(iopt, &monitor,
+                         iopt.watchdog_ms > 0 ? &watchdog : nullptr);
+  if (iopt.watchdog_ms > 0) watchdog.arm(threads, iopt.watchdog_ms, &monitor);
 
   grid::Grid3<float> g(n, n, n);
   g.fill_random(seed, -1.0f, 1.0f);
@@ -257,6 +296,7 @@ int cmd_run(const Args& args) {
   const auto stencil = stencil::default_stencil7<float>();
   const fault::Status st = driver.run_guarded(
       stencil, static_cast<int>(steps - already_done), cfg, engine);
+  if (iopt.watchdog_ms > 0) watchdog.disarm();
   if (!st.ok()) {
     std::fprintf(stderr, "run failed: %s\n", st.to_string().c_str());
     return 1;
@@ -282,6 +322,22 @@ int cmd_run(const Args& args) {
       static_cast<unsigned long long>(s.checkpoints_written),
       static_cast<unsigned long long>(s.checkpoint_failures),
       static_cast<unsigned long long>(s.restores));
+  if (iopt.enabled || iopt.watchdog_ms > 0) {
+    std::printf(
+        "integrity: %llu rows audited, %llu sentinel checks, %llu sdc events, "
+        "%llu stalls | recovery: %llu reexecs, %llu ckpt restores\n",
+        static_cast<unsigned long long>(monitor.audited_rows()),
+        static_cast<unsigned long long>(monitor.sentinel_checks()),
+        static_cast<unsigned long long>(monitor.sdc_detected()),
+        static_cast<unsigned long long>(monitor.stalls()),
+        static_cast<unsigned long long>(monitor.reexecs()),
+        static_cast<unsigned long long>(monitor.checkpoint_restores()));
+    for (const auto& e : monitor.events())
+      std::printf("  sdc[%s] pass=%llu z=%ld y=%ld tid=%d %s\n",
+                  integrity::to_string(e.kind),
+                  static_cast<unsigned long long>(e.pass), e.z, e.y, e.tid,
+                  e.detail.c_str());
+  }
   std::printf("final crc32c %08x\n", crc);
   return 0;
 }
@@ -323,6 +379,11 @@ int main(int argc, char** argv) {
       "            [--n N] [--steps S] [--dimt T] [--ranks R] [--threads N]\n"
       "            [--checkpoint-every P] [--ckpt PATH] [--resume PATH]\n"
       "            [--fail-rank R] [--fail-pass P] [--halo-corrupt PROB]\n"
-      "            [--transient-attempts K] [--seed S]");
+      "            [--transient-attempts K] [--seed S]\n"
+      "            integrity: [--audit] [--audit-rate R] [--sentinel-stride K] [--guard-stride K]\n"
+      "            [--watchdog-ms MS]\n"
+      "            SDC faults: [--flip-pass P --flip-round M [--flip-bit B]]\n"
+      "            [--wrong-pass P --wrong-z Z --wrong-y Y]\n"
+      "            [--stall-tid T --stall-pass P --stall-ms MS]");
   return cmd.empty() ? 0 : 1;
 }
