@@ -1,0 +1,196 @@
+// Service throughput: what does keeping the service resident buy?
+//
+// Runs the same workload two ways and reports jobs/sec plus latency
+// percentiles for each:
+//
+//   cold  — every job pays the one-shot `s35 run` path: spawn a thread
+//           team, resolve the blocking plan from scratch (empirical
+//           autotune over simulated traffic), allocate and first-touch
+//           fresh grids, sweep.
+//   warm  — every job goes through one resident JobService: the plan
+//           comes out of the plan cache, the team never respawns, and the
+//           grid buffers are reused across the equal-shape batch.
+//
+// Both paths use the same machine descriptor (probed once) so the plan
+// keys — and therefore the chosen plans — are identical, and every job's
+// final-grid CRC32C must agree across all runs of both modes: the warm
+// path is only a win if it is bit-exact, so a CRC mismatch is a hard
+// failure, not a footnote.
+//
+// Env knobs: S35_SERVE_JOBS (default 100), S35_SERVE_N (grid edge,
+// default 40), S35_SERVE_STEPS (default 4), S35_THREADS.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/crc32c.h"
+#include "common/table.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+
+using namespace s35;
+
+namespace {
+
+std::uint32_t grid_crc(const grid::Grid3<float>& g) {
+  std::uint32_t crc = 0;
+  for (long z = 0; z < g.nz(); ++z)
+    for (long y = 0; y < g.ny(); ++y)
+      crc = crc32c(g.row(y, z), static_cast<std::size_t>(g.nx()) * sizeof(float), crc);
+  return crc;
+}
+
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at = std::min(sorted.size() - 1,
+                                  static_cast<std::size_t>(q * sorted.size()));
+  return sorted[at];
+}
+
+struct ModeResult {
+  double seconds = 0.0;          // total wall time for all jobs
+  std::vector<double> lat_ms;    // per-job latency, sorted ascending
+  std::uint32_t crc = 0;
+  bool bit_exact = true;         // every job produced the same CRC
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("== service throughput: resident warm service vs one-shot cold runs ==");
+  telemetry::JsonReporter reporter("service_throughput", argc, argv);
+  bench::want_records(reporter);
+
+  const int jobs = static_cast<int>(env_int("S35_SERVE_JOBS", 100));
+  const long n = env_int("S35_SERVE_N", 40);
+  const int steps = static_cast<int>(env_int("S35_SERVE_STEPS", 4));
+  const int threads = bench::bench_threads();
+  const machine::Descriptor mach = machine::host();  // probed once, both modes
+  const auto sig = machine::seven_point();
+  const double updates_per_job = static_cast<double>(n) * n * n * steps;
+
+  service::JobSpec spec;
+  spec.nx = n;
+  spec.steps = steps;
+  spec.seed = 7;
+
+  // ---- cold: the full one-shot path, once per job ----------------------
+  ModeResult cold;
+  {
+    Timer total;
+    for (int j = 0; j < jobs; ++j) {
+      Timer t;
+      core::Engine35 engine(threads);
+      const service::CachedPlan plan =
+          service::compute_plan(mach, sig, n, n, n, /*max_dim_t=*/4);
+      grid::GridPair<float> pair(n, n, n, engine.team());
+      pair.src().fill_random(spec.seed, -1.0f, 1.0f);
+      stencil::freeze_boundary(pair.src(), pair.dst(), sig.radius);
+      stencil::SweepConfig cfg;
+      cfg.dim_x = plan.dim_x;
+      cfg.dim_y = plan.dim_y;
+      cfg.dim_t = plan.dim_t;
+      stencil::run_sweep_auto(stencil::Variant::kBlocked35D,
+                              stencil::default_stencil7<float>(), pair, steps,
+                              cfg, engine);
+      const std::uint32_t crc = grid_crc(pair.src());
+      if (j == 0) cold.crc = crc;
+      if (crc != cold.crc) cold.bit_exact = false;
+      cold.lat_ms.push_back(t.seconds() * 1e3);
+    }
+    cold.seconds = total.seconds();
+  }
+
+  // ---- warm: one resident service, closed-loop submit/wait -------------
+  ModeResult warm;
+  std::uint64_t plan_hits = 0, batched = 0;
+  {
+    service::ServiceOptions opts;
+    opts.threads = threads;
+    opts.queue_capacity = static_cast<std::size_t>(jobs) + 8;
+    opts.mach = mach;
+    service::JobService svc(opts);
+    {  // warm-up: populate plan cache and grid pool (untimed)
+      const auto id = svc.submit(spec);
+      if (!id.ok() || !svc.wait(id.value())) {
+        std::puts("FAIL: warm-up job did not complete");
+        return 1;
+      }
+    }
+    Timer total;
+    for (int j = 0; j < jobs; ++j) {
+      Timer t;
+      const auto id = svc.submit(spec);
+      if (!id.ok()) {
+        std::printf("FAIL: submit rejected: %s\n", id.status().to_string().c_str());
+        return 1;
+      }
+      const auto done = svc.wait(id.value());
+      if (!done || done->state != service::JobState::kDone) {
+        std::puts("FAIL: warm job did not reach done");
+        return 1;
+      }
+      if (j == 0) warm.crc = done->result.crc;
+      if (done->result.crc != warm.crc) warm.bit_exact = false;
+      warm.lat_ms.push_back(t.seconds() * 1e3);
+    }
+    warm.seconds = total.seconds();
+    const auto s = svc.stats();
+    plan_hits = s.plan_hits;
+    batched = s.batched;
+  }
+
+  std::sort(cold.lat_ms.begin(), cold.lat_ms.end());
+  std::sort(warm.lat_ms.begin(), warm.lat_ms.end());
+  const double cold_jps = jobs / cold.seconds;
+  const double warm_jps = jobs / warm.seconds;
+  const double speedup = warm_jps / cold_jps;
+
+  Table t({"mode", "jobs", "jobs/s", "p50 ms", "p95 ms", "p99 ms", "crc"});
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", cold.crc);
+  t.add_row({"cold", std::to_string(jobs), Table::fmt(cold_jps, 2),
+             Table::fmt(pct(cold.lat_ms, 0.50), 2), Table::fmt(pct(cold.lat_ms, 0.95), 2),
+             Table::fmt(pct(cold.lat_ms, 0.99), 2), crc_hex});
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", warm.crc);
+  t.add_row({"warm", std::to_string(jobs), Table::fmt(warm_jps, 2),
+             Table::fmt(pct(warm.lat_ms, 0.50), 2), Table::fmt(pct(warm.lat_ms, 0.95), 2),
+             Table::fmt(pct(warm.lat_ms, 0.99), 2), crc_hex});
+  t.print();
+  std::printf("speedup: %.2fx jobs/s (plan hits %llu, batched %llu)\n", speedup,
+              static_cast<unsigned long long>(plan_hits),
+              static_cast<unsigned long long>(batched));
+
+  for (int mode = 0; mode < 2; ++mode) {
+    const ModeResult& r = mode == 0 ? cold : warm;
+    telemetry::BenchRecord rec;
+    rec.kernel = "7pt";
+    rec.variant = mode == 0 ? "service/cold" : "service/warm";
+    rec.nx = rec.ny = rec.nz = n;
+    rec.steps = steps;
+    rec.threads = threads;
+    rec.seconds = r.seconds;
+    rec.mups = updates_per_job * jobs / r.seconds / 1e6;
+    rec.extra["jobs"] = jobs;
+    rec.extra["jobs_per_s"] = jobs / r.seconds;
+    rec.extra["p50_ms"] = pct(r.lat_ms, 0.50);
+    rec.extra["p95_ms"] = pct(r.lat_ms, 0.95);
+    rec.extra["p99_ms"] = pct(r.lat_ms, 0.99);
+    if (mode == 1) {
+      rec.extra["speedup"] = speedup;
+      rec.extra["plan_hits"] = static_cast<double>(plan_hits);
+      rec.extra["batched"] = static_cast<double>(batched);
+    }
+    reporter.add(rec);
+  }
+
+  if (!cold.bit_exact || !warm.bit_exact || cold.crc != warm.crc) {
+    std::printf("FAIL: results not bit-exact (cold %08x%s, warm %08x%s)\n",
+                cold.crc, cold.bit_exact ? "" : " UNSTABLE", warm.crc,
+                warm.bit_exact ? "" : " UNSTABLE");
+    return 1;
+  }
+  std::puts("bit-exact: every cold and warm job produced the same final CRC.");
+  return 0;
+}

@@ -40,6 +40,7 @@ SMOKE_SET = [
     ("memtraffic", {}),
     ("scaling_simd", {}),
     ("integrity_overhead", {"S35_GRIDS": "64"}),
+    ("service_throughput", {"S35_SERVE_JOBS": "10", "S35_SERVE_N": "32"}),
 ]
 
 AGG_SCHEMA = "s35.bench.agg.v1"

@@ -9,6 +9,11 @@
 #   S35_TEST_LABEL  ctest -L filter, e.g. tier1          (default: run everything)
 #   S35_SKIP_BENCH  =1 skips the bench sweep
 #   S35_JSON_DIR    if set, each bench also writes <dir>/<name>.json
+#
+# The job-service bench and `s35 serve` honor their own overrides:
+#   S35_SERVE_JOBS / S35_SERVE_N / S35_SERVE_STEPS   service_throughput load
+#   S35_SERVE_THREADS / S35_SERVE_QUEUE / S35_SERVE_PLAN_CACHE /
+#   S35_SERVE_WATCHDOG_MS / S35_SERVE_MAX_DIMT       `s35 serve` defaults
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,113 @@
+// Job model for the resident stencil service.
+//
+// A JobSpec describes one sweep the service should execute — kernel, grid,
+// step count, scheduling attributes (priority, deadline) and the per-job
+// resilience profile (audit). JobResult carries everything a client needs
+// to verify and account for the run: the final-grid CRC32C (the same
+// fingerprint `s35 run` prints, so service output is comparable bit for bit
+// with one-shot runs), the blocking plan actually used, whether it came out
+// of the plan cache, and the wait/plan/run phase split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/status.h"
+
+namespace s35::service {
+
+// What to run. Dimension/step bounds are enforced at admission
+// (JobService::submit rejects specs that fail validate()).
+struct JobSpec {
+  std::string kernel = "7pt";  // "7pt" | "27pt"
+  long nx = 64;
+  long ny = 0;  // 0 = nx
+  long nz = 0;  // 0 = nx
+  int steps = 8;
+
+  // Blocking-plan override: 0 = resolve through the plan cache (autotuner /
+  // planner). Explicit values bypass planning entirely.
+  long dim_x = 0;
+  long dim_y = 0;
+  int dim_t = 0;
+
+  int priority = 0;             // higher runs first; FIFO within a class
+  std::int64_t deadline_ms = 0; // relative to submit; 0 = none
+  std::uint64_t seed = 42;      // fill_random seed for the input grid
+
+  bool streaming_stores = false;
+  // Per-job integrity profile: arms sentinels/guards/audits and the
+  // verified-run re-execution ladder (src/integrity) for this job only.
+  bool audit = false;
+  double audit_rate = 0.0;  // 0 = integrity::kDefaultAuditRate
+
+  long eff_ny() const { return ny > 0 ? ny : nx; }
+  long eff_nz() const { return nz > 0 ? nz : nx; }
+
+  // Shape-affinity key: jobs with equal keys can be batched back-to-back on
+  // the warm team, reusing the previous job's grids and plan.
+  std::uint64_t shape_key() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    for (const char c : kernel) mix(static_cast<unsigned char>(c));
+    mix(static_cast<std::uint64_t>(nx));
+    mix(static_cast<std::uint64_t>(eff_ny()));
+    mix(static_cast<std::uint64_t>(eff_nz()));
+    return h;
+  }
+};
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     // run returned a non-ok Status (e.g. kSdcDetected)
+  kCancelled,  // client cancel, mid-queue or mid-run
+  kExpired,    // deadline passed before completion
+};
+
+const char* to_string(JobState s);
+
+struct JobResult {
+  fault::ErrorCode error = fault::ErrorCode::kOk;
+  std::string message;
+
+  std::uint32_t crc = 0;  // CRC32C over the logical output grid (done only)
+  int steps_done = 0;
+
+  // Blocking plan the sweep actually used.
+  long dim_x = 0;
+  long dim_y = 0;
+  int dim_t = 1;
+  bool plan_cache_hit = false;
+  bool batched = false;  // reused the previous job's grids (same shape)
+
+  // Phase split (seconds): queue wait, plan resolution, sweep execution.
+  double wait_s = 0.0;
+  double plan_s = 0.0;
+  double run_s = 0.0;
+
+  // Telemetry extract from the run (zero when collection is off).
+  double compute_s = 0.0;
+  double audit_s = 0.0;
+  double barrier_s = 0.0;
+
+  // Integrity counters for this job (zero when audit is off).
+  std::uint64_t audited_rows = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t reexecs = 0;
+};
+
+// Snapshot of a job as the service sees it; returned by copy so callers
+// never observe the worker mutating shared state.
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  JobSpec spec;
+  JobResult result;
+};
+
+}  // namespace s35::service

@@ -1,0 +1,137 @@
+// Plan cache: memoized blocking-parameter selection for repeat workloads.
+//
+// Resolving a job's blocking plan is the expensive part of a cold start:
+// the Datta-style empirical search (core::autotuner) replays a cache
+// simulation of the whole sweep per candidate (bench/autotune_vs_planner),
+// which easily dwarfs a small job's execution time. But the answer depends
+// only on (kernel signature, grid dims, machine) — so the service memoizes
+// it behind a stable key, with LRU eviction and optional on-disk
+// persistence: a restarted service skips tuning entirely for every
+// workload it has seen before.
+//
+// The on-disk format follows the checkpoint hardening pattern (format
+// header + CRC32C over header and payload, write-to-temp + fsync + atomic
+// rename through fault::IoBackend): corrupt, truncated or foreign files are
+// rejected with a typed Status and the cache simply starts cold — a bad
+// cache file can cost a re-tune, never a wrong plan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/io_backend.h"
+#include "fault/status.h"
+#include "machine/descriptor.h"
+#include "machine/kernel_sig.h"
+
+namespace s35::service {
+
+// Stable identity of a planning problem. Machine identity is reduced to
+// the fields the tuner actually consumes (name, blocking capacity, cores)
+// so re-measured bandwidth does not fork the key; the name is clamped to
+// the on-disk field width so in-memory and reloaded keys always agree.
+struct PlanKey {
+  std::string kernel;  // KernelSig::name
+  int radius = 1;
+  std::uint32_t elem_bytes = 4;
+  long nx = 0, ny = 0, nz = 0;
+  int max_dim_t = 4;
+  std::string machine;  // Descriptor::name, clamped
+  std::uint64_t capacity_bytes = 0;
+  int cores = 0;
+
+  static constexpr std::size_t kKernelChars = 23;
+  static constexpr std::size_t kMachineChars = 47;
+
+  static PlanKey make(const machine::Descriptor& mach, const machine::KernelSig& sig,
+                      long nx, long ny, long nz, int max_dim_t);
+
+  std::uint64_t hash() const;
+  bool operator==(const PlanKey& o) const {
+    return kernel == o.kernel && radius == o.radius && elem_bytes == o.elem_bytes &&
+           nx == o.nx && ny == o.ny && nz == o.nz && max_dim_t == o.max_dim_t &&
+           machine == o.machine && capacity_bytes == o.capacity_bytes &&
+           cores == o.cores;
+  }
+};
+
+enum class PlanSource : std::uint32_t {
+  kAutotuner = 0,  // empirical search over simulated external traffic
+  kPlanner = 1,    // analytic eqs. 1-4 fallback
+  kFallback = 2,   // fixed safe dims (degenerate grids)
+};
+
+const char* to_string(PlanSource s);
+
+struct CachedPlan {
+  long dim_x = 0;
+  long dim_y = 0;
+  int dim_t = 1;
+  double cost = 0.0;  // tuner objective (bytes/update); 0 when analytic
+  PlanSource source = PlanSource::kAutotuner;
+  std::uint64_t hits = 0;  // lookups served by this entry (persisted)
+};
+
+// Computes a plan from scratch: empirical autotune over simulated external
+// traffic (the memoized expensive path), falling back to the analytic
+// planner and finally to fixed safe dims when the search space is empty.
+CachedPlan compute_plan(const machine::Descriptor& mach, const machine::KernelSig& sig,
+                        long nx, long ny, long nz, int max_dim_t);
+
+// Thread-safe LRU map from PlanKey to CachedPlan.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 128);
+
+  // Bumps LRU and the entry's hit count on success.
+  std::optional<CachedPlan> lookup(const PlanKey& key);
+  void insert(const PlanKey& key, const CachedPlan& plan);
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return cap_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  // Snapshot in LRU order (most recent first) for dump/inspect tooling.
+  struct Entry {
+    PlanKey key;
+    CachedPlan plan;
+  };
+  std::vector<Entry> entries() const;
+
+  // Versioned, CRC32C-guarded persistence (see file comment). load()
+  // replaces the cache contents only after the whole file validates;
+  // save() is atomic (temp + rename). Both route I/O through `io` so tests
+  // can inject faults; nullptr = the standard backend.
+  fault::Status save(const std::string& path, fault::IoBackend* io = nullptr) const;
+  fault::Status load(const std::string& path, fault::IoBackend* io = nullptr);
+
+ private:
+  struct Node {
+    PlanKey key;
+    CachedPlan plan;
+  };
+  struct KeyHash {
+    std::size_t operator()(const PlanKey& k) const {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+
+  void insert_locked(const PlanKey& key, const CachedPlan& plan);
+
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<PlanKey, std::list<Node>::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace s35::service

@@ -1,0 +1,305 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <cstring>
+#endif
+
+namespace s35::service {
+
+namespace {
+
+// ---- flat-JSON field extraction ----------------------------------------
+//
+// The protocol restricts requests to one-level objects with string, number
+// and boolean values, so a field scanner is all the parsing needed: find
+// the quoted key, skip the colon, read one scalar. No nesting, no arrays.
+
+bool find_value(const std::string& s, const std::string& key, std::size_t* pos) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = 0;
+  while ((at = s.find(needle, at)) != std::string::npos) {
+    std::size_t p = at + needle.size();
+    while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+    if (p < s.size() && s[p] == ':') {
+      ++p;
+      while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+      *pos = p;
+      return true;
+    }
+    at += needle.size();
+  }
+  return false;
+}
+
+bool get_string(const std::string& s, const std::string& key, std::string* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p) || p >= s.size() || s[p] != '"') return false;
+  std::string v;
+  for (++p; p < s.size() && s[p] != '"'; ++p) {
+    if (s[p] == '\\' && p + 1 < s.size()) ++p;  // keep escaped char verbatim
+    v.push_back(s[p]);
+  }
+  if (p >= s.size()) return false;  // unterminated
+  *out = v;
+  return true;
+}
+
+bool get_int(const std::string& s, const std::string& key, std::int64_t* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str() + p, &end, 10);
+  if (end == s.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
+bool get_double(const std::string& s, const std::string& key, double* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str() + p, &end);
+  if (end == s.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
+bool get_bool(const std::string& s, const std::string& key, bool* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  if (s.compare(p, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (s.compare(p, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string error_response(const char* code, const std::string& message) {
+  return std::string("{\"ok\":false,\"error\":\"") + code + "\",\"message\":\"" +
+         escape(message) + "\"}";
+}
+
+std::string job_response(const JobInfo& info) {
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", info.result.crc);
+  std::ostringstream os;
+  const JobResult& r = info.result;
+  os << "{\"ok\":true,\"id\":" << info.id << ",\"state\":\"" << to_string(info.state)
+     << "\",\"crc\":\"" << crc << "\",\"steps_done\":" << r.steps_done
+     << ",\"dimx\":" << r.dim_x << ",\"dimy\":" << r.dim_y << ",\"dimt\":" << r.dim_t
+     << ",\"plan_cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+     << ",\"batched\":" << (r.batched ? "true" : "false")
+     << ",\"wait_ms\":" << r.wait_s * 1e3 << ",\"plan_ms\":" << r.plan_s * 1e3
+     << ",\"run_ms\":" << r.run_s * 1e3 << ",\"audited_rows\":" << r.audited_rows
+     << ",\"sdc_detected\":" << r.sdc_detected << ",\"reexecs\":" << r.reexecs;
+  if (r.error != fault::ErrorCode::kOk)
+    os << ",\"error\":\"" << fault::to_string(r.error) << "\"";
+  if (!r.message.empty()) os << ",\"message\":\"" << escape(r.message) << "\"";
+  os << "}";
+  return os.str();
+}
+
+JobSpec spec_from_request(const std::string& line) {
+  JobSpec spec;
+  get_string(line, "kernel", &spec.kernel);
+  std::int64_t v = 0;
+  if (get_int(line, "n", &v)) spec.nx = spec.ny = spec.nz = v;
+  if (get_int(line, "nx", &v)) spec.nx = v;
+  if (get_int(line, "ny", &v)) spec.ny = v;
+  if (get_int(line, "nz", &v)) spec.nz = v;
+  if (get_int(line, "steps", &v)) spec.steps = static_cast<int>(v);
+  if (get_int(line, "dimx", &v)) spec.dim_x = v;
+  if (get_int(line, "dimy", &v)) spec.dim_y = v;
+  if (get_int(line, "dimt", &v)) spec.dim_t = static_cast<int>(v);
+  if (get_int(line, "priority", &v)) spec.priority = static_cast<int>(v);
+  if (get_int(line, "deadline_ms", &v)) spec.deadline_ms = v;
+  if (get_int(line, "seed", &v)) spec.seed = static_cast<std::uint64_t>(v);
+  get_bool(line, "stream", &spec.streaming_stores);
+  get_bool(line, "audit", &spec.audit);
+  get_double(line, "audit_rate", &spec.audit_rate);
+  return spec;
+}
+
+}  // namespace
+
+std::string handle_line(JobService& svc, const std::string& line, bool* shutdown) {
+  std::string op;
+  if (!get_string(line, "op", &op))
+    return error_response("bad_request", "missing \"op\"");
+
+  if (op == "submit") {
+    const auto id = svc.submit(spec_from_request(line));
+    if (!id.ok())
+      return error_response(fault::to_string(id.status().code()),
+                            id.status().message());
+    return "{\"ok\":true,\"id\":" + std::to_string(id.value()) + "}";
+  }
+
+  if (op == "status" || op == "wait" || op == "cancel") {
+    std::int64_t id = 0;
+    if (!get_int(line, "id", &id) || id <= 0)
+      return error_response("bad_request", "missing job \"id\"");
+    const auto uid = static_cast<std::uint64_t>(id);
+    if (op == "cancel") {
+      const bool done = svc.cancel(uid);
+      return std::string("{\"ok\":true,\"cancelled\":") + (done ? "true" : "false") +
+             "}";
+    }
+    std::optional<JobInfo> info;
+    if (op == "wait") {
+      std::int64_t timeout_ms = -1;
+      get_int(line, "timeout_ms", &timeout_ms);
+      info = svc.wait(uid, timeout_ms);
+      if (!info) return error_response("unavailable", "timeout or unknown id");
+    } else {
+      info = svc.info(uid);
+      if (!info) return error_response("unavailable", "unknown id");
+    }
+    return job_response(*info);
+  }
+
+  if (op == "stats") {
+    const JobService::Stats s = svc.stats();
+    std::ostringstream os;
+    os << "{\"ok\":true,\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
+       << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
+       << ",\"cancelled\":" << s.cancelled << ",\"expired\":" << s.expired
+       << ",\"batched\":" << s.batched << ",\"queue_depth\":" << s.queue_depth
+       << ",\"plan_hits\":" << s.plan_hits << ",\"plan_misses\":" << s.plan_misses
+       << ",\"watchdog_stalls\":" << s.watchdog_stalls
+       << ",\"total_wait_s\":" << s.total_wait_s
+       << ",\"total_run_s\":" << s.total_run_s << ",\"threads\":" << s.threads << "}";
+    return os.str();
+  }
+
+  if (op == "drain") {
+    std::int64_t timeout_ms = -1;
+    get_int(line, "timeout_ms", &timeout_ms);
+    const bool done = svc.drain(timeout_ms);
+    return std::string("{\"ok\":") + (done ? "true" : "false") +
+           (done ? "}" : ",\"error\":\"unavailable\",\"message\":\"drain timeout\"}");
+  }
+
+  if (op == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    return "{\"ok\":true,\"shutdown\":true}";
+  }
+
+  return error_response("bad_request", "unknown op '" + op + "'");
+}
+
+long serve_stream(JobService& svc, std::istream& in, std::ostream& out) {
+  long handled = 0;
+  bool shutdown = false;
+  std::string line;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(svc, line, &shutdown) << "\n";
+    out.flush();
+    ++handled;
+  }
+  return handled;
+}
+
+#ifdef __unix__
+
+int serve_unix(JobService& svc, const std::string& path) {
+  const int server = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (server < 0) {
+    std::perror("s35-serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "s35-serve: socket path too long: %s\n", path.c_str());
+    ::close(server);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(server, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(server, 8) != 0) {
+    std::perror("s35-serve: bind/listen");
+    ::close(server);
+    return 1;
+  }
+
+  bool shutdown = false;
+  while (!shutdown) {
+    const int client = ::accept(server, nullptr, nullptr);
+    if (client < 0) continue;
+    std::string acc;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      acc.append(buf, static_cast<std::size_t>(n));
+      std::size_t nl;
+      bool closed = false;
+      while ((nl = acc.find('\n')) != std::string::npos) {
+        const std::string line = acc.substr(0, nl);
+        acc.erase(0, nl + 1);
+        if (line.empty()) continue;
+        const std::string resp = handle_line(svc, line, &shutdown) + "\n";
+        std::size_t off = 0;
+        while (off < resp.size()) {
+          const ssize_t w = ::write(client, resp.data() + off, resp.size() - off);
+          if (w <= 0) {
+            closed = true;
+            break;
+          }
+          off += static_cast<std::size_t>(w);
+        }
+        if (closed || shutdown) break;
+      }
+      if (closed || shutdown) break;
+    }
+    ::close(client);
+  }
+  ::close(server);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#else  // !__unix__
+
+int serve_unix(JobService&, const std::string& path) {
+  std::fprintf(stderr, "s35-serve: unix sockets unsupported on this platform (%s)\n",
+               path.c_str());
+  return 1;
+}
+
+#endif
+
+}  // namespace s35::service

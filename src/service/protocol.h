@@ -1,0 +1,36 @@
+// NDJSON front end for the job service.
+//
+// One request per line, one response per line — flat JSON objects only, so
+// the wire format stays greppable and the parser stays a page long. The
+// same handler backs both transports (`s35 serve` on stdin/stdout, and a
+// Unix-domain socket for out-of-process clients); see docs/SERVICE.md for
+// the full protocol reference.
+//
+//   {"op":"submit","kernel":"7pt","n":64,"steps":8,"priority":1}
+//   {"ok":true,"id":1}
+//   {"op":"wait","id":1}
+//   {"ok":true,"id":1,"state":"done","crc":"a1b2c3d4",...}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.h"
+
+namespace s35::service {
+
+// Handles one request line and returns one response line (no newline).
+// Malformed input yields {"ok":false,...} — the connection survives.
+// `*shutdown` is set when the request was {"op":"shutdown"}.
+std::string handle_line(JobService& svc, const std::string& line, bool* shutdown);
+
+// Reads NDJSON requests from `in` until EOF or a shutdown op, writing one
+// response line each. Returns the number of requests handled.
+long serve_stream(JobService& svc, std::istream& in, std::ostream& out);
+
+// Unix-domain socket transport: binds `path`, accepts clients sequentially
+// (one NDJSON session per connection) until a shutdown op. Returns 0 on
+// clean shutdown, nonzero on transport errors or non-POSIX builds.
+int serve_unix(JobService& svc, const std::string& path);
+
+}  // namespace s35::service

@@ -1,0 +1,165 @@
+// Bounded priority queue with admission control for the job service.
+//
+// The queue is the service's backpressure point: try_push rejects when the
+// queue is full (admission control — the client gets an immediate
+// "unavailable" instead of unbounded memory growth), push_wait blocks the
+// producer until space frees (cooperative backpressure), and remove()
+// supports cancellation of jobs that have not started.
+//
+// Ordering: strict priority (higher first), FIFO within a priority class —
+// with one scheduling refinement: the consumer passes the shape key of the
+// job it just finished, and among the *top-priority* entries the queue
+// prefers the oldest one with a matching key. That batches jobs of
+// compatible shape back-to-back on the warm team (grid buffers and plan are
+// reused) without ever starving a higher-priority job or reordering across
+// priority classes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace s35::service {
+
+struct QueueItem {
+  std::uint64_t id = 0;
+  int priority = 0;
+  std::uint64_t seq = 0;       // admission order, assigned by the producer
+  std::uint64_t affinity = 0;  // JobSpec::shape_key()
+};
+
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // Admission control: false when the queue is full or closed.
+  bool try_push(const QueueItem& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= cap_) return false;
+      items_.push_back(item);
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  // Backpressure: blocks up to timeout_ms for space. false on timeout/close.
+  bool push_wait(const QueueItem& item, std::int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    if (!cv_push_.wait_until(lock, until, [&] {
+          return closed_ || items_.size() < cap_;
+        }))
+      return false;
+    if (closed_) return false;
+    items_.push_back(item);
+    lock.unlock();
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  // Consumer-side gate: while gated, pop_wait holds even when items are
+  // available (the service's pause). close() overrides the gate so a
+  // shutdown drain always proceeds.
+  void set_gate(bool gated) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gated_ = gated;
+    }
+    cv_pop_.notify_all();
+  }
+
+  // Blocks until an item is available (or the queue is closed and empty —
+  // then nullopt). `affinity` is the consumer's preferred shape key.
+  std::optional<QueueItem> pop_wait(std::uint64_t affinity) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_pop_.wait(lock, [&] { return closed_ || (!gated_ && !items_.empty()); });
+    if (items_.empty()) return std::nullopt;
+    const std::size_t at = select(affinity);
+    const QueueItem item = items_[at];
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(at));
+    lock.unlock();
+    cv_push_.notify_one();
+    return item;
+  }
+
+  // Cancellation mid-queue: true when the id was still queued.
+  bool remove(std::uint64_t id) {
+    bool removed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (items_[i].id == id) {
+          items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (removed) cv_push_.notify_one();
+    return removed;
+  }
+
+  // Stops admission and wakes every waiter; queued items stay poppable so a
+  // draining consumer can finish them.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_pop_.notify_all();
+    cv_push_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  // Index of the next item: max priority; within that class the oldest
+  // affinity match, else the oldest. Linear scan — the queue is bounded and
+  // service-scale (tens to hundreds), not a scheduler for millions.
+  std::size_t select(std::uint64_t affinity) const {
+    std::size_t best = 0;
+    bool best_match = affinity != 0 && items_[0].affinity == affinity;
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      const QueueItem& it = items_[i];
+      const QueueItem& b = items_[best];
+      if (it.priority > b.priority) {
+        best = i;
+        best_match = affinity != 0 && it.affinity == affinity;
+        continue;
+      }
+      if (it.priority < b.priority) continue;
+      const bool match = affinity != 0 && it.affinity == affinity;
+      if (match && !best_match) {
+        best = i;
+        best_match = true;
+      } else if (match == best_match && it.seq < b.seq) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_pop_;
+  std::condition_variable cv_push_;
+  std::vector<QueueItem> items_;
+  const std::size_t cap_;
+  bool closed_ = false;
+  bool gated_ = false;
+};
+
+}  // namespace s35::service

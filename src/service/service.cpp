@@ -1,0 +1,489 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/crc32c.h"
+#include "common/env.h"
+#include "common/timer.h"
+#include "integrity/integrity.h"
+#include "machine/kernel_sig.h"
+#include "stencil/sweeps.h"
+#include "telemetry/telemetry.h"
+
+namespace s35::service {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool known_kernel(const std::string& k) { return k == "7pt" || k == "27pt"; }
+
+}  // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+ServiceOptions ServiceOptions::from_env() {
+  ServiceOptions o;
+  o.threads = static_cast<int>(env_int("S35_SERVE_THREADS", o.threads));
+  o.queue_capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("S35_SERVE_QUEUE",
+                                        static_cast<std::int64_t>(o.queue_capacity))));
+  o.plan_cache_path = env_string("S35_SERVE_PLAN_CACHE", o.plan_cache_path);
+  o.watchdog_ms = static_cast<int>(env_int("S35_SERVE_WATCHDOG_MS", o.watchdog_ms));
+  o.max_dim_t = static_cast<int>(env_int("S35_SERVE_MAX_DIMT", o.max_dim_t));
+  return o;
+}
+
+JobService::JobService(ServiceOptions options)
+    : opts_(std::move(options)),
+      plan_cache_(opts_.plan_cache_entries),
+      queue_(opts_.queue_capacity) {
+  if (opts_.threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts_.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (opts_.mach.name.empty()) opts_.mach = machine::host();
+  if (opts_.max_dim_t < 1) opts_.max_dim_t = 1;
+  engine_ = std::make_unique<core::Engine35>(opts_.threads);
+  if (!opts_.plan_cache_path.empty()) {
+    // A missing or damaged cache file only costs a re-tune; never fatal.
+    const fault::Status st = plan_cache_.load(opts_.plan_cache_path);
+    if (!st.ok() && st.code() != fault::ErrorCode::kIoError)
+      std::fprintf(stderr, "s35-serve: ignoring plan cache: %s\n",
+                   st.to_string().c_str());
+  }
+  worker_ = std::thread(&JobService::worker_loop, this);
+}
+
+JobService::~JobService() { shutdown(); }
+
+fault::Expected<std::uint64_t> JobService::submit(const JobSpec& spec) {
+  if (!known_kernel(spec.kernel))
+    return fault::Status(fault::ErrorCode::kMismatch,
+                         "unknown kernel '" + spec.kernel + "'");
+  const long ny = spec.eff_ny(), nz = spec.eff_nz();
+  if (spec.nx < 8 || ny < 8 || nz < 8)
+    return fault::Status(fault::ErrorCode::kMismatch, "grid dims must be >= 8");
+  if (spec.nx * ny * nz > opts_.max_points)
+    return fault::Status(fault::ErrorCode::kMismatch, "grid exceeds max_points");
+  if (spec.steps < 1 || spec.steps > 1'000'000)
+    return fault::Status(fault::ErrorCode::kMismatch, "steps out of range");
+  if (spec.dim_x < 0 || spec.dim_y < 0 || spec.dim_t < 0)
+    return fault::Status(fault::ErrorCode::kMismatch, "negative blocking dims");
+  if ((spec.dim_x > 0) != (spec.dim_y > 0))
+    return fault::Status(fault::ErrorCode::kMismatch,
+                         "dim_x/dim_y must be overridden together");
+  if (spec.audit_rate < 0.0 || spec.audit_rate > 1.0)
+    return fault::Status(fault::ErrorCode::kMismatch, "audit_rate outside [0,1]");
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (shut_down_ || queue_.closed()) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.rejected;
+      return fault::Status(fault::ErrorCode::kUnavailable, "service shut down");
+    }
+    id = next_id_++;
+    auto rec = std::make_unique<JobRec>();
+    rec->spec = spec;
+    rec->submit_ns = now_ns();
+    if (spec.deadline_ms > 0)
+      rec->deadline_ns = rec->submit_ns + spec.deadline_ms * 1'000'000;
+    jobs_[id] = std::move(rec);
+    ++active_jobs_;
+    QueueItem item{id, spec.priority, id, spec.shape_key()};
+    if (!queue_.try_push(item)) {
+      jobs_.erase(id);
+      --active_jobs_;
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.rejected;
+      return fault::Status(fault::ErrorCode::kUnavailable, "queue full");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.submitted;
+  }
+  return id;
+}
+
+bool JobService::cancel(std::uint64_t id) {
+  JobRec* rec = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    rec = it->second.get();
+    if (rec->state != JobState::kQueued && rec->state != JobState::kRunning)
+      return false;
+    rec->cancel.store(true, std::memory_order_release);
+  }
+  // Still queued: try to pull it out before the worker does. If the worker
+  // wins the race it observes the cancel flag instead.
+  if (queue_.remove(id)) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      rec->result.message = "cancelled while queued";
+    }
+    finish(id, *rec, JobState::kCancelled);
+  }
+  return true;
+}
+
+std::optional<JobInfo> JobService::info(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobInfo out;
+  out.id = id;
+  out.state = it->second->state;
+  out.spec = it->second->spec;
+  out.result = it->second->result;
+  return out;
+}
+
+std::optional<JobInfo> JobService::wait(std::uint64_t id, std::int64_t timeout_ms) {
+  const auto terminal = [](JobState s) {
+    return s != JobState::kQueued && s != JobState::kRunning;
+  };
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobRec* rec = it->second.get();
+  const auto pred = [&] { return terminal(rec->state); };
+  if (timeout_ms < 0) {
+    jobs_cv_.wait(lock, pred);
+  } else if (!jobs_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred)) {
+    return std::nullopt;
+  }
+  JobInfo out;
+  out.id = id;
+  out.state = rec->state;
+  out.spec = rec->spec;
+  out.result = rec->result;
+  return out;
+}
+
+bool JobService::drain(std::int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  const auto pred = [&] { return active_jobs_ == 0; };
+  if (timeout_ms < 0) {
+    jobs_cv_.wait(lock, pred);
+    return true;
+  }
+  return jobs_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), pred);
+}
+
+void JobService::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = paused;
+  }
+  // Gate the queue too: a worker already blocked inside pop_wait must not
+  // pop the next submission while paused — tests rely on pausing *before*
+  // submitting to stack the queue deterministically.
+  queue_.set_gate(paused);
+  pause_cv_.notify_all();
+}
+
+JobService::Stats JobService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.queue_depth = queue_.size();
+  out.plan_hits = plan_cache_.hits();
+  out.plan_misses = plan_cache_.misses();
+  out.threads = opts_.threads;
+  return out;
+}
+
+void JobService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  set_paused(false);
+  queue_.close();  // worker drains what is queued, then pop returns nullopt
+  if (worker_.joinable()) worker_.join();
+  watchdog_.disarm();
+  if (!opts_.plan_cache_path.empty()) {
+    const fault::Status st = plan_cache_.save(opts_.plan_cache_path);
+    if (!st.ok())
+      std::fprintf(stderr, "s35-serve: plan cache not saved: %s\n",
+                   st.to_string().c_str());
+  }
+}
+
+void JobService::worker_loop() {
+  std::uint64_t affinity = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [&] {
+        return !paused_ || stopping_.load(std::memory_order_acquire);
+      });
+    }
+    const auto item = queue_.pop_wait(affinity);
+    if (!item) return;  // closed and drained
+    JobRec* rec = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      const auto it = jobs_.find(item->id);
+      if (it != jobs_.end() && it->second->state == JobState::kQueued)
+        rec = it->second.get();
+    }
+    if (rec == nullptr) continue;  // lost a cancel race after remove()
+    execute(item->id, *rec);
+    affinity = rec->spec.shape_key();
+  }
+}
+
+void JobService::execute(std::uint64_t id, JobRec& rec) {
+  const std::int64_t start = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    rec.result.wait_s = static_cast<double>(start - rec.submit_ns) * 1e-9;
+  }
+
+  if (rec.cancel.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      rec.result.message = "cancelled while queued";
+    }
+    finish(id, rec, JobState::kCancelled);
+    return;
+  }
+  if (rec.deadline_ns != 0 && start > rec.deadline_ns) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      rec.result.message = "deadline expired before start";
+    }
+    finish(id, rec, JobState::kExpired);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    rec.state = JobState::kRunning;
+  }
+
+  JobResult out;
+  out.wait_s = static_cast<double>(start - rec.submit_ns) * 1e-9;
+  const fault::Status st = run_job(rec.spec, rec, out);
+
+  JobState state = JobState::kDone;
+  if (rec.cancel.load(std::memory_order_acquire)) {
+    state = JobState::kCancelled;
+    out.message =
+        "cancelled mid-run after " + std::to_string(out.steps_done) + " steps";
+  } else if (!st.ok()) {
+    state = JobState::kFailed;
+    out.error = st.code();
+    out.message = st.message();
+  } else if (out.steps_done < rec.spec.steps) {
+    state = JobState::kExpired;
+    out.message =
+        "deadline expired mid-run after " + std::to_string(out.steps_done) + " steps";
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    rec.result = out;
+  }
+  finish(id, rec, state);
+}
+
+fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& out) {
+  const machine::KernelSig sig =
+      spec.kernel == "27pt" ? machine::twenty_seven_point() : machine::seven_point();
+  const long nx = spec.nx, ny = spec.eff_ny(), nz = spec.eff_nz();
+
+  // Resolve the blocking plan: explicit spec dims bypass planning entirely,
+  // otherwise the plan cache fronts the autotuner.
+  Timer plan_timer;
+  long dim_x = spec.dim_x, dim_y = spec.dim_y;
+  int dim_t = spec.dim_t;
+  if (dim_x <= 0) {
+    const int max_dim_t = spec.dim_t > 0 ? spec.dim_t : opts_.max_dim_t;
+    const PlanKey key = PlanKey::make(opts_.mach, sig, nx, ny, nz, max_dim_t);
+    if (const auto hit = plan_cache_.lookup(key)) {
+      dim_x = hit->dim_x;
+      dim_y = hit->dim_y;
+      dim_t = hit->dim_t;
+      out.plan_cache_hit = true;
+    } else {
+      const CachedPlan fresh = compute_plan(opts_.mach, sig, nx, ny, nz, max_dim_t);
+      plan_cache_.insert(key, fresh);
+      dim_x = fresh.dim_x;
+      dim_y = fresh.dim_y;
+      dim_t = fresh.dim_t;
+    }
+  }
+  if (dim_t < 1) dim_t = 1;
+  dim_x = std::min(dim_x, nx);
+  dim_y = std::min(dim_y, ny);
+  out.dim_x = dim_x;
+  out.dim_y = dim_y;
+  out.dim_t = dim_t;
+  out.plan_s = plan_timer.seconds();
+
+  // Warm buffer pool: same-shape jobs run in the previous job's grids (the
+  // team's NUMA first-touch placement is preserved); any other shape
+  // reallocates through the team.
+  const std::uint64_t shape = spec.shape_key();
+  if (!pool_ || pool_shape_ != shape) {
+    pool_.reset();  // free before allocating the replacement
+    pool_ = std::make_unique<grid::GridPair<float>>(nx, ny, nz, engine_->team());
+    pool_shape_ = shape;
+  } else {
+    out.batched = true;
+  }
+  grid::GridPair<float>& pair = *pool_;
+  pair.src().fill_random(spec.seed, -1.0f, 1.0f);
+  // Deterministic dst boundary regardless of what the pool held before:
+  // reused and fresh grids must be bit-identical.
+  stencil::freeze_boundary(pair.src(), pair.dst(), sig.radius);
+
+  stencil::SweepConfig cfg;
+  cfg.dim_x = dim_x;
+  cfg.dim_y = dim_y;
+  cfg.dim_t = dim_t;
+  cfg.streaming_stores = spec.streaming_stores;
+
+  integrity::IntegrityMonitor monitor;
+  if (spec.audit) {
+    cfg.integrity.options.enabled = true;
+    if (spec.audit_rate > 0.0) cfg.integrity.options.audit_rate = spec.audit_rate;
+    cfg.integrity.options.watchdog_ms = opts_.watchdog_ms;
+    cfg.integrity.monitor = &monitor;
+    if (opts_.watchdog_ms > 0) {
+      watchdog_.disarm();
+      watchdog_.arm(opts_.threads, opts_.watchdog_ms, &monitor);
+      cfg.integrity.watchdog = &watchdog_;
+    }
+  }
+
+  const bool telemetry_was = telemetry::enabled();
+  telemetry::set_enabled(true);
+  telemetry::reset();
+
+  Timer run_timer;
+  fault::Status st;
+  int done = 0;
+  // Chunked execution: one blocked pass (dim_t steps) per call. run_sweep
+  // advances pass by pass internally, so this is bit-identical to a single
+  // call with all steps — and gives us a safe cancellation/deadline check
+  // between passes (a pass is never torn).
+  while (done < spec.steps) {
+    if (rec.cancel.load(std::memory_order_acquire)) break;
+    if (rec.deadline_ns != 0 && now_ns() > rec.deadline_ns) break;
+    const int chunk = std::min(dim_t, spec.steps - done);
+    if (spec.audit && spec.kernel == "27pt") {
+      st = run_sweep_verified_auto(stencil::Variant::kBlocked35D,
+                                   stencil::default_stencil27<float>(), pair, chunk,
+                                   cfg, *engine_);
+    } else if (spec.audit) {
+      st = run_sweep_verified_auto(stencil::Variant::kBlocked35D,
+                                   stencil::default_stencil7<float>(), pair, chunk,
+                                   cfg, *engine_);
+    } else if (spec.kernel == "27pt") {
+      run_sweep_auto(stencil::Variant::kBlocked35D,
+                     stencil::default_stencil27<float>(), pair, chunk, cfg, *engine_);
+    } else {
+      run_sweep_auto(stencil::Variant::kBlocked35D,
+                     stencil::default_stencil7<float>(), pair, chunk, cfg, *engine_);
+    }
+    if (!st.ok()) break;
+    done += chunk;
+  }
+  out.run_s = run_timer.seconds();
+  out.steps_done = done;
+
+  if (spec.audit && opts_.watchdog_ms > 0) watchdog_.disarm();
+
+  const telemetry::Totals t = telemetry::aggregate();
+  telemetry::set_enabled(telemetry_was);
+  out.compute_s = t.phase_seconds(telemetry::Phase::kCompute);
+  out.audit_s = t.phase_seconds(telemetry::Phase::kAudit);
+  out.barrier_s = t.phase_seconds(telemetry::Phase::kBarrierWait);
+  out.audited_rows = monitor.audited_rows();
+  out.sdc_detected = monitor.sdc_detected();
+  out.reexecs = monitor.reexecs();
+  if (monitor.stalls() > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.watchdog_stalls += monitor.stalls();
+  }
+
+  if (st.ok() && done == spec.steps) {
+    std::uint32_t crc = 0;
+    const grid::Grid3<float>& g = pair.src();
+    for (long z = 0; z < g.nz(); ++z)
+      for (long y = 0; y < g.ny(); ++y)
+        crc = crc32c(g.row(y, z), static_cast<std::size_t>(g.nx()) * sizeof(float),
+                     crc);
+    out.crc = crc;
+  }
+  return st;
+}
+
+void JobService::finish(std::uint64_t id, JobRec& rec, JobState state) {
+  (void)id;
+  // Stats first: a client whose wait() returns must already see this job in
+  // the counters.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (state) {
+      case JobState::kDone:
+        ++stats_.completed;
+        break;
+      case JobState::kFailed:
+        ++stats_.failed;
+        break;
+      case JobState::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case JobState::kExpired:
+        ++stats_.expired;
+        break;
+      default:
+        break;
+    }
+    if (rec.result.batched) ++stats_.batched;
+    stats_.total_wait_s += rec.result.wait_s;
+    stats_.total_run_s += rec.result.run_s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    rec.state = state;
+    --active_jobs_;
+  }
+  jobs_cv_.notify_all();
+}
+
+}  // namespace s35::service

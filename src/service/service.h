@@ -1,0 +1,164 @@
+// JobService: resident multi-tenant execution of stencil sweeps.
+//
+// One-shot `s35 run` pays the full cold path on every invocation: measure
+// the machine, tune a blocking plan, spawn and pin a thread team, touch the
+// grids into place — all before the first useful update. The service keeps
+// those assets resident and multiplexes jobs over them:
+//
+//   * a bounded priority queue (queue.h) provides admission control,
+//     backpressure, per-job deadlines and cancellation;
+//   * a plan cache (plan_cache.h) memoizes autotuner/planner output, with
+//     optional on-disk persistence across restarts;
+//   * one warm core::Engine35 (its parallel::ThreadTeam never respawns) runs
+//     every job; jobs of equal shape are batched back-to-back so the grid
+//     buffers — already NUMA-placed by the team — are reused too;
+//   * per-job resilience: an audit job runs through the verified-run ladder
+//     of src/integrity (sampled scalar audits, ring sentinels, in-memory
+//     re-execution on SDC) with a per-job monitor, and the service watchdog
+//     flags stuck phases.
+//
+// Threading model: submit/cancel/info/wait/stats are safe from any thread;
+// a single internal worker executes jobs in queue order. The worker is the
+// SPMD caller-participant of the engine's team, so job execution itself
+// uses every configured core.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "fault/status.h"
+#include "grid/grid3.h"
+#include "integrity/watchdog.h"
+#include "machine/descriptor.h"
+#include "service/job.h"
+#include "service/plan_cache.h"
+#include "service/queue.h"
+
+namespace s35::service {
+
+struct ServiceOptions {
+  int threads = 0;                  // SPMD width; 0 = hardware concurrency
+  std::size_t queue_capacity = 64;  // admission limit
+  std::size_t plan_cache_entries = 128;
+  std::string plan_cache_path;      // "" = in-memory only
+  int watchdog_ms = 0;              // per-phase stall deadline for audit jobs
+  int max_dim_t = 4;                // planning bound when a job leaves dim_t = 0
+  long max_points = 16L * 1024 * 1024;  // admission cap on nx*ny*nz
+  // Machine identity for plan keys/tuning. Empty name = probe the host once
+  // at construction (machine::host()).
+  machine::Descriptor mach;
+
+  // Honors S35_SERVE_THREADS, S35_SERVE_QUEUE, S35_SERVE_PLAN_CACHE,
+  // S35_SERVE_WATCHDOG_MS, S35_SERVE_MAX_DIMT.
+  static ServiceOptions from_env();
+};
+
+class JobService {
+ public:
+  explicit JobService(ServiceOptions options = {});
+  ~JobService();  // shutdown(): drains queued jobs, persists the plan cache
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  // Admission: validates the spec (known kernel, sane dims, points cap) and
+  // enqueues. Fails with kMismatch on an invalid spec, kUnavailable when the
+  // queue is full or the service is shutting down. Returns the job id.
+  fault::Expected<std::uint64_t> submit(const JobSpec& spec);
+
+  // Cancels a job: removed from the queue when still queued; when running,
+  // the worker observes the flag at the next pass boundary (results stay
+  // bit-exact — passes are never torn). False if already terminal/unknown.
+  bool cancel(std::uint64_t id);
+
+  // Snapshot of a job; nullopt for unknown ids.
+  std::optional<JobInfo> info(std::uint64_t id) const;
+
+  // Blocks until the job reaches a terminal state (timeout_ms < 0 = forever).
+  // nullopt on timeout or unknown id.
+  std::optional<JobInfo> wait(std::uint64_t id, std::int64_t timeout_ms = -1);
+
+  // Blocks until every submitted job is terminal. False on timeout.
+  bool drain(std::int64_t timeout_ms = -1);
+
+  // Pauses/resumes the worker *between* jobs — tests use this to stack the
+  // queue deterministically before anything runs.
+  void set_paused(bool paused);
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;  // admission failures (full queue/bad spec)
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t batched = 0;    // jobs that reused the previous grids
+    std::size_t queue_depth = 0;
+    std::uint64_t plan_hits = 0;
+    std::uint64_t plan_misses = 0;
+    std::uint64_t watchdog_stalls = 0;
+    double total_wait_s = 0.0;  // summed queue wait of terminal jobs
+    double total_run_s = 0.0;   // summed sweep time of terminal jobs
+    int threads = 0;
+  };
+  Stats stats() const;
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  const ServiceOptions& options() const { return opts_; }
+
+  // Stops admission, drains already-queued jobs, joins the worker, saves the
+  // plan cache when a path is configured. Idempotent.
+  void shutdown();
+
+ private:
+  struct JobRec {
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    JobResult result;
+    std::atomic<bool> cancel{false};
+    std::int64_t submit_ns = 0;    // steady_clock, for wait_s
+    std::int64_t deadline_ns = 0;  // 0 = none
+  };
+
+  void worker_loop();
+  void execute(std::uint64_t id, JobRec& rec);
+  fault::Status run_job(const JobSpec& spec, JobRec& rec, JobResult& out);
+  void finish(std::uint64_t id, JobRec& rec, JobState state);
+
+  ServiceOptions opts_;
+  std::unique_ptr<core::Engine35> engine_;
+  PlanCache plan_cache_;
+  BoundedJobQueue queue_;
+  integrity::Watchdog watchdog_;
+
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;  // signaled on any terminal transition
+  std::unordered_map<std::uint64_t, std::unique_ptr<JobRec>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t active_jobs_ = 0;  // queued + running
+
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // Warm buffer pool: the last job's grids, reused when shapes match.
+  std::unique_ptr<grid::GridPair<float>> pool_;
+  std::uint64_t pool_shape_ = 0;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;  // guarded by jobs_mu_
+  std::thread worker_;
+};
+
+}  // namespace s35::service

@@ -1,0 +1,567 @@
+// Job service: queue ordering and admission, plan-cache memoization and
+// CRC-guarded persistence, bit-exact warm-vs-cold execution, deadlines,
+// cancellation mid-queue and mid-run, audit jobs, the NDJSON protocol, and
+// a multi-client soak (the TSan leg runs this whole suite).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "core/engine.h"
+#include "grid/grid3.h"
+#include "machine/descriptor.h"
+#include "machine/kernel_sig.h"
+#include "service/job.h"
+#include "service/plan_cache.h"
+#include "service/protocol.h"
+#include "service/queue.h"
+#include "service/service.h"
+#include "stencil/stencil_kernels.h"
+#include "stencil/sweeps.h"
+
+namespace s35 {
+namespace {
+
+using service::BoundedJobQueue;
+using service::CachedPlan;
+using service::JobService;
+using service::JobSpec;
+using service::JobState;
+using service::PlanCache;
+using service::PlanKey;
+using service::QueueItem;
+using service::ServiceOptions;
+
+std::string tmp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+// Deterministic machine identity: no host probing, stable plan keys.
+ServiceOptions test_options(int threads = 2) {
+  ServiceOptions o;
+  o.threads = threads;
+  o.mach = machine::core_i7();
+  return o;
+}
+
+std::uint32_t grid_crc(const grid::Grid3<float>& g) {
+  std::uint32_t crc = 0;
+  for (long z = 0; z < g.nz(); ++z)
+    for (long y = 0; y < g.ny(); ++y)
+      crc = crc32c(g.row(y, z), static_cast<std::size_t>(g.nx()) * sizeof(float), crc);
+  return crc;
+}
+
+// Single-shot reference: one run_sweep_auto call over all steps, same
+// seeding and boundary prep as the service's job runner.
+std::uint32_t reference_crc(const JobSpec& spec, long dim_x, long dim_y, int dim_t) {
+  core::Engine35 engine(2);
+  grid::GridPair<float> pair(spec.nx, spec.eff_ny(), spec.eff_nz());
+  pair.src().fill_random(spec.seed, -1.0f, 1.0f);
+  stencil::freeze_boundary(pair.src(), pair.dst(), 1);
+  stencil::SweepConfig cfg;
+  cfg.dim_x = dim_x;
+  cfg.dim_y = dim_y;
+  cfg.dim_t = dim_t;
+  run_sweep_auto(stencil::Variant::kBlocked35D, stencil::default_stencil7<float>(),
+                 pair, spec.steps, cfg, engine);
+  return grid_crc(pair.src());
+}
+
+// ------------------------------------------------------------------ queue
+
+TEST(JobQueue, PriorityThenFifo) {
+  BoundedJobQueue q(8);
+  ASSERT_TRUE(q.try_push({1, 0, 1, 0}));
+  ASSERT_TRUE(q.try_push({2, 5, 2, 0}));
+  ASSERT_TRUE(q.try_push({3, 5, 3, 0}));
+  ASSERT_TRUE(q.try_push({4, 1, 4, 0}));
+  EXPECT_EQ(q.pop_wait(0)->id, 2u);  // highest priority, oldest first
+  EXPECT_EQ(q.pop_wait(0)->id, 3u);
+  EXPECT_EQ(q.pop_wait(0)->id, 4u);
+  EXPECT_EQ(q.pop_wait(0)->id, 1u);
+}
+
+TEST(JobQueue, AffinityPrefersMatchingShapeWithinPriority) {
+  BoundedJobQueue q(8);
+  ASSERT_TRUE(q.try_push({1, 0, 1, 0xAA}));
+  ASSERT_TRUE(q.try_push({2, 0, 2, 0xBB}));
+  ASSERT_TRUE(q.try_push({3, 0, 3, 0xAA}));
+  ASSERT_TRUE(q.try_push({4, 9, 4, 0xBB}));
+  // Affinity never overrides priority...
+  EXPECT_EQ(q.pop_wait(0xAA)->id, 4u);
+  // ...but batches within the top priority class.
+  EXPECT_EQ(q.pop_wait(0xAA)->id, 1u);
+  EXPECT_EQ(q.pop_wait(0xAA)->id, 3u);
+  EXPECT_EQ(q.pop_wait(0xAA)->id, 2u);
+}
+
+TEST(JobQueue, AdmissionRejectAndBackpressure) {
+  BoundedJobQueue q(2);
+  EXPECT_TRUE(q.try_push({1, 0, 1, 0}));
+  EXPECT_TRUE(q.try_push({2, 0, 2, 0}));
+  EXPECT_FALSE(q.try_push({3, 0, 3, 0}));     // full: admission reject
+  EXPECT_FALSE(q.push_wait({3, 0, 3, 0}, 20));  // backpressure timeout
+  EXPECT_EQ(q.pop_wait(0)->id, 1u);
+  EXPECT_TRUE(q.push_wait({3, 0, 3, 0}, 20));  // space freed
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(JobQueue, RemoveAndCloseDrain) {
+  BoundedJobQueue q(4);
+  ASSERT_TRUE(q.try_push({1, 0, 1, 0}));
+  ASSERT_TRUE(q.try_push({2, 0, 2, 0}));
+  EXPECT_TRUE(q.remove(1));
+  EXPECT_FALSE(q.remove(1));  // already gone
+  q.close();
+  EXPECT_FALSE(q.try_push({5, 0, 5, 0}));  // no admission after close
+  EXPECT_EQ(q.pop_wait(0)->id, 2u);        // queued items stay poppable
+  EXPECT_FALSE(q.pop_wait(0).has_value()); // closed and drained
+}
+
+// ------------------------------------------------------------- plan cache
+
+TEST(PlanCacheTest, LruEvictionAndCounters) {
+  PlanCache cache(2);
+  const auto sig = machine::seven_point();
+  const auto mach = machine::core_i7();
+  const PlanKey k1 = PlanKey::make(mach, sig, 32, 32, 32, 4);
+  const PlanKey k2 = PlanKey::make(mach, sig, 64, 64, 64, 4);
+  const PlanKey k3 = PlanKey::make(mach, sig, 96, 96, 96, 4);
+  EXPECT_FALSE(cache.lookup(k1).has_value());
+  cache.insert(k1, {16, 16, 2});
+  cache.insert(k2, {32, 32, 3});
+  EXPECT_TRUE(cache.lookup(k1).has_value());  // k1 is now MRU
+  cache.insert(k3, {48, 48, 4});              // evicts k2 (LRU)
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCacheTest, SaveLoadRoundtripPreservesEntriesAndOrder) {
+  const std::string path = tmp_path("plan_cache_rt.bin");
+  PlanCache cache(8);
+  const auto sig7 = machine::seven_point();
+  const auto sig27 = machine::twenty_seven_point();
+  const auto mach = machine::core_i7();
+  const PlanKey k1 = PlanKey::make(mach, sig7, 32, 48, 64, 4);
+  const PlanKey k2 = PlanKey::make(mach, sig27, 64, 64, 64, 2);
+  cache.insert(k1, {16, 16, 2, 7.25, service::PlanSource::kAutotuner, 3});
+  cache.insert(k2, {24, 24, 1, 0.0, service::PlanSource::kPlanner, 0});
+  ASSERT_TRUE(cache.lookup(k1).has_value());  // k1 MRU before save
+  ASSERT_TRUE(cache.save(path).ok());
+
+  PlanCache back(8);
+  ASSERT_TRUE(back.load(path).ok());
+  EXPECT_EQ(back.size(), 2u);
+  const auto entries = back.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].key == k1);  // LRU order survives the roundtrip
+  EXPECT_EQ(entries[0].plan.dim_x, 16);
+  EXPECT_EQ(entries[0].plan.dim_t, 2);
+  EXPECT_DOUBLE_EQ(entries[0].plan.cost, 7.25);
+  EXPECT_EQ(entries[0].plan.source, service::PlanSource::kAutotuner);
+  EXPECT_EQ(entries[0].plan.hits, 4u);  // 3 persisted + the pre-save lookup
+  EXPECT_TRUE(entries[1].key == k2);
+  EXPECT_EQ(entries[1].plan.source, service::PlanSource::kPlanner);
+}
+
+TEST(PlanCacheTest, RejectsCorruptShortAndForeignFiles) {
+  const std::string path = tmp_path("plan_cache_bad.bin");
+  PlanCache cache(4);
+  cache.insert(PlanKey::make(machine::core_i7(), machine::seven_point(), 32, 32, 32, 4),
+               {16, 16, 2});
+  ASSERT_TRUE(cache.save(path).ok());
+
+  // Flip one payload byte: payload CRC must catch it.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);  // inside the first entry
+    std::fputc(0x5A, f);
+    std::fclose(f);
+    PlanCache fresh(4);
+    EXPECT_EQ(fresh.load(path).code(), fault::ErrorCode::kCorrupted);
+    EXPECT_EQ(fresh.size(), 0u);  // nothing partially applied
+  }
+  // Truncate mid-payload.
+  {
+    ASSERT_TRUE(cache.save(path).ok());
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), 48), 0);
+    PlanCache fresh(4);
+    EXPECT_EQ(fresh.load(path).code(), fault::ErrorCode::kTruncated);
+  }
+  // Foreign file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a plan cache, padded to header size....", f);
+    std::fclose(f);
+    PlanCache fresh(4);
+    EXPECT_EQ(fresh.load(path).code(), fault::ErrorCode::kBadMagic);
+  }
+  // Missing file.
+  {
+    PlanCache fresh(4);
+    EXPECT_EQ(fresh.load(tmp_path("plan_cache_nope.bin")).code(),
+              fault::ErrorCode::kIoError);
+  }
+}
+
+TEST(PlanCacheTest, ComputePlanIsDeterministicAndFeasible) {
+  const auto mach = machine::core_i7();
+  const auto sig = machine::seven_point();
+  const CachedPlan a = service::compute_plan(mach, sig, 48, 48, 48, 4);
+  const CachedPlan b = service::compute_plan(mach, sig, 48, 48, 48, 4);
+  EXPECT_EQ(a.dim_x, b.dim_x);
+  EXPECT_EQ(a.dim_y, b.dim_y);
+  EXPECT_EQ(a.dim_t, b.dim_t);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_GT(a.dim_x, 2 * sig.radius * a.dim_t);  // non-empty output region
+  EXPECT_LE(a.dim_x, 48);
+  EXPECT_GE(a.dim_t, 1);
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServiceTest, RunsJobBitExactAndMemoizesPlan) {
+  JobService svc(test_options());
+  JobSpec spec;
+  spec.nx = 32;
+  spec.steps = 5;  // deliberately not a dim_t multiple: trailing partial pass
+  spec.seed = 99;
+
+  const auto id1 = svc.submit(spec);
+  ASSERT_TRUE(id1.ok());
+  const auto done1 = svc.wait(id1.value());
+  ASSERT_TRUE(done1.has_value());
+  ASSERT_EQ(done1->state, JobState::kDone) << done1->result.message;
+  EXPECT_EQ(done1->result.steps_done, 5);
+  EXPECT_FALSE(done1->result.plan_cache_hit);
+  EXPECT_GT(done1->result.dim_x, 0);
+
+  // The chunked, pooled service run must equal a single-shot sweep.
+  EXPECT_EQ(done1->result.crc,
+            reference_crc(spec, done1->result.dim_x, done1->result.dim_y,
+                          done1->result.dim_t));
+
+  // Repeat job: plan from cache, grids reused, bit-identical result.
+  const auto id2 = svc.submit(spec);
+  ASSERT_TRUE(id2.ok());
+  const auto done2 = svc.wait(id2.value());
+  ASSERT_TRUE(done2.has_value());
+  ASSERT_EQ(done2->state, JobState::kDone);
+  EXPECT_TRUE(done2->result.plan_cache_hit);
+  EXPECT_TRUE(done2->result.batched);
+  EXPECT_EQ(done2->result.crc, done1->result.crc);
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.plan_hits, 1u);
+  EXPECT_EQ(s.plan_misses, 1u);
+  EXPECT_EQ(s.batched, 1u);
+}
+
+TEST(ServiceTest, WarmCacheMatchesColdServiceBitExact) {
+  JobSpec spec;
+  spec.nx = 24;
+  spec.steps = 4;
+  spec.seed = 7;
+
+  std::uint32_t cold_crc = 0;
+  {
+    JobService cold(test_options());
+    const auto id = cold.submit(spec);
+    ASSERT_TRUE(id.ok());
+    const auto done = cold.wait(id.value());
+    ASSERT_TRUE(done && done->state == JobState::kDone);
+    EXPECT_FALSE(done->result.plan_cache_hit);
+    cold_crc = done->result.crc;
+  }
+  JobService warm(test_options());
+  // Pre-warm the cache, then the "client" job must hit it and agree.
+  const auto warmup = warm.submit(spec);
+  ASSERT_TRUE(warmup.ok());
+  ASSERT_TRUE(warm.wait(warmup.value()).has_value());
+  const auto id = warm.submit(spec);
+  ASSERT_TRUE(id.ok());
+  const auto done = warm.wait(id.value());
+  ASSERT_TRUE(done && done->state == JobState::kDone);
+  EXPECT_TRUE(done->result.plan_cache_hit);
+  EXPECT_EQ(done->result.crc, cold_crc);
+}
+
+TEST(ServiceTest, PlanCachePersistsAcrossRestart) {
+  const std::string path = tmp_path("service_pc.bin");
+  std::remove(path.c_str());
+  JobSpec spec;
+  spec.nx = 24;
+  spec.steps = 2;
+  {
+    ServiceOptions o = test_options();
+    o.plan_cache_path = path;
+    JobService svc(o);
+    const auto id = svc.submit(spec);
+    ASSERT_TRUE(id.ok());
+    const auto done = svc.wait(id.value());
+    ASSERT_TRUE(done && done->state == JobState::kDone);
+    EXPECT_FALSE(done->result.plan_cache_hit);
+    svc.shutdown();  // persists the cache
+  }
+  {
+    ServiceOptions o = test_options();
+    o.plan_cache_path = path;
+    JobService svc(o);
+    EXPECT_EQ(svc.plan_cache().size(), 1u);
+    const auto id = svc.submit(spec);
+    ASSERT_TRUE(id.ok());
+    const auto done = svc.wait(id.value());
+    ASSERT_TRUE(done && done->state == JobState::kDone);
+    EXPECT_TRUE(done->result.plan_cache_hit);  // restart skipped tuning
+  }
+}
+
+TEST(ServiceTest, AdmissionRejectsBadSpecsAndFullQueue) {
+  ServiceOptions o = test_options();
+  o.queue_capacity = 2;
+  JobService svc(o);
+  svc.set_paused(true);
+
+  JobSpec bad;
+  bad.kernel = "9pt";
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad = {};
+  bad.nx = 4;
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad = {};
+  bad.nx = 4096;  // over max_points
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad = {};
+  bad.steps = 0;
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad = {};
+  bad.dim_x = 16;  // dim_y missing
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+
+  JobSpec ok;
+  ok.nx = 16;
+  ok.steps = 1;
+  ASSERT_TRUE(svc.submit(ok).ok());
+  ASSERT_TRUE(svc.submit(ok).ok());
+  const auto full = svc.submit(ok);  // queue full, worker paused
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), fault::ErrorCode::kUnavailable);
+  EXPECT_GE(svc.stats().rejected, 1u);
+
+  svc.set_paused(false);
+  EXPECT_TRUE(svc.drain(30'000));
+}
+
+TEST(ServiceTest, DeadlineExpiry) {
+  JobService svc(test_options());
+  svc.set_paused(true);
+  JobSpec spec;
+  spec.nx = 16;
+  spec.steps = 1;
+  spec.deadline_ms = 25;
+  const auto id = svc.submit(spec);
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  svc.set_paused(false);
+  const auto done = svc.wait(id.value());
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JobState::kExpired);
+  EXPECT_EQ(done->result.steps_done, 0);
+  EXPECT_EQ(svc.stats().expired, 1u);
+}
+
+TEST(ServiceTest, CancelMidQueue) {
+  JobService svc(test_options());
+  svc.set_paused(true);
+  JobSpec spec;
+  spec.nx = 16;
+  spec.steps = 1;
+  const auto a = svc.submit(spec);
+  const auto b = svc.submit(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(svc.cancel(b.value()));
+  EXPECT_FALSE(svc.cancel(b.value()));  // already terminal
+  EXPECT_FALSE(svc.cancel(999));        // unknown id
+  const auto info = svc.info(b.value());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, JobState::kCancelled);
+  svc.set_paused(false);
+  const auto done = svc.wait(a.value());
+  ASSERT_TRUE(done && done->state == JobState::kDone);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST(ServiceTest, CancelMidRunStopsAtPassBoundary) {
+  JobService svc(test_options());
+  JobSpec spec;
+  spec.nx = 48;
+  spec.steps = 2000;  // ~1000 pass boundaries: cancellation lands mid-run
+  spec.dim_x = 16;
+  spec.dim_y = 16;
+  spec.dim_t = 2;
+  const auto id = svc.submit(spec);
+  ASSERT_TRUE(id.ok());
+  // Wait until it is actually running, then cancel.
+  for (int i = 0; i < 10'000; ++i) {
+    const auto info = svc.info(id.value());
+    ASSERT_TRUE(info.has_value());
+    if (info->state != JobState::kQueued) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(svc.cancel(id.value()));
+  const auto done = svc.wait(id.value(), 60'000);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JobState::kCancelled);
+  EXPECT_LT(done->result.steps_done, spec.steps);
+  EXPECT_NE(done->result.message.find("cancelled"), std::string::npos);
+}
+
+TEST(ServiceTest, AuditJobCountsRowsAndStaysBitExact) {
+  JobService svc(test_options());
+  JobSpec plain;
+  plain.nx = 24;
+  plain.steps = 4;
+  plain.seed = 11;
+  JobSpec audited = plain;
+  audited.audit = true;
+  audited.audit_rate = 1.0;
+
+  const auto a = svc.submit(plain);
+  const auto b = svc.submit(audited);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto da = svc.wait(a.value());
+  const auto db = svc.wait(b.value());
+  ASSERT_TRUE(da && da->state == JobState::kDone);
+  ASSERT_TRUE(db && db->state == JobState::kDone) << db->result.message;
+  EXPECT_GT(db->result.audited_rows, 0u);
+  EXPECT_EQ(db->result.sdc_detected, 0u);  // fault-free run stays silent
+  EXPECT_EQ(db->result.reexecs, 0u);
+  EXPECT_EQ(da->result.crc, db->result.crc);  // audits never change results
+  EXPECT_EQ(da->result.audited_rows, 0u);
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, HandleLineSubmitWaitStatsErrors) {
+  JobService svc(test_options());
+  bool shutdown = false;
+  const std::string r1 = service::handle_line(
+      svc, R"({"op":"submit","kernel":"7pt","n":16,"steps":2,"seed":3})", &shutdown);
+  EXPECT_EQ(r1, "{\"ok\":true,\"id\":1}");
+  const std::string r2 =
+      service::handle_line(svc, R"({"op":"wait","id":1})", &shutdown);
+  EXPECT_NE(r2.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(r2.find("\"crc\":\""), std::string::npos);
+  EXPECT_NE(service::handle_line(svc, R"({"op":"stats"})", &shutdown)
+                .find("\"submitted\":1"),
+            std::string::npos);
+  EXPECT_NE(service::handle_line(svc, R"({"op":"status","id":42})", &shutdown)
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(service::handle_line(svc, R"({"op":"frobnicate"})", &shutdown)
+                .find("bad_request"),
+            std::string::npos);
+  EXPECT_NE(service::handle_line(svc, "not json at all", &shutdown)
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(service::handle_line(
+                svc, R"({"op":"submit","kernel":"9pt","n":16})", &shutdown)
+                .find("mismatch"),
+            std::string::npos);
+  EXPECT_FALSE(shutdown);
+  service::handle_line(svc, R"({"op":"shutdown"})", &shutdown);
+  EXPECT_TRUE(shutdown);
+}
+
+TEST(ProtocolTest, ServeStreamRunsSession) {
+  JobService svc(test_options());
+  std::istringstream in(
+      "{\"op\":\"submit\",\"kernel\":\"7pt\",\"n\":16,\"steps\":2}\n"
+      "\n"  // blank lines are skipped
+      "{\"op\":\"wait\",\"id\":1}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"stats\"}\n");  // after shutdown: never processed
+  std::ostringstream out;
+  EXPECT_EQ(service::serve_stream(svc, in, out), 3);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(s.find("\"shutdown\":true"), std::string::npos);
+  EXPECT_EQ(s.find("\"submitted\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------- soak
+
+// Multi-client concurrency: several threads submit, wait, cancel and poll
+// concurrently. Run under TSan in CI; assertions here check conservation
+// of jobs across terminal states.
+TEST(ServiceTest, ConcurrentMultiClientSoak) {
+  ServiceOptions o = test_options();
+  o.queue_capacity = 128;
+  JobService svc(o);
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 6;
+  std::atomic<int> terminal{0};
+  std::atomic<int> admitted{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        JobSpec spec;
+        spec.nx = 16 + 8 * ((c + j) % 2);  // two shapes: exercises batching
+        spec.steps = 2;
+        spec.dim_x = 8;
+        spec.dim_y = 8;
+        spec.dim_t = 1;
+        spec.priority = j % 3;
+        spec.seed = static_cast<std::uint64_t>(c * 100 + j);
+        const auto id = svc.submit(spec);
+        ASSERT_TRUE(id.ok()) << id.status().to_string();
+        admitted.fetch_add(1);
+        if (j % 3 == 2) svc.cancel(id.value());  // mid-queue or mid-run
+        const auto done = svc.wait(id.value(), 60'000);
+        ASSERT_TRUE(done.has_value());
+        EXPECT_TRUE(done->state == JobState::kDone ||
+                    done->state == JobState::kCancelled)
+            << to_string(done->state);
+        if (done->state == JobState::kDone) {
+          EXPECT_EQ(done->result.steps_done, 2);
+          EXPECT_NE(done->result.crc, 0u);
+        }
+        terminal.fetch_add(1);
+        (void)svc.stats();  // concurrent reader
+        (void)svc.info(id.value());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_TRUE(svc.drain(60'000));
+  EXPECT_EQ(terminal.load(), kClients * kJobsPerClient);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(admitted.load()));
+  EXPECT_EQ(s.completed + s.cancelled + s.failed + s.expired,
+            s.submitted);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace s35

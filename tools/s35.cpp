@@ -10,8 +10,12 @@
 //   s35 wavefront [--n N]               Section V-A1 working-set analysis
 //   s35 run      distributed 3.5D run with durable checkpoints, resume,
 //                and (optional) deterministic fault injection
+//   s35 serve    resident job service: NDJSON over stdin or a Unix socket,
+//                warm thread team + plan cache across jobs
+//   s35 plan-cache  dump/inspect/clear a persisted plan cache
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <string>
@@ -30,6 +34,9 @@
 #include "machine/descriptor.h"
 #include "machine/kernel_sig.h"
 #include "memsim/traffic.h"
+#include "service/plan_cache.h"
+#include "service/protocol.h"
+#include "service/service.h"
 #include "stencil/distributed.h"
 
 using namespace s35;
@@ -43,7 +50,8 @@ class Args {
  public:
   Args(int argc, char** argv, int first) {
     const auto is_flag = [](const char* a) {
-      return std::strcmp(a, "--stream") == 0 || std::strcmp(a, "--audit") == 0;
+      return std::strcmp(a, "--stream") == 0 || std::strcmp(a, "--audit") == 0 ||
+             std::strcmp(a, "--clear") == 0;
     };
     for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) continue;
@@ -216,13 +224,49 @@ int cmd_tune(const Args& args) {
 int cmd_run(const Args& args) {
   const long n = static_cast<long>(args.num("n", 64));
   const int steps = static_cast<int>(args.num("steps", 8));
-  const int dim_t = static_cast<int>(args.num("dimt", 2));
+  int dim_t = static_cast<int>(args.num("dimt", 0));  // 0 = plan automatically
+  long dim_x = std::min<long>(n, 64);
   const int ranks = static_cast<int>(args.num("ranks", 2));
   const int threads = static_cast<int>(args.num("threads", 2));
   const int ckpt_every = static_cast<int>(args.num("checkpoint-every", 0));
   const std::string ckpt = args.str("ckpt", "s35_run.ckpt");
   const std::string resume = args.str("resume", "");
   const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 42));
+
+  // Blocking plan: --dimt N pins the temporal factor (tile stays the fixed
+  // 64-wide default so historical runs reproduce); --dimt 0 resolves tile
+  // and dim_t through the plan cache — persisted across invocations when
+  // --plan-cache is given, so repeat runs skip the autotune entirely.
+  const std::string plan_cache_path = args.str("plan-cache", "");
+  if (dim_t <= 0) {
+    service::PlanCache cache;
+    if (!plan_cache_path.empty()) {
+      const fault::Status st = cache.load(plan_cache_path);
+      if (!st.ok() && st.code() != fault::ErrorCode::kIoError)
+        std::fprintf(stderr, "plan cache ignored: %s\n", st.to_string().c_str());
+    }
+    const machine::Descriptor mach = machine::host();
+    const machine::KernelSig sig = machine::seven_point();
+    const int max_dim_t = static_cast<int>(args.num("max-dimt", 4));
+    const service::PlanKey key = service::PlanKey::make(mach, sig, n, n, n, max_dim_t);
+    const auto hit = cache.lookup(key);
+    service::CachedPlan plan;
+    if (hit) {
+      plan = *hit;
+    } else {
+      plan = service::compute_plan(mach, sig, n, n, n, max_dim_t);
+      cache.insert(key, plan);
+    }
+    dim_t = plan.dim_t;
+    dim_x = std::min<long>(plan.dim_x, n);
+    std::printf("plan: tile %ldx%ld dim_t %d (%s%s)\n", plan.dim_x, plan.dim_y,
+                plan.dim_t, service::to_string(plan.source), hit ? ", cached" : "");
+    if (!plan_cache_path.empty()) {
+      const fault::Status st = cache.save(plan_cache_path);
+      if (!st.ok())
+        std::fprintf(stderr, "plan cache not saved: %s\n", st.to_string().c_str());
+    }
+  }
 
   stencil::DistributedStencilDriver<stencil::Stencil7<float>, float> driver(
       n, n, n, ranks, dim_t);
@@ -291,7 +335,7 @@ int cmd_run(const Args& args) {
 
   stencil::SweepConfig cfg;
   cfg.dim_t = dim_t;
-  cfg.dim_x = std::min<long>(n, 64);
+  cfg.dim_x = dim_x;
   core::Engine35 engine(threads);
   const auto stencil = stencil::default_stencil7<float>();
   const fault::Status st = driver.run_guarded(
@@ -342,6 +386,68 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// Resident job service: NDJSON requests on stdin (default) or a Unix
+// socket. CLI flags override the S35_SERVE_* environment defaults.
+int cmd_serve(const Args& args) {
+  service::ServiceOptions opts = service::ServiceOptions::from_env();
+  opts.threads = static_cast<int>(args.num("threads", opts.threads));
+  opts.queue_capacity = static_cast<std::size_t>(
+      args.num("queue", static_cast<double>(opts.queue_capacity)));
+  opts.plan_cache_path = args.str("plan-cache", opts.plan_cache_path);
+  opts.watchdog_ms = static_cast<int>(args.num("watchdog-ms", opts.watchdog_ms));
+  opts.max_dim_t = static_cast<int>(args.num("max-dimt", opts.max_dim_t));
+  service::JobService svc(opts);
+  std::fprintf(stderr, "s35 serve: %d threads, queue %zu, plan cache %s\n",
+               svc.options().threads, svc.options().queue_capacity,
+               opts.plan_cache_path.empty() ? "(memory)"
+                                            : opts.plan_cache_path.c_str());
+  const std::string socket = args.str("socket", "");
+  if (!socket.empty()) return service::serve_unix(svc, socket);
+  service::serve_stream(svc, std::cin, std::cout);
+  return 0;
+}
+
+int cmd_plan_cache(const Args& args) {
+  const std::string path = args.str("path", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: s35 plan-cache --path FILE [--clear]\n");
+    return 1;
+  }
+  if (args.flag("clear")) {
+    service::PlanCache empty;
+    const fault::Status st = empty.save(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot clear %s: %s\n", path.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+    std::printf("cleared %s\n", path.c_str());
+    return 0;
+  }
+  service::PlanCache cache;
+  const fault::Status st = cache.load(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(), st.to_string().c_str());
+    return 1;
+  }
+  const auto entries = cache.entries();
+  std::printf("%s: %zu entries (most recently used first)\n", path.c_str(),
+              entries.size());
+  Table t({"kernel", "grid", "machine", "tile", "dim_t", "source", "B/upd", "hits"});
+  for (const auto& e : entries) {
+    t.add_row({e.key.kernel,
+               std::to_string(e.key.nx) + "x" + std::to_string(e.key.ny) + "x" +
+                   std::to_string(e.key.nz),
+               e.key.machine,
+               std::to_string(e.plan.dim_x) + "x" + std::to_string(e.plan.dim_y),
+               std::to_string(e.plan.dim_t), service::to_string(e.plan.source),
+               e.plan.cost > 0 ? Table::fmt(e.plan.cost, 2) : "-",
+               std::to_string(e.plan.hits)});
+  }
+  t.print();
+  return 0;
+}
+
 int cmd_wavefront(const Args& args) {
   const long n = static_cast<long>(args.num("n", 128));
   Table t({"grid", "wavefront peak (pts)", "2.5D planes (pts)", "64^2 tile buffer"});
@@ -365,8 +471,10 @@ int main(int argc, char** argv) {
   if (cmd == "tune") return cmd_tune(args);
   if (cmd == "wavefront") return cmd_wavefront(args);
   if (cmd == "run") return cmd_run(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "plan-cache") return cmd_plan_cache(args);
   std::puts(
-      "usage: s35 <plan|traffic|gpu|tune|wavefront|run> [options]\n"
+      "usage: s35 <plan|traffic|gpu|tune|wavefront|run|serve|plan-cache> [options]\n"
       "  plan      blocking parameters (eqs. 1-4) for presets/host or\n"
       "            --bw G --sp G --dp G --cache MB [--cores N]\n"
       "  traffic   simulated external bytes/update per scheme\n"
@@ -384,6 +492,12 @@ int main(int argc, char** argv) {
       "            [--watchdog-ms MS]\n"
       "            SDC faults: [--flip-pass P --flip-round M [--flip-bit B]]\n"
       "            [--wrong-pass P --wrong-z Z --wrong-y Y]\n"
-      "            [--stall-tid T --stall-pass P --stall-ms MS]");
+      "            [--stall-tid T --stall-pass P --stall-ms MS]\n"
+      "            planning: [--dimt T | --dimt 0 [--max-dimt T] [--plan-cache FILE]]\n"
+      "  serve     resident job service (NDJSON: submit/status/wait/cancel/stats)\n"
+      "            [--threads N] [--queue N] [--plan-cache FILE] [--socket PATH]\n"
+      "            [--watchdog-ms MS] [--max-dimt T]; env: S35_SERVE_*\n"
+      "  plan-cache  inspect or clear a persisted plan cache\n"
+      "            --path FILE [--clear]");
   return cmd.empty() ? 0 : 1;
 }
