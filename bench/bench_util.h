@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned_buffer.h"
 #include "common/env.h"
 #include "common/timer.h"
 #include "core/engine.h"
@@ -18,6 +19,7 @@
 #include "machine/kernel_sig.h"
 #include "stencil/sweeps.h"
 #include "telemetry/report.h"
+#include "telemetry/roofline.h"
 #include "telemetry/telemetry.h"
 
 namespace s35::bench {
@@ -106,6 +108,54 @@ inline const char* precision_name(machine::Precision p) {
   return p == machine::Precision::kSingle ? "sp" : "dp";
 }
 
+// ------------------------------------------------------------ roofline --
+
+// Host descriptor for roofline normalization, probed once per process (the
+// STREAM triad inside machine::host() takes real time).
+inline const machine::Descriptor& roofline_machine() {
+  static const machine::Descriptor d = machine::host();
+  return d;
+}
+
+// Kernel signature for a record's "kernel" string. Records whose kernel has
+// no Section IV signature (model/service composites) fall back to the
+// 7-point stencil — every measured bench below names one of these.
+inline machine::KernelSig kernel_sig_for(const std::string& kernel) {
+  if (kernel.find("lbm") != std::string::npos) return machine::lbm_d3q19();
+  if (kernel.find("stencil27") != std::string::npos) return machine::twenty_seven_point();
+  if (kernel.find("varcoef") != std::string::npos) return machine::seven_point_varcoef();
+  return machine::seven_point();
+}
+
+// Fills rec.roofline: attained bandwidth/compute vs `mach` ceilings (see
+// roofline.h) plus phase-attribution fractions and, when the opt-in
+// huge-page mode is on, its allocation counters. Uses measured bytes per
+// update when the instrumented pass ran, else the eq. 3 prediction (the
+// block always carries which one via "bytes_per_update" itself).
+inline void attach_roofline(telemetry::BenchRecord& rec, machine::Precision prec,
+                            const machine::Descriptor& mach = roofline_machine()) {
+  const machine::KernelSig sig = kernel_sig_for(rec.kernel);
+  telemetry::RooflineInput in;
+  in.mups = rec.mups;
+  in.bytes_per_update = rec.bytes_per_update_measured > 0.0
+                            ? rec.bytes_per_update_measured
+                            : rec.bytes_per_update_predicted;
+  in.flops_per_update = sig.flops;
+  in.ops_per_update = sig.ops();
+  in.peak_bw_gbps = mach.peak_bw_gbps;
+  in.achievable_bw_gbps = mach.achievable_bw_gbps;
+  in.peak_gops = mach.peak_gops(prec);
+  in.effective_gops = mach.effective_gops(prec);
+  rec.roofline = telemetry::roofline_map(in, telemetry::compute_roofline(in));
+  for (const auto& [k, v] : telemetry::phase_attribution(rec.phases)) rec.roofline[k] = v;
+  if (hugepages_requested()) {
+    const HugePageStats hp = hugepage_stats();
+    rec.extra["hugepage_requests"] = static_cast<double>(hp.huge_requests);
+    rec.extra["hugepage_bytes"] = static_cast<double>(hp.huge_bytes);
+    rec.extra["hugepage_fallbacks"] = static_cast<double>(hp.fallbacks);
+  }
+}
+
 // κ and effective dim_T of a stencil sweep configuration (eq. 2 family).
 inline void stencil_kappa_dim_t(stencil::Variant v, const stencil::SweepConfig& cfg,
                                 long n, int radius, double* kappa, int* dim_t) {
@@ -173,6 +223,7 @@ telemetry::BenchRecord stencil_record(const char* kernel, stencil::Variant v,
          static_cast<double>(m.phases.cells_stored) * store_cost) /
         updates;
   }
+  attach_roofline(rec, prec);
   return rec;
 }
 
@@ -224,6 +275,7 @@ telemetry::BenchRecord lbm_record(lbm::Variant v, machine::Precision prec, long 
          static_cast<double>(m.phases.cells_stored) * store_cost) /
         updates;
   }
+  attach_roofline(rec, prec);
   return rec;
 }
 

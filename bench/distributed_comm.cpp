@@ -59,6 +59,7 @@ void comm_accounting(long n, int ranks, int steps, core::Engine35& engine,
     rec.extra["ranks"] = ranks;
     rec.extra["msgs_per_step"] = s.messages_per_step();
     rec.extra["bytes_per_step"] = s.bytes_per_step();
+    bench::attach_roofline(rec, machine::Precision::kSingle);
     reporter.add(rec);
   }
   t.print();
@@ -123,6 +124,7 @@ void recovery_accounting(long n, int ranks, int steps, core::Engine35& engine,
   rec.extra["checkpoint_failures"] = static_cast<double>(s.checkpoint_failures);
   rec.extra["restores"] = static_cast<double>(s.restores);
   rec.extra["rank_failures"] = static_cast<double>(s.rank_failures);
+  bench::attach_roofline(rec, machine::Precision::kSingle);
   reporter.add(rec);
   std::remove(ckpt.c_str());
 }

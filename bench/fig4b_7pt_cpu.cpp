@@ -15,12 +15,53 @@
 #include "core/perf_model.h"
 #include "core/planner.h"
 #include "machine/kernel_sig.h"
+#include "memsim/traffic.h"
 #include "row_ablation.h"
 
 using namespace s35;
 using machine::Precision;
 
 namespace {
+
+// Cross-validates the engine's counted external traffic against the cache
+// simulator: replays the same variant/blocking through memsim with an LLC
+// scaled so the grid exceeds it but the 3.5D working set fits (the same
+// regime the measured engine streams in), and stores the simulated
+// bytes/update in the roofline block. scripts/bench_harness.py gates
+// measured-vs-simulated agreement (default 15%) on this bench.
+template <typename T>
+void attach_memsim_validation(telemetry::BenchRecord& rec, stencil::Variant v,
+                              long n, int steps, const stencil::SweepConfig& cfg) {
+  if (n > 128 || rec.bytes_per_update_measured <= 0.0) return;  // replay cost
+  memsim::Scheme scheme;
+  switch (v) {
+    case stencil::Variant::kNaive:
+      scheme = memsim::Scheme::kNaive;
+      break;
+    case stencil::Variant::kSpatial25D:
+      scheme = memsim::Scheme::kSpatial25D;
+      break;
+    case stencil::Variant::kBlocked35D:
+      scheme = memsim::Scheme::kBlocked35D;
+      break;
+    default:
+      return;
+  }
+  memsim::TraceConfig tc;
+  tc.nx = tc.ny = tc.nz = n;
+  tc.steps = steps;
+  tc.elem_bytes = sizeof(T);
+  tc.radius = 1;
+  tc.streaming_stores = cfg.streaming_stores;
+  tc.dim_t = cfg.dim_t;
+  tc.dim_x = cfg.dim_x > 0 ? std::min(cfg.dim_x, n) : n;
+  tc.dim_y = cfg.dim_y > 0 ? std::min(cfg.dim_y, n) : tc.dim_x;
+  tc.cache.size_bytes = 1u << 20;  // < one n<=128 grid; > the 3.5D rings
+  const double sim_bpu = memsim::trace_stencil(scheme, tc).bytes_per_update();
+  rec.roofline["memsim_bytes_per_update"] = sim_bpu;
+  rec.roofline["memsim_vs_measured"] =
+      sim_bpu > 0.0 ? rec.bytes_per_update_measured / sim_bpu : 0.0;
+}
 
 template <typename T>
 void run_precision(Precision prec, core::Engine35& engine,
@@ -64,6 +105,7 @@ void run_precision(Precision prec, core::Engine35& engine,
       auto rec = bench::stencil_record<T>("stencil7", row.v, prec, n, steps, row.cfg,
                                           engine.num_threads(), m);
       rec.extra["model_mups"] = model;
+      if (reporter.active()) attach_memsim_validation<T>(rec, row.v, n, steps, row.cfg);
       reporter.add(rec);
     }
   }
@@ -99,6 +141,7 @@ void report_fastpath(telemetry::JsonReporter& reporter) {
   rec.mups = fast_fma;
   rec.extra["generic_avx_mups"] = generic_avx;
   rec.extra["fast_speedup"] = speedup;
+  bench::attach_roofline(rec, Precision::kSingle);
   reporter.add(rec);
 }
 

@@ -1,7 +1,7 @@
 // Section VII-A SIMD scaling: the same kernels against every vector backend
-// this build and CPU provide (scalar, SSE, AVX, AVX2+FMA), selected at run
-// time through simd::dispatch — so one binary produces the whole ladder and
-// never references a backend its compile flags lack. The paper reports
+// this build and CPU provide (scalar, SSE, AVX, AVX2+FMA, AVX-512), selected
+// at run time through simd::dispatch — so one binary produces the whole
+// ladder and never references a backend its compile flags lack. The paper reports
 // "around 3.2X SP SSE scaling, and 1.65X DP SSE scaling" for the
 // compute-bound 3.5D 7-point stencil.
 //
@@ -30,7 +30,7 @@ namespace {
 std::vector<simd::Isa> available_isas() {
   std::vector<simd::Isa> out;
   for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse, simd::Isa::kAvx,
-                        simd::Isa::kAvx2}) {
+                        simd::Isa::kAvx2, simd::Isa::kAvx512}) {
     if (simd::isa_available(isa)) out.push_back(isa);
   }
   return out;
@@ -117,6 +117,8 @@ void add_record(telemetry::JsonReporter& reporter, const char* kernel,
   rec.extra["vs_scalar"] = vs_scalar;
   if (fast_speedup > 0.0) rec.extra["fast_speedup"] = fast_speedup;
   if (phases != nullptr) rec.phases = *phases;
+  bench::attach_roofline(rec, prec[0] == 'd' ? machine::Precision::kDouble
+                                             : machine::Precision::kSingle);
   reporter.add(rec);
 }
 

@@ -182,6 +182,7 @@ int main(int argc, char** argv) {
       rec.extra["plan_hits"] = static_cast<double>(plan_hits);
       rec.extra["batched"] = static_cast<double>(batched);
     }
+    bench::attach_roofline(rec, machine::Precision::kSingle);
     reporter.add(rec);
   }
 

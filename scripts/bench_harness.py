@@ -2,8 +2,9 @@
 """Machine-readable bench harness.
 
 Runs a configurable subset of the bench binaries with --json, aggregates
-every record into a single BENCH_<date>.json ("s35.bench.agg.v1"), and
-diffs the result against a committed baseline (bench/baseline.json):
+every record into a single BENCH_<date>.json ("s35.bench.agg.v1"), renders
+the roofline report artifact (ROOFLINE_<date>.md/.csv), and diffs the
+result against a committed baseline (bench/baseline.json):
 
   * bytes/op fields are deterministic (engine cell counts / cache replay),
     so they are compared strictly (--bytes-tolerance, default 5%).
@@ -11,6 +12,12 @@ diffs the result against a committed baseline (bench/baseline.json):
     --mups-tolerance (default 20%) SLOWER than baseline. Speedups pass.
     --no-mups skips throughput comparison entirely (e.g. heterogeneous CI
     runners against a baseline captured elsewhere).
+  * every measured/simulated record must carry the "roofline" block
+    (attained vs machine ceilings, telemetry/roofline.h); a record that
+    had one in the baseline and lost it is a schema regression.
+  * where a record carries both counted traffic and the memsim replay of
+    the same blocking (fig4b attaches "memsim_bytes_per_update"), the two
+    must agree within --memsim-tolerance (default 15%).
 
 Typical use:
 
@@ -136,6 +143,131 @@ def integrity_failures(records):
     return failures
 
 
+def roofline_failures(records, baseline_records):
+    """Presence gate for the roofline block.
+
+    Every measured or simulated record must carry a non-empty "roofline"
+    object (the benches attach it via bench::attach_roofline /
+    telemetry::roofline_map). Additionally, a record whose baseline
+    counterpart has a roofline block may not lose it — that is a schema
+    regression independent of any numeric tolerance.
+    """
+    base_has_roofline = set()
+    for rec in baseline_records:
+        if rec.get("roofline"):
+            base_has_roofline.add(record_key(rec))
+
+    failures = []
+    for rec in records:
+        if rec.get("source") not in ("measured", "simulated"):
+            continue
+        if rec.get("roofline"):
+            continue
+        label = key_str(record_key(rec))
+        if record_key(rec) in base_has_roofline:
+            failures.append(f"{label}: baseline has a roofline block, run lost it")
+        else:
+            failures.append(f"{label}: missing \"roofline\" block")
+    return failures
+
+
+def memsim_failures(records, tol):
+    """Measured-vs-simulated traffic agreement gate.
+
+    fig4b cross-validates the engine's counted external traffic against a
+    memsim cache replay of the same variant/blocking and stores the result
+    as roofline.memsim_bytes_per_update. The two models of the same sweep
+    must agree within `tol`. Returns (failures, n_validated); the caller
+    fails the run when fig4b was in the plan but nothing validated.
+    """
+    failures = []
+    validated = 0
+    for rec in records:
+        roof = rec.get("roofline") or {}
+        sim = roof.get("memsim_bytes_per_update", 0.0)
+        measured = rec.get("bytes_per_update", {}).get("measured", 0.0)
+        if sim <= 0.0 or measured <= 0.0:
+            continue
+        validated += 1
+        delta = rel_delta(measured, sim)
+        label = key_str(record_key(rec))
+        print(f"[bench_harness] memsim validation: {label}: measured "
+              f"{measured:.3f} B/up vs simulated {sim:.3f} ({delta:+.1%})")
+        if abs(delta) > tol:
+            failures.append(
+                f"{label}: measured {measured:.3f} B/up vs memsim {sim:.3f} "
+                f"({delta:+.1%}, tol {tol:.0%})")
+    return failures, validated
+
+
+ROOFLINE_MD_COLUMNS = [
+    ("mups", "Mupd/s", "{:.0f}"),
+    ("bytes_per_update", "B/upd", "{:.2f}"),
+    ("arithmetic_intensity", "flops/B", "{:.2f}"),
+    ("attained_gbps", "GB/s", "{:.2f}"),
+    ("bw_fraction", "%BW", "{:.0%}"),
+    ("ceiling_mups", "roof Mupd/s", "{:.0f}"),
+    ("roofline_fraction", "%roof", "{:.0%}"),
+]
+
+
+def write_roofline_report(records, md_path, csv_path):
+    """Renders the roofline blocks to a markdown table + CSV artifact."""
+    roofed = [r for r in records if r.get("roofline")]
+
+    csv_keys = sorted({k for r in roofed for k in r["roofline"]})
+    with open(csv_path, "w") as f:
+        f.write("bench,kernel,variant,precision,source,grid,threads,mups,"
+                + ",".join(csv_keys) + "\n")
+        for rec in roofed:
+            grid = rec.get("grid", {})
+            roof = rec["roofline"]
+            row = [
+                rec.get("bench", ""), rec.get("kernel", ""),
+                rec.get("variant", ""), rec.get("precision", ""),
+                rec.get("source", ""),
+                "{}x{}x{}".format(grid.get("nx", 0), grid.get("ny", 0),
+                                  grid.get("nz", 0)),
+                str(rec.get("threads", 1)),
+                f"{rec.get('mups', 0.0):.3f}",
+            ]
+            row += [f"{roof.get(k, 0.0):.6g}" for k in csv_keys]
+            f.write(",".join(row) + "\n")
+
+    with open(md_path, "w") as f:
+        f.write("# Roofline report\n\n")
+        f.write("Attained throughput vs the machine's bandwidth and compute "
+                "ceilings, per bench record (see `src/telemetry/roofline.h`; "
+                "`%BW` = attained / achievable bandwidth, `%roof` = mups / "
+                "min(ceilings), `bound` = the binding ceiling).\n\n")
+        header = ["record"] + [t for _, t, _ in ROOFLINE_MD_COLUMNS] + ["bound"]
+        f.write("| " + " | ".join(header) + " |\n")
+        f.write("|" + "---|" * len(header) + "\n")
+        for rec in roofed:
+            roof = rec["roofline"]
+            label = key_str(record_key(rec))
+            cells = [label]
+            for key, _, fmt in ROOFLINE_MD_COLUMNS:
+                val = rec.get("mups", 0.0) if key == "mups" else roof.get(key, 0.0)
+                cells.append(fmt.format(val))
+            cells.append("memory" if roof.get("memory_bound") else "compute")
+            f.write("| " + " | ".join(cells) + " |\n")
+        f.write(f"\n{len(roofed)} of {len(records)} records carry a roofline "
+                "block.\n")
+
+        validated = [r for r in roofed
+                     if r["roofline"].get("memsim_bytes_per_update", 0.0) > 0.0]
+        if validated:
+            f.write("\n## memsim cross-validation\n\n")
+            f.write("| record | measured B/upd | memsim B/upd | delta |\n")
+            f.write("|---|---|---|---|\n")
+            for rec in validated:
+                measured = rec.get("bytes_per_update", {}).get("measured", 0.0)
+                sim = rec["roofline"]["memsim_bytes_per_update"]
+                f.write(f"| {key_str(record_key(rec))} | {measured:.3f} | "
+                        f"{sim:.3f} | {rel_delta(measured, sim):+.1%} |\n")
+
+
 def rel_delta(current, base):
     if base == 0:
         return 0.0 if current == 0 else float("inf")
@@ -203,6 +335,13 @@ def main():
                     help="max relative mups regression (default 0.20)")
     ap.add_argument("--no-mups", action="store_true",
                     help="skip throughput comparison (heterogeneous machines)")
+    ap.add_argument("--memsim-tolerance", type=float, default=0.15,
+                    help="max relative gap between counted traffic and the "
+                         "memsim replay of the same blocking (default 0.15)")
+    ap.add_argument("--roofline-report", default="",
+                    help="path prefix for the roofline artifact; writes "
+                         "<prefix>.md and <prefix>.csv "
+                         "(default: ROOFLINE_<date>)")
     ap.add_argument("--timeout", type=float, default=600.0,
                     help="per-bench timeout in seconds (default 600)")
     ap.add_argument("--update-baseline", action="store_true",
@@ -248,10 +387,35 @@ def main():
     print(f"[bench_harness] wrote {out_path} ({len(records)} records "
           f"from {len(bench_names)} benches)")
 
-    sdc_failures = integrity_failures(records)
-    for line in sdc_failures:
+    report_prefix = args.roofline_report or f"ROOFLINE_{date}"
+    write_roofline_report(records, report_prefix + ".md", report_prefix + ".csv")
+    print(f"[bench_harness] wrote roofline report: {report_prefix}.md/.csv")
+
+    hard_failures = integrity_failures(records)
+    for line in hard_failures:
         print(f"[bench_harness] INTEGRITY: {line}")
-    if sdc_failures:
+
+    baseline_records = []
+    if os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline_records = json.load(f).get("records", [])
+
+    roof_failures = roofline_failures(records, baseline_records)
+    for line in roof_failures:
+        print(f"[bench_harness] ROOFLINE: {line}")
+    hard_failures += roof_failures
+
+    sim_failures, n_validated = memsim_failures(records, args.memsim_tolerance)
+    for line in sim_failures:
+        print(f"[bench_harness] MEMSIM: {line}")
+    hard_failures += sim_failures
+    if "fig4b_7pt_cpu" in bench_names and n_validated == 0:
+        hard_failures.append(
+            "fig4b_7pt_cpu ran but produced no memsim-validated record "
+            "(expected roofline.memsim_bytes_per_update on n<=128 grids)")
+        print(f"[bench_harness] MEMSIM: {hard_failures[-1]}")
+
+    if hard_failures:
         print("VERDICT: FAIL")
         return 1
 
@@ -262,15 +426,13 @@ def main():
         print(f"[bench_harness] baseline updated: {args.baseline}")
         return 0
 
-    if not os.path.exists(args.baseline):
+    if not baseline_records:
         print(f"[bench_harness] no baseline at {args.baseline}; "
               "run with --update-baseline to create one. VERDICT: PASS (no baseline)")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
     failures, checked, new = compare(
-        records, baseline.get("records", []),
+        records, baseline_records,
         args.bytes_tolerance, args.mups_tolerance, not args.no_mups)
 
     for line in new:

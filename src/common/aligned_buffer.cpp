@@ -1,5 +1,6 @@
 #include "common/aligned_buffer.h"
 
+#include <atomic>
 #include <cstdlib>
 
 #if defined(__linux__)
@@ -9,13 +10,55 @@
 namespace s35 {
 
 namespace {
-constexpr std::size_t kHugePageBytes = 2u << 20;
+
+std::atomic<std::uint64_t> g_huge_requests{0};
+std::atomic<std::uint64_t> g_huge_bytes{0};
+std::atomic<std::uint64_t> g_huge_fallbacks{0};
+
+}  // namespace
+
+bool hugepages_requested() {
+  const char* v = std::getenv("S35_HUGEPAGES");
+  if (v == nullptr || *v == '\0') return false;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+HugePageStats hugepage_stats() {
+  HugePageStats s;
+  s.huge_requests = g_huge_requests.load(std::memory_order_relaxed);
+  s.huge_bytes = g_huge_bytes.load(std::memory_order_relaxed);
+  s.fallbacks = g_huge_fallbacks.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_hugepage_stats() {
+  g_huge_requests.store(0, std::memory_order_relaxed);
+  g_huge_bytes.store(0, std::memory_order_relaxed);
+  g_huge_fallbacks.store(0, std::memory_order_relaxed);
 }
 
 void* aligned_malloc(std::size_t bytes, std::size_t alignment) {
   S35_CHECK(alignment >= alignof(std::max_align_t) || (alignment & (alignment - 1)) == 0);
   // std::aligned_alloc requires size to be a multiple of alignment.
-  const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  if (hugepages_requested() && padded >= kHugePageBytes) {
+    // Opt-in strict mode: 2 MB alignment + 2 MB-rounded size so transparent
+    // huge pages can cover the whole block, not just its aligned middle.
+    const std::size_t huge_padded =
+        (padded + kHugePageBytes - 1) / kHugePageBytes * kHugePageBytes;
+    if (void* p = std::aligned_alloc(kHugePageBytes, huge_padded)) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+      // Best effort: the kernel may or may not back this with huge pages.
+      (void)madvise(p, huge_padded, MADV_HUGEPAGE);
+#endif
+      g_huge_requests.fetch_add(1, std::memory_order_relaxed);
+      g_huge_bytes.fetch_add(huge_padded, std::memory_order_relaxed);
+      return p;
+    }
+    // Strict alignment refused (allocator limit, address-space pressure):
+    // fall through to the default path rather than failing the allocation.
+    g_huge_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
   void* p = std::aligned_alloc(alignment, padded);
   S35_CHECK_MSG(p != nullptr, "allocation failed");
 #if defined(__linux__) && defined(MADV_HUGEPAGE)

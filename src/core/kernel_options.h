@@ -24,9 +24,14 @@ struct KernelOptions {
   bool allow_fma = false;
   // Software-prefetch the next ring-slot rows inside the fast path.
   bool prefetch = true;
+  // Extra element distance added to those prefetch addresses (how far ahead
+  // of the compute cursor the next rows are touched). 0 = legacy behavior;
+  // retune against the roofline report's bandwidth gap (docs/PERFORMANCE.md).
+  long prefetch_dist = 0;
 
   // Env overrides: S35_ISA (read by dispatch_isa), S35_FAST=0, S35_FMA=1,
-  // S35_PREFETCH=0. Benches use this so runs are steerable without rebuilds.
+  // S35_PREFETCH=0, S35_PREFETCH_DIST=<elements>. Benches use this so runs
+  // are steerable without rebuilds.
   static KernelOptions from_env() {
     KernelOptions o;
     auto flag = [](const char* name, bool dflt) {
@@ -37,6 +42,10 @@ struct KernelOptions {
     o.fast_path = flag("S35_FAST", o.fast_path);
     o.allow_fma = flag("S35_FMA", false);
     o.prefetch = flag("S35_PREFETCH", o.prefetch);
+    if (const char* v = std::getenv("S35_PREFETCH_DIST"); v && *v) {
+      const long d = std::atol(v);
+      if (d >= 0) o.prefetch_dist = d;
+    }
     return o;
   }
 };

@@ -14,6 +14,8 @@ const char* to_string(Isa isa) {
       return "avx";
     case Isa::kAvx2:
       return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -23,6 +25,7 @@ std::optional<Isa> parse_isa(std::string_view name) {
   if (name == "sse") return Isa::kSse;
   if (name == "avx") return Isa::kAvx;
   if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
   return std::nullopt;
 }
 
@@ -30,6 +33,7 @@ namespace {
 
 Isa probe_cpu() {
 #if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return Isa::kAvx512;
   // "avx2" here means the fast path's full requirement: AVX2 *and* FMA.
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return Isa::kAvx2;

@@ -4,8 +4,9 @@
 // time we pick the widest ISA the CPU actually supports, clamped to what was
 // compiled, so a -march=x86-64-v3 binary still runs (scalar/SSE) on an older
 // machine and a portable binary never executes AVX it was not built with.
-// S35_ISA=scalar|sse|avx|avx2 forces a narrower backend for benchmarking and
-// tests; forcing a wider one than compiled+detected silently clamps down.
+// S35_ISA=scalar|sse|avx|avx2|avx512 forces a narrower backend for
+// benchmarking and tests; forcing a wider one than compiled+detected
+// silently clamps down.
 #pragma once
 
 #include <optional>
@@ -16,16 +17,18 @@
 namespace s35::simd {
 
 // Ordered narrow -> wide so "widest supported" is a max().
-enum class Isa { kScalar = 0, kSse = 1, kAvx = 2, kAvx2 = 3 };
+enum class Isa { kScalar = 0, kSse = 1, kAvx = 2, kAvx2 = 3, kAvx512 = 4 };
 
 const char* to_string(Isa isa);
 
-// Parses "scalar" / "sse" / "avx" / "avx2"; nullopt for anything else.
+// Parses "scalar" / "sse" / "avx" / "avx2" / "avx512"; nullopt otherwise.
 std::optional<Isa> parse_isa(std::string_view name);
 
 // Widest backend compiled into this binary (compile-time constant).
 constexpr Isa compiled_isa() {
-#if defined(__AVX2__) && defined(__FMA__)
+#if defined(__AVX512F__)
+  return Isa::kAvx512;
+#elif defined(__AVX2__) && defined(__FMA__)
   return Isa::kAvx2;
 #elif defined(__AVX__)
   return Isa::kAvx;
@@ -55,6 +58,10 @@ decltype(auto) dispatch(Isa isa, Fn&& fn) {
     isa = dispatch_isa();
   }
   switch (isa) {
+#if defined(__AVX512F__)
+    case Isa::kAvx512:
+      return fn(Avx512Tag{});
+#endif
 #if defined(__AVX2__) && defined(__FMA__)
     case Isa::kAvx2:
       return fn(Avx2Tag{});

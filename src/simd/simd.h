@@ -1,4 +1,5 @@
-// Thin fixed-width vector wrappers over SSE2 / AVX / AVX2+FMA / scalar.
+// Thin fixed-width vector wrappers over SSE2 / AVX / AVX2+FMA / AVX-512 /
+// scalar.
 //
 // The paper exploits DLP with SSE intrinsics (4-wide SP, 2-wide DP) on the
 // Core i7 (Section VI). Kernels in this library are written once against
@@ -10,9 +11,9 @@
 //
 // All backends evaluate the same arithmetic expression per lane, so results
 // are bit-identical to scalar for the stencil kernels (verified in tests).
-// The only exception is madd()/nmadd() on the AVX2 backend, which emit real
-// FMA instructions (one rounding instead of two); kernels call them only
-// when the caller opted in via KernelOptions::allow_fma.
+// The only exception is madd()/nmadd() on the AVX2 and AVX-512 backends,
+// which emit real FMA instructions (one rounding instead of two); kernels
+// call them only when the caller opted in via KernelOptions::allow_fma.
 #pragma once
 
 #include <cstddef>
@@ -39,9 +40,14 @@ struct AvxTag {};
 #if defined(__AVX2__) && defined(__FMA__)
 struct Avx2Tag {};
 #endif
+#if defined(__AVX512F__)
+struct Avx512Tag {};
+#endif
 
 // Widest backend this build supports; kernels default to it.
-#if defined(__AVX2__) && defined(__FMA__)
+#if defined(__AVX512F__)
+using DefaultTag = Avx512Tag;
+#elif defined(__AVX2__) && defined(__FMA__)
 using DefaultTag = Avx2Tag;
 #elif defined(__AVX__)
 using DefaultTag = AvxTag;
@@ -286,6 +292,98 @@ struct Vec<double, Avx2Tag> {
   }
 };
 #endif  // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__)
+// ----------------------------------------------------------------- AVX-512 --
+// 512-bit lanes (16 SP / 8 DP). Per-lane arithmetic matches every narrower
+// backend bit for bit; as with AVX2, madd()/nmadd() are real FMA and only
+// run when the caller opted in. reduce_add() sums the lanes in a fixed
+// pairwise tree so reductions stay deterministic across backends of the
+// same width.
+template <>
+struct Vec<float, Avx512Tag> {
+  using value_type = float;
+  static constexpr int width = 16;
+  static constexpr const char* name = "avx512";
+
+  __m512 v;
+
+  static Vec load(const float* p) { return {_mm512_load_ps(p)}; }
+  static Vec loadu(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static Vec set1(float x) { return {_mm512_set1_ps(x)}; }
+  void store(float* p) const { _mm512_store_ps(p, v); }
+  void storeu(float* p) const { _mm512_storeu_ps(p, v); }
+  void stream(float* p) const { _mm512_stream_ps(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm512_add_ps(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm512_sub_ps(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm512_mul_ps(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm512_div_ps(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) {
+    return {_mm512_fmadd_ps(a.v, b.v, c.v)};
+  }
+  static Vec nmadd(Vec a, Vec b, Vec c) {
+    return {_mm512_fnmadd_ps(a.v, b.v, c.v)};
+  }
+
+  float reduce_add() const {
+    alignas(64) float lanes[16];
+    _mm512_store_ps(lanes, v);
+    float q[4];
+    for (int i = 0; i < 4; ++i) {
+      q[i] = (lanes[4 * i] + lanes[4 * i + 1]) + (lanes[4 * i + 2] + lanes[4 * i + 3]);
+    }
+    return (q[0] + q[1]) + (q[2] + q[3]);
+  }
+};
+
+template <>
+struct Vec<double, Avx512Tag> {
+  using value_type = double;
+  static constexpr int width = 8;
+  static constexpr const char* name = "avx512";
+
+  __m512d v;
+
+  static Vec load(const double* p) { return {_mm512_load_pd(p)}; }
+  static Vec loadu(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static Vec set1(double x) { return {_mm512_set1_pd(x)}; }
+  void store(double* p) const { _mm512_store_pd(p, v); }
+  void storeu(double* p) const { _mm512_storeu_pd(p, v); }
+  void stream(double* p) const { _mm512_stream_pd(p, v); }
+
+  friend Vec operator+(Vec a, Vec b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm512_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm512_div_pd(a.v, b.v)}; }
+
+  static Vec madd(Vec a, Vec b, Vec c) {
+    return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static Vec nmadd(Vec a, Vec b, Vec c) {
+    return {_mm512_fnmadd_pd(a.v, b.v, c.v)};
+  }
+
+  double reduce_add() const {
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, v);
+    return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+           ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  }
+};
+#endif  // __AVX512F__
+
+// Preferred number of independent dependency chains for the register-blocked
+// interior fast paths: 4 keeps the 16-register SSE/AVX files out of spill
+// territory; AVX-512's 32 architectural registers sustain 8; width-1 scalar
+// skips the wide unroll entirely (see Stencil7::row_fast).
+template <typename V>
+inline constexpr int pref_unroll = V::width == 1 ? 1 : 4;
+#if defined(__AVX512F__)
+template <typename T>
+inline constexpr int pref_unroll<Vec<T, Avx512Tag>> = 8;
+#endif
 
 // a*b + c, fused to one rounding only when the caller opted in. The !UseFma
 // branch spells out the two-rounding expression instead of calling V::madd

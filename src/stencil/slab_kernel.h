@@ -200,6 +200,7 @@ class StencilSlabKernel {
     const S row_stencil = for_row(stencil_, y, step.z);
     RowFastOpts ropt;
     ropt.stream = streaming_ && step.to_external;
+    ropt.pf_dist = opts_.prefetch_dist;
     if (opts_.fast_path && opts_.prefetch) {
       // Touch the ring-slot rows the next row's update will read: two rows
       // down in the center slot, one row down in the z+1 slot. Clamped to

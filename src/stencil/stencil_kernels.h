@@ -30,6 +30,12 @@ struct RowFastOpts {
   bool stream = false;       // non-temporal stores for the aligned interior
   const void* pf0 = nullptr;  // optional: row to prefetch (global-x indexed)
   const void* pf1 = nullptr;  // optional: second row to prefetch
+  // Extra element offset added to the prefetch addresses: how far ahead of
+  // the compute cursor the next ring-slot rows are touched. 0 reproduces
+  // the pre-knob behavior (same x the chunk is computing); tune with
+  // S35_PREFETCH_DIST via core::KernelOptions when the roofline report
+  // shows a bandwidth gap (see docs/PERFORMANCE.md).
+  long pf_dist = 0;
 };
 
 // B(t+1) = alpha*A + beta*(sum of 6 face neighbors); 2 muls + 6 adds.
@@ -59,7 +65,8 @@ struct Stencil7 {
   }
 
   // Interior fast path for one row: scalar peel until dst is vector-aligned,
-  // then a 4xW unrolled body (four independent dependency chains) with
+  // then a UxW unrolled body (U = simd::pref_unroll<V> independent
+  // dependency chains — 4 on the 16-register backends, 8 on AVX-512) with
   // aligned or streaming stores and optional prefetch of the next ring-slot
   // rows. The wide unroll only pays off for real vector widths, so the
   // scalar backend (W=1) skips it and keeps the simple loop the compiler can
@@ -93,23 +100,19 @@ struct Stencil7 {
       ++x;
     }
     if constexpr (V::width > 1) {
-      for (; x + 4 * V::width <= x1; x += 4 * V::width) {
-        const V r0 = cell(x);
-        const V r1 = cell(x + V::width);
-        const V r2 = cell(x + 2 * V::width);
-        const V r3 = cell(x + 3 * V::width);
-        if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
-        if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+      constexpr int kU = simd::pref_unroll<V>;
+      for (; x + kU * V::width <= x1; x += kU * V::width) {
+        V r[kU];
+#pragma GCC unroll 8
+        for (int u = 0; u < kU; ++u) r[u] = cell(x + u * V::width);
+        if (pf0 != nullptr) simd::prefetch_ro(pf0 + x + opt.pf_dist);
+        if (pf1 != nullptr) simd::prefetch_ro(pf1 + x + opt.pf_dist);
         if (opt.stream) {
-          r0.stream(dst + x);
-          r1.stream(dst + x + V::width);
-          r2.stream(dst + x + 2 * V::width);
-          r3.stream(dst + x + 3 * V::width);
+#pragma GCC unroll 8
+          for (int u = 0; u < kU; ++u) r[u].stream(dst + x + u * V::width);
         } else {
-          r0.store(dst + x);
-          r1.store(dst + x + V::width);
-          r2.store(dst + x + 2 * V::width);
-          r3.store(dst + x + 3 * V::width);
+#pragma GCC unroll 8
+          for (int u = 0; u < kU; ++u) r[u].store(dst + x + u * V::width);
         }
       }
     }
@@ -166,8 +169,8 @@ struct Stencil7 {
                      (V::loadu(zm1 + x) + V::loadu(zp1 + x));
       const V r0 = simd::mul_add<UseFma>(vb, sum0, va * m0);
       const V r1 = simd::mul_add<UseFma>(vb, sum1, va * m1);
-      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
-      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x + opt.pf_dist);
+      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x + opt.pf_dist);
       if (opt.stream) {
         r0.stream(dst0 + x);
         r1.stream(dst1 + x);
@@ -300,8 +303,8 @@ struct Stencil27 {
     }
     for (; x + V::width <= x1; x += V::width) {
       const V r = cell(x);
-      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x);
-      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x);
+      if (pf0 != nullptr) simd::prefetch_ro(pf0 + x + opt.pf_dist);
+      if (pf1 != nullptr) simd::prefetch_ro(pf1 + x + opt.pf_dist);
       if (opt.stream) {
         r.stream(dst + x);
       } else {

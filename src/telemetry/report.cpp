@@ -132,6 +132,8 @@ std::string to_json(const BenchRecord& rec) {
   integrity.unsigned64("audited_rows", ph.audited_rows)
       .unsigned64("sdc_detected", ph.sdc_detected)
       .unsigned64("watchdog_stalls", ph.watchdog_stalls);
+  Obj roofline;
+  for (const auto& [k, v] : rec.roofline) roofline.num(k.c_str(), v);
   Obj extra;
   for (const auto& [k, v] : rec.extra) extra.num(k.c_str(), v);
 
@@ -152,8 +154,9 @@ std::string to_json(const BenchRecord& rec) {
       .raw("phases", phases.done())
       .raw("external", external.done())
       .raw("fastpath", fastpath.done())
-      .raw("integrity", integrity.done())
-      .raw("extra", extra.done());
+      .raw("integrity", integrity.done());
+  if (!rec.roofline.empty()) rec_obj.raw("roofline", roofline.done());
+  rec_obj.raw("extra", extra.done());
   return rec_obj.done();
 }
 

@@ -31,6 +31,13 @@
 //     "integrity": {"audited_rows":.., "sdc_detected":..,
 //                   "watchdog_stalls":..},  // online-integrity counters;
 //                                           // all zero when --audit is off
+//     "roofline": {"attained_gbps":.., "bw_fraction":..,
+//                  "ceiling_mups":.., "roofline_fraction":..,
+//                  "memory_bound":.., "phase_compute_frac":.., ..},
+//                                        // roofline.h: attained vs machine
+//                                        // ceilings + phase attribution;
+//                                        // present when the bench attached
+//                                        // a machine descriptor
 //     "extra": {..}                      // free-form numeric key/values
 //   }
 //
@@ -70,6 +77,11 @@ struct BenchRecord {
   double bytes_per_update_ideal = 0.0;      // kernel bytes at perfect reuse
 
   Totals phases;
+
+  // Roofline block (see roofline.h): machine peaks, attained fractions,
+  // ceiling mups and phase attribution. Emitted as "roofline" when
+  // non-empty; the harness gates on its presence for measured records.
+  std::map<std::string, double> roofline;
 
   std::map<std::string, double> extra;
 };

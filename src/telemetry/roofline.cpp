@@ -1,0 +1,86 @@
+#include "telemetry/roofline.h"
+
+#include <algorithm>
+
+namespace s35::telemetry {
+
+namespace {
+
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+RooflineResult compute_roofline(const RooflineInput& in) {
+  RooflineResult r;
+  const double bw = in.achievable_bw_gbps > 0.0 ? in.achievable_bw_gbps : in.peak_bw_gbps;
+  const double gops = in.effective_gops > 0.0 ? in.effective_gops : in.peak_gops;
+  // The compute ceiling uses the paper's op count (arithmetic + memory
+  // instructions) because the peaks in Table I are issue-rate peaks.
+  const double ops = in.ops_per_update > 0.0 ? in.ops_per_update : in.flops_per_update;
+
+  r.arithmetic_intensity = safe_div(in.flops_per_update, in.bytes_per_update);
+  // mups · bytes/update: 1e6 updates/s · B = 1e-3 GB/s.
+  r.attained_gbps = in.mups * in.bytes_per_update * 1e-3;
+  r.attained_gflops = in.mups * in.flops_per_update * 1e-3;
+  r.attained_gops = in.mups * ops * 1e-3;
+  r.bw_fraction = safe_div(r.attained_gbps, bw);
+  r.bw_fraction_peak = safe_div(r.attained_gbps, in.peak_bw_gbps);
+  r.compute_fraction = safe_div(r.attained_gops, gops);
+  // GB/s ÷ B/update = 1e9 updates/s = 1e3 mups (same factor for ops).
+  r.ceiling_mups_bw = safe_div(bw, in.bytes_per_update) * 1e3;
+  r.ceiling_mups_compute = safe_div(gops, ops) * 1e3;
+  if (r.ceiling_mups_bw > 0.0 && r.ceiling_mups_compute > 0.0) {
+    r.ceiling_mups = std::min(r.ceiling_mups_bw, r.ceiling_mups_compute);
+    r.memory_bound = r.ceiling_mups_bw < r.ceiling_mups_compute;
+  } else {
+    // Only one ceiling known (e.g. model record without traffic counts).
+    r.ceiling_mups = std::max(r.ceiling_mups_bw, r.ceiling_mups_compute);
+    r.memory_bound = r.ceiling_mups_bw > 0.0;
+  }
+  r.roofline_fraction = safe_div(in.mups, r.ceiling_mups);
+  return r;
+}
+
+std::map<std::string, double> roofline_map(const RooflineInput& in,
+                                           const RooflineResult& r) {
+  std::map<std::string, double> m;
+  m["bytes_per_update"] = in.bytes_per_update;
+  m["flops_per_update"] = in.flops_per_update;
+  m["ops_per_update"] = in.ops_per_update;
+  m["peak_bw_gbps"] = in.peak_bw_gbps;
+  m["achievable_bw_gbps"] = in.achievable_bw_gbps;
+  m["peak_gops"] = in.peak_gops;
+  m["effective_gops"] = in.effective_gops;
+  m["arithmetic_intensity"] = r.arithmetic_intensity;
+  m["attained_gbps"] = r.attained_gbps;
+  m["attained_gflops"] = r.attained_gflops;
+  m["attained_gops"] = r.attained_gops;
+  m["bw_fraction"] = r.bw_fraction;
+  m["bw_fraction_peak"] = r.bw_fraction_peak;
+  m["compute_fraction"] = r.compute_fraction;
+  m["ceiling_mups_bw"] = r.ceiling_mups_bw;
+  m["ceiling_mups_compute"] = r.ceiling_mups_compute;
+  m["ceiling_mups"] = r.ceiling_mups;
+  m["roofline_fraction"] = r.roofline_fraction;
+  m["memory_bound"] = r.memory_bound ? 1.0 : 0.0;
+  return m;
+}
+
+std::map<std::string, double> phase_attribution(const Totals& totals) {
+  std::map<std::string, double> m;
+  double accounted = 0.0;
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (static_cast<Phase>(i) == Phase::kRegion) continue;
+    accounted += totals.seconds[i];
+  }
+  if (accounted <= 0.0) return m;
+  for (int i = 0; i < kNumPhases; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (p == Phase::kRegion) continue;
+    const double frac = totals.seconds[i] / accounted;
+    if (frac > 0.0) m[std::string("phase_") + to_string(p) + "_frac"] = frac;
+  }
+  return m;
+}
+
+}  // namespace s35::telemetry

@@ -1,0 +1,77 @@
+// Roofline arithmetic for bench records (Section III-E turned into code).
+//
+// The roofline model bounds a kernel's throughput by two ceilings:
+//
+//   bandwidth ceiling:  mups <= BW_peak / bytes-per-update
+//   compute ceiling:    mups <= OPS_peak / ops-per-update
+//
+// whichever is lower is the roof; a kernel is "memory bound" when the
+// bandwidth ceiling is the binding one. 3.5D blocking exists to move the
+// bandwidth ceiling up (eq. 3 divides bytes/update by dim_T/κ) until the
+// kernel balance γ crosses the machine balance Γ and compute takes over.
+//
+// compute_roofline turns one measurement (mups + bytes/update + kernel
+// signature) and one machine (peak + achievable bandwidth, effective
+// compute) into attained-vs-ceiling fractions. It is pure arithmetic on
+// plain doubles — the machine peaks are passed in, so this layer does not
+// depend on machine::Descriptor and the math is unit-testable in isolation
+// (tests/test_roofline.cpp). Benches fill RooflineInput from
+// machine::Descriptor and machine::KernelSig, then store roofline_map() in
+// BenchRecord::roofline, which to_json emits as the "roofline" block and
+// scripts/bench_harness.py renders into the report artifact.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace s35::telemetry {
+
+struct RooflineInput {
+  // Measurement.
+  double mups = 0.0;              // attained million updates per second
+  double bytes_per_update = 0.0;  // external bytes per update (measured)
+  // Kernel signature (per point update).
+  double flops_per_update = 0.0;  // arithmetic ops only
+  double ops_per_update = 0.0;    // paper ops: arithmetic + memory insts
+  // Machine peaks (from machine::Descriptor).
+  double peak_bw_gbps = 0.0;        // theoretical peak bandwidth
+  double achievable_bw_gbps = 0.0;  // measured/representative sustained BW
+  double peak_gops = 0.0;           // peak ops throughput at this precision
+  double effective_gops = 0.0;      // stencil-usable compute peak
+};
+
+struct RooflineResult {
+  double arithmetic_intensity = 0.0;  // flops per external byte
+  double attained_gbps = 0.0;         // mups · bytes/update
+  double attained_gflops = 0.0;       // mups · flops/update
+  double attained_gops = 0.0;         // mups · ops/update
+  double bw_fraction = 0.0;           // attained / achievable bandwidth
+  double bw_fraction_peak = 0.0;      // attained / theoretical peak bandwidth
+  double compute_fraction = 0.0;      // attained ops / effective compute
+  double ceiling_mups_bw = 0.0;       // achievable BW / bytes-per-update
+  double ceiling_mups_compute = 0.0;  // effective ops peak / ops-per-update
+  double ceiling_mups = 0.0;          // min of the two (the roof)
+  double roofline_fraction = 0.0;     // mups / ceiling_mups
+  bool memory_bound = false;          // bandwidth ceiling is the binding one
+};
+
+// Pure function; zero/missing inputs yield zero outputs rather than inf
+// (a record with no measured traffic simply has no bandwidth story).
+// Achievable bandwidth and effective compute fall back to their peak
+// counterparts when unset, mirroring Descriptor semantics.
+RooflineResult compute_roofline(const RooflineInput& in);
+
+// Flattens input peaks + derived result into the numeric map stored in
+// BenchRecord::roofline (key order = JSON order, via std::map).
+std::map<std::string, double> roofline_map(const RooflineInput& in,
+                                           const RooflineResult& r);
+
+// Phase attribution: fraction of accounted sweep time spent per phase,
+// normalized so the emitted fractions sum to 1 (kRegion is excluded from
+// the denominator — it is the enclosing SPMD envelope, not a sibling
+// phase). Returns an empty map when no phase time was recorded.
+std::map<std::string, double> phase_attribution(const Totals& totals);
+
+}  // namespace s35::telemetry

@@ -1,0 +1,142 @@
+// Opt-in huge-page allocation (common/aligned_buffer.h): env gating, 2 MB
+// alignment of eligible blocks, stat accounting, and graceful fallback —
+// allocation must never fail because huge pages are unavailable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/aligned_buffer.h"
+
+namespace s35 {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+bool is_2mb_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kHugePageBytes == 0;
+}
+
+TEST(HugePages, RequestedReadsEnvEachCall) {
+  {
+    const ScopedEnv env("S35_HUGEPAGES", nullptr);
+    EXPECT_FALSE(hugepages_requested());
+  }
+  {
+    const ScopedEnv env("S35_HUGEPAGES", "1");
+    EXPECT_TRUE(hugepages_requested());
+  }
+  {
+    const ScopedEnv env("S35_HUGEPAGES", "0");
+    EXPECT_FALSE(hugepages_requested());
+  }
+}
+
+TEST(HugePages, OffByDefaultLeavesStatsUntouched) {
+  const ScopedEnv env("S35_HUGEPAGES", nullptr);
+  reset_hugepage_stats();
+  void* p = aligned_malloc(4 * kHugePageBytes);
+  ASSERT_NE(p, nullptr);
+  aligned_free(p);
+  const HugePageStats s = hugepage_stats();
+  EXPECT_EQ(s.huge_requests, 0u);
+  EXPECT_EQ(s.huge_bytes, 0u);
+  EXPECT_EQ(s.fallbacks, 0u);
+}
+
+TEST(HugePages, EligibleAllocationIs2MbAlignedAndRounded) {
+  const ScopedEnv env("S35_HUGEPAGES", "1");
+  reset_hugepage_stats();
+  // 3 MB request: eligible (>= 2 MB), rounds up to two huge pages.
+  void* p = aligned_malloc(3u << 20);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(is_2mb_aligned(p));
+  const HugePageStats s = hugepage_stats();
+  EXPECT_EQ(s.huge_requests, 1u);
+  EXPECT_EQ(s.huge_bytes, 2 * kHugePageBytes);
+  EXPECT_EQ(s.fallbacks, 0u);
+  // The whole rounded range must be writable.
+  auto* bytes = static_cast<unsigned char*>(p);
+  bytes[0] = 1;
+  bytes[(3u << 20) - 1] = 2;
+  aligned_free(p);
+}
+
+TEST(HugePages, SmallAllocationsStayOnTheDefaultPath) {
+  const ScopedEnv env("S35_HUGEPAGES", "1");
+  reset_hugepage_stats();
+  void* p = aligned_malloc(64 * 1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(hugepage_stats().huge_requests, 0u);
+  aligned_free(p);
+}
+
+TEST(HugePages, BufferOfGridScaleGetsHugeBacking) {
+  const ScopedEnv env("S35_HUGEPAGES", "1");
+  reset_hugepage_stats();
+  // A 96^3 SP grid (~3.4 MB) — the smallest bench shapes already qualify.
+  AlignedBuffer<float> buf(96 * 96 * 96);
+  EXPECT_TRUE(is_2mb_aligned(buf.data()));
+  EXPECT_EQ(hugepage_stats().huge_requests, 1u);
+  buf.zero_range(0, buf.size());
+  EXPECT_EQ(buf[0], 0.0f);
+}
+
+TEST(HugePages, StatsResetClearsCounters) {
+  const ScopedEnv env("S35_HUGEPAGES", "1");
+  void* p = aligned_malloc(2 * kHugePageBytes);
+  ASSERT_NE(p, nullptr);
+  aligned_free(p);
+  EXPECT_GE(hugepage_stats().huge_requests, 1u);
+  reset_hugepage_stats();
+  const HugePageStats s = hugepage_stats();
+  EXPECT_EQ(s.huge_requests, 0u);
+  EXPECT_EQ(s.huge_bytes, 0u);
+  EXPECT_EQ(s.fallbacks, 0u);
+}
+
+// The fallback contract: when the strict 2 MB-aligned path cannot be taken,
+// aligned_malloc must still return usable 64 B-aligned memory. The refusal
+// branch itself needs an allocator failure to trigger, which cannot be
+// forced portably — what is testable is that the fallback path (the default
+// path) satisfies the same usability contract the caller relies on.
+TEST(HugePages, FallbackPathContractHolds) {
+  const ScopedEnv env("S35_HUGEPAGES", nullptr);
+  void* p = aligned_malloc(4 * kHugePageBytes);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes, 0u);
+  auto* bytes = static_cast<unsigned char*>(p);
+  bytes[0] = 1;
+  bytes[4 * kHugePageBytes - 1] = 2;
+  aligned_free(p);
+}
+
+}  // namespace
+}  // namespace s35

@@ -1,0 +1,136 @@
+// Roofline arithmetic (telemetry/roofline.h): attained-vs-ceiling math
+// against hand-computed Table I numbers, phase attribution normalization,
+// and the record-level JSON emission of the "roofline" block.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/report.h"
+#include "telemetry/roofline.h"
+
+namespace s35::telemetry {
+namespace {
+
+// The paper's Core i7 running the SP 7-point stencil with 3.5D blocking:
+// 30 GB/s peak / 22 GB/s achievable, 102 Gops; kernel 16 ops (2 mul +
+// 6 add = 8 flops, plus 8 memory insts), 4 B/update after blocking at
+// dim_t=2 with streaming stores (8 ideal / 2).
+RooflineInput i7_35d_input() {
+  RooflineInput in;
+  in.mups = 3000.0;
+  in.bytes_per_update = 4.0;
+  in.flops_per_update = 8.0;
+  in.ops_per_update = 16.0;
+  in.peak_bw_gbps = 30.0;
+  in.achievable_bw_gbps = 22.0;
+  in.peak_gops = 102.0;
+  in.effective_gops = 102.0;
+  return in;
+}
+
+TEST(Roofline, AttainedMatchesHandComputation) {
+  const RooflineResult r = compute_roofline(i7_35d_input());
+  // 3000 Mupd/s · 4 B = 12 GB/s; · 8 flops = 24 Gflop/s; · 16 ops = 48 Gops.
+  EXPECT_DOUBLE_EQ(r.attained_gbps, 12.0);
+  EXPECT_DOUBLE_EQ(r.attained_gflops, 24.0);
+  EXPECT_DOUBLE_EQ(r.attained_gops, 48.0);
+  EXPECT_DOUBLE_EQ(r.arithmetic_intensity, 2.0);
+  EXPECT_DOUBLE_EQ(r.bw_fraction, 12.0 / 22.0);
+  EXPECT_DOUBLE_EQ(r.bw_fraction_peak, 12.0 / 30.0);
+  EXPECT_DOUBLE_EQ(r.compute_fraction, 48.0 / 102.0);
+}
+
+TEST(Roofline, CeilingsNormalizeAgainstDescriptorPeaks) {
+  const RooflineResult r = compute_roofline(i7_35d_input());
+  // Bandwidth roof: 22 GB/s ÷ 4 B/update = 5500 Mupd/s.
+  EXPECT_DOUBLE_EQ(r.ceiling_mups_bw, 5500.0);
+  // Compute roof: 102 Gops ÷ 16 ops/update = 6375 Mupd/s.
+  EXPECT_DOUBLE_EQ(r.ceiling_mups_compute, 6375.0);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups, 5500.0);
+  EXPECT_TRUE(r.memory_bound);
+  EXPECT_DOUBLE_EQ(r.roofline_fraction, 3000.0 / 5500.0);
+}
+
+TEST(Roofline, TemporalBlockingFlipsMemoryBoundToComputeBound) {
+  // Raise dim_t until bytes/update drop below the balance point: the same
+  // machine becomes compute bound — eq. 3's purpose.
+  RooflineInput in = i7_35d_input();
+  in.bytes_per_update = 1.0;  // deep temporal blocking
+  const RooflineResult r = compute_roofline(in);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups_bw, 22000.0);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups_compute, 6375.0);
+  EXPECT_FALSE(r.memory_bound);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups, 6375.0);
+}
+
+TEST(Roofline, MissingInputsYieldZerosNotInf) {
+  const RooflineResult r = compute_roofline(RooflineInput{});
+  EXPECT_EQ(r.attained_gbps, 0.0);
+  EXPECT_EQ(r.ceiling_mups, 0.0);
+  EXPECT_EQ(r.roofline_fraction, 0.0);
+  EXPECT_TRUE(std::isfinite(r.arithmetic_intensity));
+}
+
+TEST(Roofline, AchievableAndEffectiveFallBackToPeaks) {
+  RooflineInput in = i7_35d_input();
+  in.achievable_bw_gbps = 0.0;  // only the theoretical peak known
+  const RooflineResult r = compute_roofline(in);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups_bw, 30.0 / 4.0 * 1e3);
+  EXPECT_DOUBLE_EQ(r.bw_fraction, r.bw_fraction_peak);
+}
+
+TEST(Roofline, SingleKnownCeilingBecomesTheRoof) {
+  RooflineInput in = i7_35d_input();
+  in.bytes_per_update = 0.0;  // no traffic measurement (model record)
+  const RooflineResult r = compute_roofline(in);
+  EXPECT_EQ(r.ceiling_mups_bw, 0.0);
+  EXPECT_DOUBLE_EQ(r.ceiling_mups, r.ceiling_mups_compute);
+  EXPECT_FALSE(r.memory_bound);
+}
+
+TEST(Roofline, MapCarriesInputsAndDerivedValues) {
+  const RooflineInput in = i7_35d_input();
+  const auto m = roofline_map(in, compute_roofline(in));
+  EXPECT_DOUBLE_EQ(m.at("peak_bw_gbps"), 30.0);
+  EXPECT_DOUBLE_EQ(m.at("attained_gbps"), 12.0);
+  EXPECT_DOUBLE_EQ(m.at("ceiling_mups"), 5500.0);
+  EXPECT_DOUBLE_EQ(m.at("memory_bound"), 1.0);
+}
+
+TEST(Roofline, PhaseAttributionSumsToOneExcludingRegion) {
+  Totals t;
+  t.seconds[static_cast<int>(Phase::kCompute)] = 3.0;
+  t.seconds[static_cast<int>(Phase::kGhostFill)] = 0.5;
+  t.seconds[static_cast<int>(Phase::kBarrierWait)] = 0.5;
+  // kRegion is the enclosing envelope, not a sibling phase: must not skew
+  // the denominator.
+  t.seconds[static_cast<int>(Phase::kRegion)] = 4.2;
+  const auto m = phase_attribution(t);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.at("phase_compute_frac"), 0.75);
+  EXPECT_DOUBLE_EQ(m.at("phase_ghost_fill_frac"), 0.125);
+  EXPECT_DOUBLE_EQ(m.at("phase_barrier_wait_frac"), 0.125);
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_EQ(m.count("phase_region_frac"), 0u);
+}
+
+TEST(Roofline, PhaseAttributionEmptyWhenNothingRecorded) {
+  EXPECT_TRUE(phase_attribution(Totals{}).empty());
+}
+
+TEST(Roofline, RecordEmitsRooflineBlockOnlyWhenPresent) {
+  BenchRecord rec;
+  rec.kernel = "stencil7";
+  EXPECT_EQ(to_json(rec).find("\"roofline\""), std::string::npos);
+
+  const RooflineInput in = i7_35d_input();
+  rec.roofline = roofline_map(in, compute_roofline(in));
+  const std::string json = to_json(rec);
+  EXPECT_NE(json.find("\"roofline\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"ceiling_mups\":5500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s35::telemetry

@@ -27,6 +27,10 @@ using VecTypes = ::testing::Types<Vec<float, ScalarTag>, Vec<double, ScalarTag>
                                   ,
                                   Vec<float, Avx2Tag>, Vec<double, Avx2Tag>
 #endif
+#if defined(__AVX512F__)
+                                  ,
+                                  Vec<float, Avx512Tag>, Vec<double, Avx512Tag>
+#endif
                                   >;
 TYPED_TEST_SUITE(VecTest, VecTypes);
 
@@ -177,6 +181,22 @@ TEST(Simd, WidthsMatchInstructionSet) {
 #if defined(__AVX2__) && defined(__FMA__)
   EXPECT_EQ((Vec<float, Avx2Tag>::width), 8);
   EXPECT_EQ((Vec<double, Avx2Tag>::width), 4);
+#endif
+#if defined(__AVX512F__)
+  EXPECT_EQ((Vec<float, Avx512Tag>::width), 16);
+  EXPECT_EQ((Vec<double, Avx512Tag>::width), 8);
+#endif
+}
+
+TEST(Simd, PrefUnrollScalesWithRegisterFile) {
+  EXPECT_EQ((pref_unroll<Vec<float, ScalarTag>>), 1);
+#if defined(__AVX2__) && defined(__FMA__)
+  EXPECT_EQ((pref_unroll<Vec<float, Avx2Tag>>), 4);  // 16 vector registers
+#endif
+#if defined(__AVX512F__)
+  // 32 vector registers: double the register-blocking depth.
+  EXPECT_EQ((pref_unroll<Vec<float, Avx512Tag>>), 8);
+  EXPECT_EQ((pref_unroll<Vec<double, Avx512Tag>>), 8);
 #endif
 }
 

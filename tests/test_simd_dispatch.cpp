@@ -44,12 +44,12 @@ class ScopedEnv {
 };
 
 TEST(Dispatch, ParseRoundTrips) {
-  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx, Isa::kAvx2}) {
+  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx, Isa::kAvx2, Isa::kAvx512}) {
     const auto parsed = parse_isa(to_string(isa));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, isa);
   }
-  EXPECT_FALSE(parse_isa("avx512").has_value());
+  EXPECT_FALSE(parse_isa("avx1024").has_value());
   EXPECT_FALSE(parse_isa("").has_value());
   EXPECT_FALSE(parse_isa("SSE").has_value());
 }
@@ -99,8 +99,10 @@ TEST(Dispatch, DispatchInvokesMatchingTag) {
 }
 
 TEST(Dispatch, WiderRequestClampsInsideDispatch) {
+  // Requesting the widest rung in the enum must clamp to whatever this
+  // build+host actually supports (and is a no-op when that IS the widest).
   const ScopedEnv env("S35_ISA", nullptr);
-  const std::string name = dispatch(Isa::kAvx2, [](auto tag) -> std::string {
+  const std::string name = dispatch(Isa::kAvx512, [](auto tag) -> std::string {
     return Vec<float, decltype(tag)>::name;
   });
   EXPECT_EQ(name, to_string(dispatch_isa()));
@@ -110,10 +112,23 @@ TEST(Dispatch, KernelOptionsFromEnvReadsFlags) {
   const ScopedEnv fast("S35_FAST", "0");
   const ScopedEnv fma("S35_FMA", "1");
   const ScopedEnv pf("S35_PREFETCH", "0");
+  const ScopedEnv pfd("S35_PREFETCH_DIST", "128");
   const core::KernelOptions o = core::KernelOptions::from_env();
   EXPECT_FALSE(o.fast_path);
   EXPECT_TRUE(o.allow_fma);
   EXPECT_FALSE(o.prefetch);
+  EXPECT_EQ(o.prefetch_dist, 128);
+}
+
+TEST(Dispatch, PrefetchDistRejectsNegativeAndDefaultsToZero) {
+  {
+    const ScopedEnv pfd("S35_PREFETCH_DIST", nullptr);
+    EXPECT_EQ(core::KernelOptions::from_env().prefetch_dist, 0);
+  }
+  {
+    const ScopedEnv pfd("S35_PREFETCH_DIST", "-64");
+    EXPECT_EQ(core::KernelOptions::from_env().prefetch_dist, 0);
+  }
 }
 
 TEST(Dispatch, KernelOptionsDefaultsAreBitExact) {
@@ -146,7 +161,7 @@ TEST(Dispatch, ForcedBackendSweepsAreBitIdentical) {
   };
 
   const grid::Grid3<float> ref = run_with(Isa::kScalar);
-  for (Isa isa : {Isa::kSse, Isa::kAvx, Isa::kAvx2}) {
+  for (Isa isa : {Isa::kSse, Isa::kAvx, Isa::kAvx2, Isa::kAvx512}) {
     if (!isa_available(isa)) continue;
     const grid::Grid3<float> got = run_with(isa);
     EXPECT_EQ(grid::count_mismatches(ref, got), 0)
