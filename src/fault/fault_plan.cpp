@@ -95,6 +95,42 @@ bool FaultPlan::stall_fires(std::uint64_t pass, int tid) {
   return true;
 }
 
+bool FaultPlan::worker_kill_fires(int worker, std::uint64_t pass) {
+  if (kill_worker < 0 || worker != kill_worker || kill_worker_pass < 0 ||
+      pass != static_cast<std::uint64_t>(kill_worker_pass))
+    return false;
+  bool expected = true;
+  if (!worker_kill_armed_.compare_exchange_strong(expected, false,
+                                                  std::memory_order_relaxed))
+    return false;
+  ++counters_.worker_kills;
+  return true;
+}
+
+bool FaultPlan::worker_stall_fires(int worker, std::uint64_t pass) {
+  if (stall_worker < 0 || worker != stall_worker || stall_worker_pass < 0 ||
+      pass != static_cast<std::uint64_t>(stall_worker_pass) || stall_worker_ms <= 0)
+    return false;
+  bool expected = true;
+  if (!worker_stall_armed_.compare_exchange_strong(expected, false,
+                                                   std::memory_order_relaxed))
+    return false;
+  ++counters_.worker_stalls;
+  return true;
+}
+
+bool FaultPlan::worker_sdc_fires(int worker, std::uint64_t pass) {
+  if (sdc_worker < 0 || worker != sdc_worker || sdc_worker_pass < 0 ||
+      pass != static_cast<std::uint64_t>(sdc_worker_pass))
+    return false;
+  bool expected = true;
+  if (!worker_sdc_armed_.compare_exchange_strong(expected, false,
+                                                 std::memory_order_relaxed))
+    return false;
+  ++counters_.worker_sdc;
+  return true;
+}
+
 bool FaultPlan::alloc_fails(std::uint64_t site) {
   if (alloc_fail_prob <= 0.0) return false;
   const bool fail = unit(0xA110C, site) < alloc_fail_prob;
@@ -107,6 +143,9 @@ void FaultPlan::rearm() {
   plane_flip_armed_.store(true, std::memory_order_relaxed);
   wrong_row_armed_.store(true, std::memory_order_relaxed);
   stall_armed_.store(true, std::memory_order_relaxed);
+  worker_kill_armed_.store(true, std::memory_order_relaxed);
+  worker_stall_armed_.store(true, std::memory_order_relaxed);
+  worker_sdc_armed_.store(true, std::memory_order_relaxed);
   write_op_ = 0;
   read_op_ = 0;
 }

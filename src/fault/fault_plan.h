@@ -28,6 +28,9 @@ struct FaultCounters {
   std::uint64_t plane_flips = 0;    // resident ring-plane bit flips
   std::uint64_t wrong_rows = 0;     // wrong-result kernel rows
   std::uint64_t thread_stalls = 0;  // injected straggler-thread sleeps
+  std::uint64_t worker_kills = 0;   // process-level SIGKILLs triggered
+  std::uint64_t worker_stalls = 0;  // process-level heartbeat stalls
+  std::uint64_t worker_sdc = 0;     // escalated (unrecoverable) worker SDC
 };
 
 enum class HaloFault { kNone, kCorrupt, kDrop };
@@ -70,6 +73,24 @@ class FaultPlan {
   std::int64_t stall_pass = -1;
   int stall_ms = 0;
 
+  // ---- process-level faults (consumed by the supervised worker plane) ----
+  // Each targets one worker process by index and fires once, at the pass
+  // boundary after blocked pass `*_pass` of the job that worker is running.
+  // Kill: the worker raises SIGKILL against itself — an abrupt crash/OOM
+  // the supervisor must detect via waitpid and fail over.
+  int kill_worker = -1;
+  std::int64_t kill_worker_pass = -1;
+  // Stall: the worker sleeps `stall_worker_ms` between passes while its
+  // heartbeat thread keeps beating with frozen progress — a hard hang the
+  // supervisor must catch by progress staleness, not frame arrival.
+  int stall_worker = -1;
+  std::int64_t stall_worker_pass = -1;
+  int stall_worker_ms = 0;
+  // SDC escalation: the worker reports kSdcDetected past max_reexec — a
+  // compromised process whose job must resume bit-exact on a sibling.
+  int sdc_worker = -1;
+  std::int64_t sdc_worker_pass = -1;
+
   // ---- deterministic queries ----
 
   // Fault for delivery attempt `attempt` (0-based) of `message` in `pass`.
@@ -96,6 +117,19 @@ class FaultPlan {
   bool wrong_row_fires(std::uint64_t pass, long z, long y);
   bool stall_fires(std::uint64_t pass, int tid);
 
+  // Process-fault queries, evaluated by worker `worker` at job pass
+  // boundaries. One-shot per plan instance (a restarted worker gets its
+  // faults stripped by the supervisor, so a fault never refires after the
+  // ladder has already absorbed it).
+  bool worker_kill_fires(int worker, std::uint64_t pass);
+  bool worker_stall_fires(int worker, std::uint64_t pass);
+  bool worker_sdc_fires(int worker, std::uint64_t pass);
+
+  // True when any process-level fault is configured.
+  bool has_worker_faults() const {
+    return kill_worker >= 0 || stall_worker >= 0 || sdc_worker >= 0;
+  }
+
   std::uint64_t seed() const { return seed_; }
   const FaultCounters& counters() const { return counters_; }
 
@@ -112,6 +146,9 @@ class FaultPlan {
   std::atomic<bool> plane_flip_armed_{true};
   std::atomic<bool> wrong_row_armed_{true};
   std::atomic<bool> stall_armed_{true};
+  std::atomic<bool> worker_kill_armed_{true};
+  std::atomic<bool> worker_stall_armed_{true};
+  std::atomic<bool> worker_sdc_armed_{true};
   int write_op_ = 0;
   int read_op_ = 0;
   FaultCounters counters_;

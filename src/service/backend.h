@@ -1,0 +1,74 @@
+// JobBackend: the execution-plane interface behind the NDJSON protocol.
+//
+// Two implementations exist:
+//
+//   * JobService — the in-process warm engine (PR 5). One process, one
+//     thread team, jobs multiplexed over resident assets.
+//   * Supervisor — the supervised worker-process plane. N forked worker
+//     processes each run a JobService; the supervisor restarts crashed or
+//     hung workers and fails in-flight jobs over to siblings, resuming
+//     bit-exact from periodic checkpoints.
+//
+// The protocol layer (protocol.h) talks only to this interface, so
+// `s35 serve` and `s35 serve --workers N` expose the identical wire
+// surface — clients cannot tell whether a supervisor is in the path
+// except through the extra supervision fields in `stats`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/status.h"
+#include "service/job.h"
+
+namespace s35::service {
+
+// One stats snapshot for both planes. The supervision block is zero for the
+// in-process JobService (workers == 0 means "unsupervised").
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  // admission failures (full queue/bad spec)
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t batched = 0;    // jobs that reused the previous grids
+  std::size_t queue_depth = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t watchdog_stalls = 0;
+  double total_wait_s = 0.0;  // summed queue wait of terminal jobs
+  double total_run_s = 0.0;   // summed sweep time of terminal jobs
+  int threads = 0;
+
+  // ---- supervision plane (zero when unsupervised) ----
+  int workers = 0;                     // configured worker processes
+  int workers_live = 0;                // currently running (not restarting)
+  std::uint64_t restarts = 0;          // worker processes respawned
+  std::uint64_t failovers = 0;         // in-flight jobs resumed on a sibling
+  std::uint64_t worker_deaths = 0;     // waitpid-observed exits/kills
+  std::uint64_t hang_kills = 0;        // workers killed for stale progress
+  std::uint64_t sdc_escalations = 0;   // workers recycled on kSdcDetected
+  std::uint64_t redispatched = 0;      // queued jobs moved off a dead worker
+  std::int64_t max_heartbeat_age_ms = 0;  // oldest live worker heartbeat
+  std::size_t in_flight = 0;           // jobs currently on a worker
+};
+
+// Minimal surface the protocol needs. Semantics match JobService's methods
+// (see service.h); the Supervisor provides the same guarantees across
+// process boundaries — including exactly-once terminal results.
+class JobBackend {
+ public:
+  virtual ~JobBackend() = default;
+
+  virtual fault::Expected<std::uint64_t> submit(const JobSpec& spec) = 0;
+  virtual bool cancel(std::uint64_t id) = 0;
+  virtual std::optional<JobInfo> info(std::uint64_t id) const = 0;
+  virtual std::optional<JobInfo> wait(std::uint64_t id,
+                                      std::int64_t timeout_ms = -1) = 0;
+  virtual bool drain(std::int64_t timeout_ms = -1) = 0;
+  virtual ServiceStats stats() const = 0;
+  virtual void shutdown() = 0;
+};
+
+}  // namespace s35::service

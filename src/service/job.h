@@ -41,6 +41,19 @@ struct JobSpec {
   bool audit = false;
   double audit_rate = 0.0;  // 0 = integrity::kDefaultAuditRate
 
+  // Periodic failover checkpointing: when non-empty, the run saves a
+  // format-v2 checkpoint (user_tag = completed steps) every
+  // `checkpoint_every` blocked passes and after the final pass. With
+  // `resume`, the run first probes `checkpoint_path` and — if it matches
+  // this spec's shape and carries a sane tag — restarts from it instead of
+  // from step 0, bit-identical to an uninterrupted run. These fields are
+  // supervisor-plane plumbing: the untrusted NDJSON submit parser never
+  // populates them (a client-chosen path would be an arbitrary-file-write
+  // primitive); only the trusted supervisor<->worker wire carries them.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;  // passes between checkpoints; <=0 = every pass
+  bool resume = false;
+
   long eff_ny() const { return ny > 0 ? ny : nx; }
   long eff_nz() const { return nz > 0 ? nz : nx; }
 
@@ -99,7 +112,17 @@ struct JobResult {
   std::uint64_t audited_rows = 0;
   std::uint64_t sdc_detected = 0;
   std::uint64_t reexecs = 0;
+
+  // Failover accounting: steps restored from a checkpoint before the sweep
+  // resumed (0 = started fresh), and checkpoints written during the run.
+  int resumed_steps = 0;
+  int checkpoints = 0;
 };
+
+// Admission validation, shared by every backend (in-process service,
+// supervisor, worker) so a spec admitted at one layer is never rejected at
+// the next. `max_points` caps nx*ny*nz.
+fault::Status validate_spec(const JobSpec& spec, long max_points);
 
 // Snapshot of a job as the service sees it; returned by copy so callers
 // never observe the worker mutating shared state.

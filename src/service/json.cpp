@@ -1,0 +1,89 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace s35::service::json {
+
+bool find_value(const std::string& s, const std::string& key, std::size_t* pos) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = 0;
+  while ((at = s.find(needle, at)) != std::string::npos) {
+    std::size_t p = at + needle.size();
+    while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+    if (p < s.size() && s[p] == ':') {
+      ++p;
+      while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+      *pos = p;
+      return true;
+    }
+    at += needle.size();
+  }
+  return false;
+}
+
+bool get_string(const std::string& s, const std::string& key, std::string* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p) || p >= s.size() || s[p] != '"') return false;
+  std::string v;
+  for (++p; p < s.size() && s[p] != '"'; ++p) {
+    if (s[p] == '\\' && p + 1 < s.size()) ++p;  // keep escaped char verbatim
+    if (v.size() >= kMaxStringField) return false;  // oversized field
+    v.push_back(s[p]);
+  }
+  if (p >= s.size()) return false;  // unterminated
+  *out = v;
+  return true;
+}
+
+bool get_int(const std::string& s, const std::string& key, std::int64_t* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str() + p, &end, 10);
+  if (end == s.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
+bool get_double(const std::string& s, const std::string& key, double* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str() + p, &end);
+  if (end == s.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
+bool get_bool(const std::string& s, const std::string& key, bool* out) {
+  std::size_t p = 0;
+  if (!find_value(s, key, &p)) return false;
+  if (s.compare(p, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (s.compare(p, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace s35::service::json

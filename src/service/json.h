@@ -1,0 +1,41 @@
+// Hardened flat-JSON field scanners, shared by the NDJSON client protocol
+// and the supervisor/worker wire protocol.
+//
+// Both protocols restrict messages to one-level objects with string, number
+// and boolean values, so a field scanner is all the parsing needed — but
+// the input is untrusted (a client can write anything into the socket), so
+// every accessor is bounded: string values are length-capped, unterminated
+// strings are rejected, and callers bound whole-message size before
+// scanning (kMaxRequestBytes). Nothing here allocates proportionally to
+// attacker-chosen numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s35::service::json {
+
+// Upper bound on one request/frame payload. Anything longer is rejected
+// with a typed protocol error before parsing (see protocol.cpp/wire.cpp).
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+// Upper bound on a single string field value. Paths, kernel names and
+// messages all fit comfortably; anything longer is malformed by fiat.
+inline constexpr std::size_t kMaxStringField = 4096;
+
+// Locates the value position of `"key":` in `s`. False when absent.
+bool find_value(const std::string& s, const std::string& key, std::size_t* pos);
+
+// Reads a quoted string value. False when absent, unterminated, or longer
+// than kMaxStringField (a bounds violation, not a silent truncation).
+bool get_string(const std::string& s, const std::string& key, std::string* out);
+
+bool get_int(const std::string& s, const std::string& key, std::int64_t* out);
+bool get_double(const std::string& s, const std::string& key, double* out);
+bool get_bool(const std::string& s, const std::string& key, bool* out);
+
+// Escapes `"` and `\` and strips control characters for embedding into a
+// JSON string literal.
+std::string escape(const std::string& s);
+
+}  // namespace s35::service::json

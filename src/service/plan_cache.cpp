@@ -10,6 +10,12 @@
 #include "core/planner.h"
 #include "memsim/traffic.h"
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
 namespace s35::service {
 
 namespace {
@@ -268,10 +274,44 @@ std::string name_of(const char* p, std::size_t cap) {
   return std::string(p, n);
 }
 
+// Advisory flock on a sidecar `<path>.lock` file, serializing concurrent
+// worker processes around persistence. The sidecar — not the data file —
+// must carry the lock: atomic_rename replaces the data file's inode, so a
+// lock taken on it would keep guarding the orphaned old inode while a new
+// writer replaces the path. Savers take LOCK_EX (two savers sharing one
+// `.tmp` path would interleave partial writes), loaders LOCK_SH. Advisory
+// locking is enough: every accessor is this code.
+class FileLock {
+ public:
+  FileLock(const std::string& path, bool exclusive) {
+#ifdef __unix__
+    fd_ = ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0) ::flock(fd_, exclusive ? LOCK_EX : LOCK_SH);
+#else
+    (void)path;
+    (void)exclusive;
+#endif
+  }
+  ~FileLock() {
+#ifdef __unix__
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+#endif
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 fault::Status PlanCache::save(const std::string& path, fault::IoBackend* io) const {
   fault::IoBackend& backend = io != nullptr ? *io : fault::IoBackend::standard();
+  const FileLock flock(path, /*exclusive=*/true);
 
   std::vector<DiskEntry> payload;
   {
@@ -327,6 +367,7 @@ fault::Status PlanCache::save(const std::string& path, fault::IoBackend* io) con
 
 fault::Status PlanCache::load(const std::string& path, fault::IoBackend* io) {
   fault::IoBackend& backend = io != nullptr ? *io : fault::IoBackend::standard();
+  const FileLock flock(path, /*exclusive=*/false);
 
   std::FILE* f = backend.open(path, "rb");
   if (f == nullptr) return {fault::ErrorCode::kIoError, "cannot open " + path};

@@ -1,16 +1,23 @@
 #include "service/protocol.h"
 
-#include <cctype>
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
+
+#include "service/json.h"
 
 #ifdef __unix__
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+#include <cerrno>
 #include <cstring>
 #endif
 
@@ -18,91 +25,11 @@ namespace s35::service {
 
 namespace {
 
-// ---- flat-JSON field extraction ----------------------------------------
-//
-// The protocol restricts requests to one-level objects with string, number
-// and boolean values, so a field scanner is all the parsing needed: find
-// the quoted key, skip the colon, read one scalar. No nesting, no arrays.
-
-bool find_value(const std::string& s, const std::string& key, std::size_t* pos) {
-  const std::string needle = "\"" + key + "\"";
-  std::size_t at = 0;
-  while ((at = s.find(needle, at)) != std::string::npos) {
-    std::size_t p = at + needle.size();
-    while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
-    if (p < s.size() && s[p] == ':') {
-      ++p;
-      while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
-      *pos = p;
-      return true;
-    }
-    at += needle.size();
-  }
-  return false;
-}
-
-bool get_string(const std::string& s, const std::string& key, std::string* out) {
-  std::size_t p = 0;
-  if (!find_value(s, key, &p) || p >= s.size() || s[p] != '"') return false;
-  std::string v;
-  for (++p; p < s.size() && s[p] != '"'; ++p) {
-    if (s[p] == '\\' && p + 1 < s.size()) ++p;  // keep escaped char verbatim
-    v.push_back(s[p]);
-  }
-  if (p >= s.size()) return false;  // unterminated
-  *out = v;
-  return true;
-}
-
-bool get_int(const std::string& s, const std::string& key, std::int64_t* out) {
-  std::size_t p = 0;
-  if (!find_value(s, key, &p)) return false;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str() + p, &end, 10);
-  if (end == s.c_str() + p) return false;
-  *out = v;
-  return true;
-}
-
-bool get_double(const std::string& s, const std::string& key, double* out) {
-  std::size_t p = 0;
-  if (!find_value(s, key, &p)) return false;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str() + p, &end);
-  if (end == s.c_str() + p) return false;
-  *out = v;
-  return true;
-}
-
-bool get_bool(const std::string& s, const std::string& key, bool* out) {
-  std::size_t p = 0;
-  if (!find_value(s, key, &p)) return false;
-  if (s.compare(p, 4, "true") == 0) {
-    *out = true;
-    return true;
-  }
-  if (s.compare(p, 5, "false") == 0) {
-    *out = false;
-    return true;
-  }
-  return false;
-}
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out.push_back(' ');
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+using json::escape;
+using json::get_bool;
+using json::get_double;
+using json::get_int;
+using json::get_string;
 
 std::string error_response(const char* code, const std::string& message) {
   return std::string("{\"ok\":false,\"error\":\"") + code + "\",\"message\":\"" +
@@ -122,6 +49,7 @@ std::string job_response(const JobInfo& info) {
      << ",\"wait_ms\":" << r.wait_s * 1e3 << ",\"plan_ms\":" << r.plan_s * 1e3
      << ",\"run_ms\":" << r.run_s * 1e3 << ",\"audited_rows\":" << r.audited_rows
      << ",\"sdc_detected\":" << r.sdc_detected << ",\"reexecs\":" << r.reexecs;
+  if (r.resumed_steps > 0) os << ",\"resumed_steps\":" << r.resumed_steps;
   if (r.error != fault::ErrorCode::kOk)
     os << ",\"error\":\"" << fault::to_string(r.error) << "\"";
   if (!r.message.empty()) os << ",\"message\":\"" << escape(r.message) << "\"";
@@ -129,9 +57,18 @@ std::string job_response(const JobInfo& info) {
   return os.str();
 }
 
-JobSpec spec_from_request(const std::string& line) {
-  JobSpec spec;
-  get_string(line, "kernel", &spec.kernel);
+// Client-facing spec parser. Deliberately does NOT read checkpoint_path /
+// checkpoint_every / resume: those are supervisor-plane plumbing, and a
+// client-chosen checkpoint path would be an arbitrary-file-write primitive.
+// False when a field is present but malformed (e.g. an oversized or
+// unterminated string): a bounds violation must be a typed error, never a
+// silent fall-back to the default value.
+bool spec_from_request(const std::string& line, JobSpec* out) {
+  JobSpec& spec = *out;
+  std::size_t at = 0;
+  if (json::find_value(line, "kernel", &at) &&
+      !get_string(line, "kernel", &spec.kernel))
+    return false;
   std::int64_t v = 0;
   if (get_int(line, "n", &v)) spec.nx = spec.ny = spec.nz = v;
   if (get_int(line, "nx", &v)) spec.nx = v;
@@ -147,18 +84,25 @@ JobSpec spec_from_request(const std::string& line) {
   get_bool(line, "stream", &spec.streaming_stores);
   get_bool(line, "audit", &spec.audit);
   get_double(line, "audit_rate", &spec.audit_rate);
-  return spec;
+  return true;
 }
 
 }  // namespace
 
-std::string handle_line(JobService& svc, const std::string& line, bool* shutdown) {
+std::string handle_line(JobBackend& svc, const std::string& line, bool* shutdown) {
+  if (line.size() > json::kMaxRequestBytes)
+    return error_response("protocol_error",
+                          "request exceeds " +
+                              std::to_string(json::kMaxRequestBytes) + " bytes");
   std::string op;
   if (!get_string(line, "op", &op))
-    return error_response("bad_request", "missing \"op\"");
+    return error_response("protocol_error", "missing or malformed \"op\"");
 
   if (op == "submit") {
-    const auto id = svc.submit(spec_from_request(line));
+    JobSpec spec;
+    if (!spec_from_request(line, &spec))
+      return error_response("protocol_error", "malformed string field");
+    const auto id = svc.submit(spec);
     if (!id.ok())
       return error_response(fault::to_string(id.status().code()),
                             id.status().message());
@@ -168,7 +112,7 @@ std::string handle_line(JobService& svc, const std::string& line, bool* shutdown
   if (op == "status" || op == "wait" || op == "cancel") {
     std::int64_t id = 0;
     if (!get_int(line, "id", &id) || id <= 0)
-      return error_response("bad_request", "missing job \"id\"");
+      return error_response("protocol_error", "missing job \"id\"");
     const auto uid = static_cast<std::uint64_t>(id);
     if (op == "cancel") {
       const bool done = svc.cancel(uid);
@@ -189,7 +133,7 @@ std::string handle_line(JobService& svc, const std::string& line, bool* shutdown
   }
 
   if (op == "stats") {
-    const JobService::Stats s = svc.stats();
+    const ServiceStats s = svc.stats();
     std::ostringstream os;
     os << "{\"ok\":true,\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
        << ",\"completed\":" << s.completed << ",\"failed\":" << s.failed
@@ -198,7 +142,18 @@ std::string handle_line(JobService& svc, const std::string& line, bool* shutdown
        << ",\"plan_hits\":" << s.plan_hits << ",\"plan_misses\":" << s.plan_misses
        << ",\"watchdog_stalls\":" << s.watchdog_stalls
        << ",\"total_wait_s\":" << s.total_wait_s
-       << ",\"total_run_s\":" << s.total_run_s << ",\"threads\":" << s.threads << "}";
+       << ",\"total_run_s\":" << s.total_run_s << ",\"threads\":" << s.threads;
+    if (s.workers > 0) {
+      os << ",\"workers\":" << s.workers << ",\"workers_live\":" << s.workers_live
+         << ",\"restarts\":" << s.restarts << ",\"failovers\":" << s.failovers
+         << ",\"worker_deaths\":" << s.worker_deaths
+         << ",\"hang_kills\":" << s.hang_kills
+         << ",\"sdc_escalations\":" << s.sdc_escalations
+         << ",\"redispatched\":" << s.redispatched
+         << ",\"max_heartbeat_age_ms\":" << s.max_heartbeat_age_ms
+         << ",\"in_flight\":" << s.in_flight;
+    }
+    os << "}";
     return os.str();
   }
 
@@ -218,7 +173,7 @@ std::string handle_line(JobService& svc, const std::string& line, bool* shutdown
   return error_response("bad_request", "unknown op '" + op + "'");
 }
 
-long serve_stream(JobService& svc, std::istream& in, std::ostream& out) {
+long serve_stream(JobBackend& svc, std::istream& in, std::ostream& out) {
   long handled = 0;
   bool shutdown = false;
   std::string line;
@@ -233,7 +188,118 @@ long serve_stream(JobService& svc, std::istream& in, std::ostream& out) {
 
 #ifdef __unix__
 
-int serve_unix(JobService& svc, const std::string& path) {
+namespace {
+
+// A parked blocking op. `wait` and `drain` must not call into the backend
+// with a blocking timeout from the poll thread — one waiting client would
+// stall every other client. They are parked here and re-checked each poll
+// round with nonblocking backend calls instead.
+struct Pending {
+  enum Kind { kWait, kDrain } kind = kWait;
+  std::uint64_t id = 0;
+  std::int64_t deadline_ns = -1;  // steady_clock ns; -1 = forever
+};
+
+// One multiplexed client connection. Input accumulates until newline;
+// output drains as the socket accepts it (POLLOUT) so one slow reader
+// cannot block the accept/serve loop. While an op is pending, further
+// buffered lines from this client stay queued — responses keep request
+// order per client.
+struct Client {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  bool closing = false;  // flush remaining output, then close
+  std::optional<Pending> pending;
+};
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Processes buffered complete lines for one client until input runs dry, a
+// blocking op parks, or shutdown. Returns false on unrecoverable protocol
+// state (never currently — errors respond in-band).
+void process_lines(JobBackend& svc, Client& c, bool* shutdown) {
+  std::size_t nl;
+  while (!c.closing && !c.pending && (nl = c.in.find('\n')) != std::string::npos) {
+    const std::string line = c.in.substr(0, nl);
+    c.in.erase(0, nl + 1);
+    if (line.empty()) continue;
+    if (line.size() > json::kMaxRequestBytes) {
+      c.out += error_response("protocol_error",
+                              "request exceeds " +
+                                  std::to_string(json::kMaxRequestBytes) +
+                                  " bytes") +
+               "\n";
+      continue;
+    }
+    std::string op;
+    get_string(line, "op", &op);
+    if (op == "wait" || op == "drain") {
+      std::int64_t timeout_ms = -1;
+      get_int(line, "timeout_ms", &timeout_ms);
+      Pending p;
+      p.deadline_ns = timeout_ms < 0 ? -1 : steady_ns() + timeout_ms * 1'000'000;
+      if (op == "wait") {
+        std::int64_t id = 0;
+        if (!get_int(line, "id", &id) || id <= 0) {
+          c.out += error_response("protocol_error", "missing job \"id\"") + "\n";
+          continue;
+        }
+        p.kind = Pending::kWait;
+        p.id = static_cast<std::uint64_t>(id);
+      } else {
+        p.kind = Pending::kDrain;
+      }
+      c.pending = p;
+      continue;  // resolved (or timed out) by the per-round pending check
+    }
+    c.out += handle_line(svc, line, shutdown) + "\n";
+    if (*shutdown) return;
+  }
+}
+
+// Nonblocking re-check of a parked wait/drain. True when resolved.
+bool check_pending(JobBackend& svc, Client& c) {
+  if (!c.pending) return false;
+  const Pending& p = *c.pending;
+  if (p.kind == Pending::kDrain) {
+    if (svc.drain(0)) {
+      c.out += "{\"ok\":true}\n";
+    } else if (p.deadline_ns >= 0 && steady_ns() > p.deadline_ns) {
+      c.out += error_response("unavailable", "drain timeout") + "\n";
+    } else {
+      return false;
+    }
+    c.pending.reset();
+    return true;
+  }
+  const auto info = svc.info(p.id);
+  if (!info) {
+    c.out += error_response("unavailable", "timeout or unknown id") + "\n";
+  } else if (info->state != JobState::kQueued && info->state != JobState::kRunning) {
+    c.out += job_response(*info) + "\n";
+  } else if (p.deadline_ns >= 0 && steady_ns() > p.deadline_ns) {
+    c.out += error_response("unavailable", "timeout or unknown id") + "\n";
+  } else {
+    return false;
+  }
+  c.pending.reset();
+  return true;
+}
+
+}  // namespace
+
+int serve_unix(JobBackend& svc, const std::string& path,
+               const std::atomic<bool>* stop) {
   const int server = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (server < 0) {
     std::perror("s35-serve: socket");
@@ -249,44 +315,132 @@ int serve_unix(JobService& svc, const std::string& path) {
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   ::unlink(path.c_str());
   if (::bind(server, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(server, 8) != 0) {
+      ::listen(server, 16) != 0 || !set_nonblocking(server)) {
     std::perror("s35-serve: bind/listen");
     ::close(server);
     return 1;
   }
 
+  std::vector<Client> clients;
+  std::vector<pollfd> pfds;
   bool shutdown = false;
-  while (!shutdown) {
-    const int client = ::accept(server, nullptr, nullptr);
-    if (client < 0) continue;
-    std::string acc;
-    char buf[4096];
-    for (;;) {
-      const ssize_t n = ::read(client, buf, sizeof(buf));
-      if (n <= 0) break;
-      acc.append(buf, static_cast<std::size_t>(n));
-      std::size_t nl;
-      bool closed = false;
-      while ((nl = acc.find('\n')) != std::string::npos) {
-        const std::string line = acc.substr(0, nl);
-        acc.erase(0, nl + 1);
-        if (line.empty()) continue;
-        const std::string resp = handle_line(svc, line, &shutdown) + "\n";
-        std::size_t off = 0;
-        while (off < resp.size()) {
-          const ssize_t w = ::write(client, resp.data() + off, resp.size() - off);
-          if (w <= 0) {
-            closed = true;
+
+  while (!shutdown && (stop == nullptr || !stop->load(std::memory_order_acquire))) {
+    // Re-check parked waits/drains first: the job may have finished while
+    // we slept, and resolving may unblock further buffered lines.
+    bool any_pending = false;
+    for (Client& c : clients) {
+      while (check_pending(svc, c)) {
+        process_lines(svc, c, &shutdown);
+        if (shutdown) break;
+      }
+      if (shutdown) break;
+      if (c.pending) any_pending = true;
+    }
+    if (shutdown) break;
+
+    pfds.clear();
+    pfds.push_back({server, POLLIN, 0});
+    for (const Client& c : clients) {
+      short events = POLLIN;
+      if (!c.out.empty()) events |= POLLOUT;
+      pfds.push_back({c.fd, events, 0});
+    }
+    // Bounded poll: parked ops need re-checking, and the stop flag
+    // (SIGTERM drain) must be honored even when every client is idle.
+    const int timeout = any_pending ? 20 : (stop != nullptr ? 200 : -1);
+    const int pr = ::poll(pfds.data(), pfds.size(), timeout);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+
+    // Only the clients that were polled this round have a pfds entry;
+    // anyone accepted below waits for the next round. Accept after
+    // snapshotting so the index math cannot run past pfds.
+    const std::size_t polled = clients.size();
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(server, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        Client c;
+        c.fd = fd;
+        clients.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Client& c = clients[i];
+      const pollfd& p = pfds[i + 1];
+      bool dead = (p.revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!dead && (p.revents & POLLOUT) != 0 && !c.out.empty()) {
+        const ssize_t w = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        if (w > 0)
+          c.out.erase(0, static_cast<std::size_t>(w));
+        else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+          dead = true;
+      }
+
+      if (!dead && (p.revents & (POLLIN | POLLHUP)) != 0 && !c.closing) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+          if (n > 0) {
+            c.in.append(buf, static_cast<std::size_t>(n));
+            // Oversized line with no newline yet: reject before buffering
+            // unbounded garbage, flush the error, close this client only.
+            if (c.in.size() > json::kMaxRequestBytes &&
+                c.in.find('\n') == std::string::npos) {
+              c.out += error_response("protocol_error",
+                                      "request line exceeds " +
+                                          std::to_string(json::kMaxRequestBytes) +
+                                          " bytes") +
+                       "\n";
+              c.closing = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            c.closing = true;  // EOF: flush pending replies, then close
+            if (c.in.empty() && c.out.empty()) dead = true;
             break;
           }
-          off += static_cast<std::size_t>(w);
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          dead = true;
+          break;
         }
-        if (closed || shutdown) break;
+
+        if (!dead) {
+          process_lines(svc, c, &shutdown);
+          if (shutdown) break;
+        }
+        // Opportunistic flush: most responses fit the socket buffer, so
+        // the common case answers without waiting for the next POLLOUT.
+        if (!dead && !c.out.empty()) {
+          const ssize_t w = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+          if (w > 0)
+            c.out.erase(0, static_cast<std::size_t>(w));
+          else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+            dead = true;
+        }
       }
-      if (closed || shutdown) break;
+
+      if (dead || (c.closing && c.out.empty() && !c.pending)) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
     }
-    ::close(client);
+    clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                 [](const Client& c) { return c.fd < 0; }),
+                  clients.end());
   }
+
+  for (const Client& c : clients)
+    if (c.fd >= 0) ::close(c.fd);
   ::close(server);
   ::unlink(path.c_str());
   return 0;
@@ -294,7 +448,7 @@ int serve_unix(JobService& svc, const std::string& path) {
 
 #else  // !__unix__
 
-int serve_unix(JobService&, const std::string& path) {
+int serve_unix(JobBackend&, const std::string& path, const std::atomic<bool>*) {
   std::fprintf(stderr, "s35-serve: unix sockets unsupported on this platform (%s)\n",
                path.c_str());
   return 1;

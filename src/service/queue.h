@@ -93,6 +93,22 @@ class BoundedJobQueue {
     return item;
   }
 
+  // Non-blocking pop for poll-driven consumers (the supervisor's monitor
+  // thread must never sleep inside the queue — it is also the process
+  // reaper). Same selection policy as pop_wait; nullopt when gated/empty.
+  std::optional<QueueItem> try_pop(std::uint64_t affinity) {
+    std::optional<QueueItem> item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (gated_ || items_.empty()) return std::nullopt;
+      const std::size_t at = select(affinity);
+      item = items_[at];
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    cv_push_.notify_one();
+    return item;
+  }
+
   // Cancellation mid-queue: true when the id was still queued.
   bool remove(std::uint64_t id) {
     bool removed = false;

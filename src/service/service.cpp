@@ -8,6 +8,7 @@
 #include "common/crc32c.h"
 #include "common/env.h"
 #include "common/timer.h"
+#include "grid/checkpoint.h"
 #include "integrity/integrity.h"
 #include "machine/kernel_sig.h"
 #include "stencil/sweeps.h"
@@ -26,6 +27,27 @@ std::int64_t now_ns() {
 bool known_kernel(const std::string& k) { return k == "7pt" || k == "27pt"; }
 
 }  // namespace
+
+fault::Status validate_spec(const JobSpec& spec, long max_points) {
+  if (!known_kernel(spec.kernel))
+    return {fault::ErrorCode::kMismatch, "unknown kernel '" + spec.kernel + "'"};
+  const long ny = spec.eff_ny(), nz = spec.eff_nz();
+  if (spec.nx < 8 || ny < 8 || nz < 8)
+    return {fault::ErrorCode::kMismatch, "grid dims must be >= 8"};
+  if (spec.nx * ny * nz > max_points)
+    return {fault::ErrorCode::kMismatch, "grid exceeds max_points"};
+  if (spec.steps < 1 || spec.steps > 1'000'000)
+    return {fault::ErrorCode::kMismatch, "steps out of range"};
+  if (spec.dim_x < 0 || spec.dim_y < 0 || spec.dim_t < 0)
+    return {fault::ErrorCode::kMismatch, "negative blocking dims"};
+  if ((spec.dim_x > 0) != (spec.dim_y > 0))
+    return {fault::ErrorCode::kMismatch, "dim_x/dim_y must be overridden together"};
+  if (spec.audit_rate < 0.0 || spec.audit_rate > 1.0)
+    return {fault::ErrorCode::kMismatch, "audit_rate outside [0,1]"};
+  if (spec.resume && spec.checkpoint_path.empty())
+    return {fault::ErrorCode::kMismatch, "resume requires a checkpoint_path"};
+  return {};
+}
 
 const char* to_string(JobState s) {
   switch (s) {
@@ -81,23 +103,11 @@ JobService::JobService(ServiceOptions options)
 JobService::~JobService() { shutdown(); }
 
 fault::Expected<std::uint64_t> JobService::submit(const JobSpec& spec) {
-  if (!known_kernel(spec.kernel))
-    return fault::Status(fault::ErrorCode::kMismatch,
-                         "unknown kernel '" + spec.kernel + "'");
-  const long ny = spec.eff_ny(), nz = spec.eff_nz();
-  if (spec.nx < 8 || ny < 8 || nz < 8)
-    return fault::Status(fault::ErrorCode::kMismatch, "grid dims must be >= 8");
-  if (spec.nx * ny * nz > opts_.max_points)
-    return fault::Status(fault::ErrorCode::kMismatch, "grid exceeds max_points");
-  if (spec.steps < 1 || spec.steps > 1'000'000)
-    return fault::Status(fault::ErrorCode::kMismatch, "steps out of range");
-  if (spec.dim_x < 0 || spec.dim_y < 0 || spec.dim_t < 0)
-    return fault::Status(fault::ErrorCode::kMismatch, "negative blocking dims");
-  if ((spec.dim_x > 0) != (spec.dim_y > 0))
-    return fault::Status(fault::ErrorCode::kMismatch,
-                         "dim_x/dim_y must be overridden together");
-  if (spec.audit_rate < 0.0 || spec.audit_rate > 1.0)
-    return fault::Status(fault::ErrorCode::kMismatch, "audit_rate outside [0,1]");
+  if (const fault::Status st = validate_spec(spec, opts_.max_points); !st.ok()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.rejected;
+    return st;
+  }
 
   std::uint64_t id = 0;
   {
@@ -370,6 +380,34 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
   // reused and fresh grids must be bit-identical.
   stencil::freeze_boundary(pair.src(), pair.dst(), sig.radius);
 
+  // Failover resume: restart from the job's periodic checkpoint when one
+  // exists and is trustworthy. Passes are never torn and the boundary is
+  // frozen, so a pass-boundary checkpoint fully determines the remaining
+  // run — resumed output is bit-identical to an uninterrupted one. Any
+  // anomaly (missing file, shape mismatch, corrupt payload, or a stale tag
+  // claiming more steps than the spec wants) falls back to a fresh start:
+  // correctness never depends on the checkpoint, only restart cost does.
+  int done = 0;
+  if (spec.resume && !spec.checkpoint_path.empty()) {
+    const auto probe = grid::probe_checkpoint(spec.checkpoint_path);
+    if (probe.ok() && !probe.value().lattice && probe.value().arrays == 1 &&
+        probe.value().elem_bytes == sizeof(float) && probe.value().nx == nx &&
+        probe.value().ny == ny && probe.value().nz == nz &&
+        probe.value().user_tag > 0 &&
+        probe.value().user_tag <= static_cast<std::uint64_t>(spec.steps)) {
+      std::uint64_t tag = 0;
+      if (grid::load_checkpoint_ex(spec.checkpoint_path, pair.src(), &tag).ok()) {
+        done = static_cast<int>(tag);
+        out.resumed_steps = done;
+        stencil::freeze_boundary(pair.src(), pair.dst(), sig.radius);
+      } else {
+        // Load failure leaves src unspecified: rebuild the step-0 state.
+        pair.src().fill_random(spec.seed, -1.0f, 1.0f);
+        stencil::freeze_boundary(pair.src(), pair.dst(), sig.radius);
+      }
+    }
+  }
+
   stencil::SweepConfig cfg;
   cfg.dim_x = dim_x;
   cfg.dim_y = dim_y;
@@ -395,7 +433,8 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
 
   Timer run_timer;
   fault::Status st;
-  int done = 0;
+  int passes = 0;
+  const int ckpt_every = spec.checkpoint_every > 0 ? spec.checkpoint_every : 1;
   // Chunked execution: one blocked pass (dim_t steps) per call. run_sweep
   // advances pass by pass internally, so this is bit-identical to a single
   // call with all steps — and gives us a safe cancellation/deadline check
@@ -421,6 +460,21 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
     }
     if (!st.ok()) break;
     done += chunk;
+    ++passes;
+    // Periodic failover checkpoint, then the pass hook — in that order, so
+    // a process fault fired "at pass p" (a supervised worker killing
+    // itself) always leaves the pass-p checkpoint behind for the sibling.
+    if (!spec.checkpoint_path.empty() &&
+        (passes % ckpt_every == 0 || done == spec.steps)) {
+      if (grid::save_checkpoint_ex(spec.checkpoint_path, pair.src(),
+                                   static_cast<std::uint64_t>(done))
+              .ok())
+        ++out.checkpoints;
+    }
+    if (opts_.pass_hook) {
+      st = opts_.pass_hook(spec, done);
+      if (!st.ok()) break;
+    }
   }
   out.run_s = run_timer.seconds();
   out.steps_done = done;

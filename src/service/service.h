@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -38,6 +39,7 @@
 #include "grid/grid3.h"
 #include "integrity/watchdog.h"
 #include "machine/descriptor.h"
+#include "service/backend.h"
 #include "service/job.h"
 #include "service/plan_cache.h"
 #include "service/queue.h"
@@ -56,15 +58,24 @@ struct ServiceOptions {
   // at construction (machine::host()).
   machine::Descriptor mach;
 
+  // Pass-boundary hook, called after every completed blocked pass (and any
+  // checkpoint save for that pass) with the job's spec and the number of
+  // steps completed so far. A non-ok return fails the job with that status.
+  // The supervised worker uses this to publish liveness progress and to
+  // evaluate injected process faults; the checkpoint-before-hook ordering
+  // guarantees a kill fired at pass p leaves the pass-p checkpoint behind
+  // for failover.
+  std::function<fault::Status(const JobSpec& spec, int steps_done)> pass_hook;
+
   // Honors S35_SERVE_THREADS, S35_SERVE_QUEUE, S35_SERVE_PLAN_CACHE,
   // S35_SERVE_WATCHDOG_MS, S35_SERVE_MAX_DIMT.
   static ServiceOptions from_env();
 };
 
-class JobService {
+class JobService : public JobBackend {
  public:
   explicit JobService(ServiceOptions options = {});
-  ~JobService();  // shutdown(): drains queued jobs, persists the plan cache
+  ~JobService() override;  // shutdown(): drains queued jobs, saves the plan cache
 
   JobService(const JobService&) = delete;
   JobService& operator=(const JobService&) = delete;
@@ -72,51 +83,39 @@ class JobService {
   // Admission: validates the spec (known kernel, sane dims, points cap) and
   // enqueues. Fails with kMismatch on an invalid spec, kUnavailable when the
   // queue is full or the service is shutting down. Returns the job id.
-  fault::Expected<std::uint64_t> submit(const JobSpec& spec);
+  fault::Expected<std::uint64_t> submit(const JobSpec& spec) override;
 
   // Cancels a job: removed from the queue when still queued; when running,
   // the worker observes the flag at the next pass boundary (results stay
   // bit-exact — passes are never torn). False if already terminal/unknown.
-  bool cancel(std::uint64_t id);
+  bool cancel(std::uint64_t id) override;
 
   // Snapshot of a job; nullopt for unknown ids.
-  std::optional<JobInfo> info(std::uint64_t id) const;
+  std::optional<JobInfo> info(std::uint64_t id) const override;
 
   // Blocks until the job reaches a terminal state (timeout_ms < 0 = forever).
   // nullopt on timeout or unknown id.
-  std::optional<JobInfo> wait(std::uint64_t id, std::int64_t timeout_ms = -1);
+  std::optional<JobInfo> wait(std::uint64_t id,
+                              std::int64_t timeout_ms = -1) override;
 
   // Blocks until every submitted job is terminal. False on timeout.
-  bool drain(std::int64_t timeout_ms = -1);
+  bool drain(std::int64_t timeout_ms = -1) override;
 
   // Pauses/resumes the worker *between* jobs — tests use this to stack the
   // queue deterministically before anything runs.
   void set_paused(bool paused);
 
-  struct Stats {
-    std::uint64_t submitted = 0;
-    std::uint64_t rejected = 0;  // admission failures (full queue/bad spec)
-    std::uint64_t completed = 0;
-    std::uint64_t failed = 0;
-    std::uint64_t cancelled = 0;
-    std::uint64_t expired = 0;
-    std::uint64_t batched = 0;    // jobs that reused the previous grids
-    std::size_t queue_depth = 0;
-    std::uint64_t plan_hits = 0;
-    std::uint64_t plan_misses = 0;
-    std::uint64_t watchdog_stalls = 0;
-    double total_wait_s = 0.0;  // summed queue wait of terminal jobs
-    double total_run_s = 0.0;   // summed sweep time of terminal jobs
-    int threads = 0;
-  };
-  Stats stats() const;
+  // The shared backend stats type (backend.h); supervision fields stay zero
+  // for the in-process service.
+  using Stats = ServiceStats;
+  Stats stats() const override;
 
   PlanCache& plan_cache() { return plan_cache_; }
   const ServiceOptions& options() const { return opts_; }
 
   // Stops admission, drains already-queued jobs, joins the worker, saves the
   // plan cache when a path is configured. Idempotent.
-  void shutdown();
+  void shutdown() override;
 
  private:
   struct JobRec {

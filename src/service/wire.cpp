@@ -1,0 +1,238 @@
+#include "service/wire.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "service/json.h"
+
+#ifdef __unix__
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace s35::service::wire {
+
+#ifdef __unix__
+
+namespace {
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint32_t type;
+  std::uint32_t length;
+};
+static_assert(sizeof(FrameHeader) == 12);
+
+// Writes the whole buffer; MSG_NOSIGNAL keeps a dead peer from raising
+// SIGPIPE against the supervisor.
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool valid_type(std::uint32_t t) {
+  return t >= static_cast<std::uint32_t>(FrameType::kSubmit) &&
+         t <= static_cast<std::uint32_t>(FrameType::kDrained);
+}
+
+// Tries to peel one complete frame off the front of `acc`.
+//  1 = frame produced, 0 = need more bytes, -1 = protocol violation.
+int parse_acc(std::string* acc, Frame* out) {
+  if (acc->size() < sizeof(FrameHeader)) return 0;
+  FrameHeader h{};
+  std::memcpy(&h, acc->data(), sizeof(h));
+  if (h.magic != kMagic || !valid_type(h.type) ||
+      h.length > json::kMaxRequestBytes)
+    return -1;
+  if (acc->size() < sizeof(h) + h.length) return 0;
+  out->type = static_cast<FrameType>(h.type);
+  out->payload.assign(acc->data() + sizeof(h), h.length);
+  acc->erase(0, sizeof(h) + h.length);
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameType type, const std::string& payload) {
+  if (payload.size() > json::kMaxRequestBytes) return false;
+  FrameHeader h{kMagic, static_cast<std::uint32_t>(type),
+                static_cast<std::uint32_t>(payload.size())};
+  std::string buf(sizeof(h) + payload.size(), '\0');
+  std::memcpy(buf.data(), &h, sizeof(h));
+  std::memcpy(buf.data() + sizeof(h), payload.data(), payload.size());
+  return write_all(fd, buf.data(), buf.size());
+}
+
+int read_frame(int fd, std::string* acc, Frame* out, int timeout_ms) {
+  for (;;) {
+    const int got = parse_acc(acc, out);
+    if (got != 0) return got;
+
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, timeout_ms);
+    if (pr == 0) return 0;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return -1;
+    }
+    if (n == 0) return -1;  // EOF
+    acc->append(buf, static_cast<std::size_t>(n));
+    // Loop: multiple frames may have arrived, or the frame may still be
+    // incomplete — poll again with the same timeout (close enough; this is
+    // a liveness timeout, not an accounting one).
+  }
+}
+
+int drain_frames(int fd, std::string* acc, std::vector<Frame>* out) {
+  // Pull whatever the kernel still buffers (nonblocking), then peel frames.
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) <= 0 || (p.revents & (POLLIN | POLLHUP)) == 0) break;
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    acc->append(buf, static_cast<std::size_t>(n));
+  }
+  int count = 0;
+  Frame f;
+  while (parse_acc(acc, &f) == 1) {
+    out->push_back(f);
+    ++count;
+  }
+  return count;
+}
+
+#else  // !__unix__
+
+bool write_frame(int, FrameType, const std::string&) { return false; }
+int read_frame(int, std::string*, Frame*, int) { return -1; }
+int drain_frames(int, std::string*, std::vector<Frame>*) { return 0; }
+
+#endif
+
+// ---- spec/result JSON --------------------------------------------------
+
+std::string spec_to_json(std::uint64_t job, const JobSpec& spec) {
+  std::ostringstream os;
+  os << "{\"job\":" << job << ",\"kernel\":\"" << json::escape(spec.kernel)
+     << "\",\"nx\":" << spec.nx << ",\"ny\":" << spec.ny << ",\"nz\":" << spec.nz
+     << ",\"steps\":" << spec.steps << ",\"dimx\":" << spec.dim_x
+     << ",\"dimy\":" << spec.dim_y << ",\"dimt\":" << spec.dim_t
+     << ",\"priority\":" << spec.priority << ",\"deadline_ms\":" << spec.deadline_ms
+     << ",\"seed\":" << spec.seed
+     << ",\"stream\":" << (spec.streaming_stores ? "true" : "false")
+     << ",\"audit\":" << (spec.audit ? "true" : "false")
+     << ",\"audit_rate\":" << spec.audit_rate;
+  if (!spec.checkpoint_path.empty())
+    os << ",\"ckpt\":\"" << json::escape(spec.checkpoint_path)
+       << "\",\"ckpt_every\":" << spec.checkpoint_every
+       << ",\"resume\":" << (spec.resume ? "true" : "false");
+  os << "}";
+  return os.str();
+}
+
+bool spec_from_json(const std::string& s, std::uint64_t* job, JobSpec* spec) {
+  std::int64_t v = 0;
+  if (!json::get_int(s, "job", &v) || v <= 0) return false;
+  *job = static_cast<std::uint64_t>(v);
+  if (!json::get_string(s, "kernel", &spec->kernel)) return false;
+  if (json::get_int(s, "nx", &v)) spec->nx = v;
+  if (json::get_int(s, "ny", &v)) spec->ny = v;
+  if (json::get_int(s, "nz", &v)) spec->nz = v;
+  if (json::get_int(s, "steps", &v)) spec->steps = static_cast<int>(v);
+  if (json::get_int(s, "dimx", &v)) spec->dim_x = v;
+  if (json::get_int(s, "dimy", &v)) spec->dim_y = v;
+  if (json::get_int(s, "dimt", &v)) spec->dim_t = static_cast<int>(v);
+  if (json::get_int(s, "priority", &v)) spec->priority = static_cast<int>(v);
+  if (json::get_int(s, "deadline_ms", &v)) spec->deadline_ms = v;
+  if (json::get_int(s, "seed", &v)) spec->seed = static_cast<std::uint64_t>(v);
+  json::get_bool(s, "stream", &spec->streaming_stores);
+  json::get_bool(s, "audit", &spec->audit);
+  json::get_double(s, "audit_rate", &spec->audit_rate);
+  json::get_string(s, "ckpt", &spec->checkpoint_path);
+  if (json::get_int(s, "ckpt_every", &v)) spec->checkpoint_every = static_cast<int>(v);
+  json::get_bool(s, "resume", &spec->resume);
+  return true;
+}
+
+std::string result_to_json(std::uint64_t job, JobState state, const JobResult& r) {
+  std::ostringstream os;
+  os << "{\"job\":" << job << ",\"state\":\"" << to_string(state)
+     << "\",\"crc\":" << r.crc << ",\"steps_done\":" << r.steps_done
+     << ",\"dimx\":" << r.dim_x << ",\"dimy\":" << r.dim_y << ",\"dimt\":" << r.dim_t
+     << ",\"plan_cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+     << ",\"batched\":" << (r.batched ? "true" : "false")
+     << ",\"wait_s\":" << r.wait_s << ",\"plan_s\":" << r.plan_s
+     << ",\"run_s\":" << r.run_s << ",\"compute_s\":" << r.compute_s
+     << ",\"audit_s\":" << r.audit_s << ",\"barrier_s\":" << r.barrier_s
+     << ",\"audited_rows\":" << r.audited_rows
+     << ",\"sdc_detected\":" << r.sdc_detected << ",\"reexecs\":" << r.reexecs
+     << ",\"resumed_steps\":" << r.resumed_steps
+     << ",\"checkpoints\":" << r.checkpoints
+     << ",\"error\":" << static_cast<int>(r.error);
+  if (!r.message.empty()) os << ",\"message\":\"" << json::escape(r.message) << "\"";
+  os << "}";
+  return os.str();
+}
+
+bool result_from_json(const std::string& s, std::uint64_t* job, JobState* state,
+                      JobResult* r) {
+  std::int64_t v = 0;
+  if (!json::get_int(s, "job", &v) || v <= 0) return false;
+  *job = static_cast<std::uint64_t>(v);
+  std::string st;
+  if (!json::get_string(s, "state", &st)) return false;
+  if (st == "done")
+    *state = JobState::kDone;
+  else if (st == "failed")
+    *state = JobState::kFailed;
+  else if (st == "cancelled")
+    *state = JobState::kCancelled;
+  else if (st == "expired")
+    *state = JobState::kExpired;
+  else
+    return false;
+  if (json::get_int(s, "crc", &v)) r->crc = static_cast<std::uint32_t>(v);
+  if (json::get_int(s, "steps_done", &v)) r->steps_done = static_cast<int>(v);
+  if (json::get_int(s, "dimx", &v)) r->dim_x = v;
+  if (json::get_int(s, "dimy", &v)) r->dim_y = v;
+  if (json::get_int(s, "dimt", &v)) r->dim_t = static_cast<int>(v);
+  json::get_bool(s, "plan_cache_hit", &r->plan_cache_hit);
+  json::get_bool(s, "batched", &r->batched);
+  json::get_double(s, "wait_s", &r->wait_s);
+  json::get_double(s, "plan_s", &r->plan_s);
+  json::get_double(s, "run_s", &r->run_s);
+  json::get_double(s, "compute_s", &r->compute_s);
+  json::get_double(s, "audit_s", &r->audit_s);
+  json::get_double(s, "barrier_s", &r->barrier_s);
+  if (json::get_int(s, "audited_rows", &v))
+    r->audited_rows = static_cast<std::uint64_t>(v);
+  if (json::get_int(s, "sdc_detected", &v))
+    r->sdc_detected = static_cast<std::uint64_t>(v);
+  if (json::get_int(s, "reexecs", &v)) r->reexecs = static_cast<std::uint64_t>(v);
+  if (json::get_int(s, "resumed_steps", &v)) r->resumed_steps = static_cast<int>(v);
+  if (json::get_int(s, "checkpoints", &v)) r->checkpoints = static_cast<int>(v);
+  if (json::get_int(s, "error", &v)) r->error = static_cast<fault::ErrorCode>(v);
+  json::get_string(s, "message", &r->message);
+  return true;
+}
+
+}  // namespace s35::service::wire

@@ -1,0 +1,79 @@
+// Length-prefixed frame protocol between the supervisor and its worker
+// processes (one socketpair per worker).
+//
+// Frame layout, little-endian, host-order (same-machine pipe, never a
+// network format):
+//
+//   u32 magic   "S35W"          — resync guard; a torn stream is detected,
+//   u32 type    FrameType          not silently mis-parsed
+//   u32 length  payload bytes, bounded by json::kMaxRequestBytes
+//   ...payload  flat JSON (same dialect as the NDJSON protocol)
+//
+// Reads are poll-based with a timeout and tolerate partial delivery and
+// EINTR; writes are atomic under a caller-held lock and never raise
+// SIGPIPE (a dead peer surfaces as an error return, which is exactly the
+// signal the supervisor's death detection wants).
+//
+// Payload schemas (all flat JSON):
+//   kSubmit   {"job":N, <spec fields>, ["fk":p]["fs":p,"fsm":ms]["fe":p]}
+//             fk/fs/fe are injected process-fault passes (kill/stall/SDC),
+//             present only for the targeted worker's first incarnation.
+//   kCancel   {"job":N}
+//   kResult   {"job":N,"state":"done",...}   worker -> supervisor, terminal
+//   kBeat     {"job":N,"progress":P}         worker -> supervisor, periodic
+//   kDrain    {}                             supervisor -> worker: finish
+//                                            current work, then reply
+//   kDrained  {}                             worker -> supervisor, then exit
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace s35::service::wire {
+
+inline constexpr std::uint32_t kMagic = 0x57353353u;  // "S35W" little-endian
+
+enum class FrameType : std::uint32_t {
+  kSubmit = 1,
+  kCancel = 2,
+  kResult = 3,
+  kBeat = 4,
+  kDrain = 5,
+  kDrained = 6,
+};
+
+struct Frame {
+  FrameType type = FrameType::kBeat;
+  std::string payload;
+};
+
+// Writes one frame. False on a dead/broken peer (never raises SIGPIPE).
+bool write_frame(int fd, FrameType type, const std::string& payload);
+
+// Reads one frame, waiting up to timeout_ms (-1 = forever, 0 = nonblock).
+//  1 = frame read, 0 = timeout, -1 = EOF/protocol violation/error.
+// `acc` carries partial bytes between calls (one accumulator per fd).
+int read_frame(int fd, std::string* acc, Frame* out, int timeout_ms);
+
+// Drains every complete frame already buffered in the kernel/`acc` without
+// blocking; appends to *out_payloads via the callback-free vector form.
+// Used when reaping a dead worker: a result written before death must be
+// delivered, not lost. Returns the number of frames recovered.
+int drain_frames(int fd, std::string* acc, std::vector<Frame>* out);
+
+// ---- spec/result (de)serialization over the trusted wire ----------------
+// Unlike the client-facing NDJSON parser, these carry the full JobSpec —
+// including checkpoint_path/resume, which untrusted clients must never
+// control.
+
+std::string spec_to_json(std::uint64_t job, const JobSpec& spec);
+bool spec_from_json(const std::string& s, std::uint64_t* job, JobSpec* spec);
+
+std::string result_to_json(std::uint64_t job, JobState state, const JobResult& r);
+bool result_from_json(const std::string& s, std::uint64_t* job, JobState* state,
+                      JobResult* r);
+
+}  // namespace s35::service::wire

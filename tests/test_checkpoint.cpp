@@ -47,6 +47,58 @@ TEST(Checkpoint, RejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
+// probe_checkpoint on the debris an interrupted atomic replace can leave
+// behind: the durable-save protocol is tmp + fsync + rename, so the only
+// states a crash may expose are (a) the intact previous file, (b) a
+// partial .tmp next to it, or (c) a file cut short by the filesystem
+// after a torn rename. Probe must never trust (b) or (c).
+TEST(Checkpoint, ProbeRejectsTruncatedMidReplaceStates) {
+  const std::string path = ::testing::TempDir() + "/s35_probe.ckpt";
+  grid::Grid3<float> a(12, 10, 8);
+  a.fill_random(3);
+  ASSERT_TRUE(grid::save_checkpoint_ex(path, a, /*user_tag=*/5).ok());
+
+  // Intact file: probe reports shape and the caller's tag.
+  {
+    const auto info = grid::probe_checkpoint(path);
+    ASSERT_TRUE(info.ok()) << info.status().to_string();
+    EXPECT_EQ(info.value().version, 2u);
+    EXPECT_FALSE(info.value().lattice);
+    EXPECT_EQ(info.value().nx, 12);
+    EXPECT_EQ(info.value().ny, 10);
+    EXPECT_EQ(info.value().nz, 8);
+    EXPECT_EQ(info.value().user_tag, 5u);
+  }
+  // A partial .tmp (crash before rename) is header-only debris.
+  {
+    const std::string tmp = path + ".tmp";
+    std::FILE* src = std::fopen(path.c_str(), "rb");
+    std::FILE* dst = std::fopen(tmp.c_str(), "wb");
+    ASSERT_TRUE(src != nullptr && dst != nullptr);
+    char buf[64];  // header is 72 bytes: cut mid-header
+    ASSERT_EQ(std::fread(buf, 1, sizeof buf, src), sizeof buf);
+    ASSERT_EQ(std::fwrite(buf, 1, sizeof buf, dst), sizeof buf);
+    std::fclose(src);
+    std::fclose(dst);
+    EXPECT_EQ(grid::probe_checkpoint(tmp).status().code(),
+              fault::ErrorCode::kTruncated);
+    std::remove(tmp.c_str());
+  }
+  // Payload cut short: the header promises more bytes than the file holds.
+  {
+    ASSERT_EQ(truncate(path.c_str(), 72 + 12 * 10 * 4 * sizeof(float)), 0);
+    EXPECT_EQ(grid::probe_checkpoint(path).status().code(),
+              fault::ErrorCode::kTruncated);
+  }
+  // Header itself cut short.
+  {
+    ASSERT_EQ(truncate(path.c_str(), 20), 0);
+    EXPECT_EQ(grid::probe_checkpoint(path).status().code(),
+              fault::ErrorCode::kTruncated);
+  }
+  std::remove(path.c_str());
+}
+
 // Restarting an LBM run from a checkpoint continues bit-exactly.
 TEST(Checkpoint, LbmRestartBitExact) {
   const std::string path = ::testing::TempDir() + "/s35_latt.ckpt";

@@ -5,8 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <unistd.h>
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <cerrno>
+#endif
 
 #include <atomic>
+#include <cstring>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -16,10 +22,12 @@
 
 #include "common/crc32c.h"
 #include "core/engine.h"
+#include "grid/checkpoint.h"
 #include "grid/grid3.h"
 #include "machine/descriptor.h"
 #include "machine/kernel_sig.h"
 #include "service/job.h"
+#include "service/json.h"
 #include "service/plan_cache.h"
 #include "service/protocol.h"
 #include "service/queue.h"
@@ -457,6 +465,98 @@ TEST(ServiceTest, AuditJobCountsRowsAndStaysBitExact) {
   EXPECT_EQ(da->result.audited_rows, 0u);
 }
 
+// ----------------------------------------------------- checkpoint / resume
+
+// A job that checkpoints at pass boundaries and a second job resuming from
+// that checkpoint must together be bit-identical to one uninterrupted run.
+TEST(ServiceTest, ResumeFromCheckpointIsBitExact) {
+  const std::string ckpt = tmp_path("service_resume.ckpt");
+  std::remove(ckpt.c_str());
+  JobService svc(test_options());
+
+  JobSpec spec;
+  spec.nx = 20;
+  spec.steps = 6;
+  spec.dim_x = 8;
+  spec.dim_y = 8;
+  spec.dim_t = 1;
+  spec.seed = 77;
+  const std::uint32_t want =
+      reference_crc(spec, spec.dim_x, spec.dim_y, spec.dim_t);
+
+  // First half: 3 steps, checkpointing every pass (tag ends at 3).
+  JobSpec half = spec;
+  half.steps = 3;
+  half.checkpoint_path = ckpt;
+  half.checkpoint_every = 1;
+  const auto a = svc.submit(half);
+  ASSERT_TRUE(a.ok());
+  const auto da = svc.wait(a.value());
+  ASSERT_TRUE(da && da->state == JobState::kDone) << da->result.message;
+  EXPECT_GE(da->result.checkpoints, 1);
+  const auto info = grid::probe_checkpoint(ckpt);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().user_tag, 3u);
+
+  // Second half: resume and run to 6; must equal the uninterrupted run.
+  JobSpec rest = spec;
+  rest.checkpoint_path = ckpt;
+  rest.resume = true;
+  const auto b = svc.submit(rest);
+  ASSERT_TRUE(b.ok());
+  const auto db = svc.wait(b.value());
+  ASSERT_TRUE(db && db->state == JobState::kDone) << db->result.message;
+  EXPECT_EQ(db->result.resumed_steps, 3);
+  EXPECT_EQ(db->result.crc, want);
+  std::remove(ckpt.c_str());
+}
+
+// A checkpoint whose user_tag exceeds the requested step count is stale
+// (e.g. left over from a longer job on the same path): resume must fall
+// back to a fresh start — still bit-exact — rather than trust it.
+TEST(ServiceTest, ResumeWithStaleUserTagStartsFresh) {
+  const std::string ckpt = tmp_path("service_stale.ckpt");
+  std::remove(ckpt.c_str());
+  JobService svc(test_options());
+
+  JobSpec spec;
+  spec.nx = 20;
+  spec.steps = 6;
+  spec.dim_x = 8;
+  spec.dim_y = 8;
+  spec.dim_t = 1;
+  spec.seed = 78;
+  JobSpec long_job = spec;
+  long_job.checkpoint_path = ckpt;
+  long_job.checkpoint_every = 1;
+  const auto a = svc.submit(long_job);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(svc.wait(a.value()).has_value());  // tag is now 6
+
+  JobSpec shorter = spec;
+  shorter.steps = 4;  // < tag: the checkpoint is from the job's future
+  shorter.checkpoint_path = ckpt;
+  shorter.resume = true;
+  const auto b = svc.submit(shorter);
+  ASSERT_TRUE(b.ok());
+  const auto db = svc.wait(b.value());
+  ASSERT_TRUE(db && db->state == JobState::kDone) << db->result.message;
+  EXPECT_EQ(db->result.resumed_steps, 0);  // fresh start, not a bogus resume
+  EXPECT_EQ(db->result.crc,
+            reference_crc(shorter, shorter.dim_x, shorter.dim_y, shorter.dim_t));
+  std::remove(ckpt.c_str());
+}
+
+// resume without a checkpoint_path is a contradiction, rejected upfront.
+TEST(ServiceTest, ResumeWithoutPathIsRejected) {
+  JobService svc(test_options());
+  JobSpec spec;
+  spec.nx = 16;
+  spec.steps = 2;
+  spec.resume = true;
+  EXPECT_EQ(svc.submit(spec).status().code(), fault::ErrorCode::kMismatch);
+}
+
 // --------------------------------------------------------------- protocol
 
 TEST(ProtocolTest, HandleLineSubmitWaitStatsErrors) {
@@ -506,6 +606,206 @@ TEST(ProtocolTest, ServeStreamRunsSession) {
   EXPECT_NE(s.find("\"shutdown\":true"), std::string::npos);
   EXPECT_EQ(s.find("\"submitted\""), std::string::npos);
 }
+
+// Deterministic malformed-input fuzz: the parser must answer every line —
+// random bytes, structural mutations of a valid request, oversized input —
+// with a well-formed error, never crash, and never latch shutdown.
+TEST(ProtocolTest, FuzzMalformedInputNeverCrashesParser) {
+  JobService svc(test_options());
+  svc.set_paused(true);  // fuzz the parser, don't run accidental submits
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const std::string valid =
+      R"({"op":"status","id":1,"kernel":"7pt","n":16,"steps":2})";
+
+  for (int i = 0; i < 400; ++i) {
+    std::string line;
+    switch (i % 4) {
+      case 0: {  // random bytes, including NULs and non-UTF8
+        const std::size_t len = next() % 96;
+        for (std::size_t j = 0; j < len; ++j)
+          line.push_back(static_cast<char>(next() & 0xFF));
+        break;
+      }
+      case 1:  // truncation of a valid request
+        line = valid.substr(0, next() % valid.size());
+        break;
+      case 2: {  // byte-level mutation of a valid request
+        line = valid;
+        for (int m = 0; m < 3; ++m)
+          line[next() % line.size()] = static_cast<char>(next() & 0xFF);
+        break;
+      }
+      case 3: {  // structurally hostile: deep quotes, giant numbers
+        line = "{\"op\":\"";
+        for (int j = 0; j < static_cast<int>(next() % 40); ++j) line += "\\\"";
+        line += "\",\"id\":999999999999999999999999999}";
+        break;
+      }
+    }
+    bool shutdown = false;
+    const std::string resp = service::handle_line(svc, line, &shutdown);
+    ASSERT_FALSE(resp.empty());
+    EXPECT_EQ(resp.rfind("{\"ok\":", 0), 0u) << resp;
+    EXPECT_FALSE(shutdown) << line;
+  }
+
+  // Oversized line: typed protocol error, bounded memory.
+  std::string huge = R"({"op":"stats","pad":")";
+  huge.append(service::json::kMaxRequestBytes, 'x');
+  huge += "\"}";
+  bool shutdown = false;
+  const std::string resp = service::handle_line(svc, huge, &shutdown);
+  EXPECT_NE(resp.find("protocol_error"), std::string::npos) << resp;
+  // Oversized string *field* inside a size-ok line is also rejected.
+  std::string field = R"({"op":"submit","kernel":")";
+  field.append(service::json::kMaxStringField + 16, 'k');
+  field += "\"}";
+  const std::string resp2 = service::handle_line(svc, field, &shutdown);
+  EXPECT_NE(resp2.find("\"ok\":false"), std::string::npos) << resp2;
+  svc.set_paused(false);
+}
+
+// Concurrent save/load on one plan-cache path: the flock + atomic-replace
+// pairing means every load sees a complete, CRC-clean file — never a torn
+// or mid-replace state.
+TEST(PlanCacheTest, ConcurrentSaveLoadStaysConsistent) {
+  const std::string path = tmp_path("plan_cache_flock.bin");
+  const auto mach = machine::core_i7();
+  const auto sig = machine::seven_point();
+  {  // seed the file so loaders never race file creation
+    PlanCache cache(8);
+    cache.insert(PlanKey::make(mach, sig, 32, 32, 32, 4), {16, 16, 2});
+    ASSERT_TRUE(cache.save(path).ok());
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        if (t % 2 == 0) {  // writer: varying entry counts
+          PlanCache cache(8);
+          for (int e = 0; e <= (i % 3) + 1; ++e)
+            cache.insert(PlanKey::make(mach, sig, 32 + 16 * e, 32, 32, 4),
+                         {16, 16, 1 + e});
+          if (!cache.save(path).ok()) failed.store(true);
+        } else {  // reader: must always see a complete file
+          PlanCache cache(8);
+          const fault::Status st = cache.load(path);
+          if (!st.ok() || cache.size() == 0) failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- unix socket
+
+#ifdef __unix__
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int i = 0; i < 100; ++i) {  // server may still be binding
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string msg = line + "\n";
+  return ::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(msg.size());
+}
+
+// Reads one newline-terminated response (blocking, bounded by deadline).
+std::string recv_line(int fd, int timeout_ms = 30'000) {
+  std::string acc;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[1024];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t nl = acc.find('\n');
+    if (nl != std::string::npos) return acc.substr(0, nl);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      acc.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      break;
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      break;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return acc;
+}
+
+// One poll loop serves every client: a stalled client (half-written line,
+// never finished) must not delay another client's submit/wait. The old
+// accept-one-client-at-a-time transport failed exactly this.
+TEST(ProtocolTest, ServeUnixMultiplexesPastStalledClient) {
+  const std::string sock = tmp_path("s35_mux.sock");
+  JobService svc(test_options());
+  std::atomic<bool> stop{false};
+  std::thread server([&] { service::serve_unix(svc, sock, &stop); });
+
+  const int stalled = connect_unix(sock);
+  ASSERT_GE(stalled, 0);
+  // Half a request, no newline — this connection now just sits there.
+  const std::string half = R"({"op":"submit","kernel":)";
+  ASSERT_EQ(::send(stalled, half.data(), half.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(half.size()));
+
+  const int live = connect_unix(sock);
+  ASSERT_GE(live, 0);
+  ASSERT_TRUE(send_line(live, R"({"op":"submit","kernel":"7pt","n":16,"steps":2})"));
+  const std::string r1 = recv_line(live);
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos) << r1;
+  ASSERT_TRUE(send_line(live, R"({"op":"wait","id":1})"));
+  const std::string r2 = recv_line(live);
+  EXPECT_NE(r2.find("\"state\":\"done\""), std::string::npos) << r2;
+
+  // A second live client interleaves with the first — still served.
+  const int live2 = connect_unix(sock);
+  ASSERT_GE(live2, 0);
+  ASSERT_TRUE(send_line(live2, R"({"op":"stats"})"));
+  EXPECT_NE(recv_line(live2).find("\"submitted\":1"), std::string::npos);
+
+  // An oversized request line gets a typed error and only *that*
+  // connection is closed.
+  const int hostile = connect_unix(sock);
+  ASSERT_GE(hostile, 0);
+  std::string huge(service::json::kMaxRequestBytes + 128, 'z');
+  (void)::send(hostile, huge.data(), huge.size(), MSG_NOSIGNAL);
+  const std::string err = recv_line(hostile);
+  EXPECT_NE(err.find("protocol_error"), std::string::npos) << err;
+  ASSERT_TRUE(send_line(live2, R"({"op":"stats"})"));  // others unaffected
+  EXPECT_NE(recv_line(live2).find("\"ok\":true"), std::string::npos);
+
+  // SIGTERM-style stop flag: the loop notices and returns.
+  stop.store(true);
+  server.join();
+  for (const int fd : {stalled, live, live2, hostile})
+    if (fd >= 0) ::close(fd);
+  std::remove(sock.c_str());
+}
+
+#endif  // __unix__
 
 // ------------------------------------------------------------------- soak
 

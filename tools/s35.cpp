@@ -13,11 +13,15 @@
 //   s35 serve    resident job service: NDJSON over stdin or a Unix socket,
 //                warm thread team + plan cache across jobs
 //   s35 plan-cache  dump/inspect/clear a persisted plan cache
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,7 @@
 #include "service/plan_cache.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "service/supervisor.h"
 #include "stencil/distributed.h"
 
 using namespace s35;
@@ -386,8 +391,15 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+// SIGTERM → graceful drain: serve_unix checks this between poll rounds,
+// the backend then finishes every accepted job before the process exits.
+std::atomic<bool> g_serve_stop{false};
+extern "C" void serve_stop_handler(int) { g_serve_stop.store(true); }
+
 // Resident job service: NDJSON requests on stdin (default) or a Unix
 // socket. CLI flags override the S35_SERVE_* environment defaults.
+// --workers N > 0 swaps the in-process JobService for the supervised
+// worker-process plane (crash isolation + heartbeats + failover).
 int cmd_serve(const Args& args) {
   service::ServiceOptions opts = service::ServiceOptions::from_env();
   opts.threads = static_cast<int>(args.num("threads", opts.threads));
@@ -396,15 +408,65 @@ int cmd_serve(const Args& args) {
   opts.plan_cache_path = args.str("plan-cache", opts.plan_cache_path);
   opts.watchdog_ms = static_cast<int>(args.num("watchdog-ms", opts.watchdog_ms));
   opts.max_dim_t = static_cast<int>(args.num("max-dimt", opts.max_dim_t));
-  service::JobService svc(opts);
-  std::fprintf(stderr, "s35 serve: %d threads, queue %zu, plan cache %s\n",
-               svc.options().threads, svc.options().queue_capacity,
-               opts.plan_cache_path.empty() ? "(memory)"
-                                            : opts.plan_cache_path.c_str());
+
+  service::SupervisorOptions sup = service::SupervisorOptions::from_env();
+  sup.service = opts;
+  const int workers = static_cast<int>(args.num("workers", sup.workers > 0 &&
+                                                std::getenv("S35_SERVE_WORKERS")
+                                                    ? sup.workers : 0));
+  sup.workers = workers;
+  sup.beat_ms = static_cast<int>(args.num("beat-ms", sup.beat_ms));
+  sup.hang_ms = static_cast<int>(args.num("hang-ms", sup.hang_ms));
+  sup.max_restarts = static_cast<int>(args.num("max-restarts", sup.max_restarts));
+  sup.max_job_attempts =
+      static_cast<int>(args.num("max-job-attempts", sup.max_job_attempts));
+  sup.checkpoint_dir = args.str("ckpt-dir", sup.checkpoint_dir);
+  sup.checkpoint_every =
+      static_cast<int>(args.num("ckpt-every", sup.checkpoint_every));
+  sup.queue_capacity = opts.queue_capacity;
+
+  // Deterministic process-fault injection (tests / soak): kill, stall, or
+  // SDC-escalate a worker at a given pass of its current job.
+  fault::FaultPlan faults(static_cast<std::uint64_t>(args.num("seed", 42)));
+  faults.kill_worker = static_cast<int>(args.num("kill-worker", -1));
+  faults.kill_worker_pass = static_cast<std::int64_t>(args.num("kill-pass", -1));
+  faults.stall_worker = static_cast<int>(args.num("stall-worker", -1));
+  faults.stall_worker_pass =
+      static_cast<std::int64_t>(args.num("stall-worker-pass", -1));
+  faults.stall_worker_ms = static_cast<int>(args.num("stall-worker-ms", 0));
+  faults.sdc_worker = static_cast<int>(args.num("sdc-worker", -1));
+  faults.sdc_worker_pass = static_cast<std::int64_t>(args.num("sdc-pass", -1));
+  if (faults.has_worker_faults()) sup.faults = &faults;
+
+  std::unique_ptr<service::JobBackend> backend;
+  if (workers > 0) {
+    backend = std::make_unique<service::Supervisor>(sup);
+    std::fprintf(stderr,
+                 "s35 serve: %d workers x %d threads, queue %zu, beat %d ms, "
+                 "hang %d ms, ckpt %s\n",
+                 workers, opts.threads, sup.queue_capacity, sup.beat_ms,
+                 sup.hang_ms,
+                 sup.checkpoint_dir.empty() ? "(off)"
+                                            : sup.checkpoint_dir.c_str());
+  } else {
+    backend = std::make_unique<service::JobService>(opts);
+    std::fprintf(stderr, "s35 serve: %d threads, queue %zu, plan cache %s\n",
+                 opts.threads, opts.queue_capacity,
+                 opts.plan_cache_path.empty() ? "(memory)"
+                                              : opts.plan_cache_path.c_str());
+  }
+
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGINT, serve_stop_handler);
   const std::string socket = args.str("socket", "");
-  if (!socket.empty()) return service::serve_unix(svc, socket);
-  service::serve_stream(svc, std::cin, std::cout);
-  return 0;
+  int rc = 0;
+  if (!socket.empty()) {
+    rc = service::serve_unix(*backend, socket, &g_serve_stop);
+  } else {
+    service::serve_stream(*backend, std::cin, std::cout);
+  }
+  backend->shutdown();  // graceful drain (finishes accepted jobs)
+  return rc;
 }
 
 int cmd_plan_cache(const Args& args) {
@@ -497,6 +559,12 @@ int main(int argc, char** argv) {
       "  serve     resident job service (NDJSON: submit/status/wait/cancel/stats)\n"
       "            [--threads N] [--queue N] [--plan-cache FILE] [--socket PATH]\n"
       "            [--watchdog-ms MS] [--max-dimt T]; env: S35_SERVE_*\n"
+      "            supervised plane: [--workers N] [--beat-ms MS] [--hang-ms MS]\n"
+      "            [--max-restarts K] [--max-job-attempts K] [--ckpt-dir DIR]\n"
+      "            [--ckpt-every P]; SIGTERM drains gracefully\n"
+      "            process faults: [--kill-worker K --kill-pass P]\n"
+      "            [--stall-worker K --stall-worker-pass P --stall-worker-ms MS]\n"
+      "            [--sdc-worker K --sdc-pass P] [--seed S]\n"
       "  plan-cache  inspect or clear a persisted plan cache\n"
       "            --path FILE [--clear]");
   return cmd.empty() ? 0 : 1;
