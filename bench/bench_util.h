@@ -181,7 +181,11 @@ inline void stencil_kappa_dim_t(stencil::Variant v, const stencil::SweepConfig& 
       *dim_t = cfg.dim_t;
       break;
     case stencil::Variant::kBlocked35D:
-      *kappa = core::kappa_35d(radius, cfg.dim_t, dx, dy);
+      // Diamond mountains span the whole XY plane: no ghost-zone recompute,
+      // so κ = 1 and the eq. 3 prediction is ideal / dim_t.
+      *kappa = cfg.family == core::ScheduleFamily::kDiamond
+                   ? 1.0
+                   : core::kappa_35d(radius, cfg.dim_t, dx, dy);
       *dim_t = cfg.dim_t;
       break;
   }

@@ -47,6 +47,7 @@ SMOKE_SET = [
     ("memtraffic", {}),
     ("scaling_simd", {}),
     ("integrity_overhead", {"S35_GRIDS": "64"}),
+    ("ablation_schedule", {"S35_GRIDS": "64"}),
     ("service_throughput", {"S35_SERVE_JOBS": "10", "S35_SERVE_N": "32"}),
 ]
 

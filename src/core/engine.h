@@ -66,6 +66,20 @@ inline telemetry::Phase phase_of(StepKind kind) {
   return telemetry::Phase::kCompute;
 }
 
+// Optional kernel hook for register row-pair fusion (the deep-3.5D
+// schedule family). When the kernel reports paired_rows(), the engine
+// feeds vertically adjacent compute spans with identical x-ranges to
+// execute_pair(tile, step, y, x0, x1) — which must update rows y and y+1
+// bit-identically to two execute() calls (the kernel falls back itself for
+// rows it cannot fuse, e.g. frozen shells). Keeping the pair's shared
+// center-plane loads in registers is what lets deep dim_t plans hold
+// several time instances without round-tripping through cache.
+template <typename K>
+concept HasPairedRows = requires(K& k, const Tile& tile, const Step& step) {
+  { k.paired_rows() } -> std::convertible_to<bool>;
+  k.execute_pair(tile, step, 0L, 0L, 0L);
+};
+
 // Optional kernel hook set for the online-integrity layer.
 template <typename K>
 concept HasIntegrityHooks =
@@ -152,6 +166,12 @@ class Engine35 {
     if constexpr (kHasHooks) integrity_on = kernel.integrity_active();
     [[maybe_unused]] const bool iact = integrity_on;
 
+    // Row-pair fusion (deep-3.5D family): resolved once, like integrity.
+    constexpr bool kHasPair = HasPairedRows<Kernel>;
+    bool pair_requested = false;
+    if constexpr (kHasPair) pair_requested = kernel.paired_rows();
+    [[maybe_unused]] const bool pair_on = pair_requested;
+
     team_.run([&](int tid) {
       const bool tel = telemetry::enabled();
       for (const Tile& tile : tiling.tiles()) {
@@ -169,13 +189,49 @@ class Engine35 {
               }
               const telemetry::ScopedPhase phase(tid, phase_of(step.kind));
               std::uint64_t cells = 0;
-              parallel::for_each_span(
-                  region.x.size(), region.y.size(), nthreads, tid,
-                  [&](long y, long x0, long x1) {
-                    kernel.execute(tile, step, region.y.begin + y,
-                                   region.x.begin + x0, region.x.begin + x1);
-                    cells += static_cast<std::uint64_t>(x1 - x0);
-                  });
+              bool fused = false;
+              if constexpr (kHasPair) {
+                if (pair_on && step.kind == StepKind::kCompute) {
+                  fused = true;
+                  // Pending-row pairing: for_each_span yields ascending y
+                  // within a thread's slice, so adjacent spans with the
+                  // same x-range form a fusable pair.
+                  long py = -1, px0 = 0, px1 = 0;
+                  parallel::for_each_span(
+                      region.x.size(), region.y.size(), nthreads, tid,
+                      [&](long y, long x0, long x1) {
+                        cells += static_cast<std::uint64_t>(x1 - x0);
+                        if (py >= 0 && y == py + 1 && x0 == px0 && x1 == px1) {
+                          kernel.execute_pair(tile, step, region.y.begin + py,
+                                              region.x.begin + px0,
+                                              region.x.begin + px1);
+                          py = -1;
+                          return;
+                        }
+                        if (py >= 0) {
+                          kernel.execute(tile, step, region.y.begin + py,
+                                         region.x.begin + px0,
+                                         region.x.begin + px1);
+                        }
+                        py = y;
+                        px0 = x0;
+                        px1 = x1;
+                      });
+                  if (py >= 0) {
+                    kernel.execute(tile, step, region.y.begin + py,
+                                   region.x.begin + px0, region.x.begin + px1);
+                  }
+                }
+              }
+              if (!fused) {
+                parallel::for_each_span(
+                    region.x.size(), region.y.size(), nthreads, tid,
+                    [&](long y, long x0, long x1) {
+                      kernel.execute(tile, step, region.y.begin + y,
+                                     region.x.begin + x0, region.x.begin + x1);
+                      cells += static_cast<std::uint64_t>(x1 - x0);
+                    });
+              }
               if (tel) {
                 if (step.kind == StepKind::kLoad) {
                   telemetry::add_external_cells(tid, cells, 0);

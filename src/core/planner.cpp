@@ -1,5 +1,6 @@
 #include "core/planner.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -109,6 +110,7 @@ BlockPlan plan(const machine::Descriptor& mach, const machine::KernelSig& kernel
   // by the same κ (ghost-region recomputation).
   const double bytes_blocked = kernel.bytes(precision) * p.kappa / p.dim_t;
   const double ops_blocked = kernel.ops() * p.kappa;
+  p.bytes_per_update = bytes_blocked;
   p.predicted_mups = roofline_mups(mach, precision, options.use_effective_peak,
                                    bytes_blocked, ops_blocked);
   // No-blocking baseline on a cached machine: the LLC provides the spatial
@@ -118,6 +120,96 @@ BlockPlan plan(const machine::Descriptor& mach, const machine::KernelSig& kernel
   // model handles the cacheless case separately.
   p.predicted_mups_no_blocking = roofline_mups(
       mach, precision, options.use_effective_peak, kernel.bytes(precision), kernel.ops());
+  return p;
+}
+
+double predicted_bytes_per_update(ScheduleFamily family, double bytes_ideal,
+                                  int radius, int dim_t, long dim_x, long dim_y) {
+  S35_CHECK(dim_t >= 1);
+  if (family == ScheduleFamily::kDiamond) return bytes_ideal / dim_t;
+  const double kappa =
+      dim_x > 0 ? kappa_35d(radius, dim_t, dim_x, dim_y > 0 ? dim_y : dim_x) : 1.0;
+  return bytes_ideal * kappa / dim_t;
+}
+
+BlockPlan plan_family(const machine::Descriptor& mach, const machine::KernelSig& kernel,
+                      machine::Precision precision, ScheduleFamily family,
+                      const PlanOptions& options) {
+  if (family == ScheduleFamily::kPaper35D) {
+    BlockPlan p = plan(mach, kernel, precision, options);
+    p.family = family;
+    return p;
+  }
+
+  const double gk = kernel.gamma(precision);
+  const double gm = mach.bytes_per_op(precision, options.use_effective_peak);
+  const int t_min = options.force_dim_t > 0 ? options.force_dim_t : min_dim_t(gk, gm);
+
+  if (family == ScheduleFamily::kDeep35D) {
+    // Deep temporal blocking: walk dim_t past the eq. 3 sweet spot. Each
+    // extra step divides external traffic by dim_t/(dim_t-1) but inflates
+    // kappa (the eq. 4 tile shrinks to keep eq. 1 satisfied); the roofline
+    // crossover is the plan.
+    const int t_cap = options.force_dim_t > 0
+                          ? options.force_dim_t
+                          : (options.max_dim_t > 0 ? options.max_dim_t
+                                                   : std::max(4 * t_min, 8));
+    BlockPlan best;
+    for (int t = t_min; t <= t_cap; ++t) {
+      PlanOptions o = options;
+      o.force_dim_t = t;
+      BlockPlan p = plan(mach, kernel, precision, o);
+      p.family = family;
+      if (!p.feasible) break;  // deeper blocks only shrink the tile further
+      if (!best.feasible || p.predicted_mups > best.predicted_mups) best = p;
+    }
+    if (best.feasible) return best;
+    BlockPlan p = plan(mach, kernel, precision, options);
+    p.family = family;
+    return p;
+  }
+
+  // Diamond: whole-plane XY, kappa = 1, no recompute. Traffic bytes/dim_t
+  // is monotone improving, so pick the smallest depth within 2% of the
+  // deepest candidate's roofline — extra depth past the compute roof only
+  // costs ring capacity (ring = min(2W, nz), W = 2*R*dim_t + 1).
+  const int t_cap = options.force_dim_t > 0
+                        ? options.force_dim_t
+                        : (options.max_dim_t > 0 ? options.max_dim_t
+                                                 : std::max(2 * t_min, 4));
+  BlockPlan p;
+  p.family = ScheduleFamily::kDiamond;
+  p.radius = kernel.radius;
+  p.gamma_kernel = gk;
+  p.gamma_machine = gm;
+  const double bytes_ideal = kernel.bytes(precision);
+  double best_mups = 0.0;
+  for (int t = t_min; t <= t_cap; ++t) {
+    const double m = roofline_mups(mach, precision, options.use_effective_peak,
+                                   bytes_ideal / t, kernel.ops());
+    if (m > best_mups) best_mups = m;
+  }
+  p.dim_t = t_cap;
+  for (int t = t_min; t <= t_cap; ++t) {
+    const double m = roofline_mups(mach, precision, options.use_effective_peak,
+                                   bytes_ideal / t, kernel.ops());
+    if (m >= 0.98 * best_mups) {
+      p.dim_t = t;
+      break;
+    }
+  }
+  p.dim_x = p.dim_y = 0;  // whole plane
+  p.dim_z = TemporalSchedule::min_diamond_width(p.radius, p.dim_t);
+  const long ring = options.nz > 0 ? std::min(2 * p.dim_z, options.nz) : 2 * p.dim_z;
+  p.planes_per_instance = static_cast<int>(ring);
+  p.kappa = 1.0;
+  p.bytes_per_update = bytes_ideal / p.dim_t;
+  p.predicted_mups = roofline_mups(mach, precision, options.use_effective_peak,
+                                   p.bytes_per_update, kernel.ops());
+  p.predicted_mups_no_blocking = roofline_mups(mach, precision,
+                                               options.use_effective_peak, bytes_ideal,
+                                               kernel.ops());
+  p.feasible = options.nz == 0 || options.nz > 2L * p.radius;
   return p;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 
+#include "core/schedule.h"
 #include "machine/descriptor.h"
 #include "machine/kernel_sig.h"
 
@@ -55,19 +56,28 @@ struct PlanOptions {
   bool use_effective_peak = false;
   // Upper bound on dim_t (0 = planner's minimum from eq. 3).
   int force_dim_t = 0;
+  // Grid depth, for families whose ring scales with the schedule (the
+  // diamond ring is min(2W, nz)). 0 = unknown, assume deep grids.
+  long nz = 0;
+  // Cap for the per-family dim_t search in plan_family (deep/diamond);
+  // 0 = a family default derived from the eq. 3 minimum.
+  int max_dim_t = 0;
 };
 
 struct BlockPlan {
   bool feasible = false;  // dim_x > 2R·dimT, i.e. a non-empty output region
+  ScheduleFamily family = ScheduleFamily::kPaper35D;
   int radius = 1;
   int dim_t = 1;
-  long dim_x = 0;
+  long dim_x = 0;  // 0 = whole-plane XY (diamond family)
   long dim_y = 0;
+  long dim_z = 0;  // diamond mountain width W (0 for the other families)
   int planes_per_instance = 0;  // ring depth per time instance (2R+2)
   double kappa = 1.0;           // eq. 2 for the chosen dims
   double gamma_kernel = 0.0;    // γ
   double gamma_machine = 0.0;   // Γ
-  std::size_t buffer_bytes = 0; // E·(2R+2)·dimT·dimX·dimY (eq. 1 LHS)
+  std::size_t buffer_bytes = 0; // E·ring·dimT·dimX·dimY (eq. 1 LHS)
+  double bytes_per_update = 0.0;  // predicted external traffic per update
 
   // Roofline throughput predictions in million point-updates per second.
   double predicted_mups = 0.0;            // with this plan
@@ -79,6 +89,27 @@ struct BlockPlan {
 // predictions against `mach`.
 BlockPlan plan(const machine::Descriptor& mach, const machine::KernelSig& kernel,
                machine::Precision precision, const PlanOptions& options = {});
+
+// Analytic external-traffic model per family in bytes/update.
+// bytes_ideal is the kernel's unblocked per-update traffic (kernel.bytes).
+// Paper/deep tiles pay the eq. 2 XY-ghost factor (dim_x <= 0 means
+// whole-plane, kappa = 1); the diamond family always runs whole-plane XY,
+// so it pays only the 1/dim_t compression and no recompute.
+double predicted_bytes_per_update(ScheduleFamily family, double bytes_ideal,
+                                  int radius, int dim_t, long dim_x, long dim_y);
+
+// Family-aware planning. kPaper35D delegates to plan() (dim_t from eq. 3 —
+// unchanged semantics, still the default). kDeep35D searches dim_t from the
+// eq. 3 minimum up to options.max_dim_t (default: well past eq. 3),
+// shrinking the tile per eq. 4 as it deepens, and keeps the roofline-best
+// depth — deep pays larger kappa for proportionally less external traffic.
+// kDiamond models the whole-plane diamond: kappa = 1, traffic bytes/dim_t,
+// ring min(2W, nz) with W the minimal mountain width for the chosen depth;
+// it keeps the smallest dim_t whose roofline is within 2% of the best (the
+// extra depth buys nothing once compute-bound, and costs ring capacity).
+BlockPlan plan_family(const machine::Descriptor& mach, const machine::KernelSig& kernel,
+                      machine::Precision precision, ScheduleFamily family,
+                      const PlanOptions& options = {});
 
 // Roofline rate in million updates/s for a kernel whose per-update external
 // traffic is `bytes_per_update` and whose executed ops are `ops_per_update`

@@ -1,24 +1,154 @@
 #include "core/schedule.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace s35::core {
 
-TemporalSchedule::TemporalSchedule(long nz, int radius, int dim_t, bool serialized)
+const char* to_string(ScheduleFamily f) {
+  switch (f) {
+    case ScheduleFamily::kPaper35D: return "paper";
+    case ScheduleFamily::kDeep35D: return "deep";
+    case ScheduleFamily::kDiamond: return "diamond";
+  }
+  return "paper";
+}
+
+bool parse_schedule_family(const std::string& s, ScheduleFamily* out) {
+  if (s == "paper") {
+    *out = ScheduleFamily::kPaper35D;
+  } else if (s == "deep") {
+    *out = ScheduleFamily::kDeep35D;
+  } else if (s == "diamond") {
+    *out = ScheduleFamily::kDiamond;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TemporalSchedule::TemporalSchedule(long nz, int radius, int dim_t, bool serialized,
+                                   ScheduleFamily family, long diamond_width)
     : nz_(nz),
       radius_(radius),
       dim_t_(dim_t),
-      serialized_(serialized),
-      ring_(serialized ? 2 * radius + 1 : 2 * radius + 2),
-      stagger_(serialized ? radius : radius + 1),
-      num_rounds_(nz + static_cast<long>(dim_t) * stagger_) {
+      family_(family),
+      serialized_(family == ScheduleFamily::kDiamond ? false : serialized) {
   S35_CHECK(nz >= 1 && radius >= 1 && dim_t >= 1);
   // A stencil needs at least one interior plane plus the frozen shells.
   S35_CHECK_MSG(nz > 2 * radius, "grid too shallow for the stencil radius");
+
+  if (family_ != ScheduleFamily::kDiamond) {
+    ring_ = serialized_ ? 2 * radius + 1 : 2 * radius + 2;
+    stagger_ = serialized_ ? radius : radius + 1;
+    num_rounds_ = nz + static_cast<long>(dim_t) * stagger_;
+    return;
+  }
+
+  width_ = std::max(diamond_width, min_diamond_width(radius, dim_t));
+  // Live-plane span of any instance never reaches 2W at any execution
+  // point (worst case W + R*dim_t + R < 2W since W > 2*R*dim_t), so a 2W
+  // ring is conflict-free under the pinned M0, M1, V0, M2, V1, ... order.
+  // nz <= 2W needs no wrapping at all.
+  ring_ = static_cast<int>(std::min(2 * width_, nz));
+  stagger_ = radius + 1;  // unused by the diamond rounds; kept well-defined
+  build_diamond_rounds();
+  num_rounds_ = static_cast<long>(rounds_.size());
+}
+
+void TemporalSchedule::build_diamond_rounds() {
+  const long W = width_;
+  const long K = (nz_ + W - 1) / W;  // number of mountains
+
+  auto push_compute = [&](std::vector<Step>* r, int t, long z) {
+    Step s;
+    s.kind = StepKind::kCompute;
+    s.t = t;
+    s.z = z;
+    s.to_external = (t == dim_t_);
+    s.dst_slot = s.to_external ? -1 : slot_of(z);
+    s.src_z_begin = z - radius_;
+    for (long q = z - radius_; q <= z + radius_; ++q) s.src_slots.push_back(slot_of(q));
+    r->push_back(std::move(s));
+  };
+  auto push_copy = [&](std::vector<Step>* r, int t, long z) {
+    Step s;
+    s.kind = StepKind::kCopy;
+    s.t = t;
+    s.z = z;
+    s.to_external = (t == dim_t_);
+    s.dst_slot = s.to_external ? -1 : slot_of(z);
+    s.src_slots = {slot_of(z)};
+    s.src_z_begin = z;
+    r->push_back(std::move(s));
+  };
+
+  // Mountain k owns planes [kW, min((k+1)W, nz)): one round loading all of
+  // them, then dim_t wedge rounds whose compute interval narrows by R per
+  // interior side per step. The first/last mountain keep their outer side
+  // pinned at the frozen shell and re-emit the shell copies every round so
+  // every instance's ring holds the frozen values its readers need.
+  auto emit_mountain = [&](long k) {
+    const long lo_own = k * W;
+    const long hi_own = std::min((k + 1) * W, nz_);
+    std::vector<Step> load;
+    load.reserve(static_cast<std::size_t>(hi_own - lo_own));
+    for (long z = lo_own; z < hi_own; ++z) {
+      Step s;
+      s.kind = StepKind::kLoad;
+      s.t = 0;
+      s.z = z;
+      s.dst_slot = slot_of(z);
+      load.push_back(std::move(s));
+    }
+    rounds_.push_back(std::move(load));
+
+    for (int t = 1; t <= dim_t_; ++t) {
+      std::vector<Step> r;
+      if (k == 0)
+        for (long z = 0; z < radius_; ++z) push_copy(&r, t, z);
+      const long lo = (k == 0) ? radius_ : lo_own + static_cast<long>(radius_) * t;
+      const long hi = (k == K - 1) ? nz_ - radius_
+                                   : (k + 1) * W - static_cast<long>(radius_) * t;
+      for (long z = lo; z < hi; ++z) push_compute(&r, t, z);
+      if (k == K - 1)
+        for (long z = nz_ - radius_; z < nz_; ++z) push_copy(&r, t, z);
+      if (!r.empty()) rounds_.push_back(std::move(r));
+    }
+  };
+
+  // Valley k fills the inverted wedge between mountains k and k+1: at step
+  // t it computes the 2Rt planes around the cut (k+1)W that the two
+  // mountains' wedges gave up, clamped to the interior. Reads at t come
+  // from instance t-1 planes produced by M_k, V_k itself, and M_{k+1} —
+  // all already complete under the emission order below.
+  auto emit_valley = [&](long k) {
+    const long cut = (k + 1) * W;
+    for (int t = 1; t <= dim_t_; ++t) {
+      std::vector<Step> r;
+      const long lo = std::max(cut - static_cast<long>(radius_) * t,
+                               static_cast<long>(radius_));
+      const long hi = std::min(cut + static_cast<long>(radius_) * t, nz_ - radius_);
+      for (long z = lo; z < hi; ++z) push_compute(&r, t, z);
+      if (!r.empty()) rounds_.push_back(std::move(r));
+    }
+  };
+
+  // Order matters for ring-slot reuse: V_k must run after M_{k+1} (it reads
+  // its wedge flanks) and strictly before M_{k+2} (whose loads alias, mod
+  // 2W, instance-0 planes V_k still reads).
+  emit_mountain(0);
+  for (long k = 1; k < K; ++k) {
+    emit_mountain(k);
+    emit_valley(k - 1);
+  }
 }
 
 std::vector<Step> TemporalSchedule::round(long m) const {
   S35_CHECK(m >= 0 && m < num_rounds_);
+  if (family_ == ScheduleFamily::kDiamond) return rounds_[static_cast<std::size_t>(m)];
+
   std::vector<Step> steps;
 
   if (m < nz_) {

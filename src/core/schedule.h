@@ -1,4 +1,5 @@
-// Temporal-blocking step schedule: the pipeline of Figure 3(a).
+// Temporal-blocking step schedule: the pipeline of Figure 3(a), plus the
+// alternative schedule families layered on the same Step/round machinery.
 //
 // One "pass" advances the whole grid by dim_t time steps while streaming
 // through Z. The pass is a sequence of *rounds* (the paper's outer-z
@@ -21,11 +22,42 @@
 // Boundary semantics: all planes within R of the Z extremes are frozen in
 // time; the schedule emits kCopy steps for them so the frozen values are
 // available in every instance's ring for neighbor reads.
+//
+// Schedule families (docs/SCHEDULES.md has the dependence diagrams):
+//
+//   kPaper35D  — the pipeline above, unchanged. The default.
+//   kDeep35D   — identical round structure, but planned with dim_t far
+//                beyond the eq. 3 minimum; the engine additionally fuses
+//                adjacent interior rows through the register row-pair fast
+//                path so deep instances stay in registers (AN5D-style).
+//   kDiamond   — mountain/valley split along z-t. The grid is cut into
+//                width-W blocks; each "mountain" loads its planes in one
+//                round and computes a wedge that narrows by R per side per
+//                time step; the "valley" between two mountains then fills
+//                the inverted wedge. Rounds are precomputed; all steps in a
+//                round are independent, so one barrier per round — roughly
+//                K(2T+1) barriers per pass vs nz + T(R+1) for the paper
+//                pipeline, and kappa = 1 in Z (no recompute).
 #pragma once
 
+#include <string>
 #include <vector>
 
 namespace s35::core {
+
+enum class ScheduleFamily {
+  kPaper35D,  // Figure 3(a) pipeline, dim_t near the eq. 3 sweet spot
+  kDeep35D,   // same pipeline, deep dim_t + register row-pair fusion
+  kDiamond,   // mountain/valley diamond wedges along z-t
+};
+
+// Short names used by --schedule / S35_SCHEDULE / JobSpec / bench records.
+const char* to_string(ScheduleFamily f);
+
+// Parses "paper" / "deep" / "diamond" (case-sensitive). Returns false and
+// leaves *out untouched on anything else ("auto" is a planner concept, not
+// a family, and is rejected here on purpose).
+bool parse_schedule_family(const std::string& s, ScheduleFamily* out);
 
 enum class StepKind {
   kLoad,  // external input plane -> instance 0 ring slot
@@ -49,13 +81,29 @@ struct Step {
 class TemporalSchedule {
  public:
   // nz: grid planes; radius: R; dim_t: temporal factor; serialized selects
-  // the 2R+1-plane barrier-per-step variant.
-  TemporalSchedule(long nz, int radius, int dim_t, bool serialized = false);
+  // the 2R+1-plane barrier-per-step variant (paper families only — the
+  // diamond family forces it off, its rounds are already one barrier each).
+  // diamond_width is the Z extent W of one mountain block; it is clamped up
+  // to min_diamond_width() so wedges never invert, and ignored by the other
+  // families.
+  TemporalSchedule(long nz, int radius, int dim_t, bool serialized = false,
+                   ScheduleFamily family = ScheduleFamily::kPaper35D,
+                   long diamond_width = 0);
+
+  // Narrowest legal mountain: the wedge loses R planes per side per time
+  // step, so W >= 2*R*dim_t + 1 keeps at least one computed plane at t =
+  // dim_t.
+  static long min_diamond_width(int radius, int dim_t) {
+    return 2L * radius * dim_t + 1;
+  }
 
   int dim_t() const { return dim_t_; }
   int radius() const { return radius_; }
   long nz() const { return nz_; }
   bool serialized() const { return serialized_; }
+  ScheduleFamily family() const { return family_; }
+  // Clamped mountain width (0 for the non-diamond families).
+  long diamond_width() const { return width_; }
   int planes_per_instance() const { return ring_; }
   int stagger() const { return stagger_; }
 
@@ -71,17 +119,25 @@ class TemporalSchedule {
 
   // Round boundaries of the paper's three phases: prolog rounds
   // [0, steady_begin), steady [steady_begin, steady_end), epilog the rest.
+  // (Paper families only; the diamond pass has no steady state.)
   long steady_begin() const { return static_cast<long>(dim_t_) * stagger_; }
   long steady_end() const { return nz_; }
 
  private:
+  void build_diamond_rounds();
+
   long nz_;
   int radius_;
   int dim_t_;
+  ScheduleFamily family_;
   bool serialized_;
-  int ring_;
-  int stagger_;
-  long num_rounds_;
+  int ring_ = 0;
+  int stagger_ = 0;
+  long width_ = 0;
+  long num_rounds_ = 0;
+  // Diamond rounds are irregular, so they are materialized up front; the
+  // paper pipeline keeps generating rounds on the fly.
+  std::vector<std::vector<Step>> rounds_;
 };
 
 }  // namespace s35::core

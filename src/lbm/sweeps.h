@@ -37,7 +37,13 @@ struct SweepConfig {
   int dim_t = 3;
   long dim_x = 0;  // XY sub-plane width (3.5D); block edge (4D)
   long dim_y = 0;
-  long dim_z = 0;  // 4D only
+  // 4D block depth; the diamond family reuses this as the mountain width W
+  // (0 = minimal width 2·dim_t+1).
+  long dim_z = 0;
+  // Schedule family for the Engine35-based variants (docs/SCHEDULES.md).
+  // kDeep35D plans deeper dim_t but runs the paper pipeline (LBM has no
+  // row-pair fast path); kDiamond forces `serialized` off.
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
   bool serialized = false;
   // ISA / FMA knobs (kernel.isa honored by run_lbm_auto only; fast_path
   // and prefetch are stencil-side knobs the LBM kernels ignore).
@@ -111,9 +117,12 @@ void run_lbm_engine_pass(const Geometry& geom, const BgkParams<T>& prm,
                          long dim_y, int dim_t, bool serialized,
                          core::Engine35& engine,
                          const core::KernelOptions& opts = {},
-                         const integrity::IntegrityContext& ictx = {}) {
+                         const integrity::IntegrityContext& ictx = {},
+                         core::ScheduleFamily family = core::ScheduleFamily::kPaper35D,
+                         long diamond_width = 0) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, 1, dim_t);
-  const core::TemporalSchedule sched(src.nz(), 1, dim_t, serialized);
+  const core::TemporalSchedule sched(src.nz(), 1, dim_t, serialized, family,
+                                     diamond_width);
   LbmSlabKernel<T, Tag> kernel(geom, prm, src, dst, dim_x, dim_y, dim_t,
                                sched.planes_per_instance(), opts, ictx);
   engine.run_pass(kernel, tiling, sched);
@@ -160,7 +169,7 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
         const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
                                   cfg.dim_t);
         const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t,
-                                           cfg.serialized);
+                                           cfg.serialized, cfg.family, cfg.dim_z);
         LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
                                      cfg.dim_t, sched.planes_per_instance(),
                                      cfg.kernel, ictx);
@@ -176,7 +185,7 @@ void run_lbm(Variant variant, const Geometry& geom, const BgkParams<T>& prm,
       if (remaining > 0) {
         run_lbm_engine_pass<T, Tag>(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
                                     remaining, cfg.serialized, engine, cfg.kernel,
-                                    ictx);
+                                    ictx, cfg.family, cfg.dim_z);
         pair.swap();
       }
       return;
@@ -265,7 +274,8 @@ fault::Status run_lbm_verified(Variant variant, const Geometry& geom,
   if (remaining >= cfg.dim_t) {
     const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
                               cfg.dim_t);
-    const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t, cfg.serialized);
+    const core::TemporalSchedule sched(pair.src().nz(), 1, cfg.dim_t, cfg.serialized,
+                                       cfg.family, cfg.dim_z);
     LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
                                  cfg.dim_t, sched.planes_per_instance(), cfg.kernel,
                                  ictx);
@@ -279,7 +289,8 @@ fault::Status run_lbm_verified(Variant variant, const Geometry& geom,
   if (remaining > 0) {
     const core::Tiling tiling(pair.src().nx(), pair.src().ny(), dim_x, dim_y, 1,
                               remaining);
-    const core::TemporalSchedule sched(pair.src().nz(), 1, remaining, cfg.serialized);
+    const core::TemporalSchedule sched(pair.src().nz(), 1, remaining, cfg.serialized,
+                                       cfg.family, cfg.dim_z);
     LbmSlabKernel<T, Tag> kernel(geom, prm, pair.src(), pair.dst(), dim_x, dim_y,
                                  remaining, sched.planes_per_instance(), cfg.kernel,
                                  ictx);

@@ -363,7 +363,8 @@ TrafficReport trace_stencil(Scheme scheme, const TraceConfig& cfg) {
       while (remaining > 0) {
         const int dt = remaining < pass_t ? remaining : pass_t;
         const core::Tiling tiling(cfg.nx, cfg.ny, dim_x, dim_y, cfg.radius, dt);
-        const core::TemporalSchedule sched(cfg.nz, cfg.radius, dt);
+        const core::TemporalSchedule sched(cfg.nz, cfg.radius, dt, false, cfg.family,
+                                           cfg.dim_z);
         TraceStencilSlab kernel(cache, lay, src, dst, dim_x, dim_y, dt,
                                 sched.planes_per_instance(), rows, cfg.streaming_stores,
                                 cfg.radius);
@@ -580,7 +581,8 @@ TrafficReport trace_lbm(Scheme scheme, const TraceConfig& cfg) {
       while (remaining > 0) {
         const int dt = remaining < pass_t ? remaining : pass_t;
         const core::Tiling tiling(cfg.nx, cfg.ny, dim_x, dim_y, cfg.radius, dt);
-        const core::TemporalSchedule sched(cfg.nz, cfg.radius, dt);
+        const core::TemporalSchedule sched(cfg.nz, cfg.radius, dt, false, cfg.family,
+                                           cfg.dim_z);
         TraceLbmSlab kernel(cache, lay, src, dst, flags, dim_x, dim_y, dt,
                             sched.planes_per_instance());
         engine.run_pass(kernel, tiling, sched);

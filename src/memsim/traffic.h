@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/schedule.h"
 #include "memsim/cache.h"
 #include "memsim/hierarchy.h"
 #include "memsim/tlb.h"
@@ -41,6 +42,9 @@ struct TraceConfig {
 
   long dim_x = 0, dim_y = 0, dim_z = 0;  // blocking dims (scheme-dependent)
   int dim_t = 1;
+  // Schedule family for the temporal schemes (kTemporalOnly/kBlocked35D);
+  // the diamond family reuses dim_z as the mountain width W (0 = minimal).
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
 
   bool streaming_stores = false;  // external stores bypass the cache
   CacheConfig cache;

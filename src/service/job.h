@@ -31,6 +31,11 @@ struct JobSpec {
   long dim_y = 0;
   int dim_t = 0;
 
+  // Schedule-family request: "auto" lets the family-aware planner pick;
+  // "paper" / "deep" / "diamond" narrow planning to that family (the
+  // service-side analogue of `s35 run --schedule`).
+  std::string schedule = "auto";
+
   int priority = 0;             // higher runs first; FIFO within a class
   std::int64_t deadline_ms = 0; // relative to submit; 0 = none
   std::uint64_t seed = 42;      // fill_random seed for the input grid
@@ -95,6 +100,7 @@ struct JobResult {
   long dim_x = 0;
   long dim_y = 0;
   int dim_t = 1;
+  std::string schedule_family;  // resolved family: "paper" | "deep" | "diamond"
   bool plan_cache_hit = false;
   bool batched = false;  // reused the previous job's grids (same shape)
 

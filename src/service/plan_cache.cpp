@@ -39,7 +39,7 @@ const char* to_string(PlanSource s) {
 }
 
 PlanKey PlanKey::make(const machine::Descriptor& mach, const machine::KernelSig& sig,
-                      long nx, long ny, long nz, int max_dim_t) {
+                      long nx, long ny, long nz, int max_dim_t, int schedule_pref) {
   PlanKey k;
   k.kernel = clamp_name(sig.name, kKernelChars);
   k.radius = sig.radius;
@@ -51,6 +51,7 @@ PlanKey PlanKey::make(const machine::Descriptor& mach, const machine::KernelSig&
   k.machine = clamp_name(mach.name, kMachineChars);
   k.capacity_bytes = mach.blocking_capacity_bytes;
   k.cores = mach.cores;
+  k.schedule_pref = schedule_pref;
   return k;
 }
 
@@ -74,20 +75,22 @@ std::uint64_t PlanKey::hash() const {
   mix(static_cast<std::uint64_t>(max_dim_t));
   mix(capacity_bytes);
   mix(static_cast<std::uint64_t>(cores));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(schedule_pref)));
   return h;
 }
 
 CachedPlan compute_plan(const machine::Descriptor& mach, const machine::KernelSig& sig,
-                        long nx, long ny, long nz, int max_dim_t) {
+                        long nx, long ny, long nz, int max_dim_t, int schedule_pref) {
   CachedPlan out;
   const int radius = sig.radius;
   const std::size_t elem = sig.elem_bytes_sp;
   const std::size_t budget = mach.blocking_capacity_bytes;
 
-  // Empirical search (Datta-style, core::autotuner): candidates are scored
-  // by simulated external traffic of a 3.5D-blocked sweep against this
-  // machine's blocking capacity — deterministic, so cold and warm runs of
-  // the same key always agree on the plan.
+  // Empirical search (Datta-style, core::autotuner): candidates from every
+  // schedule family (or just the pinned one) are pre-pruned by the analytic
+  // per-family traffic model, then scored by simulated external traffic of
+  // the blocked sweep against this machine's blocking capacity —
+  // deterministic, so cold and warm runs of the same key always agree.
   memsim::TraceConfig base;
   base.nx = nx;
   base.ny = ny;
@@ -108,40 +111,85 @@ CachedPlan compute_plan(const machine::Descriptor& mach, const machine::KernelSi
   }
 
   const long max_dim = std::min(nx, ny);
+  // Eq. 1 capacity constraint, per family: the ring buffers of all dim_t
+  // instances must fit the blocking budget — (2R+2) planes per time level
+  // for the wavefront families, min(2W, nz) per level for diamond.
+  const auto feasible = [&](const core::TuneCandidate& c) {
+    if (schedule_pref >= 0 &&
+        c.family != static_cast<core::ScheduleFamily>(schedule_pref))
+      return false;
+    long ring = 2L * radius + 2;
+    if (c.family == core::ScheduleFamily::kDiamond) {
+      if (nz <= 2L * radius) return false;  // no interior planes to compute
+      const long w = std::max(
+          c.dim_z, core::TemporalSchedule::min_diamond_width(radius, c.dim_t));
+      ring = std::min(2 * w, nz);
+    }
+    const double buffer =
+        static_cast<double>(elem) * static_cast<double>(ring) * c.dim_t * c.dim_x *
+        c.dim_y;
+    return budget == 0 || buffer <= static_cast<double>(budget);
+  };
   const auto cost = [&](const core::TuneCandidate& c) {
-    // Eq. 1 capacity constraint: the ring buffers of all dim_t instances
-    // ((2R+2) planes each) must fit the blocking budget.
-    const double buffer = static_cast<double>(elem) * (2 * radius + 2) * c.dim_t *
-                          c.dim_x * c.dim_y;
-    if (budget > 0 && buffer > static_cast<double>(budget))
-      return std::numeric_limits<double>::infinity();
+    if (!feasible(c)) return std::numeric_limits<double>::infinity();
     auto cfg = base;
     cfg.dim_x = c.dim_x;
     cfg.dim_y = c.dim_y;
     cfg.dim_t = c.dim_t;
+    cfg.family = c.family;
+    cfg.dim_z = c.dim_z;
     return memsim::trace_stencil(memsim::Scheme::kBlocked35D, cfg).bytes_per_update();
   };
 
-  const auto candidates = core::make_candidates(16, max_dim, max_dim_t, radius);
-  if (!candidates.empty()) {
-    const auto result = core::autotune(candidates, cost);
-    if (result.best.dim_x > 0 && std::isfinite(result.best_cost)) {
-      out.dim_x = result.best.dim_x;
-      out.dim_y = result.best.dim_y;
-      out.dim_t = result.best.dim_t;
-      out.cost = result.best_cost;
-      out.source = PlanSource::kAutotuner;
-      return out;
+  if (max_dim >= 16) {
+    const int deep_max_dim_t = std::max(2 * max_dim_t, max_dim_t + 2);
+    auto candidates = core::make_family_candidates(16, max_dim, max_dim_t,
+                                                   deep_max_dim_t, radius, nx, ny);
+    // Analytic pre-prune: the per-family traffic model is orders of
+    // magnitude cheaper than a memsim replay; a generous slack keeps every
+    // plausibly-winning candidate alive for the empirical pass. Pruning on
+    // the same feasibility predicate also guarantees the survivors all
+    // score finite, so autotune below cannot come up empty.
+    const double bytes_ideal = 2.0 * static_cast<double>(elem);
+    candidates = core::prune_candidates(
+        candidates,
+        [&](const core::TuneCandidate& c) {
+          if (!feasible(c)) return std::numeric_limits<double>::infinity();
+          return core::predicted_bytes_per_update(c.family, bytes_ideal, radius,
+                                                  c.dim_t, c.dim_x, c.dim_y);
+        },
+        3.0);
+    if (!candidates.empty()) {
+      const auto result = core::autotune(candidates, cost);
+      if (result.best.dim_x > 0 && std::isfinite(result.best_cost)) {
+        out.dim_x = result.best.dim_x;
+        out.dim_y = result.best.dim_y;
+        out.dim_t = result.best.dim_t;
+        out.family = result.best.family;
+        out.dim_z = result.best.dim_z;
+        out.cost = result.best_cost;
+        out.source = PlanSource::kAutotuner;
+        return out;
+      }
     }
   }
 
-  // Analytic fallback (eqs. 1-4): small grids where the candidate generator
-  // has nothing feasible, or a zero-capacity descriptor.
-  const auto plan = core::plan(mach, sig, machine::Precision::kSingle);
-  if (plan.feasible && plan.dim_x <= max_dim) {
-    out.dim_x = plan.dim_x;
-    out.dim_y = std::min(plan.dim_y, ny);
+  // Analytic fallback (eqs. 1-4, per family): small grids where the
+  // candidate generator has nothing feasible, or a zero-capacity
+  // descriptor.
+  const core::ScheduleFamily fam =
+      schedule_pref >= 0 ? static_cast<core::ScheduleFamily>(schedule_pref)
+                         : core::ScheduleFamily::kPaper35D;
+  core::PlanOptions popt;
+  popt.nz = nz;
+  popt.max_dim_t = max_dim_t;
+  const auto plan = core::plan_family(mach, sig, machine::Precision::kSingle, fam, popt);
+  if (plan.feasible && (plan.dim_x <= 0 || plan.dim_x <= max_dim)) {
+    out.dim_x = plan.dim_x > 0 ? plan.dim_x : nx;
+    out.dim_y = plan.dim_y > 0 ? std::min(plan.dim_y, ny) : ny;
     out.dim_t = plan.dim_t;
+    out.family = plan.family;
+    out.dim_z = plan.dim_z;
     out.source = PlanSource::kPlanner;
     return out;
   }
@@ -231,7 +279,10 @@ std::vector<PlanCache::Entry> PlanCache::entries() const {
 namespace {
 
 constexpr char kMagic[8] = {'S', '3', '5', 'P', 'L', 'N', 'C', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: DiskEntry grew schedule_pref (key) and family/dim_z (plan) for the
+// schedule-family planner. v1 files have a different entry layout, so they
+// are rejected with kBadHeader and the cache starts cold — never decoded.
+constexpr std::uint32_t kVersion = 2;
 
 struct FileHeader {
   char magic[8];
@@ -252,13 +303,15 @@ struct DiskEntry {
   std::int32_t max_dim_t;
   std::int32_t cores;
   std::uint64_t capacity_bytes;
-  std::int64_t dim_x, dim_y;
+  std::int32_t schedule_pref;
+  std::uint32_t family;
+  std::int64_t dim_x, dim_y, dim_z;
   std::int32_t dim_t;
   std::uint32_t source;
   double cost;
   std::uint64_t hits;
 };
-static_assert(sizeof(DiskEntry) == 160);  // fixed width: names + padded numerics
+static_assert(sizeof(DiskEntry) == 176);  // fixed width: names + padded numerics
 
 void copy_name(char (&dst)[PlanKey::kKernelChars + 1], const std::string& s) {
   std::memset(dst, 0, sizeof(dst));
@@ -330,8 +383,11 @@ fault::Status PlanCache::save(const std::string& path, fault::IoBackend* io) con
       e.max_dim_t = it->key.max_dim_t;
       e.cores = it->key.cores;
       e.capacity_bytes = it->key.capacity_bytes;
+      e.schedule_pref = it->key.schedule_pref;
+      e.family = static_cast<std::uint32_t>(it->plan.family);
       e.dim_x = it->plan.dim_x;
       e.dim_y = it->plan.dim_y;
+      e.dim_z = it->plan.dim_z;
       e.dim_t = it->plan.dim_t;
       e.source = static_cast<std::uint32_t>(it->plan.source);
       e.cost = it->plan.cost;
@@ -431,17 +487,21 @@ fault::Status PlanCache::load(const std::string& path, fault::IoBackend* io) {
     k.max_dim_t = e.max_dim_t;
     k.cores = e.cores;
     k.capacity_bytes = e.capacity_bytes;
+    k.schedule_pref = e.schedule_pref;
     CachedPlan p;
     p.dim_x = e.dim_x;
     p.dim_y = e.dim_y;
+    p.dim_z = e.dim_z;
     p.dim_t = e.dim_t;
+    p.family = static_cast<core::ScheduleFamily>(e.family);
     p.source = static_cast<PlanSource>(e.source);
     p.cost = e.cost;
     p.hits = e.hits;
     // Sanity: a valid file can still describe a plan this build considers
     // nonsense; drop such entries instead of executing them.
-    if (p.dim_x <= 0 || p.dim_y <= 0 || p.dim_t < 1 || k.nx <= 0 || k.ny <= 0 ||
-        k.nz <= 0)
+    if (p.dim_x <= 0 || p.dim_y <= 0 || p.dim_t < 1 || p.dim_z < 0 ||
+        e.family > static_cast<std::uint32_t>(core::ScheduleFamily::kDiamond) ||
+        k.nx <= 0 || k.ny <= 0 || k.nz <= 0)
       continue;
     insert_locked(k, p);
   }

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/schedule.h"
 #include "fault/io_backend.h"
 #include "fault/status.h"
 #include "machine/descriptor.h"
@@ -45,19 +46,25 @@ struct PlanKey {
   std::string machine;  // Descriptor::name, clamped
   std::uint64_t capacity_bytes = 0;
   int cores = 0;
+  // Requested schedule family: -1 = auto (search every family), else a
+  // core::ScheduleFamily value the search is narrowed to. Part of the key:
+  // a pinned-family request must not be served by an auto-tuned plan of a
+  // different family (and vice versa).
+  int schedule_pref = -1;
 
   static constexpr std::size_t kKernelChars = 23;
   static constexpr std::size_t kMachineChars = 47;
 
   static PlanKey make(const machine::Descriptor& mach, const machine::KernelSig& sig,
-                      long nx, long ny, long nz, int max_dim_t);
+                      long nx, long ny, long nz, int max_dim_t,
+                      int schedule_pref = -1);
 
   std::uint64_t hash() const;
   bool operator==(const PlanKey& o) const {
     return kernel == o.kernel && radius == o.radius && elem_bytes == o.elem_bytes &&
            nx == o.nx && ny == o.ny && nz == o.nz && max_dim_t == o.max_dim_t &&
            machine == o.machine && capacity_bytes == o.capacity_bytes &&
-           cores == o.cores;
+           cores == o.cores && schedule_pref == o.schedule_pref;
   }
 };
 
@@ -73,16 +80,24 @@ struct CachedPlan {
   long dim_x = 0;
   long dim_y = 0;
   int dim_t = 1;
+  // Winning schedule family; the diamond family reuses dim_z as the
+  // mountain width W (0 = minimal 2R·dim_t+1).
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
+  long dim_z = 0;
   double cost = 0.0;  // tuner objective (bytes/update); 0 when analytic
   PlanSource source = PlanSource::kAutotuner;
   std::uint64_t hits = 0;  // lookups served by this entry (persisted)
 };
 
 // Computes a plan from scratch: empirical autotune over simulated external
-// traffic (the memoized expensive path), falling back to the analytic
-// planner and finally to fixed safe dims when the search space is empty.
+// traffic across schedule families (the memoized expensive path; the
+// candidate list is pre-pruned by the analytic per-family traffic model),
+// falling back to the analytic planner and finally to fixed safe dims when
+// the search space is empty. `schedule_pref` narrows the search to one
+// family (-1 = all families).
 CachedPlan compute_plan(const machine::Descriptor& mach, const machine::KernelSig& sig,
-                        long nx, long ny, long nz, int max_dim_t);
+                        long nx, long ny, long nz, int max_dim_t,
+                        int schedule_pref = -1);
 
 // Thread-safe LRU map from PlanKey to CachedPlan.
 class PlanCache {

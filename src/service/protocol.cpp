@@ -43,8 +43,10 @@ std::string job_response(const JobInfo& info) {
   const JobResult& r = info.result;
   os << "{\"ok\":true,\"id\":" << info.id << ",\"state\":\"" << to_string(info.state)
      << "\",\"crc\":\"" << crc << "\",\"steps_done\":" << r.steps_done
-     << ",\"dimx\":" << r.dim_x << ",\"dimy\":" << r.dim_y << ",\"dimt\":" << r.dim_t
-     << ",\"plan_cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
+     << ",\"dimx\":" << r.dim_x << ",\"dimy\":" << r.dim_y << ",\"dimt\":" << r.dim_t;
+  if (!r.schedule_family.empty())
+    os << ",\"schedule\":\"" << escape(r.schedule_family) << "\"";
+  os << ",\"plan_cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
      << ",\"batched\":" << (r.batched ? "true" : "false")
      << ",\"wait_ms\":" << r.wait_s * 1e3 << ",\"plan_ms\":" << r.plan_s * 1e3
      << ",\"run_ms\":" << r.run_s * 1e3 << ",\"audited_rows\":" << r.audited_rows
@@ -78,6 +80,9 @@ bool spec_from_request(const std::string& line, JobSpec* out) {
   if (get_int(line, "dimx", &v)) spec.dim_x = v;
   if (get_int(line, "dimy", &v)) spec.dim_y = v;
   if (get_int(line, "dimt", &v)) spec.dim_t = static_cast<int>(v);
+  if (json::find_value(line, "schedule", &at) &&
+      !get_string(line, "schedule", &spec.schedule))
+    return false;
   if (get_int(line, "priority", &v)) spec.priority = static_cast<int>(v);
   if (get_int(line, "deadline_ms", &v)) spec.deadline_ms = v;
   if (get_int(line, "seed", &v)) spec.seed = static_cast<std::uint64_t>(v);

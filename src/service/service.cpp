@@ -8,6 +8,7 @@
 #include "common/crc32c.h"
 #include "common/env.h"
 #include "common/timer.h"
+#include "core/schedule.h"
 #include "grid/checkpoint.h"
 #include "integrity/integrity.h"
 #include "machine/kernel_sig.h"
@@ -42,6 +43,12 @@ fault::Status validate_spec(const JobSpec& spec, long max_points) {
     return {fault::ErrorCode::kMismatch, "negative blocking dims"};
   if ((spec.dim_x > 0) != (spec.dim_y > 0))
     return {fault::ErrorCode::kMismatch, "dim_x/dim_y must be overridden together"};
+  if (spec.schedule != "auto") {
+    core::ScheduleFamily f;
+    if (!core::parse_schedule_family(spec.schedule, &f))
+      return {fault::ErrorCode::kMismatch,
+              "unknown schedule '" + spec.schedule + "'"};
+  }
   if (spec.audit_rate < 0.0 || spec.audit_rate > 1.0)
     return {fault::ErrorCode::kMismatch, "audit_rate outside [0,1]"};
   if (spec.resume && spec.checkpoint_path.empty())
@@ -335,24 +342,35 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
   const long nx = spec.nx, ny = spec.eff_ny(), nz = spec.eff_nz();
 
   // Resolve the blocking plan: explicit spec dims bypass planning entirely,
-  // otherwise the plan cache fronts the autotuner.
+  // otherwise the plan cache fronts the family-aware autotuner. A pinned
+  // schedule narrows the search (and the cache key) to that family.
   Timer plan_timer;
-  long dim_x = spec.dim_x, dim_y = spec.dim_y;
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
+  int schedule_pref = -1;
+  if (spec.schedule != "auto" && core::parse_schedule_family(spec.schedule, &family))
+    schedule_pref = static_cast<int>(family);
+  long dim_x = spec.dim_x, dim_y = spec.dim_y, dim_z = 0;
   int dim_t = spec.dim_t;
   if (dim_x <= 0) {
     const int max_dim_t = spec.dim_t > 0 ? spec.dim_t : opts_.max_dim_t;
-    const PlanKey key = PlanKey::make(opts_.mach, sig, nx, ny, nz, max_dim_t);
+    const PlanKey key =
+        PlanKey::make(opts_.mach, sig, nx, ny, nz, max_dim_t, schedule_pref);
     if (const auto hit = plan_cache_.lookup(key)) {
       dim_x = hit->dim_x;
       dim_y = hit->dim_y;
+      dim_z = hit->dim_z;
       dim_t = hit->dim_t;
+      if (schedule_pref < 0) family = hit->family;
       out.plan_cache_hit = true;
     } else {
-      const CachedPlan fresh = compute_plan(opts_.mach, sig, nx, ny, nz, max_dim_t);
+      const CachedPlan fresh =
+          compute_plan(opts_.mach, sig, nx, ny, nz, max_dim_t, schedule_pref);
       plan_cache_.insert(key, fresh);
       dim_x = fresh.dim_x;
       dim_y = fresh.dim_y;
+      dim_z = fresh.dim_z;
       dim_t = fresh.dim_t;
+      if (schedule_pref < 0) family = fresh.family;
     }
   }
   if (dim_t < 1) dim_t = 1;
@@ -361,6 +379,7 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
   out.dim_x = dim_x;
   out.dim_y = dim_y;
   out.dim_t = dim_t;
+  out.schedule_family = core::to_string(family);
   out.plan_s = plan_timer.seconds();
 
   // Warm buffer pool: same-shape jobs run in the previous job's grids (the
@@ -411,7 +430,9 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
   stencil::SweepConfig cfg;
   cfg.dim_x = dim_x;
   cfg.dim_y = dim_y;
+  cfg.dim_z = dim_z;
   cfg.dim_t = dim_t;
+  cfg.family = family;
   cfg.streaming_stores = spec.streaming_stores;
 
   integrity::IntegrityMonitor monitor;

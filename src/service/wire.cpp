@@ -136,6 +136,7 @@ std::string spec_to_json(std::uint64_t job, const JobSpec& spec) {
      << "\",\"nx\":" << spec.nx << ",\"ny\":" << spec.ny << ",\"nz\":" << spec.nz
      << ",\"steps\":" << spec.steps << ",\"dimx\":" << spec.dim_x
      << ",\"dimy\":" << spec.dim_y << ",\"dimt\":" << spec.dim_t
+     << ",\"schedule\":\"" << json::escape(spec.schedule) << "\""
      << ",\"priority\":" << spec.priority << ",\"deadline_ms\":" << spec.deadline_ms
      << ",\"seed\":" << spec.seed
      << ",\"stream\":" << (spec.streaming_stores ? "true" : "false")
@@ -161,6 +162,7 @@ bool spec_from_json(const std::string& s, std::uint64_t* job, JobSpec* spec) {
   if (json::get_int(s, "dimx", &v)) spec->dim_x = v;
   if (json::get_int(s, "dimy", &v)) spec->dim_y = v;
   if (json::get_int(s, "dimt", &v)) spec->dim_t = static_cast<int>(v);
+  json::get_string(s, "schedule", &spec->schedule);
   if (json::get_int(s, "priority", &v)) spec->priority = static_cast<int>(v);
   if (json::get_int(s, "deadline_ms", &v)) spec->deadline_ms = v;
   if (json::get_int(s, "seed", &v)) spec->seed = static_cast<std::uint64_t>(v);
@@ -178,6 +180,7 @@ std::string result_to_json(std::uint64_t job, JobState state, const JobResult& r
   os << "{\"job\":" << job << ",\"state\":\"" << to_string(state)
      << "\",\"crc\":" << r.crc << ",\"steps_done\":" << r.steps_done
      << ",\"dimx\":" << r.dim_x << ",\"dimy\":" << r.dim_y << ",\"dimt\":" << r.dim_t
+     << ",\"schedule\":\"" << json::escape(r.schedule_family) << "\""
      << ",\"plan_cache_hit\":" << (r.plan_cache_hit ? "true" : "false")
      << ",\"batched\":" << (r.batched ? "true" : "false")
      << ",\"wait_s\":" << r.wait_s << ",\"plan_s\":" << r.plan_s
@@ -215,6 +218,7 @@ bool result_from_json(const std::string& s, std::uint64_t* job, JobState* state,
   if (json::get_int(s, "dimx", &v)) r->dim_x = v;
   if (json::get_int(s, "dimy", &v)) r->dim_y = v;
   if (json::get_int(s, "dimt", &v)) r->dim_t = static_cast<int>(v);
+  json::get_string(s, "schedule", &r->schedule_family);
   json::get_bool(s, "plan_cache_hit", &r->plan_cache_hit);
   json::get_bool(s, "batched", &r->batched);
   json::get_double(s, "wait_s", &r->wait_s);

@@ -65,6 +65,67 @@ class StencilSlabKernel {
     dst_ = &dst;
   }
 
+  // ---- row-pair fusion hook set (see core::HasPairedRows) ----
+  //
+  // Armed by the deep-3.5D family. The pair path shares the two rows'
+  // center-plane vector loads in registers (rows2_fast); it stays off under
+  // integrity because the audit/injection hooks live on the single-row
+  // path.
+  void set_paired_rows(bool on) { paired_rows_ = on; }
+  bool paired_rows() const {
+    return paired_rows_ && opts_.fast_path && !ictx_.active();
+  }
+
+  // Updates rows y and y+1 of a compute step in one register-blocked pass;
+  // bit-identical to two execute() calls (falls back to exactly that for
+  // frozen-Y rows or kernels without a pair fast path).
+  void execute_pair(const core::Tile& tile, const core::Step& step, long y, long x0,
+                    long x1) {
+    if constexpr (HasFastRowPair<S, V, PairAcc>) {
+      if (y >= R && y + 1 < src_->ny() - R) {
+        const int src_instance = step.t - 1;
+        const T* frozen0 = buffer_row(tile, src_instance, step.src_slots[R], y);
+        const T* frozen1 = buffer_row(tile, src_instance, step.src_slots[R], y + 1);
+        T* out0 = step.to_external ? dst_->row(y, step.z)
+                                   : buffer_row(tile, step.t, step.dst_slot, y);
+        T* out1 = step.to_external ? dst_->row(y + 1, step.z)
+                                   : buffer_row(tile, step.t, step.dst_slot, y + 1);
+        // Leading/trailing cells inside the frozen X shell, both rows.
+        const long xa = x0 > R ? x0 : R;
+        const long xb = x1 < src_->nx() - R ? x1 : src_->nx() - R;
+        if (x0 < xa) {
+          const long e = xa < x1 ? xa : x1;
+          copy_span(frozen0, out0, x0, e);
+          copy_span(frozen1, out1, x0, e);
+        }
+        if (xb < x1) {
+          const long b = xb > x0 ? xb : x0;
+          copy_span(frozen0, out0, b, x1);
+          copy_span(frozen1, out1, b, x1);
+        }
+        if (xa >= xb) return;
+        const PairAcc acc{this, &tile, &step, y};
+        RowFastOpts ropt;
+        ropt.stream = streaming_ && step.to_external;
+        ropt.pf_dist = opts_.prefetch_dist;
+        if (opts_.prefetch) {
+          if (y + 3 < tile.load.y.end) ropt.pf0 = acc(0, 3);
+          if (y + 2 < tile.load.y.end) ropt.pf1 = acc(1, 2);
+        }
+        if (opts_.allow_fma) {
+          stencil_.template rows2_fast<V, true>(acc, out0, out1, xa, xb, ropt);
+        } else {
+          stencil_.template rows2_fast<V, false>(acc, out0, out1, xa, xb, ropt);
+        }
+        if (ropt.stream) simd::stream_fence();
+        telemetry::add_row_counts(parallel::current_tid(), 2, 0);
+        return;
+      }
+    }
+    execute(tile, step, y, x0, x1);
+    execute(tile, step, y + 1, x0, x1);
+  }
+
   void execute(const core::Tile& tile, const core::Step& step, long y, long x0, long x1) {
     switch (step.kind) {
       case core::StepKind::kLoad: {
@@ -162,6 +223,20 @@ class StencilSlabKernel {
   static void copy_span(const T* in, T* out, long x0, long x1) {
     std::memcpy(out + x0, in + x0, static_cast<std::size_t>(x1 - x0) * sizeof(T));
   }
+
+  // acc(dz, dy) accessor over instance t-1 ring rows for the pair fast
+  // path; valid for dy in [-1, 2] (both paired rows are Y-interior, so
+  // y+2 stays inside the tile's load window).
+  struct PairAcc {
+    StencilSlabKernel* k;
+    const core::Tile* tile;
+    const core::Step* step;
+    long y;
+    const T* operator()(int dz, int dy) const {
+      return k->buffer_row(*tile, step->t - 1,
+                           step->src_slots[static_cast<std::size_t>(dz + R)], y + dy);
+    }
+  };
 
   // Row of the ring plane (instance, slot), indexable with global x; valid
   // for global y within the tile's load window.
@@ -366,6 +441,7 @@ class StencilSlabKernel {
   long buf_ny_;
   int ring_;
   bool streaming_;
+  bool paired_rows_ = false;
   core::KernelOptions opts_;
   integrity::IntegrityContext ictx_;
   integrity::RingSentinels sentinels_;

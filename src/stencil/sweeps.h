@@ -47,7 +47,13 @@ struct SweepConfig {
   int dim_t = 2;            // temporal factor (temporal variants)
   long dim_x = 0;           // XY sub-plane width; 0 = whole axis
   long dim_y = 0;
-  long dim_z = 0;           // 3D/4D block depth; 0 = dim_x
+  // 3D/4D block depth (0 = dim_x). The diamond family reuses this as the
+  // mountain width W (0 = minimal width 2R·dim_t+1).
+  long dim_z = 0;
+  // Schedule family for the Engine35-based variants (docs/SCHEDULES.md).
+  // kDeep35D additionally turns on the engine's register row-pair fusion;
+  // kDiamond forces `serialized` off.
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
   bool serialized = false;  // 3.5D barrier-per-step mode (2R+1 planes)
   // Use non-temporal stores for external output rows (engine-based
   // variants), eliminating the write-allocate fetch (Section IV-A1).
@@ -239,12 +245,16 @@ void run_engine_pass(const S& stencil, const grid::Grid3<T>& src, grid::Grid3<T>
                      long dim_x, long dim_y, int dim_t, bool serialized,
                      bool streaming_stores, core::Engine35& engine,
                      const core::KernelOptions& opts = {},
-                     const integrity::IntegrityContext& ictx = {}) {
+                     const integrity::IntegrityContext& ictx = {},
+                     core::ScheduleFamily family = core::ScheduleFamily::kPaper35D,
+                     long diamond_width = 0) {
   const core::Tiling tiling(src.nx(), src.ny(), dim_x, dim_y, S::radius, dim_t);
-  const core::TemporalSchedule sched(src.nz(), S::radius, dim_t, serialized);
+  const core::TemporalSchedule sched(src.nz(), S::radius, dim_t, serialized, family,
+                                     diamond_width);
   StencilSlabKernel<S, T, Tag> kernel(stencil, src, dst, dim_x, dim_y, dim_t,
                                       sched.planes_per_instance(), streaming_stores,
                                       opts, ictx);
+  kernel.set_paired_rows(family == core::ScheduleFamily::kDeep35D);
   engine.run_pass(kernel, tiling, sched);
 }
 

@@ -63,10 +63,11 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
         // serves every full pass; only a trailing partial pass rebuilds.
         const core::Tiling tiling(nx, ny, dim_x, dim_y, S::radius, pass_t);
         const core::TemporalSchedule sched(pair.src().nz(), S::radius, pass_t,
-                                           cfg.serialized);
+                                           cfg.serialized, cfg.family, cfg.dim_z);
         StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x,
                                             dim_y, pass_t, sched.planes_per_instance(),
                                             cfg.streaming_stores, cfg.kernel, ictx);
+        kernel.set_paired_rows(cfg.family == core::ScheduleFamily::kDeep35D);
         while (remaining >= pass_t) {
           kernel.rebind(pair.src(), pair.dst());
           kernel.set_integrity_pass(ictx.pass);
@@ -79,7 +80,7 @@ void run_sweep(Variant variant, const S& stencil, grid::GridPair<T>& pair, int s
       if (remaining > 0) {
         run_engine_pass<S, T, Tag>(stencil, pair.src(), pair.dst(), dim_x, dim_y,
                                    remaining, cfg.serialized, cfg.streaming_stores,
-                                   engine, cfg.kernel, ictx);
+                                   engine, cfg.kernel, ictx, cfg.family, cfg.dim_z);
         pair.swap();
       }
       return;
@@ -171,10 +172,12 @@ fault::Status run_sweep_verified(Variant variant, const S& stencil,
   int remaining = steps;
   if (remaining >= pass_t) {
     const core::Tiling tiling(nx, ny, dim_x, dim_y, R, pass_t);
-    const core::TemporalSchedule sched(pair.src().nz(), R, pass_t, cfg.serialized);
+    const core::TemporalSchedule sched(pair.src().nz(), R, pass_t, cfg.serialized,
+                                       cfg.family, cfg.dim_z);
     StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x, dim_y,
                                         pass_t, sched.planes_per_instance(),
                                         cfg.streaming_stores, cfg.kernel, ictx);
+    kernel.set_paired_rows(cfg.family == core::ScheduleFamily::kDeep35D);
     while (remaining >= pass_t) {
       if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
       pair.swap();
@@ -184,10 +187,12 @@ fault::Status run_sweep_verified(Variant variant, const S& stencil,
   }
   if (remaining > 0) {
     const core::Tiling tiling(nx, ny, dim_x, dim_y, R, remaining);
-    const core::TemporalSchedule sched(pair.src().nz(), R, remaining, cfg.serialized);
+    const core::TemporalSchedule sched(pair.src().nz(), R, remaining, cfg.serialized,
+                                       cfg.family, cfg.dim_z);
     StencilSlabKernel<S, T, Tag> kernel(stencil, pair.src(), pair.dst(), dim_x, dim_y,
                                         remaining, sched.planes_per_instance(),
                                         cfg.streaming_stores, cfg.kernel, ictx);
+    kernel.set_paired_rows(cfg.family == core::ScheduleFamily::kDeep35D);
     if (fault::Status st = run_checked(kernel, tiling, sched); !st.ok()) return st;
     pair.swap();
   }

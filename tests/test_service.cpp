@@ -163,8 +163,10 @@ TEST(PlanCacheTest, SaveLoadRoundtripPreservesEntriesAndOrder) {
   const auto mach = machine::core_i7();
   const PlanKey k1 = PlanKey::make(mach, sig7, 32, 48, 64, 4);
   const PlanKey k2 = PlanKey::make(mach, sig27, 64, 64, 64, 2);
-  cache.insert(k1, {16, 16, 2, 7.25, service::PlanSource::kAutotuner, 3});
-  cache.insert(k2, {24, 24, 1, 0.0, service::PlanSource::kPlanner, 0});
+  cache.insert(k1, {16, 16, 2, core::ScheduleFamily::kDeep35D, 0, 7.25,
+                    service::PlanSource::kAutotuner, 3});
+  cache.insert(k2, {24, 24, 1, core::ScheduleFamily::kDiamond, 9, 0.0,
+                    service::PlanSource::kPlanner, 0});
   ASSERT_TRUE(cache.lookup(k1).has_value());  // k1 MRU before save
   ASSERT_TRUE(cache.save(path).ok());
 
@@ -177,9 +179,12 @@ TEST(PlanCacheTest, SaveLoadRoundtripPreservesEntriesAndOrder) {
   EXPECT_EQ(entries[0].plan.dim_x, 16);
   EXPECT_EQ(entries[0].plan.dim_t, 2);
   EXPECT_DOUBLE_EQ(entries[0].plan.cost, 7.25);
+  EXPECT_EQ(entries[0].plan.family, core::ScheduleFamily::kDeep35D);
   EXPECT_EQ(entries[0].plan.source, service::PlanSource::kAutotuner);
   EXPECT_EQ(entries[0].plan.hits, 4u);  // 3 persisted + the pre-save lookup
   EXPECT_TRUE(entries[1].key == k2);
+  EXPECT_EQ(entries[1].plan.family, core::ScheduleFamily::kDiamond);
+  EXPECT_EQ(entries[1].plan.dim_z, 9);
   EXPECT_EQ(entries[1].plan.source, service::PlanSource::kPlanner);
 }
 
@@ -226,6 +231,43 @@ TEST(PlanCacheTest, RejectsCorruptShortAndForeignFiles) {
     EXPECT_EQ(fresh.load(tmp_path("plan_cache_nope.bin")).code(),
               fault::ErrorCode::kIoError);
   }
+}
+
+// A structurally valid pre-schedule-family (v1) cache file must be refused
+// with a typed kBadHeader — its entries have a different layout — and the
+// cache must start cold, not half-loaded.
+TEST(PlanCacheTest, RejectsPreFamilyVersionAndStartsCold) {
+  const std::string path = tmp_path("plan_cache_v1.bin");
+  // Hand-craft a v1 header (same 32-byte layout, version field = 1) with an
+  // empty payload and correct CRCs, so only the version check can fire.
+  struct {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t count;
+    std::uint64_t payload_bytes;
+    std::uint32_t payload_crc;
+    std::uint32_t header_crc;
+  } h{};
+  static_assert(sizeof(h) == 32);
+  std::memcpy(h.magic, "S35PLNC1", 8);
+  h.version = 1;
+  h.header_crc = crc32c(&h, sizeof(h));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&h, sizeof(h), 1, f), 1u);
+  std::fclose(f);
+
+  PlanCache cache(4);
+  cache.insert(PlanKey::make(machine::core_i7(), machine::seven_point(), 32, 32, 32, 4),
+               {16, 16, 2});
+  const fault::Status st = cache.load(path);
+  EXPECT_EQ(st.code(), fault::ErrorCode::kBadHeader);
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+  EXPECT_EQ(cache.size(), 1u);  // failed load leaves existing contents alone
+
+  PlanCache fresh(4);
+  EXPECT_EQ(fresh.load(path).code(), fault::ErrorCode::kBadHeader);
+  EXPECT_EQ(fresh.size(), 0u);  // cold start
 }
 
 TEST(PlanCacheTest, ComputePlanIsDeterministicAndFeasible) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/crc32c.h"
+#include "common/env.h"
 #include "common/table.h"
 #include "core/autotuner.h"
 #include "core/planner.h"
@@ -238,6 +239,23 @@ int cmd_run(const Args& args) {
   const std::string resume = args.str("resume", "");
   const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 42));
 
+  // Schedule-family request. Like S35_ISA, the env var can only narrow: an
+  // explicit --schedule wins; S35_SCHEDULE applies when the flag is absent
+  // or "auto".
+  std::string schedule = args.str("schedule", "auto");
+  if (schedule == "auto") schedule = env_string("S35_SCHEDULE", "auto");
+  core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
+  int schedule_pref = -1;
+  if (schedule != "auto") {
+    if (!core::parse_schedule_family(schedule, &family)) {
+      std::fprintf(stderr, "unknown schedule '%s' (want auto|paper|deep|diamond)\n",
+                   schedule.c_str());
+      return 2;
+    }
+    schedule_pref = static_cast<int>(family);
+  }
+  long dim_z = 0;
+
   // Blocking plan: --dimt N pins the temporal factor (tile stays the fixed
   // 64-wide default so historical runs reproduce); --dimt 0 resolves tile
   // and dim_t through the plan cache — persisted across invocations when
@@ -253,19 +271,23 @@ int cmd_run(const Args& args) {
     const machine::Descriptor mach = machine::host();
     const machine::KernelSig sig = machine::seven_point();
     const int max_dim_t = static_cast<int>(args.num("max-dimt", 4));
-    const service::PlanKey key = service::PlanKey::make(mach, sig, n, n, n, max_dim_t);
+    const service::PlanKey key =
+        service::PlanKey::make(mach, sig, n, n, n, max_dim_t, schedule_pref);
     const auto hit = cache.lookup(key);
     service::CachedPlan plan;
     if (hit) {
       plan = *hit;
     } else {
-      plan = service::compute_plan(mach, sig, n, n, n, max_dim_t);
+      plan = service::compute_plan(mach, sig, n, n, n, max_dim_t, schedule_pref);
       cache.insert(key, plan);
     }
     dim_t = plan.dim_t;
     dim_x = std::min<long>(plan.dim_x, n);
-    std::printf("plan: tile %ldx%ld dim_t %d (%s%s)\n", plan.dim_x, plan.dim_y,
-                plan.dim_t, service::to_string(plan.source), hit ? ", cached" : "");
+    dim_z = plan.dim_z;
+    if (schedule_pref < 0) family = plan.family;
+    std::printf("plan: tile %ldx%ld dim_t %d schedule %s (%s%s)\n", plan.dim_x,
+                plan.dim_y, plan.dim_t, core::to_string(plan.family),
+                service::to_string(plan.source), hit ? ", cached" : "");
     if (!plan_cache_path.empty()) {
       const fault::Status st = cache.save(plan_cache_path);
       if (!st.ok())
@@ -341,6 +363,8 @@ int cmd_run(const Args& args) {
   stencil::SweepConfig cfg;
   cfg.dim_t = dim_t;
   cfg.dim_x = dim_x;
+  cfg.dim_z = dim_z;
+  cfg.family = family;
   core::Engine35 engine(threads);
   const auto stencil = stencil::default_stencil7<float>();
   const fault::Status st = driver.run_guarded(
@@ -556,6 +580,7 @@ int main(int argc, char** argv) {
       "            [--wrong-pass P --wrong-z Z --wrong-y Y]\n"
       "            [--stall-tid T --stall-pass P --stall-ms MS]\n"
       "            planning: [--dimt T | --dimt 0 [--max-dimt T] [--plan-cache FILE]]\n"
+      "            [--schedule auto|paper|deep|diamond] (env S35_SCHEDULE narrows auto)\n"
       "  serve     resident job service (NDJSON: submit/status/wait/cancel/stats)\n"
       "            [--threads N] [--queue N] [--plan-cache FILE] [--socket PATH]\n"
       "            [--watchdog-ms MS] [--max-dimt T]; env: S35_SERVE_*\n"
