@@ -1,0 +1,567 @@
+// Service overload soak: does the tenancy plane keep a well-behaved tenant
+// whole while an adversarial one floods the same socket?
+//
+// One resident backend — the in-process JobService, or with
+// S35_SERVE_WORKERS > 0 the supervised worker-process plane — is served
+// over the poll-multiplexed unix socket. Two tenants attack it with
+// hundreds of short-lived NDJSON connections (one connection per job, like
+// real clients behind a pool):
+//
+//   good   — closed-loop: submit, wait for the terminal result, verify the
+//            CRC, only then submit the next job. On a structured rejection
+//            it obeys the server's retry_after_ms hint (floored by
+//            fault::retry's jittered client backoff) and tries again.
+//   noisy  — open-loop flood, S35_OVERLOAD_NOISY_MULT jobs per good job
+//            (default 10:1), fire-and-forget: submits as fast as the
+//            socket accepts and never waits. Rejections are counted and
+//            dropped — exactly what a misbehaving client would see.
+//
+// With workers > 0 and S35_SOAK_KILL_MS > 0, a killer thread SIGKILLs a
+// random worker process on that period while the flood is in progress.
+//
+// Hard gates (any miss is a nonzero exit, so the bench harness fails):
+//   * every good-tenant job completes exactly once, bit-exact against an
+//     independent in-process reference CRC;
+//   * terminal conservation on the server: submitted == completed +
+//     failed + cancelled + expired, with failed == 0;
+//   * fairness: at the moment the good tenant finishes, its share of all
+//     completed jobs is at least S35_OVERLOAD_SHARE_MIN (default 0.4 —
+//     within 20% of the 0.5 entitlement of two equal-weight tenants under
+//     deficit-round-robin);
+//   * good-tenant p99 end-to-end latency <= S35_OVERLOAD_P99_MS
+//     (default 60000).
+//
+// Env knobs: S35_OVERLOAD_GOOD_JOBS (default 24), S35_OVERLOAD_NOISY_MULT
+// (default 10), S35_OVERLOAD_N (default 40), S35_OVERLOAD_STEPS (default
+// 4), S35_OVERLOAD_RATE / S35_OVERLOAD_BURST (token bucket, default 200 /
+// 200 cost units), S35_OVERLOAD_SHARE (queue share, default 0.6),
+// S35_OVERLOAD_SHARE_MIN, S35_OVERLOAD_P99_MS, S35_SERVE_WORKERS,
+// S35_SOAK_KILL_MS, S35_SOAK_SEED, S35_THREADS.
+#include <cstdio>
+
+#include "bench_util.h"
+
+#if defined(__unix__)
+
+#include <dirent.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/retry.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "service/supervisor.h"
+#include "service/tenancy.h"
+
+using namespace s35;
+
+namespace {
+
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(q * sorted.size()));
+  return sorted[at];
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int i = 0; i < 200; ++i) {  // server may still be binding
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool send_line(int fd, const std::string& line) {
+  const std::string msg = line + "\n";
+  return ::send(fd, msg.data(), msg.size(), MSG_NOSIGNAL) ==
+         static_cast<ssize_t>(msg.size());
+}
+
+// Poll-driven line read: wakes the instant bytes arrive, so client-side
+// latency reflects the server, not a sleep granularity.
+std::string recv_line(int fd, int timeout_ms) {
+  std::string acc;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[1024];
+  for (;;) {
+    const std::size_t nl = acc.find('\n');
+    if (nl != std::string::npos) return acc.substr(0, nl);
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (pr == 0) break;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0)
+      acc.append(buf, static_cast<std::size_t>(n));
+    else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR))
+      break;
+  }
+  return acc;
+}
+
+// Worker processes forked by the Supervisor (see service_throughput.cpp).
+std::vector<long> child_pids() {
+  std::vector<long> pids;
+  DIR* d = ::opendir("/proc/self/task");
+  if (!d) return pids;
+  while (dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    const std::string path =
+        std::string("/proc/self/task/") + e->d_name + "/children";
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) continue;
+    long pid = 0;
+    while (std::fscanf(f, "%ld", &pid) == 1) pids.push_back(pid);
+    std::fclose(f);
+  }
+  ::closedir(d);
+  return pids;
+}
+
+std::string submit_line(const service::JobSpec& spec, const std::string& tenant) {
+  return "{\"op\":\"submit\",\"kernel\":\"7pt\",\"n\":" + std::to_string(spec.nx) +
+         ",\"steps\":" + std::to_string(spec.steps) +
+         ",\"seed\":" + std::to_string(spec.seed) + ",\"tenant\":\"" + tenant +
+         "\"}";
+}
+
+// Per-tenant completion counters pulled from a live backend snapshot.
+void tenant_counts(const service::ServiceStats& s, const std::string& name,
+                   std::uint64_t* completed, std::uint64_t* rejected) {
+  for (const auto& t : s.tenants) {
+    if (t.name != name) continue;
+    *completed = t.completed;
+    *rejected = t.rejected;
+    return;
+  }
+  *completed = 0;
+  *rejected = 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("== service overload: adversarial flood vs per-tenant admission ==");
+  telemetry::JsonReporter reporter("service_overload", argc, argv);
+  bench::want_records(reporter);
+
+  const int good_jobs = static_cast<int>(env_int("S35_OVERLOAD_GOOD_JOBS", 24));
+  const int noisy_mult = static_cast<int>(env_int("S35_OVERLOAD_NOISY_MULT", 10));
+  const int noisy_jobs = good_jobs * noisy_mult;
+  const long n = env_int("S35_OVERLOAD_N", 40);
+  const int steps = static_cast<int>(env_int("S35_OVERLOAD_STEPS", 4));
+  const int threads = bench::bench_threads();
+  const int workers = static_cast<int>(env_int("S35_SERVE_WORKERS", 0));
+  const int kill_ms = static_cast<int>(env_int("S35_SOAK_KILL_MS", 0));
+  const double share_min = env_double("S35_OVERLOAD_SHARE_MIN", 0.4);
+  const double p99_gate_ms = env_double("S35_OVERLOAD_P99_MS", 60'000.0);
+  const machine::Descriptor mach = machine::host();
+
+  service::JobSpec spec;
+  spec.nx = n;
+  spec.steps = steps;
+  spec.seed = 7;
+
+  // Independent reference: one in-process job, no tenancy, no supervisor.
+  // Every completed job in the soak must reproduce this CRC exactly.
+  std::uint32_t want_crc = 0;
+  {
+    service::ServiceOptions ref;
+    ref.threads = threads;
+    ref.mach = mach;
+    service::JobService svc(ref);
+    const auto id = svc.submit(spec);
+    const auto done = id.ok() ? svc.wait(id.value()) : std::nullopt;
+    if (!done || done->state != service::JobState::kDone) {
+      std::puts("FAIL: reference job did not complete");
+      return 1;
+    }
+    want_crc = done->result.crc;
+  }
+  char want_hex[16];
+  std::snprintf(want_hex, sizeof want_hex, "%08x", want_crc);
+
+  // Tenancy plane: generous token bucket (the flood must mostly get *in*
+  // so DRR has contention to arbitrate), a queue-share cap so neither
+  // tenant can monopolize slots, and quarantine off — random SIGKILLs are
+  // not the tenants' fault.
+  service::TenancyOptions tenancy;
+  tenancy.rate = env_double("S35_OVERLOAD_RATE", 200.0);
+  tenancy.burst = env_double("S35_OVERLOAD_BURST", 200.0);
+  tenancy.queue_share = env_double("S35_OVERLOAD_SHARE", 0.6);
+
+  char ckpt_dir[] = "/tmp/s35-overload-XXXXXX";
+  std::unique_ptr<service::JobBackend> backend;
+  if (workers > 0) {
+    if (!::mkdtemp(ckpt_dir)) {
+      std::puts("FAIL: mkdtemp for checkpoint dir");
+      return 2;
+    }
+    service::SupervisorOptions sup;
+    sup.workers = workers;
+    sup.beat_ms = 20;
+    sup.hang_ms = 10'000;
+    sup.max_restarts = 1 << 20;  // the soak kills on purpose; absorb every one
+    sup.max_job_attempts = 1 << 20;
+    sup.checkpoint_dir = ckpt_dir;
+    sup.checkpoint_every = 1;
+    sup.queue_capacity = static_cast<std::size_t>(good_jobs + noisy_jobs) + 16;
+    sup.service.threads = threads;
+    sup.service.mach = mach;
+    sup.tenancy = tenancy;
+    backend = std::make_unique<service::Supervisor>(sup);
+  } else {
+    service::ServiceOptions o;
+    o.threads = threads;
+    o.mach = mach;
+    o.queue_capacity = static_cast<std::size_t>(good_jobs + noisy_jobs) + 16;
+    o.tenancy = tenancy;
+    backend = std::make_unique<service::JobService>(o);
+  }
+
+  // Warm-up (untimed): populate plan caches so the flood measures
+  // scheduling, not autotuning.
+  {
+    const auto id = backend->submit(spec);
+    const auto done = id.ok() ? backend->wait(id.value(), 120'000) : std::nullopt;
+    if (!done || done->state != service::JobState::kDone ||
+        done->result.crc != want_crc) {
+      std::puts("FAIL: warm-up job did not complete bit-exact");
+      return 1;
+    }
+  }
+
+  const std::string sock =
+      "/tmp/s35-overload-" + std::to_string(::getpid()) + ".sock";
+  std::atomic<bool> stop_serve{false};
+  std::thread server(
+      [&] { service::serve_unix(*backend, sock, &stop_serve); });
+
+  std::atomic<bool> stop_kill{false};
+  std::atomic<std::uint64_t> kills_sent{0};
+  std::thread killer([&] {
+    std::uint64_t rng = static_cast<std::uint64_t>(env_int("S35_SOAK_SEED", 42)) | 1;
+    while (workers > 0 && kill_ms > 0 && !stop_kill.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kill_ms));
+      if (stop_kill.load()) break;
+      const std::vector<long> pids = child_pids();
+      if (pids.empty()) continue;
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const long victim = pids[rng % pids.size()];
+      if (::kill(static_cast<pid_t>(victim), SIGKILL) == 0)
+        kills_sent.fetch_add(1);
+    }
+  });
+
+  // ---- noisy tenant: open-loop flood, one connection per job ------------
+  std::atomic<int> noisy_next{0};
+  std::atomic<std::uint64_t> noisy_sent{0}, noisy_admitted{0}, noisy_rejected{0};
+  std::atomic<bool> noisy_stop{false};
+  const int noisy_threads = static_cast<int>(env_int("S35_OVERLOAD_NOISY_CLIENTS", 8));
+  std::vector<std::thread> flood;
+  for (int c = 0; c < noisy_threads; ++c) {
+    flood.emplace_back([&] {
+      while (!noisy_stop.load()) {
+        if (noisy_next.fetch_add(1) >= noisy_jobs) break;
+        const int fd = connect_unix(sock);
+        if (fd < 0) continue;
+        noisy_sent.fetch_add(1);
+        if (send_line(fd, submit_line(spec, "noisy"))) {
+          const std::string resp = recv_line(fd, 30'000);
+          if (resp.find("\"ok\":true") != std::string::npos)
+            noisy_admitted.fetch_add(1);
+          else
+            noisy_rejected.fetch_add(1);
+        }
+        ::close(fd);  // fire-and-forget: never waits for the result
+      }
+    });
+  }
+
+  // ---- good tenant: submit the whole batch (obeying rejection hints),
+  // then collect every terminal. A persistent backlog is what DRR
+  // arbitrates; each op still uses its own short-lived connection.
+  const int good_threads = static_cast<int>(env_int("S35_OVERLOAD_GOOD_CLIENTS", 2));
+  std::atomic<int> good_next{0};
+  std::atomic<std::uint64_t> good_retries{0};
+  std::mutex good_mu;
+  std::vector<double> good_lat_ms;
+  std::string good_err;
+  const fault::RetryPolicy client_backoff{
+      .max_retries = 12,
+      .base_delay = std::chrono::microseconds(10'000),
+      .multiplier = 2.0,
+      .max_delay = std::chrono::microseconds(1'000'000)};
+  // Fairness is sampled server-side: the instant the good tenant's last
+  // job completes on the backend, record both tenants' completion counts.
+  // Client-observed completion lags by a wait round-trip, during which the
+  // flood keeps draining and would understate the good share.
+  std::atomic<bool> sampler_stop{false};
+  std::uint64_t fair_good = 0, fair_noisy = 0;
+  std::thread sampler([&] {
+    while (!sampler_stop.load()) {
+      const service::ServiceStats s = backend->stats();
+      std::uint64_t g = 0, gr = 0, nd = 0, nr = 0;
+      tenant_counts(s, "good", &g, &gr);
+      tenant_counts(s, "noisy", &nd, &nr);
+      fair_good = g;
+      fair_noisy = nd;
+      if (g >= static_cast<std::uint64_t>(good_jobs)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Timer flood_timer;
+  std::vector<std::thread> good;
+  for (int c = 0; c < good_threads; ++c) {
+    good.emplace_back([&, c] {
+      struct Pending {
+        std::int64_t id;
+        double submit_s;
+      };
+      std::vector<Pending> pending;
+      std::string fail;
+      while (fail.empty()) {
+        if (good_next.fetch_add(1) >= good_jobs) break;
+        bool admitted = false;
+        for (int attempt = 0; attempt < 200 && !admitted; ++attempt) {
+          const int fd = connect_unix(sock);
+          if (fd < 0) {
+            fail = "good client could not connect";
+            break;
+          }
+          const double t0 = flood_timer.seconds();
+          std::int64_t id = 0;
+          if (!send_line(fd, submit_line(spec, "good"))) {
+            ::close(fd);
+            continue;
+          }
+          const std::string resp = recv_line(fd, 30'000);
+          ::close(fd);
+          if (resp.find("\"ok\":true") != std::string::npos &&
+              service::json::get_int(resp, "id", &id) && id > 0) {
+            pending.push_back({id, t0});
+            admitted = true;
+          } else {
+            // Structured rejection: obey the server's hint, floored by the
+            // client's own jittered backoff schedule.
+            std::int64_t hint_ms = 0;
+            (void)service::json::get_int(resp, "retry_after_ms", &hint_ms);
+            const auto jitter = fault::backoff_delay_jittered(
+                client_backoff, std::min(attempt, client_backoff.max_retries),
+                0x600Dull + static_cast<std::uint64_t>(c));
+            const std::int64_t sleep_ms =
+                std::max<std::int64_t>(hint_ms, jitter.count() / 1000);
+            good_retries.fetch_add(1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::min<std::int64_t>(sleep_ms, 2'000)));
+          }
+        }
+        if (fail.empty() && !admitted) fail = "good job never admitted";
+      }
+      std::vector<double> lat;
+      for (const Pending& p : pending) {
+        if (!fail.empty()) break;
+        const int fd = connect_unix(sock);
+        if (fd < 0) {
+          fail = "good client could not connect for wait";
+          break;
+        }
+        std::string res;
+        if (send_line(fd, "{\"op\":\"wait\",\"id\":" + std::to_string(p.id) +
+                              ",\"timeout_ms\":120000}"))
+          res = recv_line(fd, 125'000);
+        ::close(fd);
+        std::string state;
+        std::string crc_hex;
+        if (service::json::get_string(res, "state", &state) && state == "done" &&
+            service::json::get_string(res, "crc", &crc_hex) &&
+            crc_hex == want_hex) {
+          lat.push_back((flood_timer.seconds() - p.submit_s) * 1e3);
+        } else {
+          fail = "good job " + std::to_string(p.id) +
+                 " did not finish bit-exact: " + res;
+        }
+      }
+      std::lock_guard<std::mutex> lk(good_mu);
+      if (!fail.empty() && good_err.empty()) good_err = fail;
+      good_lat_ms.insert(good_lat_ms.end(), lat.begin(), lat.end());
+    });
+  }
+  for (auto& th : good) th.join();
+  const double flood_s = flood_timer.seconds();
+  sampler_stop.store(true);
+  sampler.join();
+
+  // Under DRR both tenants drained at their weight, so at the sampled
+  // good-finish instant the good share must be near its 0.5 entitlement
+  // even though noisy submitted 10x the jobs.
+  const std::uint64_t good_done_mid = fair_good;
+  const std::uint64_t noisy_done_mid = fair_noisy;
+  const std::uint64_t done_mid = good_done_mid + noisy_done_mid;
+  const double good_share =
+      done_mid > 0 ? static_cast<double>(good_done_mid) / done_mid : 0.0;
+
+  noisy_stop.store(true);
+  for (auto& th : flood) th.join();
+  stop_kill.store(true);
+  killer.join();
+
+  // Drain every admitted job, then stop the transport and the plane.
+  const bool drained = backend->drain(300'000);
+  stop_serve.store(true);
+  server.join();
+  const service::ServiceStats fin = backend->stats();
+  backend->shutdown();
+  backend.reset();
+  std::remove(sock.c_str());
+  if (workers > 0) {  // best-effort checkpoint cleanup
+    if (DIR* d = ::opendir(ckpt_dir)) {
+      while (dirent* e = ::readdir(d)) {
+        if (e->d_name[0] == '.') continue;
+        ::unlink((std::string(ckpt_dir) + "/" + e->d_name).c_str());
+      }
+      ::closedir(d);
+      ::rmdir(ckpt_dir);
+    }
+  }
+
+  std::sort(good_lat_ms.begin(), good_lat_ms.end());
+  const double p50 = pct(good_lat_ms, 0.50);
+  const double p99 = pct(good_lat_ms, 0.99);
+
+  std::printf(
+      "good: %zu/%d jobs, %llu retries, p50 %.1f ms, p99 %.1f ms\n"
+      "noisy: %llu sent, %llu admitted, %llu rejected\n"
+      "fair share at good-finish: %.3f (gate >= %.3f; %llu good vs %llu noisy "
+      "done)\n",
+      good_lat_ms.size(), good_jobs,
+      static_cast<unsigned long long>(good_retries.load()), p50, p99,
+      static_cast<unsigned long long>(noisy_sent.load()),
+      static_cast<unsigned long long>(noisy_admitted.load()),
+      static_cast<unsigned long long>(noisy_rejected.load()), good_share,
+      share_min, static_cast<unsigned long long>(good_done_mid),
+      static_cast<unsigned long long>(noisy_done_mid));
+  if (workers > 0)
+    std::printf("plane: %llu kills sent, %llu worker deaths, %llu failovers\n",
+                static_cast<unsigned long long>(kills_sent.load()),
+                static_cast<unsigned long long>(fin.worker_deaths),
+                static_cast<unsigned long long>(fin.failovers));
+
+  telemetry::BenchRecord rec;
+  rec.kernel = "7pt";
+  rec.variant = workers > 0 ? "service/overload-supervised" : "service/overload";
+  rec.nx = rec.ny = rec.nz = n;
+  rec.steps = steps;
+  rec.threads = threads;
+  rec.seconds = flood_s;
+  rec.mups = static_cast<double>(n) * n * n * steps *
+             static_cast<double>(good_lat_ms.size() + noisy_done_mid) / flood_s /
+             1e6;
+  rec.extra["good_jobs"] = static_cast<double>(good_lat_ms.size());
+  rec.extra["good_retries"] = static_cast<double>(good_retries.load());
+  rec.extra["good_p50_ms"] = p50;
+  rec.extra["good_p99_ms"] = p99;
+  rec.extra["good_share"] = good_share;
+  rec.extra["good_completed"] = static_cast<double>(good_done_mid);
+  std::uint64_t good_done_fin = 0, good_rej_fin = 0;
+  std::uint64_t noisy_done_fin = 0, noisy_rej_fin = 0;
+  tenant_counts(fin, "good", &good_done_fin, &good_rej_fin);
+  tenant_counts(fin, "noisy", &noisy_done_fin, &noisy_rej_fin);
+  rec.extra["good_rejected"] = static_cast<double>(good_rej_fin);
+  rec.extra["noisy_sent"] = static_cast<double>(noisy_sent.load());
+  rec.extra["noisy_admitted"] = static_cast<double>(noisy_admitted.load());
+  rec.extra["noisy_rejected"] = static_cast<double>(noisy_rej_fin);
+  rec.extra["noisy_completed"] = static_cast<double>(noisy_done_fin);
+  rec.extra["shed_expired"] = static_cast<double>(fin.shed_expired);
+  rec.extra["quarantine_trips"] = static_cast<double>(fin.quarantine_trips);
+  rec.extra["workers"] = static_cast<double>(workers);
+  rec.extra["kills_sent"] = static_cast<double>(kills_sent.load());
+  rec.extra["worker_deaths"] = static_cast<double>(fin.worker_deaths);
+  rec.extra["failovers"] = static_cast<double>(fin.failovers);
+  bench::attach_roofline(rec, machine::Precision::kSingle);
+  reporter.add(rec);
+
+  // ---- hard gates -------------------------------------------------------
+  if (!good_err.empty()) {
+    std::printf("FAIL: %s\n", good_err.c_str());
+    return 1;
+  }
+  if (good_lat_ms.size() != static_cast<std::size_t>(good_jobs)) {
+    std::printf("FAIL: good tenant completed %zu/%d jobs\n", good_lat_ms.size(),
+                good_jobs);
+    return 1;
+  }
+  if (!drained) {
+    std::puts("FAIL: backend did not drain admitted jobs");
+    return 1;
+  }
+  if (fin.failed != 0) {
+    std::printf("FAIL: %llu jobs failed\n",
+                static_cast<unsigned long long>(fin.failed));
+    return 1;
+  }
+  if (fin.completed + fin.failed + fin.cancelled + fin.expired != fin.submitted) {
+    std::printf("FAIL: job conservation: %llu submitted vs %llu terminal\n",
+                static_cast<unsigned long long>(fin.submitted),
+                static_cast<unsigned long long>(fin.completed + fin.failed +
+                                                fin.cancelled + fin.expired));
+    return 1;
+  }
+  if (good_share < share_min) {
+    std::printf("FAIL: good tenant share %.3f below %.3f under flood\n",
+                good_share, share_min);
+    return 1;
+  }
+  if (p99 > p99_gate_ms) {
+    std::printf("FAIL: good p99 %.1f ms above gate %.1f ms\n", p99, p99_gate_ms);
+    return 1;
+  }
+  std::puts(
+      "overload soak: good tenant whole, every job bit-exact, fair share "
+      "held under a 10:1 flood.");
+  return 0;
+}
+
+#else  // !__unix__
+
+int main(int argc, char** argv) {
+  telemetry::JsonReporter reporter("service_overload", argc, argv);
+  std::puts("service_overload: unix sockets unavailable on this platform; "
+            "skipped.");
+  return 0;
+}
+
+#endif

@@ -49,6 +49,16 @@ SMOKE_SET = [
     ("integrity_overhead", {"S35_GRIDS": "64"}),
     ("ablation_schedule", {"S35_GRIDS": "64"}),
     ("service_throughput", {"S35_SERVE_JOBS": "10", "S35_SERVE_N": "32"}),
+    # Overload soak: 10:1 adversarial flood against a supervised 2-worker
+    # plane with random worker SIGKILLs. The binary hard-fails on any lost,
+    # duplicated, or non-bit-exact job, on a good-tenant fair share below
+    # S35_OVERLOAD_SHARE_MIN, and on an unbounded good-tenant p99.
+    ("service_overload", {
+        "S35_OVERLOAD_GOOD_JOBS": "16",
+        "S35_OVERLOAD_N": "32",
+        "S35_SERVE_WORKERS": "2",
+        "S35_SOAK_KILL_MS": "400",
+    }),
 ]
 
 AGG_SCHEMA = "s35.bench.agg.v1"

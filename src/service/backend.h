@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "fault/status.h"
 #include "service/job.h"
+#include "service/tenancy.h"
 
 namespace s35::service {
 
@@ -33,6 +35,7 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
   std::uint64_t batched = 0;    // jobs that reused the previous grids
+  std::uint64_t shed_expired = 0;  // expired jobs shed while still queued
   std::size_t queue_depth = 0;
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
@@ -52,6 +55,12 @@ struct ServiceStats {
   std::uint64_t redispatched = 0;      // queued jobs moved off a dead worker
   std::int64_t max_heartbeat_age_ms = 0;  // oldest live worker heartbeat
   std::size_t in_flight = 0;           // jobs currently on a worker
+
+  // ---- tenancy / overload plane (empty when tenancy is off) ----
+  std::uint64_t quarantined = 0;        // rejections by the poison breaker
+  std::uint64_t quarantine_trips = 0;   // breakers tripped open
+  bool tenancy = false;                 // any TenancyOptions knob set
+  std::vector<TenantCounters> tenants;  // per-tenant counters, sorted by name
 };
 
 // Minimal surface the protocol needs. Semantics match JobService's methods

@@ -40,6 +40,15 @@ struct JobSpec {
   std::int64_t deadline_ms = 0; // relative to submit; 0 = none
   std::uint64_t seed = 42;      // fill_random seed for the input grid
 
+  // Tenant identity for quota accounting and fair scheduling. Empty = the
+  // default tenant (all pre-tenancy traffic). Validated at admission:
+  // at most 64 chars from [A-Za-z0-9_.:-].
+  std::string tenant;
+  // DRR weight within a priority class; 0 = unset (treated as 1), valid
+  // range [0, 16]. A weight-3 tenant drains ~3x the cost per round of a
+  // weight-1 tenant when both have queued jobs.
+  int tenant_weight = 0;
+
   bool streaming_stores = false;
   // Per-job integrity profile: arms sentinels/guards/audits and the
   // verified-run re-execution ladder (src/integrity) for this job only.
@@ -75,6 +84,21 @@ struct JobSpec {
     mix(static_cast<std::uint64_t>(eff_ny()));
     mix(static_cast<std::uint64_t>(eff_nz()));
     return h;
+  }
+
+  int eff_weight() const { return tenant_weight > 0 ? tenant_weight : 1; }
+
+  // Tenant identity key (FNV-1a over the tenant string). 0 is reserved for
+  // the default/empty tenant so legacy QueueItems (tenant field defaulted)
+  // and untagged submissions land in the same bucket.
+  std::uint64_t tenant_key() const {
+    if (tenant.empty()) return 0;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : tenant) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    return h ? h : 1;  // never collide with the default-tenant sentinel
   }
 };
 

@@ -89,6 +89,10 @@ bool spec_from_request(const std::string& line, JobSpec* out) {
   get_bool(line, "stream", &spec.streaming_stores);
   get_bool(line, "audit", &spec.audit);
   get_double(line, "audit_rate", &spec.audit_rate);
+  if (json::find_value(line, "tenant", &at) &&
+      !get_string(line, "tenant", &spec.tenant))
+    return false;
+  if (get_int(line, "weight", &v)) spec.tenant_weight = static_cast<int>(v);
   return true;
 }
 
@@ -108,9 +112,20 @@ std::string handle_line(JobBackend& svc, const std::string& line, bool* shutdown
     if (!spec_from_request(line, &spec))
       return error_response("protocol_error", "malformed string field");
     const auto id = svc.submit(spec);
-    if (!id.ok())
+    if (!id.ok()) {
+      // Structured overload rejections (tenancy.h) carry a typed reason and
+      // a retry_after_ms hint so clients can back off precisely.
+      std::string reason;
+      std::int64_t retry_after_ms = 0;
+      if (parse_rejection(id.status().message(), &reason, &retry_after_ms)) {
+        return std::string("{\"ok\":false,\"error\":\"") +
+               fault::to_string(id.status().code()) + "\",\"reason\":\"" + reason +
+               "\",\"retry_after_ms\":" + std::to_string(retry_after_ms) +
+               ",\"message\":\"" + escape(id.status().message()) + "\"}";
+      }
       return error_response(fault::to_string(id.status().code()),
                             id.status().message());
+    }
     return "{\"ok\":true,\"id\":" + std::to_string(id.value()) + "}";
   }
 
@@ -146,6 +161,7 @@ std::string handle_line(JobBackend& svc, const std::string& line, bool* shutdown
        << ",\"batched\":" << s.batched << ",\"queue_depth\":" << s.queue_depth
        << ",\"plan_hits\":" << s.plan_hits << ",\"plan_misses\":" << s.plan_misses
        << ",\"watchdog_stalls\":" << s.watchdog_stalls
+       << ",\"shed_expired\":" << s.shed_expired
        << ",\"total_wait_s\":" << s.total_wait_s
        << ",\"total_run_s\":" << s.total_run_s << ",\"threads\":" << s.threads;
     if (s.workers > 0) {
@@ -156,7 +172,24 @@ std::string handle_line(JobBackend& svc, const std::string& line, bool* shutdown
          << ",\"sdc_escalations\":" << s.sdc_escalations
          << ",\"redispatched\":" << s.redispatched
          << ",\"max_heartbeat_age_ms\":" << s.max_heartbeat_age_ms
-         << ",\"in_flight\":" << s.in_flight;
+         << ",\"in_flight\":" << s.in_flight
+         << ",\"quarantined\":" << s.quarantined
+         << ",\"quarantine_trips\":" << s.quarantine_trips;
+    }
+    if (!s.tenants.empty()) {
+      os << ",\"tenants\":[";
+      bool first = true;
+      for (const TenantCounters& t : s.tenants) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"tenant\":\"" << escape(t.name) << "\",\"weight\":" << t.weight
+           << ",\"admitted\":" << t.admitted << ",\"rejected\":" << t.rejected
+           << ",\"completed\":" << t.completed << ",\"shed\":" << t.shed
+           << ",\"quarantined\":" << t.quarantined << ",\"queued\":" << t.queued
+           << ",\"running\":" << t.running << ",\"tokens\":" << t.tokens
+           << ",\"deficit\":" << t.deficit << "}";
+      }
+      os << "]";
     }
     os << "}";
     return os.str();
@@ -444,6 +477,25 @@ int serve_unix(JobBackend& svc, const std::string& path,
                   clients.end());
   }
 
+  // Deliver buffered replies (notably the shutdown ack) before closing:
+  // breaking out of the poll loop skips the opportunistic flush, and a
+  // client blocked on its response would otherwise see a bare EOF.
+  for (Client& c : clients) {
+    const std::int64_t deadline = steady_ns() + 250'000'000;
+    while (c.fd >= 0 && !c.out.empty() && steady_ns() < deadline) {
+      const ssize_t w = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+      if (w > 0) {
+        c.out.erase(0, static_cast<std::size_t>(w));
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        pollfd wp{c.fd, POLLOUT, 0};
+        ::poll(&wp, 1, 10);
+        continue;
+      }
+      break;
+    }
+  }
   for (const Client& c : clients)
     if (c.fd >= 0) ::close(c.fd);
   ::close(server);

@@ -6,20 +6,41 @@
 // producer until space frees (cooperative backpressure), and remove()
 // supports cancellation of jobs that have not started.
 //
-// Ordering: strict priority (higher first), FIFO within a priority class —
-// with one scheduling refinement: the consumer passes the shape key of the
-// job it just finished, and among the *top-priority* entries the queue
-// prefers the oldest one with a matching key. That batches jobs of
-// compatible shape back-to-back on the warm team (grid buffers and plan are
-// reused) without ever starving a higher-priority job or reordering across
-// priority classes.
+// Ordering: strict priority (higher first). *Within* the top priority class
+// the policy depends on how many tenants are present:
+//
+//   one tenant   FIFO with shape-affinity preference — the consumer passes
+//                the shape key of the job it just finished and the queue
+//                prefers the oldest entry with a matching key, batching
+//                compatible shapes back-to-back on the warm team. This is
+//                the exact pre-tenancy policy, so untagged traffic is
+//                scheduled byte-identically to the old queue.
+//
+//   many tenants weighted deficit round robin (DRR) across tenants, each
+//                item weighted by its predicted cost: every visit a tenant's
+//                deficit grows by quantum x weight, and its head job runs
+//                once the deficit covers the job's cost. The quantum adapts
+//                to min(head_cost / weight) over active tenants so some head
+//                is always eligible within two ring cycles regardless of the
+//                cost scale. Within one tenant's backlog the affinity/FIFO
+//                rule above still picks the head, so shape batching
+//                survives; classes are never reordered (a flooder in class 0
+//                cannot delay class 1, and vice versa the DRR ring only
+//                spans the class currently draining).
+//
+// Deficit state is pruned as tenants go idle (classic DRR semantics: an
+// empty tenant forfeits its accumulated deficit, so fairness is over
+// *backlogged* tenants only).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace s35::service {
@@ -29,6 +50,10 @@ struct QueueItem {
   int priority = 0;
   std::uint64_t seq = 0;       // admission order, assigned by the producer
   std::uint64_t affinity = 0;  // JobSpec::shape_key()
+  std::uint64_t tenant = 0;    // JobSpec::tenant_key(); 0 = default tenant
+  std::uint32_t weight = 1;    // DRR weight (JobSpec::eff_weight())
+  double cost = 1.0;           // predicted_job_cost(); DRR debit per pop
+  std::int64_t deadline_ns = 0;  // absolute steady-clock ns; 0 = none
 };
 
 class BoundedJobQueue {
@@ -85,9 +110,7 @@ class BoundedJobQueue {
     std::unique_lock<std::mutex> lock(mu_);
     cv_pop_.wait(lock, [&] { return closed_ || (!gated_ && !items_.empty()); });
     if (items_.empty()) return std::nullopt;
-    const std::size_t at = select(affinity);
-    const QueueItem item = items_[at];
-    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(at));
+    const QueueItem item = take_at(select(affinity));
     lock.unlock();
     cv_push_.notify_one();
     return item;
@@ -101,9 +124,7 @@ class BoundedJobQueue {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (gated_ || items_.empty()) return std::nullopt;
-      const std::size_t at = select(affinity);
-      item = items_[at];
-      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(at));
+      item = take_at(select(affinity));
     }
     cv_push_.notify_one();
     return item;
@@ -116,7 +137,7 @@ class BoundedJobQueue {
       std::lock_guard<std::mutex> lock(mu_);
       for (std::size_t i = 0; i < items_.size(); ++i) {
         if (items_[i].id == id) {
-          items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+          take_at(i);
           removed = true;
           break;
         }
@@ -124,6 +145,36 @@ class BoundedJobQueue {
     }
     if (removed) cv_push_.notify_one();
     return removed;
+  }
+
+  // Eager deadline shedding: removes every queued item whose deadline has
+  // already passed and returns their ids so the caller can realize the
+  // kExpired terminal. Frees admission capacity immediately instead of
+  // letting dead jobs occupy slots until a consumer pops them.
+  std::vector<std::uint64_t> take_expired(std::int64_t now_ns) {
+    std::vector<std::uint64_t> expired;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < items_.size();) {
+        if (items_[i].deadline_ns > 0 && items_[i].deadline_ns <= now_ns) {
+          expired.push_back(items_[i].id);
+          take_at(i);
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (!expired.empty()) cv_push_.notify_all();
+    return expired;
+  }
+
+  // DRR deficit per backlogged tenant, for the stats op.
+  std::vector<std::pair<std::uint64_t, double>> drr_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::uint64_t, double>> out;
+    out.reserve(drr_.size());
+    for (const auto& [tenant, st] : drr_) out.emplace_back(tenant, st.deficit);
+    return out;
   }
 
   // Stops admission and wakes every waiter; queued items stay poppable so a
@@ -143,30 +194,99 @@ class BoundedJobQueue {
   }
 
  private:
-  // Index of the next item: max priority; within that class the oldest
-  // affinity match, else the oldest. Linear scan — the queue is bounded and
+  struct DrrState {
+    double deficit = 0.0;
+    std::uint64_t order = 0;  // ring position, assigned at first activation
+  };
+  struct ActiveTenant {
+    std::uint64_t tenant = 0;
+    std::size_t head = 0;  // index of this tenant's head item in items_
+    double head_cost = 1.0;
+    std::uint32_t weight = 1;
+    std::uint64_t order = 0;
+  };
+
+  // Removes and returns items_[at], retiring the tenant's DRR state when
+  // this was its last queued item. Callers hold mu_.
+  QueueItem take_at(std::size_t at) {
+    const QueueItem item = items_[at];
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(at));
+    if (!drr_.empty()) {
+      bool backlogged = false;
+      for (const QueueItem& it : items_) backlogged |= it.tenant == item.tenant;
+      if (!backlogged) drr_.erase(item.tenant);
+    }
+    return item;
+  }
+
+  // True when `cand` beats `best` for the within-tenant (or single-tenant
+  // whole-class) head slot: affinity match first, then oldest seq.
+  static bool head_better(const QueueItem& cand, bool cand_match,
+                          const QueueItem& best, bool best_match) {
+    if (cand_match != best_match) return cand_match;
+    return cand.seq < best.seq;
+  }
+
+  // Index of the next item. Linear scan — the queue is bounded and
   // service-scale (tens to hundreds), not a scheduler for millions.
-  std::size_t select(std::uint64_t affinity) const {
-    std::size_t best = 0;
-    bool best_match = affinity != 0 && items_[0].affinity == affinity;
-    for (std::size_t i = 1; i < items_.size(); ++i) {
+  std::size_t select(std::uint64_t affinity) {
+    int top = items_[0].priority;
+    for (const QueueItem& it : items_) top = std::max(top, it.priority);
+
+    // Per-tenant heads within the top class, ring-ordered by first
+    // activation. Single tenant -> the pre-tenancy FIFO+affinity policy.
+    std::vector<ActiveTenant> active;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
       const QueueItem& it = items_[i];
-      const QueueItem& b = items_[best];
-      if (it.priority > b.priority) {
-        best = i;
-        best_match = affinity != 0 && it.affinity == affinity;
+      if (it.priority != top) continue;
+      const bool match = affinity != 0 && it.affinity == affinity;
+      ActiveTenant* slot = nullptr;
+      for (ActiveTenant& a : active)
+        if (a.tenant == it.tenant) slot = &a;
+      if (slot == nullptr) {
+        auto [ds, inserted] = drr_.try_emplace(it.tenant);
+        if (inserted) ds->second.order = drr_order_next_++;
+        active.push_back({it.tenant, i, it.cost, it.weight, ds->second.order});
         continue;
       }
-      if (it.priority < b.priority) continue;
-      const bool match = affinity != 0 && it.affinity == affinity;
-      if (match && !best_match) {
-        best = i;
-        best_match = true;
-      } else if (match == best_match && it.seq < b.seq) {
-        best = i;
+      const QueueItem& cur = items_[slot->head];
+      const bool cur_match = affinity != 0 && cur.affinity == affinity;
+      if (head_better(it, match, cur, cur_match)) {
+        slot->head = i;
+        slot->head_cost = it.cost;
+        slot->weight = it.weight;
       }
     }
-    return best;
+    if (active.size() == 1) return active[0].head;
+
+    // Weighted DRR over the backlogged tenants of the top class. The
+    // adaptive quantum makes the cheapest head (per unit weight) eligible
+    // on its first visit, so the walk terminates within two ring cycles.
+    double q0 = active[0].head_cost / active[0].weight;
+    for (const ActiveTenant& a : active)
+      q0 = std::min(q0, a.head_cost / static_cast<double>(a.weight));
+    std::sort(active.begin(), active.end(),
+              [](const ActiveTenant& a, const ActiveTenant& b) {
+                return a.order < b.order;
+              });
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].order > drr_last_order_) {
+        start = i;
+        break;
+      }
+    }
+    for (std::size_t step = 0; step <= 2 * active.size(); ++step) {
+      ActiveTenant& a = active[(start + step) % active.size()];
+      DrrState& st = drr_[a.tenant];
+      st.deficit += q0 * a.weight;
+      if (st.deficit + 1e-9 >= a.head_cost) {
+        st.deficit -= a.head_cost;
+        drr_last_order_ = a.order;
+        return a.head;
+      }
+    }
+    return active[start].head;  // unreachable: the quantum guarantees a hit
   }
 
   mutable std::mutex mu_;
@@ -176,6 +296,9 @@ class BoundedJobQueue {
   const std::size_t cap_;
   bool closed_ = false;
   bool gated_ = false;
+  std::unordered_map<std::uint64_t, DrrState> drr_;
+  std::uint64_t drr_order_next_ = 0;
+  std::uint64_t drr_last_order_ = ~0ull;  // wraps to the oldest ring slot
 };
 
 }  // namespace s35::service

@@ -27,6 +27,13 @@ std::int64_t now_ns() {
 
 bool known_kernel(const std::string& k) { return k == "7pt" || k == "27pt"; }
 
+constexpr std::size_t kMaxTenantChars = 64;
+
+bool valid_tenant_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == '.' || c == ':' || c == '-';
+}
+
 }  // namespace
 
 fault::Status validate_spec(const JobSpec& spec, long max_points) {
@@ -51,6 +58,15 @@ fault::Status validate_spec(const JobSpec& spec, long max_points) {
   }
   if (spec.audit_rate < 0.0 || spec.audit_rate > 1.0)
     return {fault::ErrorCode::kMismatch, "audit_rate outside [0,1]"};
+  if (spec.tenant.size() > kMaxTenantChars)
+    return {fault::ErrorCode::kMismatch, "tenant name exceeds 64 chars"};
+  for (const char c : spec.tenant) {
+    if (!valid_tenant_char(c))
+      return {fault::ErrorCode::kMismatch,
+              "tenant name must match [A-Za-z0-9_.:-]"};
+  }
+  if (spec.tenant_weight < 0 || spec.tenant_weight > 16)
+    return {fault::ErrorCode::kMismatch, "tenant weight outside [0,16]"};
   if (spec.resume && spec.checkpoint_path.empty())
     return {fault::ErrorCode::kMismatch, "resume requires a checkpoint_path"};
   return {};
@@ -83,6 +99,16 @@ ServiceOptions ServiceOptions::from_env() {
   o.plan_cache_path = env_string("S35_SERVE_PLAN_CACHE", o.plan_cache_path);
   o.watchdog_ms = static_cast<int>(env_int("S35_SERVE_WATCHDOG_MS", o.watchdog_ms));
   o.max_dim_t = static_cast<int>(env_int("S35_SERVE_MAX_DIMT", o.max_dim_t));
+  o.tenancy.rate = env_double("S35_SERVE_TENANT_RATE", o.tenancy.rate);
+  o.tenancy.burst = env_double("S35_SERVE_TENANT_BURST", o.tenancy.burst);
+  o.tenancy.max_in_flight =
+      static_cast<int>(env_int("S35_SERVE_TENANT_INFLIGHT", o.tenancy.max_in_flight));
+  o.tenancy.queue_share = env_double("S35_SERVE_TENANT_SHARE", o.tenancy.queue_share);
+  o.tenancy.brownout = env_double("S35_SERVE_BROWNOUT", o.tenancy.brownout);
+  o.tenancy.quarantine_kills =
+      static_cast<int>(env_int("S35_SERVE_QUARANTINE", o.tenancy.quarantine_kills));
+  o.tenancy.quarantine_cooldown_ms = env_int("S35_SERVE_QUARANTINE_COOLDOWN_MS",
+                                             o.tenancy.quarantine_cooldown_ms);
   return o;
 }
 
@@ -96,6 +122,7 @@ JobService::JobService(ServiceOptions options)
   }
   if (opts_.mach.name.empty()) opts_.mach = machine::host();
   if (opts_.max_dim_t < 1) opts_.max_dim_t = 1;
+  governor_.configure(opts_.tenancy);
   engine_ = std::make_unique<core::Engine35>(opts_.threads);
   if (!opts_.plan_cache_path.empty()) {
     // A missing or damaged cache file only costs a re-tune; never fatal.
@@ -115,7 +142,11 @@ fault::Expected<std::uint64_t> JobService::submit(const JobSpec& spec) {
     ++stats_.rejected;
     return st;
   }
+  // Eager deadline shedding: dead jobs must not consume the admission
+  // capacity this submission is competing for.
+  shed_expired_jobs();
 
+  const double cost = predicted_job_cost(spec);
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -124,21 +155,37 @@ fault::Expected<std::uint64_t> JobService::submit(const JobSpec& spec) {
       ++stats_.rejected;
       return fault::Status(fault::ErrorCode::kUnavailable, "service shut down");
     }
+    const std::int64_t now = now_ns();
+    if (const AdmitDecision d =
+            governor_.admit(spec, cost, queue_.size(), queue_.capacity(), now);
+        !d.ok()) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.rejected;
+      return fault::Status(
+          fault::ErrorCode::kUnavailable,
+          format_rejection(d.reason, "tenant admission rejected", d.retry_after_ms));
+    }
     id = next_id_++;
     auto rec = std::make_unique<JobRec>();
     rec->spec = spec;
-    rec->submit_ns = now_ns();
+    rec->submit_ns = now;
     if (spec.deadline_ms > 0)
       rec->deadline_ns = rec->submit_ns + spec.deadline_ms * 1'000'000;
     jobs_[id] = std::move(rec);
     ++active_jobs_;
-    QueueItem item{id, spec.priority, id, spec.shape_key()};
+    QueueItem item{id,   spec.priority,     id,   spec.shape_key(),
+                   spec.tenant_key(),
+                   static_cast<std::uint32_t>(spec.eff_weight()),
+                   cost, jobs_[id]->deadline_ns};
     if (!queue_.try_push(item)) {
       jobs_.erase(id);
       --active_jobs_;
+      const AdmitDecision d = governor_.queue_full(spec, cost, now);
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++stats_.rejected;
-      return fault::Status(fault::ErrorCode::kUnavailable, "queue full");
+      return fault::Status(
+          fault::ErrorCode::kUnavailable,
+          format_rejection(d.reason, "queue full", d.retry_after_ms));
     }
   }
   {
@@ -237,6 +284,15 @@ JobService::Stats JobService::stats() const {
   out.plan_hits = plan_cache_.hits();
   out.plan_misses = plan_cache_.misses();
   out.threads = opts_.threads;
+  out.tenancy = governor_.enabled();
+  out.quarantined = governor_.quarantined_total();
+  out.quarantine_trips = governor_.quarantine_trips();
+  out.tenants = governor_.snapshot();
+  if (!out.tenants.empty()) {
+    for (const auto& [tenant, deficit] : queue_.drr_snapshot())
+      for (TenantCounters& c : out.tenants)
+        if (c.key == tenant) c.deficit = deficit;
+  }
   return out;
 }
 
@@ -280,6 +336,8 @@ void JobService::worker_loop() {
     if (rec == nullptr) continue;  // lost a cancel race after remove()
     execute(item->id, *rec);
     affinity = rec->spec.shape_key();
+    // Jobs whose deadline passed while this one ran die now, not at pop.
+    shed_expired_jobs();
   }
 }
 
@@ -310,6 +368,7 @@ void JobService::execute(std::uint64_t id, JobRec& rec) {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     rec.state = JobState::kRunning;
   }
+  governor_.note_started(rec.spec);
 
   JobResult out;
   out.wait_s = static_cast<double>(start - rec.submit_ns) * 1e-9;
@@ -553,12 +612,35 @@ void JobService::finish(std::uint64_t id, JobRec& rec, JobState state) {
     stats_.total_wait_s += rec.result.wait_s;
     stats_.total_run_s += rec.result.run_s;
   }
+  bool was_running = false;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
+    was_running = rec.state == JobState::kRunning;
     rec.state = state;
     --active_jobs_;
   }
+  governor_.note_finished(rec.spec, was_running, state);
   jobs_cv_.notify_all();
+}
+
+void JobService::shed_expired_jobs() {
+  const std::vector<std::uint64_t> expired = queue_.take_expired(now_ns());
+  for (const std::uint64_t id : expired) {
+    JobRec* rec = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second->state != JobState::kQueued) continue;
+      rec = it->second.get();
+      rec->result.message = "deadline expired while queued; shed";
+    }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.shed_expired;
+    }
+    governor_.note_shed(rec->spec);
+    finish(id, *rec, JobState::kExpired);
+  }
 }
 
 }  // namespace s35::service

@@ -58,6 +58,10 @@ struct ServiceOptions {
   // at construction (machine::host()).
   machine::Descriptor mach;
 
+  // Tenancy / overload resilience (tenancy.h). Default-off: admission and
+  // scheduling are byte-identical to the pre-tenancy service.
+  TenancyOptions tenancy;
+
   // Pass-boundary hook, called after every completed blocked pass (and any
   // checkpoint save for that pass) with the job's spec and the number of
   // steps completed so far. A non-ok return fails the job with that status.
@@ -68,7 +72,9 @@ struct ServiceOptions {
   std::function<fault::Status(const JobSpec& spec, int steps_done)> pass_hook;
 
   // Honors S35_SERVE_THREADS, S35_SERVE_QUEUE, S35_SERVE_PLAN_CACHE,
-  // S35_SERVE_WATCHDOG_MS, S35_SERVE_MAX_DIMT.
+  // S35_SERVE_WATCHDOG_MS, S35_SERVE_MAX_DIMT, and the tenancy knobs
+  // S35_SERVE_TENANT_RATE / TENANT_BURST / TENANT_INFLIGHT / TENANT_SHARE /
+  // BROWNOUT / QUARANTINE / QUARANTINE_COOLDOWN_MS.
   static ServiceOptions from_env();
 };
 
@@ -131,12 +137,16 @@ class JobService : public JobBackend {
   void execute(std::uint64_t id, JobRec& rec);
   fault::Status run_job(const JobSpec& spec, JobRec& rec, JobResult& out);
   void finish(std::uint64_t id, JobRec& rec, JobState state);
+  // Realizes kExpired for queued jobs whose deadline already passed. Called
+  // with no service locks held (finish() takes them internally).
+  void shed_expired_jobs();
 
   ServiceOptions opts_;
   std::unique_ptr<core::Engine35> engine_;
   PlanCache plan_cache_;
   BoundedJobQueue queue_;
   integrity::Watchdog watchdog_;
+  TenantGovernor governor_;
 
   mutable std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;  // signaled on any terminal transition

@@ -50,6 +50,10 @@ SupervisorOptions SupervisorOptions::from_env() {
       static_cast<int>(env_int("S35_SERVE_CKPT_EVERY", o.checkpoint_every));
   o.queue_capacity = o.service.queue_capacity;
   o.max_points = o.service.max_points;
+  // Tenancy is enforced at the supervisor's admission edge, not per worker:
+  // the per-worker template parsed the env knobs, this plane owns them.
+  o.tenancy = o.service.tenancy;
+  o.service.tenancy = TenancyOptions{};
   return o;
 }
 
@@ -60,6 +64,7 @@ Supervisor::Supervisor(SupervisorOptions options)
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.beat_ms < 5) opts_.beat_ms = 5;
   if (opts_.checkpoint_every < 1) opts_.checkpoint_every = 1;
+  governor_.configure(opts_.tenancy);
   // Workers inherit the per-worker service template; each gets its own
   // PlanCache shard over the shared on-disk file (plan_cache.cpp flocks
   // around save/load, so shards never interleave partial writes).
@@ -140,6 +145,10 @@ fault::Expected<std::uint64_t> Supervisor::submit(const JobSpec& spec) {
     ++stats_.rejected;
     return st;
   }
+  // Eager deadline shedding frees the capacity this submission competes for.
+  shed_expired_queued();
+
+  const double cost = predicted_job_cost(spec);
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -147,6 +156,16 @@ fault::Expected<std::uint64_t> Supervisor::submit(const JobSpec& spec) {
         queue_.closed()) {
       ++stats_.rejected;
       return fault::Status(fault::ErrorCode::kUnavailable, "service shut down");
+    }
+    const std::int64_t now = now_ns();
+    if (const AdmitDecision d =
+            governor_.admit(spec, cost, queue_.size() + retry_.size(),
+                            queue_.capacity(), now);
+        !d.ok()) {
+      ++stats_.rejected;
+      return fault::Status(
+          fault::ErrorCode::kUnavailable,
+          format_rejection(d.reason, "tenant admission rejected", d.retry_after_ms));
     }
     id = next_id_++;
     auto rec = std::make_unique<JobRec>();
@@ -158,11 +177,19 @@ fault::Expected<std::uint64_t> Supervisor::submit(const JobSpec& spec) {
           opts_.checkpoint_dir + "/job-" + std::to_string(id) + ".ckpt";
       rec->spec.checkpoint_every = opts_.checkpoint_every;
     }
-    rec->submit_ns = now_ns();
-    const QueueItem item{id, spec.priority, id, spec.shape_key()};
+    rec->submit_ns = now;
+    const std::int64_t deadline_ns =
+        spec.deadline_ms > 0 ? now + spec.deadline_ms * 1'000'000 : 0;
+    const QueueItem item{id,   spec.priority,     id,   spec.shape_key(),
+                         spec.tenant_key(),
+                         static_cast<std::uint32_t>(spec.eff_weight()),
+                         cost, deadline_ns};
     if (!queue_.try_push(item)) {
+      const AdmitDecision d = governor_.queue_full(spec, cost, now);
       ++stats_.rejected;
-      return fault::Status(fault::ErrorCode::kUnavailable, "queue full");
+      return fault::Status(
+          fault::ErrorCode::kUnavailable,
+          format_rejection(d.reason, "queue full", d.retry_after_ms));
     }
     jobs_[id] = std::move(rec);
     ++active_jobs_;
@@ -242,6 +269,15 @@ ServiceStats Supervisor::stats() const {
     }
   }
   out.threads = opts_.service.threads;
+  out.tenancy = governor_.enabled();
+  out.quarantined = governor_.quarantined_total();
+  out.quarantine_trips = governor_.quarantine_trips();
+  out.tenants = governor_.snapshot();
+  if (!out.tenants.empty()) {
+    for (const auto& [tenant, deficit] : queue_.drr_snapshot())
+      for (TenantCounters& c : out.tenants)
+        if (c.key == tenant) c.deficit = deficit;
+  }
   return out;
 }
 
@@ -249,11 +285,15 @@ void Supervisor::record_terminal(std::uint64_t id, JobState state,
                                  const JobResult& r) {
   // Exactly-once: the first terminal transition wins; late or duplicate
   // results (a failover racing a slow pipe) are dropped here.
+  bool was_running = false;
+  const JobSpec* spec = nullptr;  // stable: jobs_ entries are never erased
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second->state)) return;
     JobRec& rec = *it->second;
+    was_running = rec.state == JobState::kRunning;
+    spec = &rec.spec;
     rec.state = state;
     rec.result = r;
     rec.worker = -1;
@@ -284,11 +324,13 @@ void Supervisor::record_terminal(std::uint64_t id, JobState state,
           static_cast<double>(rec.dispatch_ns - rec.submit_ns) * 1e-9;
     stats_.total_run_s += r.run_s;
   }
+  if (spec != nullptr) governor_.note_finished(*spec, was_running, state);
   jobs_cv_.notify_all();
 }
 
 void Supervisor::failover(std::uint64_t id, const char* why) {
   bool abandoned = false;
+  AdmitDecision quarantine;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = jobs_.find(id);
@@ -296,6 +338,11 @@ void Supervisor::failover(std::uint64_t id, const char* why) {
     JobRec& rec = *it->second;
     if (rec.attempts >= opts_.max_job_attempts) {
       abandoned = true;
+    } else if (quarantine = governor_.quarantine_check(rec.spec, now_ns());
+               !quarantine.ok()) {
+      // Poison quarantine: this (tenant, shape) keeps killing workers.
+      // Fail fast instead of burning the remaining attempts — and the
+      // sibling workers — on a job the breaker already indicted.
     } else {
       // Resume from the last durable pass-boundary checkpoint; a missing
       // or unusable file degrades to a fresh (still bit-exact) start.
@@ -303,6 +350,7 @@ void Supervisor::failover(std::uint64_t id, const char* why) {
       rec.state = JobState::kQueued;
       rec.worker = -1;
       retry_.push_back(id);
+      governor_.note_requeued(rec.spec);
       ++stats_.failovers;
       ++stats_.redispatched;
     }
@@ -313,6 +361,14 @@ void Supervisor::failover(std::uint64_t id, const char* why) {
     r.message = std::string("job abandoned after ") +
                 std::to_string(opts_.max_job_attempts) +
                 " dispatch attempts — last worker loss: " + why;
+    record_terminal(id, JobState::kFailed, r);
+  } else if (!quarantine.ok()) {
+    JobResult r;
+    r.error = fault::ErrorCode::kUnavailable;
+    r.message = format_rejection(
+        AdmitReason::kQuarantined,
+        std::string("poison job quarantined — last worker loss: ") + why,
+        quarantine.retry_after_ms);
     record_terminal(id, JobState::kFailed, r);
   }
 }
@@ -397,6 +453,8 @@ void Supervisor::worker_down(WorkerSlot& w, bool expected) {
     ::close(w.fd);
   }
   std::uint64_t lost = 0;
+  bool poison = false;
+  JobSpec poison_spec;
   {
     std::lock_guard<std::mutex> lock(mu_);
     w.fd = -1;
@@ -404,6 +462,16 @@ void Supervisor::worker_down(WorkerSlot& w, bool expected) {
     w.pid = -1;
     lost = w.job;
     w.job = 0;
+    if (lost != 0 && !expected) {
+      // Attribute the loss to the in-flight job: crashes and hang kills
+      // feed the poison breaker. SDC escalations do not land here — the
+      // result frame already cleared w.job before the recycle kill.
+      const auto it = jobs_.find(lost);
+      if (it != jobs_.end() && !terminal(it->second->state)) {
+        poison = true;
+        poison_spec = it->second->spec;
+      }
+    }
     if (!expected) {
       ++stats_.worker_deaths;
       ++w.restarts;
@@ -423,7 +491,26 @@ void Supervisor::worker_down(WorkerSlot& w, bool expected) {
       }
     }
   }
+  if (poison) governor_.note_poison(poison_spec, now_ns());
   if (lost != 0) failover(lost, "worker process lost");
+}
+
+void Supervisor::shed_expired_queued() {
+  const std::vector<std::uint64_t> expired = queue_.take_expired(now_ns());
+  for (const std::uint64_t id : expired) {
+    JobSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || terminal(it->second->state)) continue;
+      spec = it->second->spec;
+      ++stats_.shed_expired;
+    }
+    governor_.note_shed(spec);
+    JobResult r;
+    r.message = "deadline expired while queued; shed";
+    record_terminal(id, JobState::kExpired, r);
+  }
 }
 
 void Supervisor::fail_active_jobs(const char* why) {
@@ -483,6 +570,7 @@ void Supervisor::dispatch() {
         w.progress_ns = now_ns();
         spec = rec.spec;
         incarnation = w.incarnation;
+        governor_.note_started(rec.spec);
       }
     }
 
@@ -666,6 +754,7 @@ void Supervisor::monitor_loop() {
       }
     }
 
+    if (!stopping) shed_expired_queued();
     if (!stopping) dispatch();
 
     // No execution capacity left? Fail what remains instead of hanging
@@ -765,6 +854,7 @@ void Supervisor::failover(std::uint64_t, const char*) {}
 void Supervisor::dispatch() {}
 void Supervisor::record_terminal(std::uint64_t, JobState, const JobResult&) {}
 void Supervisor::fail_active_jobs(const char*) {}
+void Supervisor::shed_expired_queued() {}
 void Supervisor::wake() {}
 
 #endif

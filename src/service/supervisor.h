@@ -65,13 +65,17 @@ struct SupervisorOptions {
   std::size_t queue_capacity = 64;
   long max_points = 16L * 1024 * 1024;
   ServiceOptions service;  // per-worker template (threads, plan cache, ...)
+  // Tenancy / overload resilience (tenancy.h); enforced at the supervisor's
+  // admission edge, plus the poison-job quarantine in failover. Default-off.
+  TenancyOptions tenancy;
   // Injected process faults (tests/CLI). Forwarded to targeted workers'
   // first incarnations only; never owned by the supervisor.
   fault::FaultPlan* faults = nullptr;
 
   // Honors S35_SERVE_WORKERS, S35_SERVE_BEAT_MS, S35_SERVE_HANG_MS,
   // S35_SERVE_MAX_RESTARTS, S35_SERVE_CKPT_DIR, S35_SERVE_CKPT_EVERY on
-  // top of ServiceOptions::from_env() for the per-worker template.
+  // top of ServiceOptions::from_env() for the per-worker template (which
+  // also carries the tenancy knobs — copied up to this plane).
   static SupervisorOptions from_env();
 };
 
@@ -138,10 +142,14 @@ class Supervisor : public JobBackend {
   void dispatch();
   void record_terminal(std::uint64_t id, JobState state, const JobResult& r);
   void fail_active_jobs(const char* why);
+  // Realizes kExpired for queued jobs whose deadline already passed; called
+  // by submit and once per monitor round, with mu_ not held.
+  void shed_expired_queued();
   void wake();
 
   SupervisorOptions opts_;
   BoundedJobQueue queue_;
+  TenantGovernor governor_;
   std::vector<WorkerSlot> slots_;
   int wake_fds_[2] = {-1, -1};
 

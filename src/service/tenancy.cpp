@@ -1,0 +1,335 @@
+#include "service/tenancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/planner.h"
+#include "core/schedule.h"
+#include "machine/kernel_sig.h"
+
+namespace s35::service {
+
+const char* to_string(AdmitReason r) {
+  switch (r) {
+    case AdmitReason::kOk:
+      return "ok";
+    case AdmitReason::kQuota:
+      return "quota";
+    case AdmitReason::kInFlight:
+      return "in_flight";
+    case AdmitReason::kQueueShare:
+      return "queue_share";
+    case AdmitReason::kBrownout:
+      return "brownout";
+    case AdmitReason::kQuarantined:
+      return "quarantined";
+    case AdmitReason::kQueueFull:
+      return "queue_full";
+  }
+  return "?";
+}
+
+std::string format_rejection(AdmitReason reason, const std::string& detail,
+                             std::int64_t retry_after_ms) {
+  return std::string(to_string(reason)) + ": " + detail +
+         "; retry_after_ms=" + std::to_string(retry_after_ms);
+}
+
+bool parse_rejection(const std::string& message, std::string* reason,
+                     std::int64_t* retry_after_ms) {
+  const std::size_t colon = message.find(": ");
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string head = message.substr(0, colon);
+  static const char* kReasons[] = {"quota",     "in_flight",   "queue_share",
+                                   "brownout",  "quarantined", "queue_full"};
+  bool known = false;
+  for (const char* r : kReasons) known = known || head == r;
+  if (!known) return false;
+  static const std::string kTag = "; retry_after_ms=";
+  const std::size_t at = message.rfind(kTag);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  const long long ms = std::strtoll(message.c_str() + at + kTag.size(), &end, 10);
+  if (end == message.c_str() + at + kTag.size() || ms < 0) return false;
+  *reason = head;
+  *retry_after_ms = ms;
+  return true;
+}
+
+double predicted_job_cost(const JobSpec& spec) {
+  const machine::KernelSig sig = spec.kernel == "27pt"
+                                     ? machine::twenty_seven_point()
+                                     : machine::seven_point();
+  const double points = static_cast<double>(spec.nx) *
+                        static_cast<double>(spec.eff_ny()) *
+                        static_cast<double>(spec.eff_nz());
+  double bytes_per_update = sig.bytes(machine::Precision::kSingle);
+  if (spec.dim_t > 0) {
+    core::ScheduleFamily family = core::ScheduleFamily::kPaper35D;
+    if (spec.schedule != "auto") core::parse_schedule_family(spec.schedule, &family);
+    bytes_per_update = core::predicted_bytes_per_update(
+        family, bytes_per_update, sig.radius, spec.dim_t,
+        spec.dim_x > 0 ? spec.dim_x : 0, spec.dim_y > 0 ? spec.dim_y : 0);
+  }
+  const double cost = bytes_per_update * points * spec.steps * 1e-6;
+  return cost > 1e-9 ? cost : 1e-9;
+}
+
+void TenantGovernor::configure(const TenancyOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = opts;
+}
+
+bool TenantGovernor::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.enabled();
+}
+
+double TenantGovernor::burst_capacity() const {
+  return opts_.burst < 0.0 ? opts_.rate : opts_.burst;
+}
+
+TenantGovernor::TenantState& TenantGovernor::state_locked(const JobSpec& spec) {
+  TenantState& t = tenants_[spec.tenant_key()];
+  if (t.name.empty() && !spec.tenant.empty()) t.name = spec.tenant;
+  t.weight = static_cast<std::uint32_t>(spec.eff_weight());
+  return t;
+}
+
+void TenantGovernor::refill_locked(TenantState& t, std::int64_t now_ns) const {
+  const double cap = burst_capacity();
+  if (!t.bucket_init) {
+    t.tokens = cap;  // a fresh tenant starts with a full bucket
+    t.bucket_init = true;
+    t.refill_ns = now_ns;
+    return;
+  }
+  if (now_ns > t.refill_ns) {
+    t.tokens += opts_.rate * static_cast<double>(now_ns - t.refill_ns) * 1e-9;
+    if (t.tokens > cap) t.tokens = cap;
+  }
+  t.refill_ns = now_ns;
+}
+
+std::int64_t TenantGovernor::hint_ms_locked(const TenantState& t,
+                                            std::uint64_t salt) const {
+  const int retry = std::min(t.consec_rejects, opts_.hint_backoff.max_retries);
+  const auto d = fault::backoff_delay_jittered(opts_.hint_backoff, retry, salt);
+  return std::max<std::int64_t>(1, d.count() / 1000);
+}
+
+AdmitDecision TenantGovernor::reject_locked(TenantState& t, AdmitReason reason,
+                                            std::int64_t retry_after_ms) {
+  ++t.rejected;
+  ++t.consec_rejects;
+  return {reason, retry_after_ms};
+}
+
+std::uint64_t TenantGovernor::breaker_key(const JobSpec& spec) {
+  return fault::detail::jmix(spec.tenant_key() ^
+                             fault::detail::jmix(spec.shape_key()));
+}
+
+AdmitDecision TenantGovernor::breaker_check_locked(const JobSpec& spec,
+                                                   std::int64_t now_ns) {
+  const auto it = breakers_.find(breaker_key(spec));
+  if (it == breakers_.end()) return {};
+  Breaker& b = it->second;
+  if (b.open_until_ns > now_ns) {
+    const std::int64_t ms = (b.open_until_ns - now_ns) / 1'000'000;
+    return {AdmitReason::kQuarantined, std::max<std::int64_t>(1, ms)};
+  }
+  if (b.open_until_ns != 0) {
+    // Cooldown elapsed: admit exactly one half-open probe; its outcome
+    // (note_finished kDone vs note_poison) settles the breaker.
+    b.open_until_ns = 0;
+    b.half_open = true;
+    return {};
+  }
+  if (b.half_open) {
+    return {AdmitReason::kQuarantined,
+            std::max<std::int64_t>(1, opts_.quarantine_cooldown_ms)};
+  }
+  return {};
+}
+
+AdmitDecision TenantGovernor::admit(const JobSpec& spec, double cost,
+                                    std::size_t queue_depth,
+                                    std::size_t queue_capacity,
+                                    std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& t = state_locked(spec);
+  if (!opts_.enabled()) {  // counters only; the pre-tenancy admission path
+    ++t.admitted;
+    ++t.queued;
+    return {};
+  }
+  if (opts_.quarantine_kills > 0) {
+    if (const AdmitDecision d = breaker_check_locked(spec, now_ns); !d.ok()) {
+      ++t.quarantined;
+      ++quarantined_;
+      return reject_locked(t, d.reason, d.retry_after_ms);
+    }
+  }
+  if (opts_.rate > 0.0) {
+    refill_locked(t, now_ns);
+    const double cap = burst_capacity();
+    if (cost > cap) {
+      // No amount of waiting refills past the bucket: reject with the
+      // escalating hint so a retry loop still backs off instead of spinning.
+      return reject_locked(t, AdmitReason::kQuota,
+                           hint_ms_locked(t, spec.tenant_key()));
+    }
+    if (t.tokens < cost) {
+      const double wait_s = (cost - t.tokens) / opts_.rate;
+      const auto ms = static_cast<std::int64_t>(std::ceil(wait_s * 1e3));
+      return reject_locked(t, AdmitReason::kQuota,
+                           std::clamp<std::int64_t>(ms, 1, 600'000));
+    }
+  }
+  if (opts_.max_in_flight > 0 &&
+      t.running >= static_cast<std::uint64_t>(opts_.max_in_flight)) {
+    return reject_locked(t, AdmitReason::kInFlight,
+                         hint_ms_locked(t, spec.tenant_key()));
+  }
+  if (opts_.queue_share > 0.0) {
+    const double cap_slots =
+        opts_.queue_share * static_cast<double>(queue_capacity);
+    if (static_cast<double>(t.queued) + 1.0 > cap_slots) {
+      return reject_locked(t, AdmitReason::kQueueShare,
+                           hint_ms_locked(t, spec.tenant_key()));
+    }
+  }
+  if (opts_.brownout > 0.0 && spec.priority <= 0 &&
+      static_cast<double>(queue_depth) >=
+          opts_.brownout * static_cast<double>(queue_capacity)) {
+    return reject_locked(t, AdmitReason::kBrownout,
+                         hint_ms_locked(t, spec.tenant_key()));
+  }
+  if (opts_.rate > 0.0) t.tokens -= cost;
+  ++t.admitted;
+  ++t.queued;
+  t.consec_rejects = 0;
+  return {};
+}
+
+AdmitDecision TenantGovernor::queue_full(const JobSpec& spec, double cost,
+                                         std::int64_t now_ns) {
+  (void)now_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& t = state_locked(spec);
+  // Roll back the committed admit: the job never held a queue slot.
+  if (t.admitted > 0) --t.admitted;
+  if (t.queued > 0) --t.queued;
+  if (opts_.rate > 0.0) {
+    t.tokens += cost;
+    const double cap = burst_capacity();
+    if (t.tokens > cap) t.tokens = cap;
+  }
+  return reject_locked(t, AdmitReason::kQueueFull,
+                       hint_ms_locked(t, spec.tenant_key()));
+}
+
+void TenantGovernor::note_started(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& t = state_locked(spec);
+  if (t.queued > 0) --t.queued;
+  ++t.running;
+}
+
+void TenantGovernor::note_requeued(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& t = state_locked(spec);
+  if (t.running > 0) --t.running;
+  ++t.queued;
+}
+
+void TenantGovernor::note_shed(const JobSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++state_locked(spec).shed;
+}
+
+void TenantGovernor::note_finished(const JobSpec& spec, bool was_running,
+                                   JobState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& t = state_locked(spec);
+  if (was_running) {
+    if (t.running > 0) --t.running;
+  } else if (t.queued > 0) {
+    --t.queued;
+  }
+  if (state == JobState::kDone) {
+    ++t.completed;
+    breakers_.erase(breaker_key(spec));  // health proof closes the breaker
+  }
+}
+
+bool TenantGovernor::note_poison(const JobSpec& spec, std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.quarantine_kills <= 0) return false;
+  Breaker& b = breakers_[breaker_key(spec)];
+  ++b.consecutive;
+  const bool was_open = b.open_until_ns > now_ns;
+  if (b.half_open || b.consecutive >= opts_.quarantine_kills) {
+    b.open_until_ns = now_ns + opts_.quarantine_cooldown_ms * 1'000'000;
+    b.half_open = false;
+    if (!was_open) {
+      ++trips_;
+      return true;
+    }
+  }
+  return false;
+}
+
+AdmitDecision TenantGovernor::quarantine_check(const JobSpec& spec,
+                                               std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.quarantine_kills <= 0) return {};
+  const AdmitDecision d = breaker_check_locked(spec, now_ns);
+  if (!d.ok()) {
+    ++state_locked(spec).quarantined;
+    ++quarantined_;
+  }
+  return d;
+}
+
+std::uint64_t TenantGovernor::quarantined_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+std::uint64_t TenantGovernor::quarantine_trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::vector<TenantCounters> TenantGovernor::snapshot() const {
+  std::vector<TenantCounters> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, t] : tenants_) {
+      if (t.name.empty() && !opts_.enabled()) continue;
+      TenantCounters c;
+      c.name = t.name;
+      c.key = key;
+      c.weight = t.weight;
+      c.admitted = t.admitted;
+      c.rejected = t.rejected;
+      c.completed = t.completed;
+      c.shed = t.shed;
+      c.quarantined = t.quarantined;
+      c.queued = t.queued;
+      c.running = t.running;
+      c.tokens = t.tokens;
+      out.push_back(std::move(c));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantCounters& a, const TenantCounters& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace s35::service

@@ -142,6 +142,9 @@ std::string spec_to_json(std::uint64_t job, const JobSpec& spec) {
      << ",\"stream\":" << (spec.streaming_stores ? "true" : "false")
      << ",\"audit\":" << (spec.audit ? "true" : "false")
      << ",\"audit_rate\":" << spec.audit_rate;
+  if (!spec.tenant.empty())
+    os << ",\"tenant\":\"" << json::escape(spec.tenant) << "\"";
+  if (spec.tenant_weight > 0) os << ",\"tweight\":" << spec.tenant_weight;
   if (!spec.checkpoint_path.empty())
     os << ",\"ckpt\":\"" << json::escape(spec.checkpoint_path)
        << "\",\"ckpt_every\":" << spec.checkpoint_every
@@ -169,6 +172,8 @@ bool spec_from_json(const std::string& s, std::uint64_t* job, JobSpec* spec) {
   json::get_bool(s, "stream", &spec->streaming_stores);
   json::get_bool(s, "audit", &spec->audit);
   json::get_double(s, "audit_rate", &spec->audit_rate);
+  json::get_string(s, "tenant", &spec->tenant);
+  if (json::get_int(s, "tweight", &v)) spec->tenant_weight = static_cast<int>(v);
   json::get_string(s, "ckpt", &spec->checkpoint_path);
   if (json::get_int(s, "ckpt_every", &v)) spec->checkpoint_every = static_cast<int>(v);
   json::get_bool(s, "resume", &spec->resume);

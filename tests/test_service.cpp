@@ -32,6 +32,7 @@
 #include "service/protocol.h"
 #include "service/queue.h"
 #include "service/service.h"
+#include "service/tenancy.h"
 #include "stencil/stencil_kernels.h"
 #include "stencil/sweeps.h"
 
@@ -45,8 +46,12 @@ using service::JobSpec;
 using service::JobState;
 using service::PlanCache;
 using service::PlanKey;
+using service::AdmitDecision;
+using service::AdmitReason;
 using service::QueueItem;
 using service::ServiceOptions;
+using service::TenancyOptions;
+using service::TenantGovernor;
 
 std::string tmp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
 
@@ -903,6 +908,324 @@ TEST(ServiceTest, ConcurrentMultiClientSoak) {
             s.submitted);
   EXPECT_EQ(s.failed, 0u);
   EXPECT_EQ(s.queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------- tenancy
+
+// Governor unit tests drive the clock explicitly (nanosecond timestamps),
+// so every token-bucket and breaker transition is exact, not sleep-based.
+TEST(TenancyTest, TokenBucketEdges) {
+  const std::int64_t t0 = 1'000'000'000;
+  JobSpec spec;
+  spec.tenant = "edge";
+
+  {
+    // Zero burst: zero capacity, every job over-costs the bucket.
+    TenancyOptions opts;
+    opts.rate = 10.0;
+    opts.burst = 0.0;
+    TenantGovernor gov;
+    gov.configure(opts);
+    const AdmitDecision d = gov.admit(spec, 1.0, 0, 8, t0);
+    EXPECT_EQ(d.reason, AdmitReason::kQuota);
+    EXPECT_GE(d.retry_after_ms, 1);
+  }
+  {
+    // Cost above the bucket capacity: no amount of waiting admits it, and
+    // the hint escalates instead of promising a refill that cannot come.
+    TenancyOptions opts;
+    opts.rate = 10.0;
+    opts.burst = 5.0;
+    TenantGovernor gov;
+    gov.configure(opts);
+    EXPECT_EQ(gov.admit(spec, 100.0, 0, 8, t0).reason, AdmitReason::kQuota);
+    const AdmitDecision again = gov.admit(spec, 100.0, 0, 8, t0);
+    EXPECT_EQ(again.reason, AdmitReason::kQuota);
+    EXPECT_GE(again.retry_after_ms, 1);
+  }
+  {
+    // Refill boundary: a fresh bucket holds one second of rate; a drained
+    // one readmits exactly when rate * elapsed covers the cost.
+    TenancyOptions opts;
+    opts.rate = 10.0;  // burst < 0 defaults to one second = 10 units
+    TenantGovernor gov;
+    gov.configure(opts);
+    EXPECT_TRUE(gov.admit(spec, 10.0, 0, 8, t0).ok());  // full bucket
+    const AdmitDecision drained = gov.admit(spec, 10.0, 0, 8, t0);
+    EXPECT_EQ(drained.reason, AdmitReason::kQuota);
+    EXPECT_EQ(drained.retry_after_ms, 1000);  // deficit / rate, exactly
+    EXPECT_EQ(gov.admit(spec, 10.0, 0, 8, t0 + 999'000'000).reason,
+              AdmitReason::kQuota);
+    EXPECT_TRUE(gov.admit(spec, 10.0, 0, 8, t0 + 2'000'000'000).ok());
+    // A failed queue push refunds the tokens it debited.
+    const AdmitDecision full = gov.queue_full(spec, 10.0, t0 + 2'000'000'000);
+    EXPECT_EQ(full.reason, AdmitReason::kQueueFull);
+    EXPECT_TRUE(gov.admit(spec, 10.0, 0, 8, t0 + 2'000'000'000).ok());
+  }
+}
+
+TEST(TenancyTest, BrownoutSpillsOnlyLowPriority) {
+  const std::int64_t t0 = 1'000'000'000;
+  TenancyOptions opts;
+  opts.brownout = 0.5;
+  TenantGovernor gov;
+  gov.configure(opts);
+  JobSpec lo;
+  lo.tenant = "lo";
+  JobSpec hi = lo;
+  hi.priority = 1;
+  EXPECT_TRUE(gov.admit(lo, 1.0, 3, 8, t0).ok());  // below threshold
+  const AdmitDecision d = gov.admit(lo, 1.0, 4, 8, t0);
+  EXPECT_EQ(d.reason, AdmitReason::kBrownout);
+  EXPECT_GE(d.retry_after_ms, 1);
+  EXPECT_TRUE(gov.admit(hi, 1.0, 7, 8, t0).ok());  // priority > 0 rides out
+}
+
+TEST(TenancyTest, QuarantineTripAndHalfOpenRecovery) {
+  const std::int64_t t0 = 1'000'000'000;
+  TenancyOptions opts;
+  opts.quarantine_kills = 2;
+  opts.quarantine_cooldown_ms = 100;
+  TenantGovernor gov;
+  gov.configure(opts);
+  JobSpec spec;
+  spec.tenant = "poison";
+  spec.nx = 32;
+
+  EXPECT_FALSE(gov.note_poison(spec, t0));  // first loss: below threshold
+  EXPECT_TRUE(gov.quarantine_check(spec, t0).ok());
+  EXPECT_TRUE(gov.note_poison(spec, t0));  // second loss trips the breaker
+  EXPECT_EQ(gov.quarantine_trips(), 1u);
+  const AdmitDecision open = gov.quarantine_check(spec, t0);
+  EXPECT_EQ(open.reason, AdmitReason::kQuarantined);
+  EXPECT_GE(open.retry_after_ms, 1);
+  EXPECT_EQ(gov.admit(spec, 1.0, 0, 8, t0).reason, AdmitReason::kQuarantined);
+
+  // The breaker is per (tenant, shape): a different shape is unaffected.
+  JobSpec other = spec;
+  other.nx = 48;
+  EXPECT_TRUE(gov.admit(other, 1.0, 0, 8, t0).ok());
+
+  // Cooldown elapsed: exactly one half-open probe is admitted; a second
+  // request while the probe is pending stays rejected.
+  const std::int64_t t1 = t0 + 150 * 1'000'000;
+  EXPECT_TRUE(gov.quarantine_check(spec, t1).ok());
+  EXPECT_EQ(gov.quarantine_check(spec, t1).reason, AdmitReason::kQuarantined);
+
+  // The probe dies: half-open re-opens on a single loss.
+  EXPECT_TRUE(gov.note_poison(spec, t1));
+  EXPECT_EQ(gov.quarantine_check(spec, t1 + 1).reason, AdmitReason::kQuarantined);
+  EXPECT_EQ(gov.quarantine_trips(), 2u);
+
+  // Cool down again; this time the probe completes and the breaker closes.
+  const std::int64_t t2 = t1 + 150 * 1'000'000;
+  EXPECT_TRUE(gov.quarantine_check(spec, t2).ok());
+  gov.note_finished(spec, /*was_running=*/true, JobState::kDone);
+  EXPECT_TRUE(gov.quarantine_check(spec, t2 + 1).ok());
+  EXPECT_TRUE(gov.admit(spec, 1.0, 0, 8, t2 + 1).ok());
+  EXPECT_GE(gov.quarantined_total(), 3u);
+}
+
+TEST(TenancyTest, RejectionMessagesRoundtrip) {
+  const std::string msg =
+      service::format_rejection(AdmitReason::kBrownout, "queue hot", 250);
+  std::string reason;
+  std::int64_t ms = 0;
+  ASSERT_TRUE(service::parse_rejection(msg, &reason, &ms));
+  EXPECT_EQ(reason, "brownout");
+  EXPECT_EQ(ms, 250);
+  EXPECT_FALSE(service::parse_rejection("queue full", &reason, &ms));
+  EXPECT_FALSE(service::parse_rejection("bogus: x; retry_after_ms=5", &reason, &ms));
+}
+
+// DRR within a priority class: equal weights and costs alternate strictly
+// between a flooder and a light tenant until the light one drains.
+TEST(JobQueue, DrrAlternatesTenantsWithinClass) {
+  BoundedJobQueue q(16);
+  for (std::uint64_t i = 1; i <= 6; ++i)
+    ASSERT_TRUE(q.try_push({i, 0, i, 0, 0xA, 1, 1.0, 0}));
+  for (std::uint64_t i = 11; i <= 13; ++i)
+    ASSERT_TRUE(q.try_push({i, 0, i, 0, 0xB, 1, 1.0, 0}));
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 9; ++i) order.push_back(q.pop_wait(0)->id);
+  const std::vector<std::uint64_t> want{1, 11, 2, 12, 3, 13, 4, 5, 6};
+  EXPECT_EQ(order, want);
+}
+
+// Weighted DRR: a weight-3 tenant drains three pops for every one of a
+// weight-1 tenant (equal costs), deterministically.
+TEST(JobQueue, DrrWeightedShares) {
+  BoundedJobQueue q(32);
+  for (std::uint64_t i = 1; i <= 15; ++i)
+    ASSERT_TRUE(q.try_push({i, 0, i, 0, 0xA, 3, 1.0, 0}));
+  for (std::uint64_t i = 21; i <= 35; ++i)
+    ASSERT_TRUE(q.try_push({i, 0, i, 0, 0xB, 1, 1.0, 0}));
+  int a = 0;
+  int b = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto item = q.pop_wait(0);
+    ASSERT_TRUE(item.has_value());
+    (item->tenant == 0xA ? a : b)++;
+  }
+  EXPECT_EQ(a, 15);
+  EXPECT_EQ(b, 5);
+}
+
+// Fair scheduling never reorders across priority classes: a flooded class 0
+// cannot delay class 1, and DRR applies only inside each class.
+TEST(JobQueue, DrrNeverReordersAcrossPriorityClasses) {
+  BoundedJobQueue q(8);
+  ASSERT_TRUE(q.try_push({1, 0, 1, 0, 0xA, 1, 1.0, 0}));
+  ASSERT_TRUE(q.try_push({2, 0, 2, 0, 0xA, 1, 1.0, 0}));
+  ASSERT_TRUE(q.try_push({3, 0, 3, 0, 0xB, 1, 1.0, 0}));
+  ASSERT_TRUE(q.try_push({4, 1, 4, 0, 0xC, 1, 1.0, 0}));
+  EXPECT_EQ(q.pop_wait(0)->id, 4u);  // priority still dominates
+  EXPECT_EQ(q.pop_wait(0)->id, 1u);  // then DRR within class 0
+  EXPECT_EQ(q.pop_wait(0)->id, 3u);
+  EXPECT_EQ(q.pop_wait(0)->id, 2u);
+}
+
+TEST(JobQueue, TakeExpiredShedsOnlyPastDeadline) {
+  BoundedJobQueue q(8);
+  ASSERT_TRUE(q.try_push({1, 0, 1, 0, 0, 1, 1.0, 100}));
+  ASSERT_TRUE(q.try_push({2, 0, 2, 0, 0, 1, 1.0, 0}));  // no deadline
+  ASSERT_TRUE(q.try_push({3, 0, 3, 0, 0, 1, 1.0, 500}));
+  const auto shed = q.take_expired(200);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0], 1u);
+  EXPECT_EQ(q.size(), 2u);
+  const auto shed2 = q.take_expired(500);
+  ASSERT_EQ(shed2.size(), 1u);
+  EXPECT_EQ(shed2[0], 3u);
+  EXPECT_EQ(q.pop_wait(0)->id, 2u);
+}
+
+TEST(ServiceTest, TenantQuotaRejectsWithRetryHint) {
+  ServiceOptions o = test_options();
+  o.tenancy.rate = 1e-9;  // bucket capacity ~0: every job over-costs it
+  JobService svc(o);
+  JobSpec spec;
+  spec.nx = 16;
+  spec.steps = 1;
+  spec.tenant = "greedy";
+  const auto r = svc.submit(spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), fault::ErrorCode::kUnavailable);
+  std::string reason;
+  std::int64_t ms = 0;
+  ASSERT_TRUE(service::parse_rejection(r.status().message(), &reason, &ms))
+      << r.status().message();
+  EXPECT_EQ(reason, "quota");
+  EXPECT_GE(ms, 1);
+  const auto s = svc.stats();
+  EXPECT_TRUE(s.tenancy);
+  EXPECT_EQ(s.rejected, 1u);
+  ASSERT_EQ(s.tenants.size(), 1u);
+  EXPECT_EQ(s.tenants[0].name, "greedy");
+  EXPECT_EQ(s.tenants[0].rejected, 1u);
+}
+
+// Deadline-expired jobs are shed while still queued (at the next submit),
+// not lazily at pop time, so dead work never occupies queue slots.
+TEST(ServiceTest, ExpiredJobsShedWhileQueued) {
+  JobService svc(test_options());
+  svc.set_paused(true);
+  JobSpec doomed;
+  doomed.nx = 16;
+  doomed.steps = 1;
+  doomed.deadline_ms = 20;
+  const auto a = svc.submit(doomed);
+  ASSERT_TRUE(a.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  JobSpec fresh;
+  fresh.nx = 16;
+  fresh.steps = 1;
+  const auto b = svc.submit(fresh);  // triggers the eager shed
+  ASSERT_TRUE(b.ok());
+  const auto da = svc.wait(a.value(), 5'000);  // resolved while still paused
+  ASSERT_TRUE(da.has_value());
+  EXPECT_EQ(da->state, JobState::kExpired);
+  EXPECT_EQ(da->result.steps_done, 0);
+  EXPECT_NE(da->result.message.find("shed"), std::string::npos);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.shed_expired, 1u);
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.queue_depth, 1u);
+  svc.set_paused(false);
+  EXPECT_TRUE(svc.drain(30'000));
+}
+
+TEST(ServiceTest, TenantSpecValidation) {
+  JobService svc(test_options());
+  JobSpec bad;
+  bad.nx = 16;
+  bad.steps = 1;
+  bad.tenant = "has space";
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad.tenant = std::string(65, 'a');
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad.tenant = "ok-tenant.1:x";
+  bad.tenant_weight = 17;
+  EXPECT_EQ(svc.submit(bad).status().code(), fault::ErrorCode::kMismatch);
+  bad.tenant_weight = 3;
+  const auto id = svc.submit(bad);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  EXPECT_TRUE(svc.wait(id.value(), 30'000).has_value());
+}
+
+// Queue-full is structured even with tenancy off: clients always get a
+// typed reason plus a retry_after_ms hint they can obey mechanically.
+TEST(ProtocolTest, StructuredQueueFullRejectionCarriesRetryHint) {
+  ServiceOptions o = test_options();
+  o.queue_capacity = 1;
+  JobService svc(o);
+  svc.set_paused(true);
+  bool shutdown = false;
+  const std::string submit =
+      R"({"op":"submit","kernel":"7pt","n":16,"steps":1,"tenant":"t1"})";
+  EXPECT_NE(service::handle_line(svc, submit, &shutdown).find("\"ok\":true"),
+            std::string::npos);
+  const std::string full = service::handle_line(svc, submit, &shutdown);
+  EXPECT_NE(full.find("\"ok\":false"), std::string::npos) << full;
+  EXPECT_NE(full.find("\"reason\":\"queue_full\""), std::string::npos) << full;
+  EXPECT_NE(full.find("\"retry_after_ms\":"), std::string::npos) << full;
+  svc.set_paused(false);
+  EXPECT_TRUE(svc.drain(30'000));
+}
+
+TEST(ProtocolTest, MalformedAndOversizedTenantFieldsAreTypedErrors) {
+  JobService svc(test_options());
+  svc.set_paused(true);
+  bool shutdown = false;
+  // Unterminated tenant string: parser-level protocol error, no crash.
+  const std::string r1 = service::handle_line(
+      svc, R"({"op":"submit","kernel":"7pt","n":16,"tenant":"never-ends)",
+      &shutdown);
+  EXPECT_NE(r1.find("\"ok\":false"), std::string::npos) << r1;
+  // Oversized tenant string (beyond kMaxStringField): bounds violation.
+  std::string big = R"({"op":"submit","kernel":"7pt","n":16,"tenant":")";
+  big.append(service::json::kMaxStringField + 8, 't');
+  big += "\"}";
+  const std::string r2 = service::handle_line(svc, big, &shutdown);
+  EXPECT_NE(r2.find("\"ok\":false"), std::string::npos) << r2;
+  // In-bounds JSON string but over the 64-char tenant cap: typed mismatch.
+  std::string cap = R"({"op":"submit","kernel":"7pt","n":16,"steps":1,"tenant":")";
+  cap.append(80, 't');
+  cap += "\"}";
+  const std::string r3 = service::handle_line(svc, cap, &shutdown);
+  EXPECT_NE(r3.find("mismatch"), std::string::npos) << r3;
+  // Bad charset and out-of-range weight are likewise typed mismatches.
+  const std::string r4 = service::handle_line(
+      svc, R"({"op":"submit","kernel":"7pt","n":16,"steps":1,"tenant":"a b"})",
+      &shutdown);
+  EXPECT_NE(r4.find("mismatch"), std::string::npos) << r4;
+  const std::string r5 = service::handle_line(
+      svc,
+      R"({"op":"submit","kernel":"7pt","n":16,"steps":1,"tenant":"ok","weight":99})",
+      &shutdown);
+  EXPECT_NE(r5.find("mismatch"), std::string::npos) << r5;
+  EXPECT_FALSE(shutdown);
+  svc.set_paused(false);
 }
 
 }  // namespace

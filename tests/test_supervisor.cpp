@@ -10,8 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/crc32c.h"
 #include "fault/fault_plan.h"
@@ -20,6 +22,7 @@
 #include "service/backend.h"
 #include "service/service.h"
 #include "service/supervisor.h"
+#include "service/tenancy.h"
 #include "service/wire.h"
 
 namespace s35 {
@@ -376,6 +379,61 @@ TEST(SupervisorTest, ShutdownDrainsAcceptedJobs) {
   }
   EXPECT_EQ(sup.stats().completed, 4u);
   EXPECT_FALSE(sup.submit(spec).ok());  // no admission after drain
+}
+
+// A job whose worker dies is poison: with a one-strike breaker the first
+// loss quarantines the (tenant, shape) pair instead of burning a second
+// worker, and a cooled-down half-open probe later readmits it bit-exact.
+TEST(SupervisorTest, QuarantineCircuitBreaksPoisonJobsThenRecovers) {
+  JobSpec spec = test_spec();
+  spec.tenant = "tox";
+  const std::uint32_t want = reference_crc(spec);
+
+  fault::FaultPlan faults(7);
+  faults.kill_worker = 0;
+  faults.kill_worker_pass = 2;
+  SupervisorOptions o = sup_options(2);
+  o.faults = &faults;
+  o.tenancy.quarantine_kills = 1;
+  o.tenancy.quarantine_cooldown_ms = 2'000;
+
+  Supervisor sup(o);
+  const auto id = sup.submit(spec);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  const auto dead = sup.wait(id.value(), 60'000);
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->state, JobState::kFailed) << to_string(dead->state);
+  EXPECT_NE(dead->result.message.find("quarantined"), std::string::npos)
+      << dead->result.message;
+  {
+    const auto s = sup.stats();
+    EXPECT_GE(s.worker_deaths, 1u);
+    EXPECT_GE(s.quarantined, 1u);
+    EXPECT_EQ(s.quarantine_trips, 1u);
+    EXPECT_EQ(s.completed, 0u);
+  }
+
+  // While the breaker is open, the same (tenant, shape) is rejected at
+  // admission with a typed reason and a retry hint.
+  const auto rejected = sup.submit(spec);
+  ASSERT_FALSE(rejected.ok());
+  std::string reason;
+  std::int64_t ms = 0;
+  ASSERT_TRUE(service::parse_rejection(rejected.status().message(), &reason, &ms))
+      << rejected.status().message();
+  EXPECT_EQ(reason, "quarantined");
+  EXPECT_GE(ms, 1);
+
+  // After the cooldown a half-open probe is admitted; the kill fault is
+  // one-shot, so the probe completes bit-exact and closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2'300));
+  const auto probe = sup.submit(spec);
+  ASSERT_TRUE(probe.ok()) << probe.status().to_string();
+  const auto done = sup.wait(probe.value(), 60'000);
+  ASSERT_TRUE(done.has_value());
+  ASSERT_EQ(done->state, JobState::kDone) << done->result.message;
+  EXPECT_EQ(done->result.crc, want);
+  EXPECT_EQ(done->result.steps_done, spec.steps);
 }
 
 }  // namespace

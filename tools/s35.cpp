@@ -432,9 +432,24 @@ int cmd_serve(const Args& args) {
   opts.plan_cache_path = args.str("plan-cache", opts.plan_cache_path);
   opts.watchdog_ms = static_cast<int>(args.num("watchdog-ms", opts.watchdog_ms));
   opts.max_dim_t = static_cast<int>(args.num("max-dimt", opts.max_dim_t));
+  opts.tenancy.rate = args.num("tenant-rate", opts.tenancy.rate);
+  opts.tenancy.burst = args.num("tenant-burst", opts.tenancy.burst);
+  opts.tenancy.max_in_flight =
+      static_cast<int>(args.num("tenant-inflight", opts.tenancy.max_in_flight));
+  opts.tenancy.queue_share = args.num("tenant-share", opts.tenancy.queue_share);
+  opts.tenancy.brownout = args.num("brownout", opts.tenancy.brownout);
+  opts.tenancy.quarantine_kills =
+      static_cast<int>(args.num("quarantine", opts.tenancy.quarantine_kills));
+  opts.tenancy.quarantine_cooldown_ms = static_cast<std::int64_t>(args.num(
+      "quarantine-cooldown-ms",
+      static_cast<double>(opts.tenancy.quarantine_cooldown_ms)));
 
   service::SupervisorOptions sup = service::SupervisorOptions::from_env();
   sup.service = opts;
+  // The supervisor enforces tenancy at its own admission edge; workers run
+  // with it off so a job admitted upstairs is never re-checked downstairs.
+  sup.tenancy = opts.tenancy;
+  sup.service.tenancy = service::TenancyOptions{};
   const int workers = static_cast<int>(args.num("workers", sup.workers > 0 &&
                                                 std::getenv("S35_SERVE_WORKERS")
                                                     ? sup.workers : 0));
@@ -479,6 +494,14 @@ int cmd_serve(const Args& args) {
                  opts.plan_cache_path.empty() ? "(memory)"
                                               : opts.plan_cache_path.c_str());
   }
+  if (opts.tenancy.enabled())
+    std::fprintf(stderr,
+                 "s35 serve: tenancy on — rate %.3g/s burst %.3g inflight %d "
+                 "share %.2f brownout %.2f quarantine %d (cooldown %lld ms)\n",
+                 opts.tenancy.rate, opts.tenancy.burst,
+                 opts.tenancy.max_in_flight, opts.tenancy.queue_share,
+                 opts.tenancy.brownout, opts.tenancy.quarantine_kills,
+                 static_cast<long long>(opts.tenancy.quarantine_cooldown_ms));
 
   std::signal(SIGTERM, serve_stop_handler);
   std::signal(SIGINT, serve_stop_handler);
@@ -590,6 +613,9 @@ int main(int argc, char** argv) {
       "            process faults: [--kill-worker K --kill-pass P]\n"
       "            [--stall-worker K --stall-worker-pass P --stall-worker-ms MS]\n"
       "            [--sdc-worker K --sdc-pass P] [--seed S]\n"
+      "            tenancy/overload: [--tenant-rate C/S] [--tenant-burst C]\n"
+      "            [--tenant-inflight N] [--tenant-share F] [--brownout F]\n"
+      "            [--quarantine K] [--quarantine-cooldown-ms MS]\n"
       "  plan-cache  inspect or clear a persisted plan cache\n"
       "            --path FILE [--clear]");
   return cmd.empty() ? 0 : 1;
