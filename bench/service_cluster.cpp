@@ -1,0 +1,424 @@
+// Cluster serving soak: throughput, shard affinity, and failover recovery
+// of the multi-node plane (cluster/router.h over `s35 serve --tcp` nodes).
+//
+// Three phases, each with real forked node processes on localhost TCP and a
+// shard Router driven in-process (the Router is a JobBackend; the NDJSON
+// layer above it is measured by service_throughput already):
+//
+//   single    — one node, the whole batch: the per-node baseline the
+//               cluster numbers are read against.
+//   multi     — S35_CLUSTER_NODES nodes: consistent-hash placement spreads
+//               the shape set, repeat shapes stay on their owner, and the
+//               plan-cache warm-hit rate shows one tune per shape serving
+//               the rest of the batch.
+//   soak-kill — same cluster, but the node owning the first shape is armed
+//               to SIGKILL itself at pass S35_SOAK_KILL_PASS while its
+//               window is full. Measures failover recovery latency: the
+//               gap between the router observing the node death and the
+//               first post-death completion.
+//
+// Hard gates (any miss is a nonzero exit, so the bench harness fails):
+//   * every job in every phase completes, bit-exact against per-shape
+//     in-process reference CRCs;
+//   * terminal conservation on the router: submitted == completed +
+//     failed + cancelled + expired, with failed == 0 — a SIGKILL mid-soak
+//     loses zero jobs and duplicates zero terminals;
+//   * the soak phase actually exercises failover: >= 1 node death, >= 1
+//     failover, and >= 1 job resumed from a pass-boundary checkpoint.
+//
+// Env knobs: S35_CLUSTER_JOBS (default 24), S35_CLUSTER_NODES (default 2),
+// S35_CLUSTER_SHAPES (default 4), S35_CLUSTER_N (default 32),
+// S35_CLUSTER_STEPS (default 6), S35_SOAK_CLIENTS (default 4 submit
+// threads), S35_SOAK_KILL_PASS (default 3), S35_THREADS.
+#include <cstdio>
+
+#include "bench_util.h"
+
+#if defined(__unix__)
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/ring.h"
+#include "cluster/router.h"
+#include "cluster/tcp.h"
+#include "service/service.h"
+
+using namespace s35;
+
+namespace {
+
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t at =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(q * sorted.size()));
+  return sorted[at];
+}
+
+struct BoundNode {
+  int lfd = -1;
+  std::string address;
+};
+
+// Pre-bind before forking so the parent knows every address up front and
+// can compute ring ownership (to arm the kill on the right victim).
+BoundNode bind_node() {
+  BoundNode b;
+  int port = 0;
+  b.lfd = cluster::tcp_listen("127.0.0.1", 0, &port);
+  if (b.lfd >= 0) b.address = "127.0.0.1:" + std::to_string(port);
+  return b;
+}
+
+pid_t fork_node(const BoundNode& b, const cluster::NodeOptions& opts) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    static std::atomic<bool> never{false};
+    ::_exit(cluster::serve_node(b.lfd, opts, &never));
+  }
+  ::close(b.lfd);
+  return pid;
+}
+
+void reap_node(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int st = 0;
+  ::waitpid(pid, &st, 0);
+}
+
+void cleanup_dir(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      if (e->d_name[0] == '.') continue;
+      ::unlink((dir + "/" + e->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct PhaseResult {
+  std::string err;                // empty = every gate below holds
+  double seconds = 0.0;           // submit of first job to last terminal
+  std::vector<double> lat_ms;     // sorted end-to-end latencies
+  service::ServiceStats fin;      // router stats at drain
+  double recovery_ms = 0.0;       // node death -> first post-death terminal
+  std::uint64_t resumed = 0;      // jobs completed with resumed_steps > 0
+};
+
+// One full phase: fork `node_count` nodes, route `jobs` through them from
+// `clients` submit threads, verify every CRC, tear everything down.
+PhaseResult run_phase(const char* name, int node_count, int jobs, int clients,
+                      long kill_pass, const std::vector<service::JobSpec>& shapes,
+                      const std::map<long, std::uint32_t>& want_crc, int threads,
+                      const machine::Descriptor& mach) {
+  PhaseResult out;
+  std::printf("-- %s: %d node(s), %d jobs, %d client(s)%s --\n", name,
+              node_count, jobs, clients,
+              kill_pass >= 0 ? ", kill armed" : "");
+
+  std::vector<BoundNode> bound;
+  for (int i = 0; i < node_count; ++i) {
+    bound.push_back(bind_node());
+    if (bound.back().lfd < 0) {
+      out.err = "could not bind a node listener";
+      return out;
+    }
+  }
+
+  cluster::RouterOptions ropts;
+  for (const auto& b : bound) ropts.nodes.push_back(b.address);
+  ropts.beat_ms = 20;
+  ropts.hang_ms = 10'000;
+  ropts.connect_timeout_ms = 2'000;
+  ropts.window = 2;
+  ropts.queue_capacity = static_cast<std::size_t>(jobs) + 16;
+  ropts.checkpoint_every = 1;
+  char ckpt_dir[] = "/tmp/s35-cluster-XXXXXX";
+  if (!::mkdtemp(ckpt_dir)) {
+    out.err = "mkdtemp for checkpoint dir";
+    return out;
+  }
+  ropts.checkpoint_dir = ckpt_dir;
+
+  // Arm the kill on the ring owner of the first shape: it is guaranteed to
+  // be executing that shape's stream when its pass counter trips.
+  std::string victim;
+  if (kill_pass >= 0) {
+    cluster::HashRing ring(ropts.vnodes);
+    for (const auto& b : bound) ring.add(b.address);
+    victim = ring.owner(shapes.front().shape_key());
+  }
+
+  std::vector<pid_t> pids;
+  for (const auto& b : bound) {
+    cluster::NodeOptions nopt;
+    nopt.name = b.address;
+    nopt.beat_ms = 20;
+    nopt.window = ropts.window;
+    nopt.kill_at_pass = b.address == victim ? kill_pass : -1;
+    nopt.service.threads = threads;
+    nopt.service.mach = mach;
+    pids.push_back(fork_node(b, nopt));
+  }
+
+  {
+    cluster::Router router(ropts);
+
+    // Death/recovery sampler: polls the router's supervision counters so
+    // the recovery latency reflects the plane, not client wait round-trips.
+    Timer timer;
+    std::atomic<bool> sampler_stop{false};
+    double t_death = -1.0, t_recover = -1.0;
+    std::thread sampler([&] {
+      std::uint64_t completed_at_death = 0;
+      while (!sampler_stop.load()) {
+        const service::ServiceStats s = router.stats();
+        if (t_death < 0 && s.worker_deaths > 0) {
+          t_death = timer.seconds();
+          completed_at_death = s.completed;
+        }
+        if (t_death >= 0 && t_recover < 0 && s.completed > completed_at_death)
+          t_recover = timer.seconds();
+        if (t_recover >= 0 && kill_pass >= 0) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+
+    std::atomic<int> next{0};
+    std::mutex mu;
+    std::vector<double> lat_ms;
+    std::uint64_t resumed = 0;
+    std::string err;
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        struct Pending {
+          std::uint64_t id;
+          long nx;
+          double submit_s;
+        };
+        std::vector<Pending> pending;
+        std::string fail;
+        for (;;) {
+          const int j = next.fetch_add(1);
+          if (j >= jobs) break;
+          const service::JobSpec& spec =
+              shapes[static_cast<std::size_t>(j) % shapes.size()];
+          const double t0 = timer.seconds();
+          const auto id = router.submit(spec);
+          if (!id.ok()) {
+            fail = "submit rejected: " + id.status().message();
+            break;
+          }
+          pending.push_back({id.value(), spec.nx, t0});
+        }
+        std::vector<double> lat;
+        std::uint64_t res = 0;
+        for (const Pending& p : pending) {
+          if (!fail.empty()) break;
+          const auto done = router.wait(p.id, 120'000);
+          if (!done || done->state != service::JobState::kDone) {
+            fail = "job " + std::to_string(p.id) + " did not complete";
+            break;
+          }
+          if (done->result.crc != want_crc.at(p.nx)) {
+            fail = "job " + std::to_string(p.id) + " crc mismatch";
+            break;
+          }
+          if (done->result.resumed_steps > 0) ++res;
+          lat.push_back((timer.seconds() - p.submit_s) * 1e3);
+        }
+        std::lock_guard<std::mutex> lk(mu);
+        if (!fail.empty() && err.empty()) err = fail;
+        lat_ms.insert(lat_ms.end(), lat.begin(), lat.end());
+        resumed += res;
+      });
+    }
+    for (auto& th : workers) th.join();
+    out.seconds = timer.seconds();
+    sampler_stop.store(true);
+    sampler.join();
+
+    out.err = err;
+    out.lat_ms = lat_ms;
+    out.resumed = resumed;
+    if (t_death >= 0 && t_recover >= 0)
+      out.recovery_ms = (t_recover - t_death) * 1e3;
+    out.fin = router.stats();
+    router.shutdown();
+  }
+
+  for (const pid_t pid : pids) reap_node(pid);
+  cleanup_dir(ckpt_dir);
+  std::sort(out.lat_ms.begin(), out.lat_ms.end());
+
+  // Phase gates: completion, bit-exactness (checked per job above), and
+  // terminal conservation — the SIGKILL must lose and duplicate nothing.
+  if (out.err.empty() && out.lat_ms.size() != static_cast<std::size_t>(jobs))
+    out.err = "completed " + std::to_string(out.lat_ms.size()) + "/" +
+              std::to_string(jobs) + " jobs";
+  const service::ServiceStats& f = out.fin;
+  if (out.err.empty() && f.failed != 0)
+    out.err = std::to_string(f.failed) + " jobs failed";
+  if (out.err.empty() &&
+      f.completed + f.failed + f.cancelled + f.expired != f.submitted)
+    out.err = "terminal conservation violated";
+  if (out.err.empty() && kill_pass >= 0) {
+    if (f.worker_deaths < 1)
+      out.err = "soak saw no node death";
+    else if (f.failovers < 1)
+      out.err = "soak saw no failover";
+    else if (out.resumed < 1)
+      out.err = "no job resumed from a checkpoint";
+  }
+
+  std::printf(
+      "%s: %zu jobs in %.2f s (%.1f jobs/s), p50 %.1f ms p99 %.1f ms, "
+      "plan hits %llu, deaths %llu, failovers %llu, recovery %.1f ms\n",
+      name, out.lat_ms.size(), out.seconds,
+      static_cast<double>(out.lat_ms.size()) / out.seconds,
+      pct(out.lat_ms, 0.50), pct(out.lat_ms, 0.99),
+      static_cast<unsigned long long>(f.plan_hits),
+      static_cast<unsigned long long>(f.worker_deaths),
+      static_cast<unsigned long long>(f.failovers), out.recovery_ms);
+  return out;
+}
+
+telemetry::BenchRecord phase_record(const char* variant, const PhaseResult& r,
+                                    int nodes, long n, int steps, int threads) {
+  telemetry::BenchRecord rec;
+  rec.kernel = "7pt";
+  rec.variant = variant;
+  rec.nx = rec.ny = rec.nz = n;
+  rec.steps = steps;
+  rec.threads = threads;
+  rec.seconds = r.seconds;
+  rec.mups = static_cast<double>(n) * n * n * steps *
+             static_cast<double>(r.lat_ms.size()) / r.seconds / 1e6;
+  rec.extra["nodes"] = static_cast<double>(nodes);
+  rec.extra["jobs"] = static_cast<double>(r.lat_ms.size());
+  rec.extra["jobs_per_s"] = static_cast<double>(r.lat_ms.size()) / r.seconds;
+  rec.extra["p50_ms"] = pct(r.lat_ms, 0.50);
+  rec.extra["p95_ms"] = pct(r.lat_ms, 0.95);
+  rec.extra["p99_ms"] = pct(r.lat_ms, 0.99);
+  rec.extra["plan_warm_hits"] = static_cast<double>(r.fin.plan_hits);
+  rec.extra["plan_warm_hit_rate"] =
+      r.fin.completed > 0
+          ? static_cast<double>(r.fin.plan_hits) / static_cast<double>(r.fin.completed)
+          : 0.0;
+  rec.extra["node_deaths"] = static_cast<double>(r.fin.worker_deaths);
+  rec.extra["failovers"] = static_cast<double>(r.fin.failovers);
+  rec.extra["redispatched"] = static_cast<double>(r.fin.redispatched);
+  rec.extra["resumed_jobs"] = static_cast<double>(r.resumed);
+  rec.extra["failover_recovery_ms"] = r.recovery_ms;
+  bench::attach_roofline(rec, machine::Precision::kSingle);
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("== service cluster: shard routing, replication, failover ==");
+  telemetry::JsonReporter reporter("service_cluster", argc, argv);
+  bench::want_records(reporter);
+
+  const int jobs = static_cast<int>(env_int("S35_CLUSTER_JOBS", 24));
+  const int nodes = std::max(2, static_cast<int>(env_int("S35_CLUSTER_NODES", 2)));
+  const int nshapes =
+      std::max(1, static_cast<int>(env_int("S35_CLUSTER_SHAPES", 4)));
+  const long n = env_int("S35_CLUSTER_N", 32);
+  const int steps = static_cast<int>(env_int("S35_CLUSTER_STEPS", 6));
+  const int clients = std::max(1, static_cast<int>(env_int("S35_SOAK_CLIENTS", 4)));
+  const long kill_pass = env_int("S35_SOAK_KILL_PASS", 3);
+  const int threads = bench::bench_threads();
+  const machine::Descriptor mach = machine::host();
+
+  // A small shape set so the ring has something to spread: same kernel,
+  // stepped grid edges, distinct seeds.
+  std::vector<service::JobSpec> shapes;
+  for (int i = 0; i < nshapes; ++i) {
+    service::JobSpec spec;
+    spec.nx = n + 4 * i;
+    spec.steps = steps;
+    spec.seed = 1234 + i;
+    shapes.push_back(spec);
+  }
+
+  // Independent per-shape references: every completed job in every phase
+  // must reproduce these CRCs exactly, no matter which node ran it or how
+  // many times it failed over.
+  std::map<long, std::uint32_t> want_crc;
+  {
+    service::ServiceOptions ref;
+    ref.threads = threads;
+    ref.mach = mach;
+    service::JobService svc(ref);
+    for (const auto& spec : shapes) {
+      const auto id = svc.submit(spec);
+      const auto done = id.ok() ? svc.wait(id.value()) : std::nullopt;
+      if (!done || done->state != service::JobState::kDone) {
+        std::puts("FAIL: reference job did not complete");
+        return 1;
+      }
+      want_crc[spec.nx] = done->result.crc;
+    }
+    svc.shutdown();
+  }
+
+  const PhaseResult single = run_phase("single", 1, jobs, clients, -1, shapes,
+                                       want_crc, threads, mach);
+  reporter.add(
+      phase_record("cluster/single-node", single, 1, n, steps, threads));
+  if (!single.err.empty()) {
+    std::printf("FAIL: single: %s\n", single.err.c_str());
+    return 1;
+  }
+
+  const PhaseResult multi = run_phase("multi", nodes, jobs, clients, -1, shapes,
+                                      want_crc, threads, mach);
+  reporter.add(
+      phase_record("cluster/multi-node", multi, nodes, n, steps, threads));
+  if (!multi.err.empty()) {
+    std::printf("FAIL: multi: %s\n", multi.err.c_str());
+    return 1;
+  }
+
+  const PhaseResult soak = run_phase("soak-kill", nodes, jobs, clients,
+                                     kill_pass, shapes, want_crc, threads, mach);
+  reporter.add(
+      phase_record("cluster/soak-kill", soak, nodes, n, steps, threads));
+  if (!soak.err.empty()) {
+    std::printf("FAIL: soak-kill: %s\n", soak.err.c_str());
+    return 1;
+  }
+
+  std::puts(
+      "cluster soak: every job bit-exact on every topology; a node SIGKILL "
+      "mid-soak lost zero jobs and duplicated zero terminals.");
+  return 0;
+}
+
+#else  // !__unix__
+
+int main(int argc, char** argv) {
+  telemetry::JsonReporter reporter("service_cluster", argc, argv);
+  std::puts("service_cluster: fork/TCP unavailable on this platform; skipped.");
+  return 0;
+}
+
+#endif

@@ -59,6 +59,16 @@ SMOKE_SET = [
         "S35_SERVE_WORKERS": "2",
         "S35_SOAK_KILL_MS": "400",
     }),
+    # Cluster soak: a shard router over two real `serve --tcp` node
+    # processes on localhost, then the same batch with the shape-owner node
+    # SIGKILLing itself mid-soak. The binary hard-fails on any lost,
+    # duplicated, or non-bit-exact job and on a soak that exercised no
+    # death/failover/checkpoint-resume.
+    ("service_cluster", {
+        "S35_CLUSTER_JOBS": "12",
+        "S35_CLUSTER_N": "24",
+        "S35_CLUSTER_STEPS": "6",
+    }),
 ]
 
 AGG_SCHEMA = "s35.bench.agg.v1"

@@ -1,0 +1,55 @@
+// Consistent-hash ring: shape-affinity placement across cluster nodes.
+//
+// The per-plane dispatcher already batches equal-shape jobs on one worker
+// (queue.h affinity pops); the cluster router needs the same locality one
+// level up — a shape should land on the same node every time so that
+// node's plan cache and warm grid pool keep paying off (Wittmann et al.,
+// arXiv:1006.3148: temporal blocking only wins when placement respects
+// locality). A consistent-hash ring gives that affinity *and* minimal
+// movement on membership change: each node is hashed to `vnodes` points on
+// a 64-bit ring, a key is owned by the first point clockwise from its
+// hash, and adding/removing one of N nodes remaps only ~1/N of keys (the
+// arcs adjacent to the changed node's points) instead of reshuffling
+// everything the way `hash % N` would.
+//
+// Pure and deterministic: same members + same vnodes => same ring on every
+// process, with no dependence on insertion order. Not thread-safe — the
+// router mutates it only from its monitor thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s35::cluster {
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64);
+
+  void add(const std::string& node);
+  void remove(const std::string& node);
+  bool contains(const std::string& node) const;
+  std::size_t nodes() const { return members_; }
+  int vnodes() const { return vnodes_; }
+
+  // Owner of `key` (first ring point clockwise). Empty when the ring is.
+  std::string owner(std::uint64_t key) const;
+
+  // Up to `count` distinct nodes starting at the owner and walking
+  // clockwise — the failover order: owners(k, 2)[1] is the ring successor
+  // a job moves to when its owner dies.
+  std::vector<std::string> owners(std::uint64_t key, int count) const;
+
+  // Stable hash of one virtual-node point (exposed for tests).
+  static std::uint64_t point_hash(const std::string& node, int replica);
+
+ private:
+  int vnodes_;
+  std::size_t members_ = 0;
+  // Sorted by hash; duplicates (hash collisions across nodes) keep the
+  // lexicographically smaller node so ties break deterministically.
+  std::vector<std::pair<std::uint64_t, std::string>> points_;
+};
+
+}  // namespace s35::cluster

@@ -1,0 +1,143 @@
+#include "cluster/tcp.h"
+
+#include <cstdlib>
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace s35::cluster {
+
+bool split_host_port(const std::string& addr, std::string* host, int* port) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size())
+    return false;
+  const std::string p = addr.substr(colon + 1);
+  for (const char c : p)
+    if (c < '0' || c > '9') return false;
+  const long v = std::strtol(p.c_str(), nullptr, 10);
+  if (v < 0 || v > 65535) return false;
+  *host = addr.substr(0, colon);
+  *port = static_cast<int>(v);
+  return true;
+}
+
+#ifdef __unix__
+
+namespace {
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, on ? flags | O_NONBLOCK : flags & ~O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Resolves host to an IPv4 sockaddr. Numeric-preferring (AI_ADDRCONFIG is
+// avoided so loopback works in network-less sandboxes).
+bool resolve(const std::string& host, int port, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || res == nullptr)
+    return false;
+  out->sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, int port, int* bound_port) {
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd, true)) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    *bound_port = ::getsockname(fd, reinterpret_cast<sockaddr*>(&got), &len) == 0
+                      ? ntohs(got.sin_port)
+                      : port;
+  }
+  return fd;
+}
+
+int tcp_connect(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd, true)) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0 || (p.revents & POLLOUT) == 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Back to blocking: wire::read_frame polls with its own deadline, and
+  // write_frame relies on blocking send for whole-frame atomicity.
+  if (!set_nonblocking(fd, false)) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+int tcp_accept(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  set_nonblocking(fd, false);
+  set_nodelay(fd);
+  return fd;
+}
+
+#else  // !__unix__
+
+int tcp_listen(const std::string&, int, int*) { return -1; }
+int tcp_connect(const std::string&, int, int) { return -1; }
+int tcp_accept(int) { return -1; }
+
+#endif
+
+}  // namespace s35::cluster

@@ -1,0 +1,43 @@
+// TCP transport for the cluster plane.
+//
+// Thin, poll-friendly socket helpers shared by the shard router and the
+// node listener. The framing itself is service/wire.h — the same
+// length-prefixed frames the supervisor speaks to its workers — so a TCP
+// node looks exactly like a worker one level up. This layer only owns
+// connection establishment:
+//
+//   * tcp_listen binds host:port (port 0 = ephemeral; the bound port is
+//     reported back so tests and benches can pre-bind before forking) and
+//     returns a listening fd, nonblocking, SO_REUSEADDR.
+//   * tcp_connect is a nonblocking connect with a poll deadline and an
+//     SO_ERROR check — a dead or firewalled peer surfaces as -1 within
+//     timeout_ms, never as an indefinite hang. TCP_NODELAY is set on
+//     every connection: frames are small and latency-critical (a delayed
+//     heartbeat is indistinguishable from a dying node).
+//
+// Address syntax is "host:port"; split_host_port rejects anything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace s35::cluster {
+
+// Splits "host:port" (the last ':' wins, so plain IPv4/hostnames only).
+// False on a missing/empty host or a port outside [0, 65535].
+bool split_host_port(const std::string& addr, std::string* host, int* port);
+
+// Binds and listens on host:port. Returns the listening fd (nonblocking),
+// or -1. With port 0 the kernel picks; *bound_port (optional) receives the
+// actual port either way.
+int tcp_listen(const std::string& host, int port, int* bound_port = nullptr);
+
+// Connects to host:port within timeout_ms. Returns a connected fd
+// (blocking mode, TCP_NODELAY set), or -1 on refusal/timeout/bad address.
+int tcp_connect(const std::string& host, int port, int timeout_ms);
+
+// Accepts one pending connection (nonblocking listener). Returns the
+// connected fd (TCP_NODELAY set), or -1 when none is pending.
+int tcp_accept(int listen_fd);
+
+}  // namespace s35::cluster

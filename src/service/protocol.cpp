@@ -52,6 +52,7 @@ std::string job_response(const JobInfo& info) {
      << ",\"run_ms\":" << r.run_s * 1e3 << ",\"audited_rows\":" << r.audited_rows
      << ",\"sdc_detected\":" << r.sdc_detected << ",\"reexecs\":" << r.reexecs;
   if (r.resumed_steps > 0) os << ",\"resumed_steps\":" << r.resumed_steps;
+  if (r.checkpoints > 0) os << ",\"checkpoints\":" << r.checkpoints;
   if (r.error != fault::ErrorCode::kOk)
     os << ",\"error\":\"" << fault::to_string(r.error) << "\"";
   if (!r.message.empty()) os << ",\"message\":\"" << escape(r.message) << "\"";
@@ -475,6 +476,34 @@ int serve_unix(JobBackend& svc, const std::string& path,
     clients.erase(std::remove_if(clients.begin(), clients.end(),
                                  [](const Client& c) { return c.fd < 0; }),
                   clients.end());
+  }
+
+  // Typed shutdown, not an abrupt EOF: any client caught mid-request — a
+  // parked wait/drain, a partially buffered line — and any connection still
+  // sitting in the accept backlog gets an explicit unavailable rejection
+  // before the close, so "the server went away" is always distinguishable
+  // from "the network tore".
+  {
+    const std::string bye =
+        error_response("unavailable", "server shutting down") + "\n";
+    for (Client& c : clients) {
+      if (c.fd < 0) continue;
+      if (c.pending || !c.in.empty()) {
+        c.out += bye;
+        c.pending.reset();
+        c.in.clear();
+      }
+      c.closing = true;
+    }
+    for (;;) {
+      const int fd = ::accept(server, nullptr, nullptr);
+      if (fd < 0) break;
+      Client c;
+      c.fd = fd;
+      c.out = bye;
+      c.closing = true;
+      clients.push_back(std::move(c));
+    }
   }
 
   // Deliver buffered replies (notably the shutdown ack) before closing:

@@ -421,10 +421,23 @@ fault::Status JobService::run_job(const JobSpec& spec, JobRec& rec, JobResult& o
       dim_t = hit->dim_t;
       if (schedule_pref < 0) family = hit->family;
       out.plan_cache_hit = true;
+    } else if (const auto fetched =
+                   opts_.plan_fetch ? opts_.plan_fetch(key) : std::nullopt) {
+      // Replicated plan (cluster plane): another node already paid for the
+      // tune. Adopt it locally and count the remote hit as a hit — the
+      // whole point of replication is that this job skips compute_plan.
+      plan_cache_.insert(key, *fetched);
+      dim_x = fetched->dim_x;
+      dim_y = fetched->dim_y;
+      dim_z = fetched->dim_z;
+      dim_t = fetched->dim_t;
+      if (schedule_pref < 0) family = fetched->family;
+      out.plan_cache_hit = true;
     } else {
       const CachedPlan fresh =
           compute_plan(opts_.mach, sig, nx, ny, nz, max_dim_t, schedule_pref);
       plan_cache_.insert(key, fresh);
+      if (opts_.plan_publish) opts_.plan_publish(key, fresh);
       dim_x = fresh.dim_x;
       dim_y = fresh.dim_y;
       dim_z = fresh.dim_z;

@@ -71,6 +71,16 @@ struct ServiceOptions {
   // for failover.
   std::function<fault::Status(const JobSpec& spec, int steps_done)> pass_hook;
 
+  // Cluster plan replication (cluster/node.h). On a local plan-cache miss,
+  // plan_fetch may produce the plan from elsewhere (the shard router's
+  // authoritative cache) — it is tried before the expensive compute_plan
+  // and its result is inserted locally and counted as a cache hit. After a
+  // local tune, plan_publish ships the fresh plan out (router stamping +
+  // broadcast). Both default-unset: the standalone service plans exactly as
+  // before.
+  std::function<std::optional<CachedPlan>(const PlanKey& key)> plan_fetch;
+  std::function<void(const PlanKey& key, const CachedPlan& plan)> plan_publish;
+
   // Honors S35_SERVE_THREADS, S35_SERVE_QUEUE, S35_SERVE_PLAN_CACHE,
   // S35_SERVE_WATCHDOG_MS, S35_SERVE_MAX_DIMT, and the tenancy knobs
   // S35_SERVE_TENANT_RATE / TENANT_BURST / TENANT_INFLIGHT / TENANT_SHARE /

@@ -44,7 +44,7 @@ bool write_all(int fd, const void* buf, std::size_t n) {
 
 bool valid_type(std::uint32_t t) {
   return t >= static_cast<std::uint32_t>(FrameType::kSubmit) &&
-         t <= static_cast<std::uint32_t>(FrameType::kDrained);
+         t <= static_cast<std::uint32_t>(FrameType::kPlanPull);
 }
 
 // Tries to peel one complete frame off the front of `acc`.
@@ -241,6 +241,79 @@ bool result_from_json(const std::string& s, std::uint64_t* job, JobState* state,
   if (json::get_int(s, "checkpoints", &v)) r->checkpoints = static_cast<int>(v);
   if (json::get_int(s, "error", &v)) r->error = static_cast<fault::ErrorCode>(v);
   json::get_string(s, "message", &r->message);
+  return true;
+}
+
+// ---- plan replication codecs -------------------------------------------
+
+namespace {
+
+void append_plan_key(std::ostringstream& os, const PlanKey& key) {
+  os << "\"kernel\":\"" << json::escape(key.kernel) << "\",\"radius\":" << key.radius
+     << ",\"eb\":" << key.elem_bytes << ",\"nx\":" << key.nx << ",\"ny\":" << key.ny
+     << ",\"nz\":" << key.nz << ",\"max_dimt\":" << key.max_dim_t
+     << ",\"machine\":\"" << json::escape(key.machine)
+     << "\",\"cap\":" << key.capacity_bytes << ",\"cores\":" << key.cores
+     << ",\"pref\":" << key.schedule_pref;
+}
+
+}  // namespace
+
+std::string plan_key_to_json(const PlanKey& key) {
+  std::ostringstream os;
+  os << "{";
+  append_plan_key(os, key);
+  os << "}";
+  return os.str();
+}
+
+bool plan_key_from_json(const std::string& s, PlanKey* key) {
+  std::int64_t v = 0;
+  if (!json::get_string(s, "kernel", &key->kernel)) return false;
+  if (!json::get_int(s, "nx", &v) || v <= 0) return false;
+  key->nx = v;
+  if (json::get_int(s, "ny", &v)) key->ny = v;
+  if (json::get_int(s, "nz", &v)) key->nz = v;
+  if (json::get_int(s, "radius", &v)) key->radius = static_cast<int>(v);
+  if (json::get_int(s, "eb", &v)) key->elem_bytes = static_cast<std::uint32_t>(v);
+  if (json::get_int(s, "max_dimt", &v)) key->max_dim_t = static_cast<int>(v);
+  json::get_string(s, "machine", &key->machine);
+  if (json::get_int(s, "cap", &v)) key->capacity_bytes = static_cast<std::uint64_t>(v);
+  if (json::get_int(s, "cores", &v)) key->cores = static_cast<int>(v);
+  if (json::get_int(s, "pref", &v)) key->schedule_pref = static_cast<int>(v);
+  return true;
+}
+
+std::string plan_entry_to_json(const PlanKey& key, const CachedPlan& plan,
+                               std::uint64_t ver) {
+  std::ostringstream os;
+  os << "{\"ver\":" << ver << ",";
+  append_plan_key(os, key);
+  os << ",\"dimx\":" << plan.dim_x << ",\"dimy\":" << plan.dim_y
+     << ",\"dimt\":" << plan.dim_t
+     << ",\"fam\":" << static_cast<int>(plan.family) << ",\"dimz\":" << plan.dim_z
+     << ",\"cost\":" << plan.cost << ",\"src\":" << static_cast<int>(plan.source)
+     << "}";
+  return os.str();
+}
+
+bool plan_entry_from_json(const std::string& s, PlanKey* key, CachedPlan* plan,
+                          std::uint64_t* ver) {
+  if (!plan_key_from_json(s, key)) return false;
+  std::int64_t v = 0;
+  if (!json::get_int(s, "dimx", &v) || v <= 0) return false;
+  plan->dim_x = v;
+  if (json::get_int(s, "dimy", &v)) plan->dim_y = v;
+  if (json::get_int(s, "dimt", &v)) plan->dim_t = static_cast<int>(v);
+  if (json::get_int(s, "fam", &v))
+    plan->family = static_cast<core::ScheduleFamily>(v);
+  if (json::get_int(s, "dimz", &v)) plan->dim_z = v;
+  json::get_double(s, "cost", &plan->cost);
+  if (json::get_int(s, "src", &v)) plan->source = static_cast<PlanSource>(v);
+  if (ver != nullptr) {
+    *ver = 0;
+    if (json::get_int(s, "ver", &v)) *ver = static_cast<std::uint64_t>(v);
+  }
   return true;
 }
 

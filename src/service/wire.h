@@ -1,8 +1,9 @@
 // Length-prefixed frame protocol between the supervisor and its worker
-// processes (one socketpair per worker).
+// processes (one socketpair per worker), reused verbatim by the cluster
+// plane between the shard router and its TCP nodes (cluster/).
 //
-// Frame layout, little-endian, host-order (same-machine pipe, never a
-// network format):
+// Frame layout, little-endian, host-order (same-machine pipe and
+// loopback/LAN peers of identical endianness; never a portable format):
 //
 //   u32 magic   "S35W"          — resync guard; a torn stream is detected,
 //   u32 type    FrameType          not silently mis-parsed
@@ -21,9 +22,19 @@
 //   kCancel   {"job":N}
 //   kResult   {"job":N,"state":"done",...}   worker -> supervisor, terminal
 //   kBeat     {"job":N,"progress":P}         worker -> supervisor, periodic
+//             (nodes add "plan_hits"/"plan_misses" cache counters)
 //   kDrain    {}                             supervisor -> worker: finish
 //                                            current work, then reply
 //   kDrained  {}                             worker -> supervisor, then exit
+//   kHello    {"node":"host:port","jobs":W}  node -> router on connect:
+//             identity + dispatch window (cluster plane only)
+//   kReject   {"error":"unavailable","message":...}  node -> router: typed
+//             refusal (node draining/stopping) instead of an abrupt EOF
+//   kPlanPush {"ver":V, <plan key+plan fields>}  router -> node replication
+//             (authoritative cache write-through) and node -> router with
+//             ver 0 when a node tuned a plan locally; "miss":true answers
+//             a pull that found nothing
+//   kPlanPull {<plan key fields>}             node -> router on cache miss
 #pragma once
 
 #include <cstdint>
@@ -31,6 +42,7 @@
 #include <vector>
 
 #include "service/job.h"
+#include "service/plan_cache.h"
 
 namespace s35::service::wire {
 
@@ -43,6 +55,11 @@ enum class FrameType : std::uint32_t {
   kBeat = 4,
   kDrain = 5,
   kDrained = 6,
+  // Cluster plane (router <-> node); see cluster/node.h, cluster/router.h.
+  kHello = 7,
+  kReject = 8,
+  kPlanPush = 9,
+  kPlanPull = 10,
 };
 
 struct Frame {
@@ -75,5 +92,18 @@ bool spec_from_json(const std::string& s, std::uint64_t* job, JobSpec* spec);
 std::string result_to_json(std::uint64_t job, JobState state, const JobResult& r);
 bool result_from_json(const std::string& s, std::uint64_t* job, JobState* state,
                       JobResult* r);
+
+// ---- plan replication codecs (cluster plane) ---------------------------
+// A PlanKey + CachedPlan flattened into one object, tagged with the
+// router's replication version (`ver`; 0 = node-learned, not yet stamped).
+// plan_key_to_json emits only the key fields — the kPlanPull payload.
+
+std::string plan_key_to_json(const PlanKey& key);
+bool plan_key_from_json(const std::string& s, PlanKey* key);
+
+std::string plan_entry_to_json(const PlanKey& key, const CachedPlan& plan,
+                               std::uint64_t ver);
+bool plan_entry_from_json(const std::string& s, PlanKey* key, CachedPlan* plan,
+                          std::uint64_t* ver);
 
 }  // namespace s35::service::wire

@@ -1,0 +1,177 @@
+// Consistent-hash ring: determinism, balance, minimal movement on
+// membership change, and the clockwise failover order the shard router
+// relies on. Pure unit tests — no sockets, no threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.h"
+
+namespace s35 {
+namespace {
+
+using cluster::HashRing;
+
+// Deterministic 64-bit keys standing in for JobSpec::shape_key values.
+std::vector<std::uint64_t> shape_keys(int count) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    keys.push_back(HashRing::point_hash("shape-" + std::to_string(i), i));
+  return keys;
+}
+
+std::vector<std::string> node_names(int count) {
+  std::vector<std::string> nodes;
+  for (int i = 0; i < count; ++i)
+    nodes.push_back("127.0.0.1:" + std::to_string(7400 + i));
+  return nodes;
+}
+
+TEST(RingTest, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.nodes(), 0u);
+  EXPECT_EQ(ring.owner(12345), "");
+  EXPECT_TRUE(ring.owners(12345, 3).empty());
+}
+
+TEST(RingTest, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.add("only:1");
+  for (const auto key : shape_keys(100)) EXPECT_EQ(ring.owner(key), "only:1");
+}
+
+TEST(RingTest, MembershipBookkeeping) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("a:1");  // duplicate: ignored
+  EXPECT_EQ(ring.nodes(), 2u);
+  EXPECT_TRUE(ring.contains("a:1"));
+  EXPECT_FALSE(ring.contains("c:3"));
+  ring.remove("a:1");
+  EXPECT_EQ(ring.nodes(), 1u);
+  EXPECT_FALSE(ring.contains("a:1"));
+  ring.remove("a:1");  // double remove: no-op
+  EXPECT_EQ(ring.nodes(), 1u);
+}
+
+TEST(RingTest, OwnerIndependentOfInsertionOrder) {
+  const auto nodes = node_names(5);
+  HashRing forward, backward;
+  for (const auto& n : nodes) forward.add(n);
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) backward.add(*it);
+  for (const auto key : shape_keys(200))
+    EXPECT_EQ(forward.owner(key), backward.owner(key));
+}
+
+// Each of 4 nodes should own its fair share of 1000 distinct shapes within
+// +/-20% — the virtual-node fan-out is what smooths the raw hash variance.
+TEST(RingTest, BalanceWithinTwentyPercent) {
+  const auto nodes = node_names(4);
+  HashRing ring(128);
+  for (const auto& n : nodes) ring.add(n);
+  std::map<std::string, int> owned;
+  const auto keys = shape_keys(1000);
+  for (const auto key : keys) ++owned[ring.owner(key)];
+  const double fair = static_cast<double>(keys.size()) / nodes.size();
+  for (const auto& n : nodes) {
+    EXPECT_GE(owned[n], static_cast<int>(fair * 0.8)) << n;
+    EXPECT_LE(owned[n], static_cast<int>(fair * 1.2)) << n;
+  }
+}
+
+// Removing one of N nodes must move only the dead node's keys: every other
+// key keeps its owner (this is the property that preserves plan/grid
+// warmth through a failover).
+TEST(RingTest, RemovalMovesOnlyTheDeadNodesKeys) {
+  const auto nodes = node_names(5);
+  HashRing ring;
+  for (const auto& n : nodes) ring.add(n);
+  const auto keys = shape_keys(1000);
+  std::map<std::uint64_t, std::string> before;
+  for (const auto key : keys) before[key] = ring.owner(key);
+
+  const std::string dead = nodes[2];
+  ring.remove(dead);
+  int moved = 0;
+  for (const auto key : keys) {
+    const std::string after = ring.owner(key);
+    EXPECT_NE(after, dead);
+    if (after != before[key]) {
+      ++moved;
+      EXPECT_EQ(before[key], dead);  // survivors' keys never move
+    }
+  }
+  // Everything the dead node owned moved, and nothing else did.
+  int dead_owned = 0;
+  for (const auto& [key, owner] : before) dead_owned += owner == dead ? 1 : 0;
+  EXPECT_EQ(moved, dead_owned);
+  EXPECT_GT(moved, 0);
+}
+
+// Adding one node to N-1 remaps roughly 1/N of keys (all toward the new
+// node); assert the <= 2/N bound that makes "minimal movement" concrete.
+TEST(RingTest, AddMovesAtMostTwiceTheFairShare) {
+  const auto nodes = node_names(5);
+  HashRing ring(128);
+  for (int i = 0; i < 4; ++i) ring.add(nodes[static_cast<std::size_t>(i)]);
+  const auto keys = shape_keys(1000);
+  std::map<std::uint64_t, std::string> before;
+  for (const auto key : keys) before[key] = ring.owner(key);
+
+  ring.add(nodes[4]);
+  int moved = 0;
+  for (const auto key : keys) {
+    const std::string after = ring.owner(key);
+    if (after != before[key]) {
+      ++moved;
+      EXPECT_EQ(after, nodes[4]);  // movement only flows toward the new node
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, static_cast<int>(2.0 * keys.size() / 5));
+}
+
+// owners(k, n) is the failover order: distinct nodes, starting at the
+// owner, and after the owner dies the ring successor takes over.
+TEST(RingTest, OwnersGiveTheFailoverSuccessor) {
+  const auto nodes = node_names(3);
+  HashRing ring;
+  for (const auto& n : nodes) ring.add(n);
+  for (const auto key : shape_keys(100)) {
+    const auto order = ring.owners(key, 3);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], ring.owner(key));
+    EXPECT_NE(order[0], order[1]);
+    EXPECT_NE(order[1], order[2]);
+    EXPECT_NE(order[0], order[2]);
+
+    HashRing survivor = ring;
+    survivor.remove(order[0]);
+    EXPECT_EQ(survivor.owner(key), order[1]);
+  }
+}
+
+TEST(RingTest, OwnersClampToMembership) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  const auto order = ring.owners(42, 5);
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(RingTest, PointHashSpreadsReplicas) {
+  // Replicas of one node must not clump: all distinct, and not ordered.
+  std::vector<std::uint64_t> points;
+  for (int r = 0; r < 64; ++r) points.push_back(HashRing::point_hash("n:1", r));
+  std::sort(points.begin(), points.end());
+  EXPECT_EQ(std::unique(points.begin(), points.end()), points.end());
+}
+
+}  // namespace
+}  // namespace s35

@@ -20,11 +20,14 @@
 #include <cstring>
 #include <iostream>
 #include <limits>
-#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cluster/node.h"
+#include "cluster/router.h"
+#include "cluster/tcp.h"
 #include "common/crc32c.h"
 #include "common/env.h"
 #include "common/table.h"
@@ -64,18 +67,26 @@ class Args {
       if (is_flag(argv[i])) {
         flags_.push_back(argv[i] + 2);
       } else if (i + 1 < argc) {
-        kv_[argv[i] + 2] = argv[i + 1];
+        kv_.emplace_back(argv[i] + 2, argv[i + 1]);
         ++i;
       }
     }
   }
   double num(const std::string& key, double fallback) const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+    const std::string* v = last(key);
+    return v ? std::atof(v->c_str()) : fallback;
   }
   std::string str(const std::string& key, const std::string& fallback) const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : it->second;
+    const std::string* v = last(key);
+    return v ? *v : fallback;
+  }
+  // All values given for a repeatable key, in order (e.g. route --node A
+  // --node B). str()/num() keep last-wins semantics for everything else.
+  std::vector<std::string> strs(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv_)
+      if (k == key) out.push_back(v);
+    return out;
   }
   bool flag(const std::string& f) const {
     for (const auto& g : flags_)
@@ -84,7 +95,13 @@ class Args {
   }
 
  private:
-  std::map<std::string, std::string> kv_;
+  const std::string* last(const std::string& key) const {
+    const std::string* found = nullptr;
+    for (const auto& [k, v] : kv_)
+      if (k == key) found = &v;
+    return found;
+  }
+  std::vector<std::pair<std::string, std::string>> kv_;
   std::vector<std::string> flags_;
 };
 
@@ -444,6 +461,52 @@ int cmd_serve(const Args& args) {
       "quarantine-cooldown-ms",
       static_cast<double>(opts.tenancy.quarantine_cooldown_ms)));
 
+  // --tcp host:port turns the process into a cluster node: the same warm
+  // JobService behind a TCP listener, speaking the supervisor's wire frames
+  // to any number of shard routers (cluster/node.h). Port 0 = ephemeral;
+  // the bound address is printed on stderr so scripts can discover it.
+  // --kill-pass N here arms the node-level deterministic SIGKILL used by
+  // the failover tests (the worker-level faults below need --workers).
+  const std::string tcp = args.str("tcp", "");
+  if (!tcp.empty()) {
+    std::string host;
+    int port = 0;
+    if (!cluster::split_host_port(tcp, &host, &port)) {
+      std::fprintf(stderr, "bad --tcp address '%s' (want host:port)\n",
+                   tcp.c_str());
+      return 2;
+    }
+    // Probe the machine before binding: once the listener exists a router
+    // can connect, and a connection that sits silent through the STREAM
+    // triad (~1 s) would trip the router's hello timeout and count as a
+    // node death before the first job.
+    if (opts.mach.name.empty()) opts.mach = machine::host();
+    int bound = 0;
+    const int lfd = cluster::tcp_listen(host, port, &bound);
+    if (lfd < 0) {
+      std::fprintf(stderr, "cannot listen on %s\n", tcp.c_str());
+      return 1;
+    }
+    cluster::NodeOptions nopt;
+    nopt.name = host + ":" + std::to_string(bound);
+    nopt.beat_ms = static_cast<int>(args.num("beat-ms", nopt.beat_ms));
+    nopt.window = static_cast<int>(args.num("window", nopt.window));
+    nopt.pull_timeout_ms =
+        static_cast<int>(args.num("pull-timeout-ms", nopt.pull_timeout_ms));
+    nopt.kill_at_pass = static_cast<long>(args.num("kill-pass", -1));
+    nopt.service = opts;
+    std::signal(SIGTERM, serve_stop_handler);
+    std::signal(SIGINT, serve_stop_handler);
+    std::fprintf(stderr,
+                 "s35 serve: node %s, %d threads, window %d, queue %zu, "
+                 "plan cache %s\n",
+                 nopt.name.c_str(), opts.threads, nopt.window,
+                 opts.queue_capacity,
+                 opts.plan_cache_path.empty() ? "(memory)"
+                                              : opts.plan_cache_path.c_str());
+    return cluster::serve_node(lfd, nopt, &g_serve_stop);
+  }
+
   service::SupervisorOptions sup = service::SupervisorOptions::from_env();
   sup.service = opts;
   // The supervisor enforces tenancy at its own admission edge; workers run
@@ -516,6 +579,77 @@ int cmd_serve(const Args& args) {
   return rc;
 }
 
+// Shard router: the multi-node serving plane. The same NDJSON protocol as
+// `s35 serve`, but the backend is cluster::Router — admission and the
+// authoritative plan cache live here, jobs map to `s35 serve --tcp` nodes
+// over a consistent-hash ring, and a killed node's in-flight jobs fail
+// over to the ring successor (resuming from shared checkpoints).
+int cmd_route(const Args& args) {
+  cluster::RouterOptions opts = cluster::RouterOptions::from_env();
+  const auto nodes = args.strs("node");
+  if (!nodes.empty()) opts.nodes = nodes;
+  if (opts.nodes.empty()) {
+    std::fprintf(stderr,
+                 "usage: s35 route --node HOST:PORT [--node HOST:PORT ...]\n"
+                 "       (or S35_ROUTE_NODES=h1:p1,h2:p2)\n");
+    return 2;
+  }
+  opts.beat_ms = static_cast<int>(args.num("beat-ms", opts.beat_ms));
+  opts.hang_ms = static_cast<int>(args.num("hang-ms", opts.hang_ms));
+  opts.connect_timeout_ms = static_cast<int>(
+      args.num("connect-timeout-ms", opts.connect_timeout_ms));
+  opts.max_rejoins = static_cast<int>(args.num("max-rejoins", opts.max_rejoins));
+  opts.max_job_attempts =
+      static_cast<int>(args.num("max-job-attempts", opts.max_job_attempts));
+  opts.vnodes = static_cast<int>(args.num("vnodes", opts.vnodes));
+  opts.window = static_cast<int>(args.num("window", opts.window));
+  opts.checkpoint_dir = args.str("ckpt-dir", opts.checkpoint_dir);
+  opts.checkpoint_every =
+      static_cast<int>(args.num("ckpt-every", opts.checkpoint_every));
+  opts.queue_capacity = static_cast<std::size_t>(
+      args.num("queue", static_cast<double>(opts.queue_capacity)));
+  opts.plan_cache_path = args.str("plan-cache", opts.plan_cache_path);
+  opts.tenancy.rate = args.num("tenant-rate", opts.tenancy.rate);
+  opts.tenancy.burst = args.num("tenant-burst", opts.tenancy.burst);
+  opts.tenancy.max_in_flight =
+      static_cast<int>(args.num("tenant-inflight", opts.tenancy.max_in_flight));
+  opts.tenancy.queue_share = args.num("tenant-share", opts.tenancy.queue_share);
+  opts.tenancy.brownout = args.num("brownout", opts.tenancy.brownout);
+  opts.tenancy.quarantine_kills =
+      static_cast<int>(args.num("quarantine", opts.tenancy.quarantine_kills));
+  opts.tenancy.quarantine_cooldown_ms = static_cast<std::int64_t>(args.num(
+      "quarantine-cooldown-ms",
+      static_cast<double>(opts.tenancy.quarantine_cooldown_ms)));
+
+  cluster::Router router(opts);
+  std::fprintf(stderr,
+               "s35 route: %zu nodes, queue %zu, window %d, vnodes %d, "
+               "hang %d ms, ckpt %s\n",
+               opts.nodes.size(), opts.queue_capacity, opts.window,
+               opts.vnodes, opts.hang_ms,
+               opts.checkpoint_dir.empty() ? "(off)"
+                                           : opts.checkpoint_dir.c_str());
+  if (opts.tenancy.enabled())
+    std::fprintf(stderr,
+                 "s35 route: tenancy on — rate %.3g/s burst %.3g inflight %d "
+                 "share %.2f brownout %.2f quarantine %d\n",
+                 opts.tenancy.rate, opts.tenancy.burst,
+                 opts.tenancy.max_in_flight, opts.tenancy.queue_share,
+                 opts.tenancy.brownout, opts.tenancy.quarantine_kills);
+
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGINT, serve_stop_handler);
+  const std::string socket = args.str("socket", "");
+  int rc = 0;
+  if (!socket.empty()) {
+    rc = service::serve_unix(router, socket, &g_serve_stop);
+  } else {
+    service::serve_stream(router, std::cin, std::cout);
+  }
+  router.shutdown();  // graceful drain: fails over across node deaths
+  return rc;
+}
+
 int cmd_plan_cache(const Args& args) {
   const std::string path = args.str("path", "");
   if (path.empty()) {
@@ -581,9 +715,10 @@ int main(int argc, char** argv) {
   if (cmd == "wavefront") return cmd_wavefront(args);
   if (cmd == "run") return cmd_run(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "route") return cmd_route(args);
   if (cmd == "plan-cache") return cmd_plan_cache(args);
   std::puts(
-      "usage: s35 <plan|traffic|gpu|tune|wavefront|run|serve|plan-cache> [options]\n"
+      "usage: s35 <plan|traffic|gpu|tune|wavefront|run|serve|route|plan-cache> [options]\n"
       "  plan      blocking parameters (eqs. 1-4) for presets/host or\n"
       "            --bw G --sp G --dp G --cache MB [--cores N]\n"
       "  traffic   simulated external bytes/update per scheme\n"
@@ -616,6 +751,15 @@ int main(int argc, char** argv) {
       "            tenancy/overload: [--tenant-rate C/S] [--tenant-burst C]\n"
       "            [--tenant-inflight N] [--tenant-share F] [--brownout F]\n"
       "            [--quarantine K] [--quarantine-cooldown-ms MS]\n"
+      "            cluster node: [--tcp HOST:PORT] [--window N]\n"
+      "            [--pull-timeout-ms MS] [--kill-pass P]\n"
+      "  route     shard router over `s35 serve --tcp` nodes (NDJSON in,\n"
+      "            consistent-hash placement, checkpointed failover)\n"
+      "            --node HOST:PORT [--node ...] [--socket PATH] [--queue N]\n"
+      "            [--ckpt-dir DIR] [--ckpt-every P] [--window N] [--vnodes N]\n"
+      "            [--beat-ms MS] [--hang-ms MS] [--max-rejoins K]\n"
+      "            [--max-job-attempts K] [--plan-cache FILE] + tenancy flags;\n"
+      "            env: S35_ROUTE_*\n"
       "  plan-cache  inspect or clear a persisted plan cache\n"
       "            --path FILE [--clear]");
   return cmd.empty() ? 0 : 1;
