@@ -99,6 +99,11 @@ int serve_node(int listen_fd, const NodeOptions& opts,
     }
     {
       std::lock_guard<std::mutex> lock(write_mu);
+      // Re-check under write_mu: drop_conn clears router_fd and closes the
+      // fd under this lock, so a controller still current here cannot be
+      // closed (or its number recycled) mid-write.
+      if (router_fd.load(std::memory_order_acquire) != fd)
+        return std::nullopt;
       if (!wire::write_frame(fd, wire::FrameType::kPlanPull,
                              wire::plan_key_to_json(key)))
         return std::nullopt;
@@ -114,6 +119,7 @@ int serve_node(int listen_fd, const NodeOptions& opts,
     const int fd = router_fd.load(std::memory_order_acquire);
     if (fd < 0) return;
     std::lock_guard<std::mutex> lock(write_mu);
+    if (router_fd.load(std::memory_order_acquire) != fd) return;
     wire::write_frame(fd, wire::FrameType::kPlanPush,
                       wire::plan_entry_to_json(key, p, 0));
   };
@@ -128,12 +134,20 @@ int serve_node(int listen_fd, const NodeOptions& opts,
   std::int64_t last_beat_ns = 0;
   std::vector<pollfd> pfds;
 
+  // Never call while holding write_mu (std::mutex is non-recursive).
   const auto drop_conn = [&](Conn& c) {
     if (c.fd < 0) return;
     // The router is gone; its jobs keep running (they may finish before a
     // reconnect) but their results have no recipient anymore.
     for (auto it = jobs.begin(); it != jobs.end();)
       it = it->second.second == c.fd ? jobs.erase(it) : std::next(it);
+    // Close under write_mu, clearing router_fd first: the JobService
+    // worker's plan hooks write to router_fd under this mutex, and a close
+    // racing such a write could recycle the fd number into a newly
+    // accepted connection, landing the frame on the wrong peer.
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (router_fd.load(std::memory_order_acquire) == c.fd)
+      router_fd.store(-1, std::memory_order_release);
     ::close(c.fd);
     c.fd = -1;
   };
@@ -249,7 +263,11 @@ int serve_node(int listen_fd, const NodeOptions& opts,
       }
     }
 
-    // Ship terminals exactly once to their submitting connection.
+    // Ship terminals exactly once to their submitting connection. A failed
+    // write only records the dead fd; the drop happens after the loop —
+    // drop_conn erases this map's entries for that fd, which would
+    // invalidate the live iterator.
+    std::vector<int> dead_fds;
     for (auto it = jobs.begin(); it != jobs.end();) {
       const auto info = service.info(it->second.first);
       if (!info || !terminal(info->state)) {
@@ -257,29 +275,35 @@ int serve_node(int listen_fd, const NodeOptions& opts,
         continue;
       }
       const int fd = it->second.second;
+      const bool dead =
+          std::find(dead_fds.begin(), dead_fds.end(), fd) != dead_fds.end();
       bool ok = false;
-      {
+      if (!dead) {
         std::lock_guard<std::mutex> lock(write_mu);
         ok = wire::write_frame(
             fd, wire::FrameType::kResult,
             wire::result_to_json(it->first, info->state, info->result));
       }
       for (Conn& c : conns)
-        if (c.fd == fd) {
-          --c.outstanding;
-          if (!ok) drop_conn(c);
-        }
+        if (c.fd == fd) --c.outstanding;
+      if (!ok && !dead) dead_fds.push_back(fd);
       it = jobs.erase(it);
     }
+    for (const int fd : dead_fds)
+      for (Conn& c : conns)
+        if (c.fd == fd) drop_conn(c);
 
     // kDrained once a draining connection has nothing left in flight. The
     // node itself keeps serving — a node outlives any one router.
     for (Conn& c : conns) {
       if (c.fd < 0 || !c.draining || c.outstanding > 0) continue;
       c.draining = false;
-      std::lock_guard<std::mutex> lock(write_mu);
-      if (!wire::write_frame(c.fd, wire::FrameType::kDrained, "{}"))
-        drop_conn(c);
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> lock(write_mu);
+        ok = wire::write_frame(c.fd, wire::FrameType::kDrained, "{}");
+      }
+      if (!ok) drop_conn(c);
     }
 
     const std::int64_t now = now_ns();
@@ -293,9 +317,12 @@ int serve_node(int listen_fd, const NodeOptions& opts,
           "}";
       for (Conn& c : conns) {
         if (c.fd < 0) continue;
-        std::lock_guard<std::mutex> lock(write_mu);
-        if (!wire::write_frame(c.fd, wire::FrameType::kBeat, beat))
-          drop_conn(c);
+        bool ok = false;
+        {
+          std::lock_guard<std::mutex> lock(write_mu);
+          ok = wire::write_frame(c.fd, wire::FrameType::kBeat, beat);
+        }
+        if (!ok) drop_conn(c);
       }
     }
 

@@ -58,6 +58,8 @@ RouterOptions RouterOptions::from_env() {
   o.vnodes = static_cast<int>(env_int("S35_ROUTE_VNODES", o.vnodes));
   o.max_rejoins =
       static_cast<int>(env_int("S35_ROUTE_MAX_REJOINS", o.max_rejoins));
+  o.terminal_retention = static_cast<std::size_t>(env_int(
+      "S35_ROUTE_RETENTION", static_cast<long>(o.terminal_retention)));
   o.checkpoint_dir = env_string("S35_SERVE_CKPT_DIR", o.checkpoint_dir);
   o.checkpoint_every =
       static_cast<int>(env_int("S35_SERVE_CKPT_EVERY", o.checkpoint_every));
@@ -74,6 +76,7 @@ Router::Router(RouterOptions options)
   if (opts_.beat_ms < 5) opts_.beat_ms = 5;
   if (opts_.window < 1) opts_.window = 1;
   if (opts_.checkpoint_every < 1) opts_.checkpoint_every = 1;
+  if (opts_.terminal_retention < 1) opts_.terminal_retention = 1;
   governor_.configure(opts_.tenancy);
   if (!opts_.plan_cache_path.empty()) {
     // A corrupt/absent file means a cold cache, never a wrong plan.
@@ -202,21 +205,26 @@ std::optional<svc::JobInfo> Router::info(std::uint64_t id) const {
 std::optional<svc::JobInfo> Router::wait(std::uint64_t id,
                                          std::int64_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) return std::nullopt;
-  JobRec* rec = it->second.get();
-  const auto pred = [&] { return terminal(rec->state); };
+  if (jobs_.find(id) == jobs_.end()) return std::nullopt;
+  // Re-find on every evaluation: retention may erase a terminal record
+  // while this thread sleeps on the condition variable.
+  const auto pred = [&] {
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() || terminal(it->second->state);
+  };
   if (timeout_ms < 0) {
     jobs_cv_.wait(lock, pred);
   } else if (!jobs_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                                 pred)) {
     return std::nullopt;
   }
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;  // terminal but aged out
   svc::JobInfo out;
   out.id = id;
-  out.state = rec->state;
-  out.spec = rec->spec;
-  out.result = rec->result;
+  out.state = it->second->state;
+  out.spec = it->second->spec;
+  out.result = it->second->result;
   return out;
 }
 
@@ -262,16 +270,17 @@ svc::ServiceStats Router::stats() const {
 void Router::record_terminal(std::uint64_t id, svc::JobState state,
                              const svc::JobResult& r) {
   // Exactly-once: the first terminal transition wins; duplicates (a
-  // failover racing a slow socket) are dropped here.
+  // failover racing a slow socket) are dropped here — including a late
+  // duplicate for a record retention already evicted (find fails).
   bool was_running = false;
-  const svc::JobSpec* spec = nullptr;  // stable: jobs_ entries never erased
+  svc::JobSpec spec;  // copied: retention may erase the rec after unlock
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || terminal(it->second->state)) return;
     JobRec& rec = *it->second;
     was_running = rec.state == svc::JobState::kRunning;
-    spec = &rec.spec;
+    spec = rec.spec;
     rec.state = state;
     rec.result = r;
     if (rec.node >= 0) {
@@ -305,8 +314,19 @@ void Router::record_terminal(std::uint64_t id, svc::JobState state,
       stats_.total_wait_s +=
           static_cast<double>(rec.dispatch_ns - rec.submit_ns) * 1e-9;
     stats_.total_run_s += r.run_s;
+    // Bounded retention: keep the last terminal_retention terminal records
+    // queryable, then drop — a long-lived router must not grow per
+    // submitted job forever.
+    terminal_order_.push_back(id);
+    while (terminal_order_.size() > opts_.terminal_retention) {
+      jobs_.erase(terminal_order_.front());
+      terminal_order_.pop_front();
+    }
   }
-  if (spec != nullptr) governor_.note_finished(*spec, was_running, state);
+  governor_.note_finished(spec, was_running, state);
+  // The shared-directory checkpoint exists only to seed failover; once the
+  // job is terminal it can never be dispatched again, so unlink it.
+  if (!spec.checkpoint_path.empty()) ::unlink(spec.checkpoint_path.c_str());
   jobs_cv_.notify_all();
 }
 
@@ -682,6 +702,9 @@ bool Router::place(std::uint64_t id) {
       it->second->state = svc::JobState::kQueued;
       it->second->node = -1;
       retry_.push_back(id);
+      // Undo note_started too (as failover() does) or the tenant's running
+      // count leaks +1 every time — the next placement re-notes the start.
+      governor_.note_requeued(it->second->spec);
     }
     auto& v = n->jobs;
     v.erase(std::remove(v.begin(), v.end(), id), v.end());

@@ -80,15 +80,20 @@ struct RouterOptions {
   int checkpoint_every = 1;
   std::size_t queue_capacity = 64;
   long max_points = 16L * 1024 * 1024;
+  // Terminal JobRecs kept queryable via info()/wait(); older ones (and
+  // their on-disk checkpoints) are dropped so a long-lived router does not
+  // grow without bound per submitted job.
+  std::size_t terminal_retention = 4096;
   service::TenancyOptions tenancy;
   // Authoritative plan cache (replicated to nodes).
   std::size_t plan_cache_entries = 256;
   std::string plan_cache_path;  // "" = in-memory only
 
   // Honors S35_ROUTE_NODES (comma-separated), S35_ROUTE_BEAT_MS,
-  // S35_ROUTE_HANG_MS, S35_ROUTE_WINDOW, S35_ROUTE_VNODES plus the shared
-  // S35_SERVE_QUEUE / S35_SERVE_CKPT_DIR / S35_SERVE_CKPT_EVERY and the
-  // tenancy knobs (via ServiceOptions::from_env).
+  // S35_ROUTE_HANG_MS, S35_ROUTE_WINDOW, S35_ROUTE_VNODES,
+  // S35_ROUTE_RETENTION plus the shared S35_SERVE_QUEUE /
+  // S35_SERVE_CKPT_DIR / S35_SERVE_CKPT_EVERY and the tenancy knobs (via
+  // ServiceOptions::from_env).
   static RouterOptions from_env();
 };
 
@@ -176,6 +181,7 @@ class Router : public service::JobBackend {
   mutable std::mutex mu_;  // jobs_, retry_, holdback_, stats, slot metadata
   std::condition_variable jobs_cv_;
   std::unordered_map<std::uint64_t, std::unique_ptr<JobRec>> jobs_;
+  std::deque<std::uint64_t> terminal_order_;  // terminal ids, oldest first
   std::deque<std::uint64_t> retry_;     // failed-over jobs, dispatched first
   std::deque<std::uint64_t> holdback_;  // popped but owner at capacity
   std::uint64_t next_id_ = 1;

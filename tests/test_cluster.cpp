@@ -10,6 +10,7 @@
 
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -348,6 +349,58 @@ TEST(ClusterTest, PlanTunedOnOneNodeServedOnAnother) {
   EXPECT_GE(router.stats().plan_hits, 1u);
   router.shutdown();
   reap_node(pid_b);
+}
+
+// Terminal records are kept queryable only up to terminal_retention; older
+// ones — and every terminal job's on-disk failover checkpoint — are
+// dropped, so a long-lived router does not grow per submitted job forever.
+TEST(ClusterTest, TerminalRetentionEvictsRecordsAndCheckpoints) {
+  const std::string dir = ::testing::TempDir() + "/s35_retention_ckpt";
+  ::mkdir(dir.c_str(), 0755);
+
+  NodeOptions nopts;
+  nopts.beat_ms = 20;
+  nopts.service = node_service_options();
+  const BoundNode a = bind_node();
+  const pid_t pid = fork_node(a, nopts);
+
+  RouterOptions ropts;
+  ropts.nodes = {a.address};
+  ropts.beat_ms = 20;
+  ropts.connect_timeout_ms = 2000;
+  ropts.checkpoint_dir = dir;
+  ropts.terminal_retention = 2;
+  Router router(ropts);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = router.submit(cluster_spec());
+    ASSERT_TRUE(id.ok());
+    const auto done = router.wait(id.value(), 60000);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->state, JobState::kDone) << done->result.message;
+    ids.push_back(id.value());
+  }
+
+  // The two oldest terminal records aged out; the newest two remain.
+  EXPECT_FALSE(router.info(ids[0]).has_value());
+  EXPECT_FALSE(router.info(ids[1]).has_value());
+  EXPECT_TRUE(router.info(ids[2]).has_value());
+  EXPECT_TRUE(router.info(ids[3]).has_value());
+
+  // Checkpoints are unlinked at the terminal transition (which can land
+  // just after wait() wakes — poll briefly).
+  for (const std::uint64_t id : ids) {
+    const std::string path = dir + "/job-" + std::to_string(id) + ".ckpt";
+    bool gone = false;
+    for (int i = 0; i < 100 && !gone; ++i) {
+      gone = ::access(path.c_str(), F_OK) != 0;
+      if (!gone) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_TRUE(gone) << path << " not unlinked after terminal";
+  }
+  router.shutdown();
+  reap_node(pid);
 }
 
 // Typed admission errors surface through the router like any backend's.
